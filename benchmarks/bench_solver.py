@@ -1,0 +1,87 @@
+"""SAT solver benchmarks: the Z3-substitute must stay fast enough for
+the S-AEG realizability queries and subrosa encodings."""
+
+import random
+
+import pytest
+
+from repro.solver import SatSolver, encode, exactly_one, var
+
+
+def _pigeonhole(pigeons, holes):
+    solver = SatSolver(pigeons * holes)
+
+    def index(p, h):
+        return p * holes + h + 1
+
+    for p in range(pigeons):
+        solver.add_clause([index(p, h) for h in range(holes)])
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                solver.add_clause([-index(i, h), -index(j, h)])
+    return solver
+
+
+def test_pigeonhole_unsat(benchmark):
+    def run():
+        return _pigeonhole(7, 6).solve()
+
+    assert benchmark(run) is None
+
+
+def test_random_3sat(benchmark):
+    rng = random.Random(1234)
+    num_vars, num_clauses = 120, 480
+    clauses = [
+        [v if rng.random() < 0.5 else -v
+         for v in rng.sample(range(1, num_vars + 1), 3)]
+        for _ in range(num_clauses)
+    ]
+
+    def run():
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    model = benchmark(run)
+    if model is not None:
+        for clause in clauses:
+            assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+
+def test_exactly_one_grid(benchmark):
+    """A Latin-square-ish encoding through the Tseitin pipeline."""
+
+    def run():
+        cells = [[var(f"c{r}{c}v{v}") for v in range(4)]
+                 for r in range(4) for c in range(4)]
+        formula = None
+        for cell in cells:
+            constraint = exactly_one(cell)
+            formula = constraint if formula is None else formula & constraint
+        cnf = encode(formula)
+        return SatSolver.from_cnf(cnf).solve()
+
+    assert benchmark(run) is not None
+
+
+def test_aeg_realizability_queries(benchmark):
+    """Fig. 7-style path queries over a real S-AEG."""
+    from repro.bench.suites import by_name
+    from repro.clou import SAEG, build_acfg
+    from repro.minic import compile_c
+
+    module = compile_c(by_name("pht03").source)
+    aeg = SAEG(build_acfg(module, "victim_function_v03").function)
+    nodes = aeg.memory_nodes()
+
+    def run():
+        results = []
+        for i in range(len(nodes) - 1):
+            results.append(aeg.realizable([nodes[i], nodes[i + 1]]))
+        return results
+
+    results = benchmark(run)
+    assert all(isinstance(r, bool) for r in results)

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.clou import ClouConfig
+
+# A single moderate config for benchmarking: Table 2's Clou parameters.
+TABLE2_CONFIG = ClouConfig(rob_size=250, lsq_size=50, window_size=250,
+                           timeout_seconds=120.0)
+
+
+@pytest.fixture(scope="session")
+def table2_config():
+    return TABLE2_CONFIG

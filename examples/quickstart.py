@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: detect and repair Spectre v1 leakage in a C function.
+
+This walks the whole Clou pipeline (Fig. 6 of the paper) on the classic
+bounds-check-bypass victim:
+
+    if (y < size_A) { x = A[y]; tmp &= B[x * 512]; }
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import analyze_source
+from repro.clou import repair_source
+from repro.lcm.taxonomy import TransmitterClass
+
+VICTIM = """
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512];
+    }
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. Detect (Clou-PHT) ===")
+    report = analyze_source(VICTIM, engine="pht", name="quickstart")
+    print(report.summary())
+    print()
+    for witness in report.transmitters:
+        print(witness.describe())
+        print()
+
+    udts = [w for w in report.transmitters
+            if w.klass is TransmitterClass.UNIVERSAL_DATA]
+    print(f"universal data transmitters: {len(udts)} — the B[x*512] load "
+          "leaks arbitrary memory when the branch mispredicts")
+    print()
+
+    print("=== 2. Repair (minimal lfence insertion) ===")
+    for result in repair_source(VICTIM, engine="pht", name="quickstart"):
+        print(result.summary())
+        for block, index in result.fences:
+            print(f"  inserted lfence at {block}#{index}")
+        assert result.fully_repaired, "repair must eliminate all leakage"
+    print()
+    print("Done: 1 fence suffices, matching §6.1 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

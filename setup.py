@@ -1,0 +1,26 @@
+"""Packaging via classic setup.py.
+
+This environment has no `wheel` package and no network, so PEP 517
+editable installs (which need `bdist_wheel`) cannot work.  Keeping the
+metadata here (and no [build-system] pyproject) lets `pip install -e .`
+take the legacy `setup.py develop` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Axiomatic Hardware-Software Contracts for "
+        "Security' (ISCA 2022): LCMs, subrosa, and Clou"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    install_requires=["networkx"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.bench": ["corpus/*/*.c"]},
+    entry_points={"console_scripts": ["clou = repro.cli:main"]},
+)

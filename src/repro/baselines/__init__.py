@@ -1,0 +1,5 @@
+"""Baseline detectors the paper compares against."""
+
+from repro.baselines.bh import BHAnalyzer, BHBug, BHReport, bh_analyze_source
+
+__all__ = ["BHAnalyzer", "BHBug", "BHReport", "bh_analyze_source"]

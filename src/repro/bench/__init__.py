@@ -1,0 +1,25 @@
+"""Benchmark corpus and harnesses reproducing the paper's evaluation."""
+
+from repro.bench.suites import (
+    BenchCase,
+    all_cases,
+    all_litmus,
+    by_name,
+    crypto_cases,
+    litmus_fwd,
+    litmus_new,
+    litmus_pht,
+    litmus_stl,
+)
+
+__all__ = [
+    "BenchCase",
+    "all_cases",
+    "all_litmus",
+    "by_name",
+    "crypto_cases",
+    "litmus_fwd",
+    "litmus_new",
+    "litmus_pht",
+    "litmus_stl",
+]

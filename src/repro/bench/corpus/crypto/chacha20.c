@@ -1,0 +1,64 @@
+/* ChaCha20-shaped stream cipher: the second-largest libsodium primitive
+ * family; widens the Fig. 8 size axis. */
+
+uint8_t chacha_pad[64];
+
+static uint32_t cc_load32(uint8_t *p) {
+    return (uint32_t)p[0] | ((uint32_t)p[1] << 8)
+         | ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+}
+
+static void cc_store32(uint8_t *p, uint32_t v) {
+    p[0] = (uint8_t)(v & 0xff);
+    p[1] = (uint8_t)((v >> 8) & 0xff);
+    p[2] = (uint8_t)((v >> 16) & 0xff);
+    p[3] = (uint8_t)((v >> 24) & 0xff);
+}
+
+static void chacha_block(uint8_t *out, uint8_t *key, uint8_t *nonce,
+                         uint32_t counter) {
+    uint32_t x[16];
+    x[0] = 0x61707865;
+    x[1] = 0x3320646e;
+    x[2] = 0x79622d32;
+    x[3] = 0x6b206574;
+    for (int i = 0; i < 8; i++) {
+        x[4 + i] = cc_load32(key + 4 * i);
+    }
+    x[12] = counter;
+    x[13] = cc_load32(nonce);
+    x[14] = cc_load32(nonce + 4);
+    x[15] = cc_load32(nonce + 8);
+    uint32_t w[16];
+    for (int i = 0; i < 16; i++) {
+        w[i] = x[i];
+    }
+    for (int round = 0; round < 10; round++) {
+        for (int q = 0; q < 4; q++) {
+            int a = q;
+            int b = 4 + q;
+            int c = 8 + q;
+            int d = 12 + q;
+            w[a] += w[b]; w[d] ^= w[a]; w[d] = (w[d] << 16) | (w[d] >> 16);
+            w[c] += w[d]; w[b] ^= w[c]; w[b] = (w[b] << 12) | (w[b] >> 20);
+            w[a] += w[b]; w[d] ^= w[a]; w[d] = (w[d] << 8) | (w[d] >> 24);
+            w[c] += w[d]; w[b] ^= w[c]; w[b] = (w[b] << 7) | (w[b] >> 25);
+        }
+    }
+    for (int i = 0; i < 16; i++) {
+        cc_store32(out + 4 * i, w[i] + x[i]);
+    }
+}
+
+int crypto_stream_chacha20_xor(uint8_t *c, uint8_t *m, uint64_t mlen,
+                               uint8_t *n, uint8_t *k) {
+    uint32_t counter = 0;
+    for (uint64_t off = 0; off < mlen; off += 64) {
+        chacha_block(chacha_pad, k, n, counter);
+        counter += 1;
+        for (uint64_t i = 0; i < 64 && off + i < mlen; i++) {
+            c[off + i] = m[off + i] ^ chacha_pad[i];
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,217 @@
+/* curve25519-donna-shaped workload: 64-bit limb field arithmetic with
+ * the inlining/size profile of Table 2's "donna" row (1 public
+ * function, ~21 after inlining, ~900 LoC). */
+
+static void fsum(uint64_t *output, uint64_t *in) {
+    for (int i = 0; i < 10; i += 2) {
+        output[i] = output[i] + in[i];
+        output[i + 1] = output[i + 1] + in[i + 1];
+    }
+}
+
+static void fdifference(uint64_t *output, uint64_t *in) {
+    for (int i = 0; i < 10; i++) {
+        output[i] = in[i] + 0x3fffffff * 8 - output[i];
+    }
+}
+
+static void fscalar_product(uint64_t *output, uint64_t *in, uint64_t scalar) {
+    for (int i = 0; i < 10; i++) {
+        output[i] = in[i] * scalar;
+    }
+}
+
+static void fproduct(uint64_t *out, uint64_t *in2, uint64_t *in) {
+    for (int i = 0; i < 19; i++) {
+        out[i] = 0;
+    }
+    for (int i = 0; i < 10; i++) {
+        for (int j = 0; j < 10; j++) {
+            out[i + j] += in2[i] * in[j];
+        }
+    }
+}
+
+static void freduce_degree(uint64_t *output) {
+    for (int i = 8; i >= 0; i--) {
+        output[i] += 19 * output[i + 10];
+    }
+}
+
+static void freduce_coefficients(uint64_t *output) {
+    output[10] = 0;
+    for (int i = 0; i < 10; i += 2) {
+        uint64_t over = output[i] >> 26;
+        output[i] -= over << 26;
+        output[i + 1] += over;
+        over = output[i + 1] >> 25;
+        output[i + 1] -= over << 25;
+        output[i + 2] += over;
+    }
+    output[0] += 19 * output[10];
+    output[10] = 0;
+}
+
+static void fmul(uint64_t *output, uint64_t *in, uint64_t *in2) {
+    uint64_t t[19];
+    fproduct(t, in, in2);
+    freduce_degree(t);
+    freduce_coefficients(t);
+    for (int i = 0; i < 10; i++) {
+        output[i] = t[i];
+    }
+}
+
+static void fsquare(uint64_t *output, uint64_t *in) {
+    fmul(output, in, in);
+}
+
+static void fexpand(uint64_t *output, uint8_t *input) {
+    for (int i = 0; i < 10; i++) {
+        uint64_t limb = 0;
+        for (int j = 0; j < 4; j++) {
+            limb = (limb << 8) | input[i * 3 + j];
+        }
+        output[i] = limb & 0x3ffffff;
+    }
+}
+
+static void fcontract(uint8_t *output, uint64_t *input) {
+    for (int i = 0; i < 10; i++) {
+        uint64_t limb = input[i];
+        output[i * 3] = (uint8_t)(limb & 0xff);
+        output[i * 3 + 1] = (uint8_t)((limb >> 8) & 0xff);
+        output[i * 3 + 2] = (uint8_t)((limb >> 16) & 0xff);
+    }
+}
+
+static void swap_conditional(uint64_t *a, uint64_t *b, uint64_t iswap) {
+    uint64_t swap = 0 - iswap;
+    for (int i = 0; i < 10; i++) {
+        uint64_t x = swap & (a[i] ^ b[i]);
+        a[i] = a[i] ^ x;
+        b[i] = b[i] ^ x;
+    }
+}
+
+static void fmonty(uint64_t *x2, uint64_t *z2, uint64_t *x3, uint64_t *z3,
+                   uint64_t *x, uint64_t *z, uint64_t *xprime,
+                   uint64_t *zprime, uint64_t *qmqp) {
+    uint64_t origx[10];
+    uint64_t origxprime[10];
+    uint64_t zzz[19];
+    uint64_t xx[19];
+    uint64_t zz[19];
+    uint64_t xxprime[19];
+    uint64_t zzprime[19];
+    for (int i = 0; i < 10; i++) {
+        origx[i] = x[i];
+    }
+    fsum(x, z);
+    fdifference(z, origx);
+    for (int i = 0; i < 10; i++) {
+        origxprime[i] = xprime[i];
+    }
+    fsum(xprime, zprime);
+    fdifference(zprime, origxprime);
+    fproduct(xxprime, xprime, z);
+    fproduct(zzprime, x, zprime);
+    freduce_degree(xxprime);
+    freduce_coefficients(xxprime);
+    freduce_degree(zzprime);
+    freduce_coefficients(zzprime);
+    for (int i = 0; i < 10; i++) {
+        origxprime[i] = xxprime[i];
+    }
+    fsum(xxprime, zzprime);
+    fdifference(zzprime, origxprime);
+    fsquare(x3, xxprime);
+    fsquare(zzz, zzprime);
+    fproduct(z3, zzz, qmqp);
+    freduce_degree(z3);
+    freduce_coefficients(z3);
+    fsquare(xx, x);
+    fsquare(zz, z);
+    fproduct(x2, xx, zz);
+    freduce_degree(x2);
+    freduce_coefficients(x2);
+    fdifference(zz, xx);
+    fscalar_product(zzz, zz, 121665);
+    freduce_coefficients(zzz);
+    fsum(zzz, xx);
+    fproduct(z2, zz, zzz);
+    freduce_degree(z2);
+    freduce_coefficients(z2);
+}
+
+static void cmult(uint64_t *resultx, uint64_t *resultz,
+                  uint8_t *n, uint64_t *q) {
+    uint64_t a[19];
+    uint64_t b[19];
+    uint64_t c[19];
+    uint64_t d[19];
+    uint64_t e[19];
+    uint64_t f[19];
+    uint64_t g[19];
+    uint64_t h[19];
+    for (int i = 0; i < 19; i++) {
+        a[i] = 0; b[i] = 0; c[i] = 0; d[i] = 0;
+        e[i] = 0; f[i] = 0; g[i] = 0; h[i] = 0;
+    }
+    b[0] = 1;
+    c[0] = 1;
+    for (int i = 0; i < 10; i++) {
+        a[i] = q[i];
+    }
+    for (int i = 0; i < 2; i++) {
+        uint8_t byte = n[31 - i];
+        for (int j = 0; j < 2; j++) {
+            uint64_t bit = (byte >> (7 - j)) & 1;
+            swap_conditional(a, b, bit);
+            swap_conditional(c, d, bit);
+            fmonty(e, f, g, h, a, c, b, d, q);
+            swap_conditional(e, g, bit);
+            swap_conditional(f, h, bit);
+            for (int m = 0; m < 19; m++) {
+                a[m] = e[m]; c[m] = f[m]; b[m] = g[m]; d[m] = h[m];
+            }
+        }
+    }
+    for (int i = 0; i < 10; i++) {
+        resultx[i] = a[i];
+        resultz[i] = c[i];
+    }
+}
+
+static void crecip(uint64_t *out, uint64_t *z) {
+    uint64_t z2[10];
+    uint64_t t0[10];
+    uint64_t t1[10];
+    fsquare(z2, z);
+    fsquare(t1, z2);
+    fsquare(t0, t1);
+    fmul(out, t0, z);
+    fmul(t0, out, z2);
+    fsquare(t1, t0);
+    fmul(out, t1, t0);
+}
+
+int curve25519_donna(uint8_t *mypublic, uint8_t *secret, uint8_t *basepoint) {
+    uint64_t bp[10];
+    uint64_t x[10];
+    uint64_t z[11];
+    uint64_t zmone[10];
+    uint8_t e[32];
+    for (int i = 0; i < 32; i++) {
+        e[i] = secret[i];
+    }
+    e[0] &= 248;
+    e[31] &= 127;
+    e[31] |= 64;
+    fexpand(bp, basepoint);
+    cmult(x, z, e, bp);
+    crecip(zmone, z);
+    fmul(z, x, zmone);
+    fcontract(mypublic, z);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/* HMAC-SHA-shaped keyed MAC: nested hash invocations exercise the
+ * inliner on a call tree two levels deep. */
+
+uint32_t H256[8];
+
+static uint32_t hr32(uint32_t x, uint32_t n) {
+    return (x >> n) | (x << (32 - n));
+}
+
+static void hash_compress(uint32_t *state, uint8_t *block) {
+    uint32_t a = state[0];
+    uint32_t b = state[1];
+    uint32_t c = state[2];
+    uint32_t d = state[3];
+    for (int i = 0; i < 16; i++) {
+        uint32_t word = ((uint32_t)block[i * 4] << 24)
+                      | ((uint32_t)block[i * 4 + 1] << 16)
+                      | ((uint32_t)block[i * 4 + 2] << 8)
+                      | (uint32_t)block[i * 4 + 3];
+        uint32_t t = d + (hr32(a, 2) ^ hr32(b, 13)) + (a & b) + word;
+        d = c;
+        c = b;
+        b = a;
+        a = t;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+static void hash_full(uint8_t *out, uint8_t *in, uint64_t inlen) {
+    uint32_t state[4];
+    state[0] = 0x6a09e667;
+    state[1] = 0xbb67ae85;
+    state[2] = 0x3c6ef372;
+    state[3] = 0xa54ff53a;
+    for (uint64_t off = 0; off + 64 <= inlen; off += 64) {
+        hash_compress(state, in + off);
+    }
+    for (int i = 0; i < 4; i++) {
+        out[i * 4] = (uint8_t)(state[i] >> 24);
+        out[i * 4 + 1] = (uint8_t)((state[i] >> 16) & 0xff);
+        out[i * 4 + 2] = (uint8_t)((state[i] >> 8) & 0xff);
+        out[i * 4 + 3] = (uint8_t)(state[i] & 0xff);
+    }
+}
+
+uint8_t hmac_scratch[192];
+
+int crypto_auth_hmac(uint8_t *out, uint8_t *in, uint64_t inlen,
+                     uint8_t *key) {
+    uint8_t pad[64];
+    for (int i = 0; i < 64; i++) {
+        pad[i] = key[i & 31] ^ 0x36;
+    }
+    for (int i = 0; i < 64; i++) {
+        hmac_scratch[i] = pad[i];
+    }
+    for (uint64_t i = 0; i < inlen && i < 64; i++) {
+        hmac_scratch[64 + i] = in[i];
+    }
+    uint8_t inner[16];
+    hash_full(inner, hmac_scratch, 128);
+    for (int i = 0; i < 64; i++) {
+        hmac_scratch[i] = key[i & 31] ^ 0x5c;
+    }
+    for (int i = 0; i < 16; i++) {
+        hmac_scratch[64 + i] = inner[i];
+    }
+    hash_full(out, hmac_scratch, 128);
+    return 0;
+}

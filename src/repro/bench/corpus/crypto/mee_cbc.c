@@ -1,0 +1,63 @@
+/* MAC-then-encrypt CBC decryption-shaped workload (Table 2's "mee-cbc"
+ * row): AES-ish block loop, padding check, MAC compare. */
+
+uint8_t sbox[256];
+uint8_t round_keys[176];
+uint8_t iv_state[16];
+
+static void aes_block_decrypt(uint8_t *block, uint8_t *keys) {
+    uint8_t state[16];
+    for (int i = 0; i < 16; i++) {
+        state[i] = block[i] ^ keys[160 + i];
+    }
+    for (int round = 9; round > 0; round--) {
+        for (int i = 0; i < 16; i++) {
+            state[i] = sbox[state[i]];
+        }
+        for (int i = 0; i < 16; i++) {
+            state[i] ^= keys[round * 16 + i];
+        }
+    }
+    for (int i = 0; i < 16; i++) {
+        block[i] = sbox[state[i]] ^ keys[i];
+    }
+}
+
+static int mac_verify(uint8_t *data, uint64_t len, uint8_t *expected) {
+    uint32_t acc = 0x811c9dc5;
+    for (uint64_t i = 0; i < len; i++) {
+        acc = (acc ^ data[i]) * 0x01000193;
+    }
+    int diff = 0;
+    for (int i = 0; i < 4; i++) {
+        diff |= expected[i] ^ (uint8_t)(acc >> (i * 8));
+    }
+    return diff == 0;
+}
+
+int mee_cbc_decrypt(uint8_t *ct, uint64_t ct_len, uint8_t *pt,
+                    uint8_t *mac, uint64_t *out_len) {
+    if (ct_len < 32 || (ct_len & 15) != 0) {
+        return -1;
+    }
+    for (uint64_t block = 0; block * 16 < ct_len; block++) {
+        for (int i = 0; i < 16; i++) {
+            pt[block * 16 + i] = ct[block * 16 + i];
+        }
+        aes_block_decrypt(pt + block * 16, round_keys);
+        for (int i = 0; i < 16; i++) {
+            pt[block * 16 + i] ^= iv_state[i];
+            iv_state[i] = ct[block * 16 + i];
+        }
+    }
+    uint64_t pad = pt[ct_len - 1];
+    if (pad > 16 || pad >= ct_len) {
+        return -1;
+    }
+    uint64_t msg_len = ct_len - pad - 1 - 4;
+    if (!mac_verify(pt, msg_len, mac)) {
+        return -1;
+    }
+    *out_len = msg_len;
+    return 0;
+}

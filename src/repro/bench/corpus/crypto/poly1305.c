@@ -1,0 +1,58 @@
+/* Full poly1305-shaped one-time MAC with clamping, 26-bit limbs, and a
+ * constant-time final reduction. */
+
+static uint32_t p_load32(uint8_t *p) {
+    return (uint32_t)p[0] | ((uint32_t)p[1] << 8)
+         | ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+}
+
+int crypto_onetimeauth_poly1305(uint8_t *out, uint8_t *m, uint64_t inlen,
+                                uint8_t *key) {
+    uint64_t r0 = p_load32(key) & 0x3ffffff;
+    uint64_t r1 = (p_load32(key + 3) >> 2) & 0x3ffff03;
+    uint64_t r2 = (p_load32(key + 6) >> 4) & 0x3ffc0ff;
+    uint64_t r3 = (p_load32(key + 9) >> 6) & 0x3f03fff;
+    uint64_t r4 = (p_load32(key + 12) >> 8) & 0x00fffff;
+    uint64_t h0 = 0;
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    uint64_t h3 = 0;
+    uint64_t h4 = 0;
+    for (uint64_t off = 0; off + 16 <= inlen; off += 16) {
+        h0 += p_load32(m + off) & 0x3ffffff;
+        h1 += (p_load32(m + off + 3) >> 2) & 0x3ffffff;
+        h2 += (p_load32(m + off + 6) >> 4) & 0x3ffffff;
+        h3 += (p_load32(m + off + 9) >> 6) & 0x3ffffff;
+        h4 += (p_load32(m + off + 12) >> 8) | (1 << 24);
+        uint64_t d0 = h0 * r0 + h1 * (5 * r4) + h2 * (5 * r3)
+                    + h3 * (5 * r2) + h4 * (5 * r1);
+        uint64_t d1 = h0 * r1 + h1 * r0 + h2 * (5 * r4)
+                    + h3 * (5 * r3) + h4 * (5 * r2);
+        uint64_t d2 = h0 * r2 + h1 * r1 + h2 * r0
+                    + h3 * (5 * r4) + h4 * (5 * r3);
+        uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0
+                    + h4 * (5 * r4);
+        uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+        uint64_t carry = d0 >> 26; h0 = d0 & 0x3ffffff;
+        d1 += carry; carry = d1 >> 26; h1 = d1 & 0x3ffffff;
+        d2 += carry; carry = d2 >> 26; h2 = d2 & 0x3ffffff;
+        d3 += carry; carry = d3 >> 26; h3 = d3 & 0x3ffffff;
+        d4 += carry; carry = d4 >> 26; h4 = d4 & 0x3ffffff;
+        h0 += carry * 5;
+    }
+    uint64_t g0 = h0 + 5;
+    uint64_t g1 = h1 + (g0 >> 26);
+    uint64_t g2 = h2 + (g1 >> 26);
+    uint64_t g3 = h3 + (g2 >> 26);
+    uint64_t g4 = h4 + (g3 >> 26);
+    uint64_t mask = 0 - ((g4 >> 26) & 1);
+    h0 = (h0 & ~mask) | (g0 & 0x3ffffff & mask);
+    h1 = (h1 & ~mask) | (g1 & 0x3ffffff & mask);
+    for (int i = 0; i < 4; i++) {
+        out[i] = (uint8_t)((h0 >> (8 * i)) & 0xff);
+        out[4 + i] = (uint8_t)((h1 >> (8 * i)) & 0xff);
+        out[8 + i] = (uint8_t)((h2 >> (8 * i)) & 0xff);
+        out[12 + i] = (uint8_t)((h3 >> (8 * i)) & 0xff);
+    }
+    return 0;
+}

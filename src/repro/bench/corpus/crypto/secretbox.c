@@ -1,0 +1,98 @@
+/* A crypto_secretbox-shaped workload (libsodium's secretbox: salsa20
+ * stream + poly1305 tag + bounds checks), matching Table 2's
+ * "secretbox" row (1 public function, ~12 after inlining). */
+
+uint8_t stream_block[64];
+uint8_t subkey[32];
+
+static uint32_t rotl32(uint32_t x, uint32_t b) {
+    return (x << b) | (x >> (32 - b));
+}
+
+static uint32_t load32(uint8_t *p) {
+    return (uint32_t)p[0] | ((uint32_t)p[1] << 8)
+         | ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+}
+
+static void store32(uint8_t *p, uint32_t v) {
+    p[0] = (uint8_t)(v & 0xff);
+    p[1] = (uint8_t)((v >> 8) & 0xff);
+    p[2] = (uint8_t)((v >> 16) & 0xff);
+    p[3] = (uint8_t)((v >> 24) & 0xff);
+}
+
+static void salsa20_core(uint8_t *out, uint8_t *in, uint8_t *key) {
+    uint32_t x0 = 0x61707865;
+    uint32_t x5 = 0x3320646e;
+    uint32_t x10 = 0x79622d32;
+    uint32_t x15 = 0x6b206574;
+    uint32_t x1 = load32(key);
+    uint32_t x2 = load32(key + 4);
+    uint32_t x3 = load32(key + 8);
+    uint32_t x4 = load32(key + 12);
+    uint32_t x6 = load32(in);
+    uint32_t x7 = load32(in + 4);
+    uint32_t x8 = load32(in + 8);
+    uint32_t x9 = load32(in + 12);
+    uint32_t x11 = load32(key + 16);
+    uint32_t x12 = load32(key + 20);
+    uint32_t x13 = load32(key + 24);
+    uint32_t x14 = load32(key + 28);
+    for (int round = 0; round < 20; round += 2) {
+        x4 ^= rotl32(x0 + x12, 7);
+        x8 ^= rotl32(x4 + x0, 9);
+        x12 ^= rotl32(x8 + x4, 13);
+        x0 ^= rotl32(x12 + x8, 18);
+        x9 ^= rotl32(x5 + x1, 7);
+        x13 ^= rotl32(x9 + x5, 9);
+        x1 ^= rotl32(x13 + x9, 13);
+        x5 ^= rotl32(x1 + x13, 18);
+        x14 ^= rotl32(x10 + x6, 7);
+        x2 ^= rotl32(x14 + x10, 9);
+        x6 ^= rotl32(x2 + x14, 13);
+        x10 ^= rotl32(x6 + x2, 18);
+        x3 ^= rotl32(x15 + x11, 7);
+        x7 ^= rotl32(x3 + x15, 9);
+        x11 ^= rotl32(x7 + x3, 13);
+        x15 ^= rotl32(x11 + x7, 18);
+    }
+    store32(out, x0);
+    store32(out + 4, x5);
+    store32(out + 8, x10);
+    store32(out + 12, x15);
+    store32(out + 16, x6);
+    store32(out + 20, x7);
+    store32(out + 24, x8);
+    store32(out + 28, x9);
+}
+
+static uint64_t poly1305_mac(uint8_t *m, uint64_t mlen, uint8_t *key) {
+    uint64_t h0 = 0;
+    uint64_t h1 = 0;
+    uint64_t r0 = load32(key) & 0x3ffffff;
+    uint64_t r1 = load32(key + 4) & 0x3ffff03;
+    for (uint64_t i = 0; i + 16 <= mlen; i += 16) {
+        h0 += load32(m + i) & 0x3ffffff;
+        h1 += load32(m + i + 4) & 0x3ffffff;
+        uint64_t d0 = h0 * r0 + h1 * (5 * r1);
+        uint64_t d1 = h0 * r1 + h1 * r0;
+        h0 = d0 & 0x3ffffff;
+        h1 = (d1 + (d0 >> 26)) & 0x3ffffff;
+    }
+    return h0 ^ (h1 << 26);
+}
+
+int crypto_secretbox(uint8_t *c, uint8_t *m, uint64_t mlen,
+                     uint8_t *n, uint8_t *k) {
+    if (mlen < 32) {
+        return -1;
+    }
+    salsa20_core(stream_block, n, k);
+    for (uint64_t i = 0; i < mlen && i < 64; i++) {
+        c[i] = m[i] ^ stream_block[i & 63];
+    }
+    uint64_t tag = poly1305_mac(c, mlen, stream_block);
+    store32(c + 16, (uint32_t)(tag & 0xffffffff));
+    store32(c + 20, (uint32_t)(tag >> 32));
+    return 0;
+}

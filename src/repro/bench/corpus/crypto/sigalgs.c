@@ -1,0 +1,45 @@
+/* Replica of OpenSSL's SSL_get_shared_sigalgs (Listing 1, §6.2.3):
+ * the most severe PHT gadget Clou uncovered.  Line "shsigalgs =
+ * s->shared_sigalgs[idx]" speculatively loads an out-of-bounds secret
+ * into a pointer, and the following field accesses dereference it,
+ * leaking the secret's value into the cache. */
+
+struct SIGALG_LOOKUP {
+    int hash;
+    int sig;
+    int sigandhash;
+    uint32_t sigalg;
+};
+
+struct SSL {
+    struct SIGALG_LOOKUP **shared_sigalgs;
+    uint64_t shared_sigalgslen;
+};
+
+int SSL_get_shared_sigalgs(struct SSL *s, int idx, int *psign,
+                           int *phash, int *psignhash,
+                           uint8_t *rsig, uint8_t *rhash) {
+    struct SIGALG_LOOKUP *shsigalgs;
+    if (s->shared_sigalgs == 0
+            || idx < 0 || idx >= (int)s->shared_sigalgslen
+            || s->shared_sigalgslen > 0x7fffffff) {
+        return 0;
+    }
+    shsigalgs = s->shared_sigalgs[idx];
+    if (phash != 0) {
+        *phash = shsigalgs->hash;
+    }
+    if (psign != 0) {
+        *psign = shsigalgs->sig;
+    }
+    if (psignhash != 0) {
+        *psignhash = shsigalgs->sigandhash;
+    }
+    if (rsig != 0) {
+        *rsig = (uint8_t)(shsigalgs->sigalg & 0xff);
+    }
+    if (rhash != 0) {
+        *rhash = (uint8_t)((shsigalgs->sigalg >> 8) & 0xff);
+    }
+    return (int)s->shared_sigalgslen;
+}

@@ -1,0 +1,166 @@
+/* A libsodium-shaped collection of public utility functions of varying
+ * sizes, used for the per-function runtime scatter of Fig. 8. */
+
+uint8_t scratch[4096];
+uint8_t table_a[256];
+uint8_t table_b[65536];
+
+int sodium_memcmp(uint8_t *b1, uint8_t *b2, size_t len) {
+    uint8_t d = 0;
+    for (size_t i = 0; i < len; i++) {
+        d |= b1[i] ^ b2[i];
+    }
+    return (1 & ((d - 1) >> 8)) - 1;
+}
+
+void sodium_memzero(uint8_t *pnt, size_t len) {
+    for (size_t i = 0; i < len; i++) {
+        pnt[i] = 0;
+    }
+}
+
+void sodium_increment(uint8_t *n, size_t nlen) {
+    uint32_t c = 1;
+    for (size_t i = 0; i < nlen; i++) {
+        c += n[i];
+        n[i] = (uint8_t)(c & 0xff);
+        c >>= 8;
+    }
+}
+
+void sodium_add(uint8_t *a, uint8_t *b, size_t len) {
+    uint32_t c = 0;
+    for (size_t i = 0; i < len; i++) {
+        c += (uint32_t)a[i] + (uint32_t)b[i];
+        a[i] = (uint8_t)(c & 0xff);
+        c >>= 8;
+    }
+}
+
+int sodium_is_zero(uint8_t *n, size_t nlen) {
+    uint8_t d = 0;
+    for (size_t i = 0; i < nlen; i++) {
+        d |= n[i];
+    }
+    return 1 & ((d - 1) >> 8);
+}
+
+int crypto_verify_16(uint8_t *x, uint8_t *y) {
+    uint32_t d = 0;
+    for (int i = 0; i < 16; i++) {
+        d |= x[i] ^ y[i];
+    }
+    return (1 & ((d - 1) >> 8)) - 1;
+}
+
+int crypto_verify_32(uint8_t *x, uint8_t *y) {
+    uint32_t d = 0;
+    for (int i = 0; i < 32; i++) {
+        d |= x[i] ^ y[i];
+    }
+    return (1 & ((d - 1) >> 8)) - 1;
+}
+
+uint32_t sodium_hash_quick(uint8_t *in, size_t inlen) {
+    uint32_t h = 2166136261;
+    for (size_t i = 0; i < inlen; i++) {
+        h = (h ^ in[i]) * 16777619;
+    }
+    return h;
+}
+
+/* A bounds-checked table lookup: the Spectre v1 shape embedded in a
+ * utility routine (the kind of gadget Clou flags in libsodium). */
+uint8_t sodium_lookup(size_t idx, size_t limit) {
+    if (idx < limit && limit <= 256) {
+        return table_b[table_a[idx] * 256];
+    }
+    return 0;
+}
+
+void sodium_stream_xor(uint8_t *out, uint8_t *in, size_t len, uint8_t *pad) {
+    for (size_t i = 0; i < len; i++) {
+        out[i] = in[i] ^ pad[i & 63];
+    }
+}
+
+int sodium_pad_check(uint8_t *buf, size_t padded_len) {
+    if (padded_len == 0) {
+        return -1;
+    }
+    uint8_t pad = buf[padded_len - 1];
+    if (pad >= padded_len) {
+        return -1;
+    }
+    uint8_t bad = 0;
+    for (size_t i = 0; i < pad; i++) {
+        bad |= buf[padded_len - 2 - i] ^ pad;
+    }
+    return bad == 0 ? 0 : -1;
+}
+
+uint64_t sodium_load64(uint8_t *src) {
+    uint64_t w = 0;
+    for (int i = 7; i >= 0; i--) {
+        w = (w << 8) | src[i];
+    }
+    return w;
+}
+
+void sodium_store64(uint8_t *dst, uint64_t w) {
+    for (int i = 0; i < 8; i++) {
+        dst[i] = (uint8_t)(w & 0xff);
+        w >>= 8;
+    }
+}
+
+uint32_t sodium_rotate_mix(uint32_t a, uint32_t b) {
+    uint32_t x = a;
+    for (int i = 0; i < 8; i++) {
+        x = ((x << 7) | (x >> 25)) + b;
+        x ^= (x >> 3);
+    }
+    return x;
+}
+
+int sodium_compare(uint8_t *b1, uint8_t *b2, size_t len) {
+    uint8_t gt = 0;
+    uint8_t eq = 1;
+    size_t i = len;
+    while (i != 0) {
+        i--;
+        gt |= ((b2[i] - b1[i]) >> 7) & eq;
+        eq &= ((b2[i] ^ b1[i]) - 1) >> 7;
+    }
+    return (int)(gt + gt + eq) - 1;
+}
+
+void sodium_chacha_quarter(uint32_t *st) {
+    uint32_t a = st[0];
+    uint32_t b = st[1];
+    uint32_t c = st[2];
+    uint32_t d = st[3];
+    for (int i = 0; i < 10; i++) {
+        a += b; d ^= a; d = (d << 16) | (d >> 16);
+        c += d; b ^= c; b = (b << 12) | (b >> 20);
+        a += b; d ^= a; d = (d << 8) | (d >> 24);
+        c += d; b ^= c; b = (b << 7) | (b >> 25);
+    }
+    st[0] = a;
+    st[1] = b;
+    st[2] = c;
+    st[3] = d;
+}
+
+/* A v1.1-flavoured combined gadget (Spectre v1.1 + v4), the "less
+ * severe UDT" class found in 116 libsodium functions (§6.2.3). */
+uint64_t message_slots[16];
+uint64_t slot_count = 16;
+uint8_t slot_data[256 * 512];
+
+uint8_t sodium_slot_read(size_t slot, size_t val) {
+    if (slot < slot_count) {
+        message_slots[slot] = val;
+    }
+    return slot_data[message_slots[0]];
+}

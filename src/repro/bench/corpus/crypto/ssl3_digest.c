@@ -1,0 +1,78 @@
+/* ssl3-digest-record-shaped workload: length-dependent digest over a
+ * record, with table lookups and MAC finalization (Table 2's
+ * "ssl13-digest" row). */
+
+uint8_t md_state[64];
+uint8_t mac_out[20];
+uint32_t K256[64];
+
+static uint32_t ror32(uint32_t x, uint32_t n) {
+    return (x >> n) | (x << (32 - n));
+}
+
+static void sha_block(uint32_t *state, uint8_t *block) {
+    uint32_t w[16];
+    for (int i = 0; i < 16; i++) {
+        w[i] = ((uint32_t)block[i * 4] << 24)
+             | ((uint32_t)block[i * 4 + 1] << 16)
+             | ((uint32_t)block[i * 4 + 2] << 8)
+             | (uint32_t)block[i * 4 + 3];
+    }
+    uint32_t a = state[0];
+    uint32_t b = state[1];
+    uint32_t c = state[2];
+    uint32_t d = state[3];
+    uint32_t e = state[4];
+    for (int i = 0; i < 16; i++) {
+        uint32_t s1 = ror32(e, 6) ^ ror32(e, 11) ^ ror32(e, 25);
+        uint32_t ch = (e & a) ^ ((~e) & b);
+        uint32_t t1 = d + s1 + ch + K256[i] + w[i & 15];
+        uint32_t s0 = ror32(a, 2) ^ ror32(a, 13) ^ ror32(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = s0 + maj;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+        e = e + t1;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+}
+
+int ssl3_digest_record(uint8_t *record, uint64_t record_len,
+                       uint8_t *mac, uint64_t *md_lookup,
+                       uint64_t md_count) {
+    uint32_t state[5];
+    state[0] = 0x67452301;
+    state[1] = 0xefcdab89;
+    state[2] = 0x98badcfe;
+    state[3] = 0x10325476;
+    state[4] = 0xc3d2e1f0;
+    if (record_len < 16) {
+        return -1;
+    }
+    uint64_t padding = record[record_len - 1];
+    if (padding > record_len) {
+        return -1;
+    }
+    uint64_t data_len = record_len - padding - 1;
+    for (uint64_t off = 0; off + 64 <= data_len; off += 64) {
+        sha_block(state, record + off);
+    }
+    uint64_t md_idx = record[0];
+    if (md_idx < md_count) {
+        uint64_t entry = md_lookup[md_idx];
+        state[0] ^= (uint32_t)entry;
+    }
+    for (int i = 0; i < 5; i++) {
+        mac[i * 4] = (uint8_t)(state[i] >> 24);
+        mac[i * 4 + 1] = (uint8_t)((state[i] >> 16) & 0xff);
+        mac[i * 4 + 2] = (uint8_t)((state[i] >> 8) & 0xff);
+        mac[i * 4 + 3] = (uint8_t)(state[i] & 0xff);
+    }
+    return 0;
+}

@@ -1,0 +1,30 @@
+/* The Tiny Encryption Algorithm (Wheeler & Needham 1994), as analyzed
+ * in Table 2 (suite "tea": 2 public functions). */
+
+void tea_encrypt(uint32_t *v, uint32_t *k) {
+    uint32_t v0 = v[0];
+    uint32_t v1 = v[1];
+    uint32_t sum = 0;
+    uint32_t delta = 0x9e3779b9;
+    for (int i = 0; i < 32; i++) {
+        sum += delta;
+        v0 += ((v1 << 4) + k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + k[1]);
+        v1 += ((v0 << 4) + k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + k[3]);
+    }
+    v[0] = v0;
+    v[1] = v1;
+}
+
+void tea_decrypt(uint32_t *v, uint32_t *k) {
+    uint32_t v0 = v[0];
+    uint32_t v1 = v[1];
+    uint32_t delta = 0x9e3779b9;
+    uint32_t sum = 0xc6ef3720;
+    for (int i = 0; i < 32; i++) {
+        v1 -= ((v0 << 4) + k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + k[3]);
+        v0 -= ((v1 << 4) + k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + k[1]);
+        sum -= delta;
+    }
+    v[0] = v0;
+    v[1] = v1;
+}

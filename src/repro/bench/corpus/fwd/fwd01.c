@@ -1,0 +1,14 @@
+/* FWD01: Spectre v1.1 -- bounds-check-bypassed speculative store
+ * overwrites a pointer that is then dereferenced. */
+uint64_t buf_size = 16;
+uint8_t buf[16];
+uint8_t pub_ary[256 * 512];
+uint8_t *ptr;
+uint8_t tmp = 0;
+
+void fwd_1(size_t idx, uint8_t val) {
+    if (idx < buf_size) {
+        buf[idx] = val;
+    }
+    tmp &= *ptr;
+}

@@ -1,0 +1,13 @@
+/* FWD02: speculative out-of-bounds store forwards into a same-window
+ * load used as a transmit index. */
+uint64_t buf_size = 16;
+uint8_t buf[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void fwd_2(size_t idx, uint8_t val) {
+    if (idx < buf_size) {
+        buf[idx] = val;
+        tmp &= pub_ary[buf[0] * 512];
+    }
+}

@@ -1,0 +1,14 @@
+/* FWD03: speculative store to an attacker-indexed slot feeds a later
+ * double-indexed transmit. */
+uint64_t idx_size = 16;
+uint64_t index_table[16];
+uint8_t sec[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void fwd_3(size_t idx, uint64_t val) {
+    if (idx < idx_size) {
+        index_table[idx] = val;
+    }
+    tmp &= pub_ary[sec[index_table[0]] * 512];
+}

@@ -1,0 +1,15 @@
+/* FWD04: forwarded speculative store value used as branch condition
+ * (control-flow leakage of forwarded data). */
+uint64_t buf_size = 16;
+uint64_t buf[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void fwd_4(size_t idx, uint64_t val) {
+    if (idx < buf_size) {
+        buf[idx] = val;
+    }
+    if (buf[1]) {
+        tmp &= pub_ary[0];
+    }
+}

@@ -1,0 +1,15 @@
+/* FWD05: v1.1 overwrite of a length field gates a subsequent access. */
+uint64_t msg_cap = 16;
+uint64_t msg_len = 4;
+uint8_t msg[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void fwd_5(size_t idx, uint8_t val) {
+    if (idx < msg_cap) {
+        msg[idx] = val;
+    }
+    if (msg_len < msg_cap) {
+        tmp &= pub_ary[msg[msg_len] * 512];
+    }
+}

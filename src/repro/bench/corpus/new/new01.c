@@ -1,0 +1,16 @@
+/* NEW01 (paper §6.1): attacker-controlled speculative write of a secret
+ * (returned by an attacker-controlled access) to a pointer/index in
+ * memory; the overwritten pointer is then dereferenced, transmitting
+ * the secret.  Pitchfork misses this; BH and Clou find it. */
+uint64_t sec_ary1_size = 16;
+uint64_t sec_ary2_size = 16;
+uint8_t sec_ary1[16];
+uint8_t sec_ary2[16];
+uint64_t *ptr;
+
+void new_1(size_t idx1, size_t idx2) {
+    if (idx1 < sec_ary1_size && idx2 < sec_ary2_size) {
+        sec_ary2[idx2] += sec_ary1[idx1] * 512;
+    }
+    *ptr = 0;
+}

@@ -1,0 +1,14 @@
+/* NEW02: variant of NEW01 where the speculatively written secret is
+ * re-loaded as an index inside the same window. */
+uint64_t sec_size = 16;
+uint8_t sec[16];
+uint64_t slot;
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void new_2(size_t idx1, size_t idx2) {
+    if (idx1 < sec_size && idx2 < sec_size) {
+        slot = sec[idx1] * 512;
+    }
+    tmp &= pub_ary[slot];
+}

@@ -1,0 +1,11 @@
+/* PHT02: bounds check via bitmask comparison (Kocher #2). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v02(size_t x) {
+    if ((x & 0xffff) < array1_size) {
+        temp &= array2[array1[x] * 512];
+    }
+}

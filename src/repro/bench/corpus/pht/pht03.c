@@ -1,0 +1,12 @@
+/* PHT03: two dependent secret accesses inside the window (Kocher #3). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v03(size_t x) {
+    if (x < array1_size) {
+        temp &= array2[array1[x] * 512];
+        temp &= array2[array1[x + 1] * 512];
+    }
+}

@@ -1,0 +1,15 @@
+/* PHT04: bounds check hidden behind a (inlined) helper (Kocher #4). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+static uint64_t is_x_safe(size_t x) {
+    return x < array1_size;
+}
+
+void victim_function_v04(size_t x) {
+    if (is_x_safe(x)) {
+        temp &= array2[array1[x] * 512];
+    }
+}

@@ -1,0 +1,11 @@
+/* PHT05: transmit through explicit pointer arithmetic (Kocher #5). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v05(size_t x) {
+    if (x < array1_size) {
+        temp &= *(array2 + array1[x] * 512);
+    }
+}

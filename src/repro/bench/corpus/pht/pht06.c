@@ -1,0 +1,13 @@
+/* PHT06: index fetched from attacker-reachable memory (Kocher #6). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+size_t last_x = 0;
+
+void victim_function_v06(void) {
+    size_t x = last_x;
+    if (x < array1_size) {
+        temp &= array2[array1[x] * 512];
+    }
+}

@@ -1,0 +1,12 @@
+/* PHT07: equality comparison against a trusted limit (Kocher #7). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+size_t last_safe_x = 0;
+
+void victim_function_v07(size_t x) {
+    if (x == last_safe_x) {
+        temp &= array2[array1[x] * 512];
+    }
+}

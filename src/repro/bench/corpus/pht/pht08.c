@@ -1,0 +1,9 @@
+/* PHT08: bounds check folded into a ternary expression (Kocher #8). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v08(size_t x) {
+    temp &= array2[array1[x < array1_size ? (x + 1) : 0] * 512];
+}

@@ -1,0 +1,11 @@
+/* PHT09: check through a separate flag variable (Kocher #9). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v09(size_t x, int *x_is_safe) {
+    if (*x_is_safe) {
+        temp &= array2[array1[x] * 512];
+    }
+}

@@ -1,0 +1,13 @@
+/* PHT10: leak comparison result rather than data (Kocher #10). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v10(size_t x, uint8_t k) {
+    if (x < array1_size) {
+        if (array1[x] == k) {
+            temp &= array2[0];
+        }
+    }
+}

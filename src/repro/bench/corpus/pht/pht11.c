@@ -1,0 +1,12 @@
+/* PHT11: transmit via an undefined library call (memcmp; Kocher #11). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+int memcmp(void *a, void *b, size_t n);
+
+void victim_function_v11(size_t x) {
+    if (x < array1_size) {
+        temp = memcmp(&temp, array2 + (array1[x] * 512), 1);
+    }
+}

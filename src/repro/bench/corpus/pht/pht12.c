@@ -1,0 +1,11 @@
+/* PHT12: attacker-derived composite index (Kocher #12). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v12(size_t x, size_t y) {
+    if ((x + y) < array1_size) {
+        temp &= array2[array1[x + y] * 512];
+    }
+}

@@ -1,0 +1,10 @@
+/* PHT13: the transmitter is a store rather than a load (Kocher #13). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+
+void victim_function_v13(size_t x) {
+    if (x < array1_size) {
+        array2[array1[x] * 512] = 1;
+    }
+}

@@ -1,0 +1,13 @@
+/* PHT14: leak via a secret-dependent branch (control transmitter). */
+uint64_t array1_size = 16;
+uint8_t array1[16];
+uint8_t array2[256 * 512];
+uint8_t temp = 0;
+
+void victim_function_v14(size_t x) {
+    if (x < array1_size) {
+        if (array1[x]) {
+            temp &= array2[64 * 512];
+        }
+    }
+}

@@ -1,0 +1,11 @@
+/* STL01: masked store bypassed by the dependent load (BH case_1). */
+uint64_t ary_size = 16;
+uint8_t *sec_ary;
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_1(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    sec_ary[ridx] = 0;
+    tmp &= pub_ary[sec_ary[ridx]];
+}

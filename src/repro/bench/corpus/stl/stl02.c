@@ -1,0 +1,11 @@
+/* STL02: stale stack slot read before the sanitizing store resolves. */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_2(uint32_t idx) {
+    uint32_t ridx;
+    ridx = idx & (ary_size - 1);
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

@@ -1,0 +1,12 @@
+/* STL03: double pointer indirection over the sanitized slot (BH case_3). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_3(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    uint32_t *p = &ridx;
+    *p = 0;
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

@@ -1,0 +1,11 @@
+/* STL04: pointer overwrite bypassed by the dereference (BH case_4). */
+uint8_t secret[16];
+uint8_t pub[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+uint8_t *ptr;
+
+void case_4(void) {
+    ptr = pub;
+    tmp &= pub_ary[ptr[0] * 512];
+}

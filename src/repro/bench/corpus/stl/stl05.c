@@ -1,0 +1,11 @@
+/* STL05: sanitizing store to a global index slot (BH case_5). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+uint64_t g_idx;
+
+void case_5(uint64_t idx) {
+    g_idx = idx & (ary_size - 1);
+    tmp &= pub_ary[sec_ary[g_idx] * 512];
+}

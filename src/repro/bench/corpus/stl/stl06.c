@@ -1,0 +1,11 @@
+/* STL06: register-kept index -- intended SECURE, but Clang -O0 spills
+ * it to the stack anyway (the paper's `register` observation, §6.1). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_6(uint32_t idx) {
+    register uint32_t ridx = idx & (ary_size - 1);
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

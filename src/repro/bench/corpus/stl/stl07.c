@@ -1,0 +1,12 @@
+/* STL07: two sequential sanitizing stores, both bypassable (BH case_7). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_7(uint32_t idx) {
+    uint32_t ridx = idx;
+    ridx = ridx & (ary_size - 1);
+    ridx = ridx % ary_size;
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

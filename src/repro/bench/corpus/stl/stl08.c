@@ -1,0 +1,14 @@
+/* STL08: bypass across a helper-call boundary (inlined; BH case_8). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+static uint32_t mask(uint32_t v) {
+    return v & (ary_size - 1);
+}
+
+void case_8(uint32_t idx) {
+    uint32_t ridx = mask(idx);
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

@@ -1,0 +1,11 @@
+/* STL09: sanitized value flows through a second memory cell (BH case_9). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_9(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    uint32_t copy = ridx;
+    tmp &= pub_ary[sec_ary[copy] * 512];
+}

@@ -1,0 +1,11 @@
+/* STL10: lfence after the sanitizing store -- intended SECURE. */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_10(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    lfence();
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

@@ -1,0 +1,13 @@
+/* STL11: conditional sanitization, bypassable on both arms (BH case_11). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_11(uint32_t idx) {
+    uint32_t ridx = idx;
+    if (ridx >= ary_size) {
+        ridx = 0;
+    }
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

@@ -1,0 +1,10 @@
+/* STL12: overwritten secret pointer dereferenced transiently (BH case_12). */
+uint8_t secret_key[16];
+uint8_t public_key[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+void case_12(uint8_t **slot) {
+    *slot = public_key;
+    tmp &= pub_ary[(*slot)[0] * 512];
+}

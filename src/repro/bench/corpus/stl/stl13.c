@@ -1,0 +1,17 @@
+/* STL13: labeled "secure" by the benchmark authors and BH, but Clou
+ * finds data leakage: the reload bypasses the store to the stack slot
+ * (the paper's STL13 mislabel, §6.1). */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+
+static uint32_t sanitize(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    return ridx;
+}
+
+void case_13(uint32_t idx) {
+    uint32_t safe = sanitize(idx);
+    tmp &= pub_ary[sec_ary[safe] * 512];
+}

@@ -1,0 +1,15 @@
+/* STL14: sanitizing store far from the use (outside the LSQ window):
+ * intended SECURE under realistic LSQ capacities. */
+uint64_t ary_size = 16;
+uint8_t sec_ary[16];
+uint8_t pub_ary[256 * 512];
+uint8_t tmp = 0;
+uint64_t scratch[64];
+
+void case_14(uint32_t idx) {
+    uint32_t ridx = idx & (ary_size - 1);
+    for (int i = 0; i < 64; i++) {
+        scratch[i] = scratch[i] + 1;
+    }
+    tmp &= pub_ary[sec_ary[ridx] * 512];
+}

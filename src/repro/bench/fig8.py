@@ -1,0 +1,109 @@
+"""Figure 8 regeneration: per-function serial runtime vs. S-AEG size.
+
+The paper's Fig. 8 is a log-log scatter of Clou's per-public-function
+runtime against S-AEG node count for the libsodium analysis, for both
+engines.  We reproduce the series over the libsodium-replica functions,
+the crypto corpus, and the synthetic scaling corpus (which extends the
+x-axis the way libsodium's largest functions do).
+
+Run directly: ``python -m repro.bench.fig8``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.bench.suites import crypto_cases
+from repro.bench.synthetic import scaling_corpus
+from repro.clou import SAEG, ClouConfig, ENGINES, build_acfg
+from repro.minic import compile_c
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    function: str
+    engine: str
+    aeg_size: int
+    runtime: float
+
+
+def _functions() -> list[tuple[str, str, str]]:
+    """(source_name, function_name, source) triples for every function."""
+    triples = []
+    for case in crypto_cases():
+        module = compile_c(case.source, name=case.name)
+        for function in module.public_functions():
+            triples.append((case.name, function.name, case.source))
+    for name, source in scaling_corpus():
+        triples.append((name, name, source))
+    return triples
+
+
+def collect(engines: tuple[str, ...] = ("pht", "stl"),
+            config: ClouConfig | None = None) -> list[Fig8Point]:
+    config = config or ClouConfig(timeout_seconds=120.0)
+    points = []
+    module_cache: dict[str, object] = {}
+    for source_name, function_name, source in _functions():
+        module = module_cache.get(source_name)
+        if module is None:
+            module = compile_c(source, name=source_name)
+            module_cache[source_name] = module
+        for engine in engines:
+            started = time.monotonic()
+            acfg = build_acfg(module, function_name)
+            aeg = SAEG(acfg.function)
+            ENGINES[engine](aeg, config).run()
+            elapsed = time.monotonic() - started
+            points.append(Fig8Point(
+                function=function_name,
+                engine=engine,
+                aeg_size=aeg.size,
+                runtime=elapsed,
+            ))
+    return points
+
+
+def loglog_slope(points: list[Fig8Point]) -> float:
+    """Least-squares slope of log(runtime) against log(aeg_size) — the
+    scaling exponent of the Fig. 8 trend."""
+    xs = [math.log(max(p.aeg_size, 1)) for p in points]
+    ys = [math.log(max(p.runtime, 1e-6)) for p in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y)
+               for x, y in zip(xs, ys)) / denominator
+
+
+def render(points: list[Fig8Point]) -> str:
+    lines = [
+        f"{'function':24s} {'engine':6s} {'S-AEG size':>10s} {'runtime (s)':>12s}",
+        "-" * 58,
+    ]
+    for point in sorted(points, key=lambda p: (p.engine, p.aeg_size)):
+        lines.append(
+            f"{point.function:24s} {point.engine:6s} "
+            f"{point.aeg_size:10d} {point.runtime:12.4f}"
+        )
+    for engine in sorted({p.engine for p in points}):
+        subset = [p for p in points if p.engine == engine]
+        lines.append(
+            f"log-log scaling exponent ({engine}): "
+            f"{loglog_slope(subset):.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Figure 8 reproduction — runtime vs. S-AEG node count")
+    print(render(collect()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""The benchmark corpus registry (§6).
+
+Mirrors the paper's evaluation inputs: 15 Spectre v1 (PHT) tests, 14
+Spectre v4 (STL) tests, 5 Spectre v1.1 (FWD) tests, 2 NEW tests, and the
+crypto workloads of Table 2.  Each case records the intent annotations
+the paper compares against (which transmitter classes the benchmark
+author intended, and whether the case was labeled secure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark program plus its ground-truth annotations."""
+
+    name: str
+    suite: str                 # 'pht' | 'stl' | 'fwd' | 'new' | crypto name
+    path: Path
+    engines: tuple[str, ...]   # engines the paper runs on this suite
+    intended_leaky: bool = True
+    intended_classes: frozenset[str] = frozenset({"udt"})
+    notes: str = ""
+
+    @property
+    def source(self) -> str:
+        return self.path.read_text()
+
+
+def _case(suite: str, stem: str, engines: tuple[str, ...],
+          leaky: bool = True, classes: frozenset[str] = frozenset({"udt"}),
+          notes: str = "") -> BenchCase:
+    return BenchCase(
+        name=stem,
+        suite=suite,
+        path=CORPUS_DIR / suite / f"{stem}.c",
+        engines=engines,
+        intended_leaky=leaky,
+        intended_classes=classes,
+        notes=notes,
+    )
+
+
+def litmus_pht() -> list[BenchCase]:
+    """15 Spectre v1 benchmarks (Kocher's variants)."""
+    classes = {
+        "pht01": {"udt"}, "pht02": {"udt"}, "pht03": {"udt"},
+        "pht04": {"udt"}, "pht05": {"udt"}, "pht06": {"udt"},
+        "pht07": {"udt"}, "pht08": {"udt"}, "pht09": {"udt"},
+        "pht10": {"ct"}, "pht11": {"udt"}, "pht12": {"udt"},
+        "pht13": {"udt"}, "pht14": {"ct"}, "pht15": {"udt"},
+    }
+    return [
+        _case("pht", stem, ("pht",), classes=frozenset(classes[stem]))
+        for stem in sorted(classes)
+    ]
+
+
+def litmus_stl() -> list[BenchCase]:
+    """14 Spectre v4 benchmarks (Binsec/Haunted's STL suite shape)."""
+    cases = []
+    secure = {"stl10", "stl14"}
+    mislabeled_secure = {"stl06", "stl13"}  # §6.1: Clou finds real leaks
+    for i in range(1, 15):
+        stem = f"stl{i:02d}"
+        leaky = stem not in secure
+        notes = ""
+        if stem in mislabeled_secure:
+            notes = ("intended secure, but Clang -O0 stack traffic makes "
+                     "it bypassable (§6.1)")
+        cases.append(_case(
+            "stl", stem, ("stl",), leaky=leaky,
+            classes=frozenset({"dt", "udt"}) if leaky else frozenset(),
+            notes=notes,
+        ))
+    return cases
+
+
+def litmus_fwd() -> list[BenchCase]:
+    """5 Spectre v1.1 benchmarks (both engines run, as in Table 2)."""
+    return [
+        _case("fwd", f"fwd{i:02d}", ("pht", "stl"),
+              classes=frozenset({"dt", "udt"}))
+        for i in range(1, 6)
+    ]
+
+
+def litmus_new() -> list[BenchCase]:
+    """The paper's 2 NEW Spectre v1.1-style benchmarks (§6.1)."""
+    return [
+        _case("new", "new01", ("pht", "stl"), classes=frozenset({"dt", "udt"}),
+              notes="Listing NEW01: speculative write of a secret to a "
+                    "pointer slot; Pitchfork misses it"),
+        _case("new", "new02", ("pht", "stl"), classes=frozenset({"dt", "udt"})),
+    ]
+
+
+def crypto_cases() -> list[BenchCase]:
+    """The crypto workloads of Table 2 (replica sources, see DESIGN.md)."""
+    return [
+        _case("crypto", "tea", ("pht", "stl"), leaky=False,
+              classes=frozenset(),
+              notes="Clou flags 0 UDT/UCT in tea (Table 2)"),
+        _case("crypto", "donna", ("pht", "stl"), leaky=False,
+              classes=frozenset(),
+              notes="0 universal transmitters under worst-case alias "
+                    "analysis (Table 2 parenthesized counts)"),
+        _case("crypto", "secretbox", ("pht", "stl"), leaky=False,
+              classes=frozenset()),
+        _case("crypto", "ssl3_digest", ("pht", "stl"), leaky=True,
+              classes=frozenset({"dt"})),
+        _case("crypto", "mee_cbc", ("pht", "stl"), leaky=True,
+              classes=frozenset({"dt"})),
+        _case("crypto", "sigalgs", ("pht",), leaky=True,
+              classes=frozenset({"udt"}),
+              notes="Listing 1: the SSL_get_shared_sigalgs PHT gadget"),
+        _case("crypto", "sodium_misc", ("pht", "stl"), leaky=True,
+              classes=frozenset({"udt"})),
+        _case("crypto", "chacha20", ("pht", "stl"), leaky=False,
+              classes=frozenset()),
+        _case("crypto", "poly1305", ("pht", "stl"), leaky=False,
+              classes=frozenset()),
+        _case("crypto", "hmac", ("pht", "stl"), leaky=False,
+              classes=frozenset()),
+    ]
+
+
+def all_litmus() -> list[BenchCase]:
+    return [*litmus_pht(), *litmus_stl(), *litmus_fwd(), *litmus_new()]
+
+
+def all_cases() -> list[BenchCase]:
+    return [*all_litmus(), *crypto_cases()]
+
+
+def by_name(name: str) -> BenchCase:
+    for case in all_cases():
+        if case.name == name:
+            return case
+    raise KeyError(f"no benchmark named {name!r}")

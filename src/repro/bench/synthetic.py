@@ -1,0 +1,101 @@
+"""Synthetic crypto-like function generator for scaling studies (Fig. 8).
+
+Fig. 8 plots per-function serial runtime against S-AEG node count over
+roughly four decades of function size.  The replica corpus alone cannot
+span that range, so this module generates crypto-shaped functions —
+rounds of arithmetic over state arrays, bounds-checked table lookups,
+occasional secret-dependent stores — of parameterized size.
+
+Generation is deterministic per (name, size, seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+_HEADER = """
+uint8_t sbox_{name}[256];
+uint8_t table_{name}[65536];
+uint64_t limit_{name} = 64;
+uint8_t out_{name};
+"""
+
+_OPS = ["+", "^", "*", "|", "&"]
+
+
+def generate_function(name: str, rounds: int, seed: int = 7,
+                      lookups_per_round: int = 1) -> str:
+    """One public function with ~``rounds`` round bodies."""
+    rng = random.Random((seed, name, rounds).__hash__())
+    lines = [_HEADER.format(name=name)]
+    lines.append(
+        f"uint64_t {name}(uint64_t x0, uint64_t x1, uint8_t *msg, "
+        "uint64_t len) {"
+    )
+    lines.append("    uint64_t state[8];")
+    lines.append("    for (int i = 0; i < 8; i++) { state[i] = x0 + i; }")
+    for round_index in range(rounds):
+        a = rng.randrange(8)
+        b = rng.randrange(8)
+        op = rng.choice(_OPS)
+        shift = rng.randrange(1, 31)
+        lines.append(
+            f"    state[{a}] = (state[{a}] {op} state[{b}]) "
+            f"^ (state[{b}] >> {shift});"
+        )
+        if round_index % 3 == 0:
+            lines.append(
+                f"    state[{b}] += msg[{rng.randrange(0, 64)}];"
+            )
+        if round_index % max(1, 5 // lookups_per_round) == 0:
+            # A bounds-checked, data-dependent table lookup: the Spectre
+            # v1 shape that makes these functions interesting to Clou.
+            lines.append(f"    if (x1 < limit_{name}) {{")
+            lines.append(
+                f"        state[{a}] ^= "
+                f"table_{name}[sbox_{name}[x1 & 255] * {rng.choice([64, 256, 512])}];"
+            )
+            lines.append("    }")
+    lines.append("    uint64_t acc = 0;")
+    lines.append("    for (int i = 0; i < 8; i++) { acc ^= state[i]; }")
+    lines.append(f"    out_{name} = (uint8_t)(acc & 0xff);")
+    lines.append("    return acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def scaling_corpus(sizes: list[int] | None = None,
+                   seed: int = 7) -> list[tuple[str, str]]:
+    """(name, source) pairs spanning the Fig. 8 size range."""
+    sizes = sizes or [2, 5, 10, 25, 60, 140, 320, 700]
+    corpus = []
+    for size in sizes:
+        name = f"synth_{size}"
+        corpus.append((name, generate_function(name, rounds=size, seed=seed)))
+    return corpus
+
+
+def openssl_like_source(n_functions: int = 48, seed: int = 23) -> str:
+    """One large translation unit with many public functions of mixed
+    sizes — the per-file shape of the OpenSSL row in Table 2 (Clou
+    analyzes each public function under a per-file time budget; the
+    paper completes 90% of functions for PHT).
+
+    Function sizes follow a heavy-tailed profile: mostly small utility
+    functions with a few large record-processing ones, like a TLS
+    library.
+    """
+    rng = random.Random(seed)
+    parts = []
+    for index in range(n_functions):
+        # Heavy tail: a few big functions dominate, most are small.
+        roll = rng.random()
+        if roll < 0.70:
+            rounds = rng.randrange(2, 12)
+        elif roll < 0.93:
+            rounds = rng.randrange(12, 60)
+        else:
+            rounds = rng.randrange(60, 220)
+        parts.append(generate_function(f"ossl_fn_{index:03d}", rounds,
+                                       seed=seed + index))
+    return "\n\n".join(parts)

@@ -1,0 +1,211 @@
+"""Table 2 regeneration: Clou vs. the BH baseline on every suite (§6).
+
+For each application row the harness reports, per tool:
+
+- serial analysis time,
+- transmitter counts by class for Clou (DT/CT/UDT/UCT), or a flat bug
+  count for BH (which does not classify, §6).
+
+Absolute times differ from the paper's Xeon testbed; the *shape*
+invariants the benchmarks assert are: Clou detects all intended litmus
+leakage, classifies it, completes the crypto corpus, and finds the
+Listing 1 gadget; BH reports fewer, unclassified bugs and times out on
+the larger functions.
+
+Run directly: ``python -m repro.bench.table2``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.bh import bh_analyze_source
+from repro.bench.suites import (
+    BenchCase,
+    crypto_cases,
+    litmus_fwd,
+    litmus_new,
+    litmus_pht,
+    litmus_stl,
+)
+from repro.clou import ClouConfig, analyze_source
+from repro.lcm.taxonomy import TransmitterClass as TC
+
+# Table 2 configuration: Clou uses ROB/LSQ 250/50; BH 200/20 (§6).
+CLOU_TABLE2_CONFIG = ClouConfig(rob_size=250, lsq_size=50, window_size=250,
+                                timeout_seconds=120.0)
+BH_TIMEOUT_SECONDS = 20.0
+
+
+@dataclass
+class ToolRow:
+    tool: str                    # 'clou-pht' | 'clou-stl' | 'bh-pht' | 'bh-stl'
+    time_seconds: float
+    counts: dict[str, int] = field(default_factory=dict)  # DT/CT/UDT/UCT
+    worst_case: dict[str, int] = field(default_factory=dict)  # UDT/UCT (§6.2.2)
+    bug_count: int | None = None  # BH: flat count
+    timed_out: bool = False
+
+    def render_bugs(self) -> str:
+        if self.bug_count is not None:
+            return str(self.bug_count)
+
+        def cell(key: str) -> str:
+            count = self.counts.get(key, 0)
+            if key in ("UDT", "UCT") and count:
+                # Table 2's parenthesized worst-case-alias survivors.
+                return f"{count}({self.worst_case.get(key, 0)})"
+            return str(count)
+
+        return "/".join(cell(key) for key in ("DT", "CT", "UDT", "UCT"))
+
+
+@dataclass
+class Table2Row:
+    suite: str
+    cases: int
+    public_functions: int
+    loc: int
+    tools: list[ToolRow] = field(default_factory=list)
+
+
+def _clou_tool_row(cases: list[BenchCase], engine: str,
+                   config: ClouConfig = CLOU_TABLE2_CONFIG) -> ToolRow:
+    from repro.clou.postprocess import postprocess
+
+    started = time.monotonic()
+    counts = {"DT": 0, "CT": 0, "UDT": 0, "UCT": 0}
+    worst_case = {"UDT": 0, "UCT": 0}
+    timed_out = False
+    for case in cases:
+        report = analyze_source(case.source, engine=engine, config=config,
+                                name=case.name)
+        totals = report.totals()
+        counts["DT"] += totals[TC.DATA]
+        counts["CT"] += totals[TC.CONTROL]
+        counts["UDT"] += totals[TC.UNIVERSAL_DATA]
+        counts["UCT"] += totals[TC.UNIVERSAL_CONTROL]
+        for function_report in report.functions:
+            result = postprocess(function_report)
+            worst_case["UDT"] += result.worst_case_alias_count(
+                TC.UNIVERSAL_DATA)
+            worst_case["UCT"] += result.worst_case_alias_count(
+                TC.UNIVERSAL_CONTROL)
+        timed_out |= any(f.timed_out for f in report.functions)
+    return ToolRow(
+        tool=f"clou-{engine}",
+        time_seconds=time.monotonic() - started,
+        counts=counts,
+        worst_case=worst_case,
+        timed_out=timed_out,
+    )
+
+
+def _bh_tool_row(cases: list[BenchCase], engine: str,
+                 timeout: float = BH_TIMEOUT_SECONDS) -> ToolRow:
+    started = time.monotonic()
+    bugs = 0
+    timed_out = False
+    for case in cases:
+        for report in bh_analyze_source(case.source, engine=engine,
+                                        timeout_seconds=timeout,
+                                        name=case.name):
+            bugs += report.bug_count
+            timed_out |= report.timed_out
+    return ToolRow(
+        tool=f"bh-{engine}",
+        time_seconds=time.monotonic() - started,
+        bug_count=bugs,
+        timed_out=timed_out,
+    )
+
+
+def _loc(cases: list[BenchCase]) -> int:
+    return sum(len(case.source.splitlines()) for case in cases)
+
+
+def _public_functions(cases: list[BenchCase]) -> int:
+    from repro.minic import compile_c
+
+    return sum(
+        len(compile_c(case.source).public_functions()) for case in cases
+    )
+
+
+def litmus_rows(config: ClouConfig = CLOU_TABLE2_CONFIG,
+                include_bh: bool = True) -> list[Table2Row]:
+    """The four litmus suite rows of Table 2."""
+    suites = {
+        "litmus-pht": (litmus_pht(), ("pht",)),
+        "litmus-stl": (litmus_stl(), ("stl",)),
+        "litmus-fwd": (litmus_fwd(), ("pht", "stl")),
+        "litmus-new": (litmus_new(), ("pht", "stl")),
+    }
+    rows = []
+    for suite_name, (cases, engines) in suites.items():
+        row = Table2Row(
+            suite=suite_name,
+            cases=len(cases),
+            public_functions=_public_functions(cases),
+            loc=_loc(cases),
+        )
+        for engine in engines:
+            row.tools.append(_clou_tool_row(cases, engine, config))
+        if include_bh:
+            for engine in engines:
+                row.tools.append(_bh_tool_row(cases, engine))
+        rows.append(row)
+    return rows
+
+
+def crypto_rows(config: ClouConfig = CLOU_TABLE2_CONFIG,
+                include_bh: bool = True) -> list[Table2Row]:
+    """One row per crypto application."""
+    rows = []
+    for case in crypto_cases():
+        row = Table2Row(
+            suite=case.name,
+            cases=1,
+            public_functions=_public_functions([case]),
+            loc=_loc([case]),
+        )
+        for engine in case.engines:
+            row.tools.append(_clou_tool_row([case], engine, config))
+        if include_bh:
+            for engine in case.engines:
+                row.tools.append(_bh_tool_row([case], engine))
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[Table2Row]) -> str:
+    lines = [
+        f"{'App (cases/PFun/LoC)':28s} {'Tool':10s} {'Time (s)':>9s} "
+        f"{'Bugs (DT/CT/UDT/UCT)':>26s}",
+        "-" * 78,
+    ]
+    for row in rows:
+        label = f"{row.suite} ({row.cases}/{row.public_functions}/{row.loc})"
+        for i, tool in enumerate(row.tools):
+            prefix = label if i == 0 else ""
+            timeout_marker = " *" if tool.timed_out else ""
+            lines.append(
+                f"{prefix:28s} {tool.tool:10s} {tool.time_seconds:9.2f} "
+                f"{tool.render_bugs():>26s}{timeout_marker}"
+            )
+    lines.append("(* = hit its timeout, as BH does on large functions in "
+                 "Table 2;")
+    lines.append(" parenthesized UDT/UCT = worst-case-alias survivors, "
+                 "§6.2.2)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rows = litmus_rows() + crypto_rows()
+    print("Table 2 reproduction — Clou vs. BH")
+    print(render(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,260 @@
+"""A cat-style specification language for consistency and
+confidentiality predicates.
+
+herd's ``.cat`` files define memory models as named axioms over a
+relational vocabulary (``acyclic rf | co | fr | po-loc as coherence``).
+§5.2 of the paper says future Clou versions will take the MCM and LCM as
+*inputs*; this module provides the input language: a small expression
+DSL over the package's relation vocabulary, compiled to predicates over
+candidate executions.
+
+Grammar::
+
+    spec   := { axiom }
+    axiom  := ("acyclic" | "irreflexive" | "empty") expr ["as" NAME]
+    expr   := term { "|" term }            (union)
+    term   := factor { "&" factor }        (intersection)
+    factor := atom { (";" atom | "\\" atom) }   (join / difference)
+    atom   := NAME | "~" atom | "(" expr ")" | atom "+"   (closure)
+
+Vocabulary: ``po, po-loc, tfo, tfo-loc, addr, data, ctrl, dep, fence,
+rf, rfi, rfe, co, fr, com, rfx, cox, frx, comx, id``.
+
+Example — the paper's two confidentiality predicates::
+
+    STRICT = parse_cat("acyclic rfx | cox | frx | tfo as strict")
+    X86    = parse_cat("acyclic rfx | cox | tfo as x86")
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.events import CandidateExecution
+from repro.relations import Relation
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][\w\-]*)|(?P<op>[|&;~()\\+]))"
+)
+
+_VOCABULARY: dict[str, Callable[[CandidateExecution], Relation]] = {
+    "po": lambda x: x.structure.po,
+    "po-loc": lambda x: x.structure.po_loc,
+    "tfo": lambda x: x.structure.tfo,
+    "tfo-loc": lambda x: x.structure.tfo_loc,
+    "addr": lambda x: x.structure.addr,
+    "data": lambda x: x.structure.data,
+    "ctrl": lambda x: x.structure.ctrl,
+    "dep": lambda x: x.structure.dep,
+    "fence": lambda x: x.structure.fence_order,
+    "rf": lambda x: x.rf,
+    "rfi": lambda x: x.rfi,
+    "rfe": lambda x: x.rfe,
+    "co": lambda x: x.co,
+    "fr": lambda x: x.fr,
+    "com": lambda x: x.com,
+    "rfx": lambda x: x.rfx,
+    "cox": lambda x: x.cox,
+    "frx": lambda x: x.frx,
+    "comx": lambda x: x.comx,
+    "id": lambda x: Relation.identity(x.structure.events),
+}
+
+_CHECKS = {
+    "acyclic": lambda rel: rel.is_acyclic(),
+    "irreflexive": lambda rel: rel.is_irreflexive(),
+    "empty": lambda rel: not rel,
+}
+
+
+class _RelExpr:
+    """A compiled relational expression: evaluates to a Relation."""
+
+    def evaluate(self, execution: CandidateExecution) -> Relation:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Atom(_RelExpr):
+    name: str
+
+    def evaluate(self, execution):
+        return _VOCABULARY[self.name](execution)
+
+
+@dataclass(frozen=True)
+class _Unary(_RelExpr):
+    op: str  # '~' transpose, '+' transitive closure
+    operand: _RelExpr
+
+    def evaluate(self, execution):
+        inner = self.operand.evaluate(execution)
+        return ~inner if self.op == "~" else inner.transitive_closure()
+
+
+@dataclass(frozen=True)
+class _Binary(_RelExpr):
+    op: str  # '|', '&', ';', '\\'
+    lhs: _RelExpr
+    rhs: _RelExpr
+
+    def evaluate(self, execution):
+        left = self.lhs.evaluate(execution)
+        right = self.rhs.evaluate(execution)
+        if self.op == "|":
+            return left | right
+        if self.op == "&":
+            return left & right
+        if self.op == ";":
+            return left @ right
+        return left - right
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """One named check: acyclic/irreflexive/empty of an expression."""
+
+    check: str
+    expression: _RelExpr
+    name: str
+
+    def holds(self, execution: CandidateExecution) -> bool:
+        return _CHECKS[self.check](self.expression.evaluate(execution))
+
+
+@dataclass(frozen=True)
+class CatSpec:
+    """A compiled cat specification: the conjunction of its axioms."""
+
+    axioms: tuple[Axiom, ...]
+    source: str
+
+    def __call__(self, execution: CandidateExecution) -> bool:
+        return all(axiom.holds(execution) for axiom in self.axioms)
+
+    def failing_axioms(self, execution: CandidateExecution) -> list[str]:
+        return [a.name for a in self.axioms if not a.holds(execution)]
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens: list[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise ParseError(
+                        f"cat: unexpected character {text[position]!r}"
+                    )
+                break
+            token = match.group("name") or match.group("op")
+            self.tokens.append(token)
+            position = match.end()
+        self.position = 0
+
+    @property
+    def current(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> str:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept(self, token: str) -> bool:
+        if self.current == token:
+            self.advance()
+            return True
+        return False
+
+    # expr := term { '|' term }
+    def expr(self) -> _RelExpr:
+        node = self.term()
+        while self.accept("|"):
+            node = _Binary("|", node, self.term())
+        return node
+
+    # term := factor { '&' factor }
+    def term(self) -> _RelExpr:
+        node = self.factor()
+        while self.accept("&"):
+            node = _Binary("&", node, self.factor())
+        return node
+
+    # factor := atom { (';' | '\\') atom }
+    def factor(self) -> _RelExpr:
+        node = self.atom()
+        while self.current in (";", "\\"):
+            op = self.advance()
+            node = _Binary(op, node, self.atom())
+        return node
+
+    def atom(self) -> _RelExpr:
+        if self.accept("~"):
+            return self._postfix(_Unary("~", self.atom()))
+        if self.accept("("):
+            node = self.expr()
+            if not self.accept(")"):
+                raise ParseError("cat: missing ')'")
+            return self._postfix(node)
+        name = self.advance()
+        if name is None:
+            raise ParseError("cat: unexpected end of expression")
+        if name not in _VOCABULARY:
+            raise ParseError(
+                f"cat: unknown relation {name!r}; vocabulary is "
+                f"{sorted(_VOCABULARY)}"
+            )
+        return self._postfix(_Atom(name))
+
+    def _postfix(self, node: _RelExpr) -> _RelExpr:
+        while self.accept("+"):
+            node = _Unary("+", node)
+        return node
+
+
+def parse_cat(source: str) -> CatSpec:
+    """Compile a cat specification (one axiom per line; ``#`` comments)."""
+    axioms: list[Axiom] = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        check = parts[0]
+        if check not in _CHECKS:
+            raise ParseError(
+                f"cat: unknown check {check!r} (line {line_number}); "
+                "use acyclic/irreflexive/empty"
+            )
+        if len(parts) < 2:
+            raise ParseError(f"cat: {check} needs an expression "
+                             f"(line {line_number})")
+        body = parts[1]
+        name = f"axiom{len(axioms)}"
+        if " as " in body:
+            body, _, name = body.rpartition(" as ")
+            name = name.strip()
+        parser = _Parser(body)
+        expression = parser.expr()
+        if parser.current is not None:
+            raise ParseError(
+                f"cat: trailing tokens {parser.tokens[parser.position:]!r} "
+                f"(line {line_number})"
+            )
+        axioms.append(Axiom(check, expression, name))
+    if not axioms:
+        raise ParseError("cat: specification has no axioms")
+    return CatSpec(tuple(axioms), source)
+
+
+# The paper's two reference confidentiality predicates, in cat syntax.
+STRICT_CONFIDENTIALITY_CAT = "acyclic rfx | cox | frx | tfo as strict"
+X86_CONFIDENTIALITY_CAT = "acyclic rfx | cox | tfo as x86"
+SC_PER_LOC_CAT = "acyclic rf | co | fr | po-loc as sc-per-loc"

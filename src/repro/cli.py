@@ -1,0 +1,150 @@
+"""Command-line interface: ``clou analyze victim.c --engine pht``.
+
+Mirrors Fig. 6's tool shape: C source in; transmitters, witness chains,
+and (optionally) fence repair out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.clou import ClouConfig, analyze_source
+from repro.lcm.taxonomy import TransmitterClass
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clou",
+        description="Detect and repair Spectre leakage in C programs "
+                    "using leakage containment models (ISCA 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="detect transmitters")
+    analyze.add_argument("source", help="C source file")
+    analyze.add_argument("--engine", choices=["pht", "stl"], default="pht")
+    analyze.add_argument("--classes", default="udt,uct,dt,ct",
+                         help="comma-separated transmitter classes")
+    analyze.add_argument("--rob", type=int, default=250, help="ROB capacity")
+    analyze.add_argument("--lsq", type=int, default=50, help="LSQ capacity")
+    analyze.add_argument("--window", type=int, default=250,
+                         help="sliding window size Wsize")
+    analyze.add_argument("--timeout", type=float, default=None,
+                         help="per-function timeout (seconds)")
+    analyze.add_argument("--no-addr-gep-filter", action="store_true",
+                         help="disable the addr_gep benign-leak filter")
+    analyze.add_argument("--witnesses", action="store_true",
+                         help="print full witness chains")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    analyze.add_argument("--dot", metavar="DIR",
+                         help="write witness graphs as DOT files into DIR")
+    analyze.add_argument("--alias-prediction", action="store_true",
+                         help="assume PSF-style alias-predicting hardware "
+                              "(§5.2 parameterization)")
+    analyze.add_argument("--group", action="store_true",
+                         help="group witnesses into §6.2.3 gadget "
+                              "equivalence classes (one report per culprit)")
+    analyze.add_argument("--secrets", default="",
+                         help="comma-separated secret symbol names; "
+                              "filters witnesses that cannot reach a "
+                              "secret (§7 secrecy labels)")
+
+    repair = sub.add_parser("repair", help="insert minimal lfences")
+    repair.add_argument("source", help="C source file")
+    repair.add_argument("--engine", choices=["pht", "stl"], default="pht")
+    repair.add_argument("--strategy", choices=["lfence", "protect"],
+                        default="lfence",
+                        help="lfence: minimal full-pipeline fences; "
+                             "protect: Blade-style value-flow breaks (§7)")
+    return parser
+
+
+def _config_from_args(args) -> ClouConfig:
+    return ClouConfig(
+        rob_size=args.rob,
+        lsq_size=args.lsq,
+        window_size=args.window,
+        classes=tuple(args.classes.split(",")),
+        addr_gep_filter=not args.no_addr_gep_filter,
+        timeout_seconds=args.timeout,
+        assume_alias_prediction=args.alias_prediction,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with open(args.source) as handle:
+        source = handle.read()
+
+    if args.command == "analyze":
+        config = _config_from_args(args)
+        report = analyze_source(source, engine=args.engine, config=config,
+                                name=args.source)
+        if args.json:
+            from repro.clou.serialize import to_json
+
+            print(to_json(report))
+            return 1 if report.leaky else 0
+        if args.dot:
+            import os
+
+            from repro.viz import witness_to_dot
+
+            os.makedirs(args.dot, exist_ok=True)
+            for i, witness in enumerate(report.transmitters):
+                path = os.path.join(
+                    args.dot, f"witness_{i:03d}_{witness.klass.value}.dot")
+                with open(path, "w") as handle:
+                    handle.write(witness_to_dot(witness, name=f"w{i}"))
+            print(f"wrote {len(report.transmitters)} witness graphs to "
+                  f"{args.dot}/")
+        print(report.summary())
+        for function_report in report.functions:
+            if function_report.error:
+                print(f"  {function_report.function}: ERROR "
+                      f"{function_report.error}")
+                continue
+            print("  " + function_report.summary())
+            if args.group or args.secrets:
+                from repro.clou import group_witnesses, postprocess
+
+                secrets = tuple(s for s in args.secrets.split(",") if s)
+                result = postprocess(function_report, secret_symbols=secrets)
+                print(f"    post-processing: {result.summary()}")
+                for gadget_class in group_witnesses(result.kept):
+                    print(f"    {gadget_class}")
+            if args.witnesses:
+                for witness in function_report.transmitters():
+                    print()
+                    for line in witness.describe().splitlines():
+                        print("    " + line)
+        return 1 if report.leaky else 0
+
+    if args.command == "repair":
+        from repro.clou import repair_function
+        from repro.minic import compile_c
+
+        module = compile_c(source, name=args.source)
+        from repro.clou.acfg import build_acfg
+        from repro.clou.repair import repair as run_repair
+
+        results = [
+            run_repair(build_acfg(module, fn.name).function, args.engine,
+                       strategy=args.strategy)
+            for fn in module.public_functions()
+        ]
+        ok = True
+        for result in results:
+            print(result.summary())
+            for block, index in result.fences:
+                print(f"  lfence at {block}#{index}")
+            ok &= result.fully_repaired
+        return 0 if ok else 1
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Clou: static detection and repair of Spectre leakage, built on LCMs (§5)."""
+
+from repro.clou.acfg import ACFG, build_acfg, inline_calls, unroll_loops
+from repro.clou.aeg import SAEG, AEGNode, Dep
+from repro.clou.alias import AliasAnalysis, AliasResult, Provenance
+from repro.clou.driver import (
+    CLOU_DEFAULT_CONFIG,
+    ClouConfig,
+    analyze_function,
+    analyze_module,
+    analyze_source,
+    repair_function,
+    repair_source,
+)
+from repro.clou.engine import ClouPHT, ClouSTL, ENGINES
+from repro.clou.postprocess import (
+    GadgetClass,
+    PostProcessResult,
+    group_witnesses,
+    postprocess,
+)
+from repro.clou.repair import RepairResult, insert_fences, minimum_hitting_set, repair
+from repro.clou.report import ClouWitness, FunctionReport, ModuleReport, NodeRef
+
+__all__ = [
+    "ACFG",
+    "AEGNode",
+    "AliasAnalysis",
+    "AliasResult",
+    "CLOU_DEFAULT_CONFIG",
+    "ClouConfig",
+    "ClouPHT",
+    "ClouSTL",
+    "ClouWitness",
+    "Dep",
+    "ENGINES",
+    "FunctionReport",
+    "GadgetClass",
+    "ModuleReport",
+    "NodeRef",
+    "PostProcessResult",
+    "Provenance",
+    "RepairResult",
+    "SAEG",
+    "analyze_function",
+    "analyze_module",
+    "analyze_source",
+    "build_acfg",
+    "inline_calls",
+    "insert_fences",
+    "minimum_hitting_set",
+    "group_witnesses",
+    "postprocess",
+    "repair",
+    "repair_function",
+    "repair_source",
+    "unroll_loops",
+]

@@ -1,0 +1,199 @@
+"""Alias analysis for the S-AEG (§5.2).
+
+Clou applies alias analysis to *reduce the search space*, under two
+assumptions: (1) distinct stack allocations have distinct addresses, and
+(2) alias results do **not** hold during transient execution.  Under
+these assumptions Clou misses no true-positive transmitters.
+
+Each pointer value is summarized as a provenance expression:
+``(base, offset-chain)`` where the base is an alloca, a global, a pointer
+argument, or unknown (a loaded/returned pointer).  Offsets are constants
+or ⊤ (data-dependent).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir import (
+    Alloca,
+    Argument,
+    Call,
+    Cast,
+    Constant,
+    Function,
+    GetElementPtr,
+    GlobalRef,
+    Instruction,
+    Load,
+    Temp,
+    Value,
+)
+
+TOP_OFFSET = "⊤"
+
+
+class AliasResult(enum.Enum):
+    NO = "no"
+    MAY = "may"
+    MUST = "must"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a pointer points: a base plus an offset chain."""
+
+    kind: str       # 'alloca' | 'global' | 'arg' | 'unknown'
+    base: str       # alloca temp name / global name / arg name / load id
+    offsets: tuple[object, ...] = ()  # ints or TOP_OFFSET
+
+    def with_offset(self, offset: object) -> "Provenance":
+        return Provenance(self.kind, self.base, self.offsets + (offset,))
+
+    def __str__(self) -> str:
+        rendered = "".join(f"[{o}]" for o in self.offsets)
+        return f"{self.kind}:{self.base}{rendered}"
+
+
+UNKNOWN = Provenance("unknown", "?")
+
+
+class AliasAnalysis:
+    """Computes pointer provenance for every temp in an A-CFG function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.provenance: dict[str, Provenance] = {}
+        self._compute()
+
+    def _compute(self, rounds: int = 4) -> None:
+        """Provenance with *slot points-to* refinement.
+
+        -O0 code spills every pointer to a stack slot and reloads it; a
+        pointer loaded from a slot whose every store writes values of one
+        common provenance takes that provenance.  (LLVM's builtin alias
+        analysis, which Clou selectively applies in §5.2, resolves these
+        the same way.)  Each round recomputes all provenances so the
+        refinement propagates through downstream GEPs and casts.
+        """
+        from repro.ir import Store
+
+        self._load_overrides: dict[str, Provenance] = {}
+        for _ in range(rounds):
+            for block in self.function.blocks:
+                for ins in block.instructions:
+                    if ins.result is None:
+                        continue
+                    override = self._load_overrides.get(ins.result.name)
+                    if override is not None and isinstance(ins, Load):
+                        self.provenance[ins.result.name] = override
+                    else:
+                        self.provenance[ins.result.name] = self._of_instruction(ins)
+            stored_by_slot: dict[Provenance, set[Provenance]] = {}
+            for block in self.function.blocks:
+                for ins in block.instructions:
+                    if not isinstance(ins, Store):
+                        continue
+                    slot = self.value_provenance(ins.pointer)
+                    if slot.kind != "alloca" or TOP_OFFSET in slot.offsets:
+                        continue
+                    stored_by_slot.setdefault(slot, set()).add(
+                        self.value_provenance(ins.value)
+                    )
+            changed = False
+            for block in self.function.blocks:
+                for ins in block.instructions:
+                    if not (isinstance(ins, Load) and ins.result is not None
+                            and ins.result.type.is_pointer):
+                        continue
+                    slot = self.value_provenance(ins.pointer)
+                    if slot.kind != "alloca" or TOP_OFFSET in slot.offsets:
+                        continue
+                    values = stored_by_slot.get(slot, set())
+                    if len(values) != 1:
+                        continue
+                    (value,) = values
+                    if value.kind == "unknown":
+                        continue
+                    if self._load_overrides.get(ins.result.name) != value:
+                        self._load_overrides[ins.result.name] = value
+                        changed = True
+            if not changed:
+                break
+
+    def _of_instruction(self, ins: Instruction) -> Provenance:
+        if isinstance(ins, Alloca):
+            return Provenance("alloca", ins.result.name)
+        if isinstance(ins, GetElementPtr):
+            base = self.value_provenance(ins.base)
+            for index in ins.indices:
+                if isinstance(index, Constant):
+                    base = base.with_offset(index.value)
+                else:
+                    base = base.with_offset(TOP_OFFSET)
+            return base
+        if isinstance(ins, Cast):
+            return self.value_provenance(ins.value)
+        if isinstance(ins, Load):
+            if ins.result.type.is_pointer:
+                return Provenance("unknown", f"load:{id(ins)}")
+            return UNKNOWN
+        if isinstance(ins, Call):
+            return Provenance("unknown", f"call:{id(ins)}")
+        return UNKNOWN
+
+    def value_provenance(self, value: Value) -> Provenance:
+        if isinstance(value, GlobalRef):
+            return Provenance("global", value.name)
+        if isinstance(value, Argument):
+            return Provenance("arg", value.name)
+        if isinstance(value, Temp):
+            return self.provenance.get(value.name, UNKNOWN)
+        if isinstance(value, Constant):
+            return Provenance("unknown", f"const:{value.value}")
+        return UNKNOWN
+
+    # ------------------------------------------------------------------
+
+    def alias(self, p: Value, q: Value, transient: bool = False) -> AliasResult:
+        """Alias relation between two pointer values.
+
+        With ``transient=True``, the §5.2 assumption applies: alias
+        results do not hold during transient execution, so nothing is
+        provably distinct (out-of-bounds transient accesses can reach
+        anywhere).  Identical provenance is still a MUST alias.
+        """
+        a = self.value_provenance(p)
+        b = self.value_provenance(q)
+
+        if a == b and a.kind != "unknown" and TOP_OFFSET not in a.offsets:
+            return AliasResult.MUST
+
+        if transient:
+            return AliasResult.MAY
+
+        if a.kind == "unknown" or b.kind == "unknown":
+            return AliasResult.MAY
+        if (a.kind, a.base) != (b.kind, b.base):
+            # Distinct stack slots never alias; stack never aliases
+            # globals; distinct named globals never alias (§5.2 asm. 1).
+            if a.kind == "alloca" or b.kind == "alloca":
+                return AliasResult.NO
+            if a.kind == "global" and b.kind == "global":
+                return AliasResult.NO
+            # Pointer args may alias globals or each other.
+            return AliasResult.MAY
+
+        # Same base: compare offset chains.
+        for off_a, off_b in zip(a.offsets, b.offsets):
+            if off_a == TOP_OFFSET or off_b == TOP_OFFSET:
+                return AliasResult.MAY
+            if off_a != off_b:
+                return AliasResult.NO
+        if len(a.offsets) != len(b.offsets):
+            return AliasResult.MAY
+        return AliasResult.MUST
+
+    def may_alias(self, p: Value, q: Value, transient: bool = False) -> bool:
+        return self.alias(p, q, transient) is not AliasResult.NO

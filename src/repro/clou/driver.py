@@ -1,0 +1,77 @@
+"""Clou's top-level driver (Fig. 6): C source → LLVM-like IR → A-CFG →
+S-AEG → leakage detection engines → transmitters / witnesses / repair."""
+
+from __future__ import annotations
+
+from dataclasses import field
+
+from repro.clou.acfg import build_acfg
+from repro.clou.aeg import SAEG
+from repro.clou.engine import CLOU_DEFAULT_CONFIG, ClouConfig, ENGINES
+from repro.clou.repair import RepairResult, repair
+from repro.clou.report import FunctionReport, ModuleReport
+from repro.errors import AnalysisError, ReproError
+from repro.ir import Module
+from repro.minic import compile_c
+
+__all__ = [
+    "CLOU_DEFAULT_CONFIG",
+    "ClouConfig",
+    "analyze_function",
+    "analyze_module",
+    "analyze_source",
+    "repair_function",
+    "repair_source",
+]
+
+
+def analyze_function(module: Module, function_name: str,
+                     engine: str = "pht",
+                     config: ClouConfig = CLOU_DEFAULT_CONFIG) -> FunctionReport:
+    """Analyze one public function with one engine."""
+    if engine not in ENGINES:
+        raise AnalysisError(f"unknown engine {engine!r}; choose from "
+                            f"{sorted(ENGINES)}")
+    try:
+        acfg = build_acfg(module, function_name)
+        aeg = SAEG(acfg.function)
+        return ENGINES[engine](aeg, config).run()
+    except ReproError as error:
+        return FunctionReport(
+            function=function_name, engine=engine, error=str(error),
+        )
+
+
+def analyze_module(module: Module, engine: str = "pht",
+                   config: ClouConfig = CLOU_DEFAULT_CONFIG) -> ModuleReport:
+    """Analyze each defined public function one-by-one (§5)."""
+    report = ModuleReport(name=module.name or "<module>", engine=engine)
+    for function in module.public_functions():
+        report.functions.append(
+            analyze_function(module, function.name, engine, config)
+        )
+    return report
+
+
+def analyze_source(source: str, engine: str = "pht",
+                   config: ClouConfig = CLOU_DEFAULT_CONFIG,
+                   name: str = "") -> ModuleReport:
+    """The whole Fig. 6 pipeline from C source text."""
+    module = compile_c(source, name=name)
+    return analyze_module(module, engine, config)
+
+
+def repair_function(module: Module, function_name: str, engine: str = "pht",
+                    config: ClouConfig = CLOU_DEFAULT_CONFIG) -> RepairResult:
+    acfg = build_acfg(module, function_name)
+    return repair(acfg.function, engine, config)
+
+
+def repair_source(source: str, engine: str = "pht",
+                  config: ClouConfig = CLOU_DEFAULT_CONFIG,
+                  name: str = "") -> list[RepairResult]:
+    module = compile_c(source, name=name)
+    return [
+        repair_function(module, function.name, engine, config)
+        for function in module.public_functions()
+    ]

@@ -1,0 +1,474 @@
+"""Leakage detection engines (§5.3).
+
+Clou-PHT hunts Spectre v1/v1.1 patterns (speculation primitive: a
+conditional branch steering a transient window); Clou-STL hunts Spectre
+v4 patterns (speculation primitive: store-to-load forwarding past an
+unresolved store).  Both look for violations of rf-non-interference and
+then classify candidate transmitters by Table 1.
+
+Scaling controls follow §6.2.1:
+
+1. a sliding window — for each candidate transmitter only the
+   instructions that can reach it within ``window_size`` instructions
+   are considered (implemented as one windowed reverse BFS per
+   transmitter, see :meth:`repro.clou.aeg.SAEG.window`);
+2. at most one speculative write in a pattern (``max_store_hops``);
+3. universal patterns require a *transient* access instruction; a
+   universal chain whose access commits is classified as a DT/CT.
+
+The ``addr_gep`` filter (§5.3) applies to PHT only: the first addr
+dependency of a universal pattern must be a getelementptr-index
+dependency, filtering benign dereferences of trusted base pointers.
+Spectre v4 can overwrite base pointers themselves, so STL cannot use it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.clou.aeg import AEGNode, Dep, SAEG, WindowView
+from repro.clou.report import ClouWitness, FunctionReport, NodeRef
+from repro.lcm.taxonomy import TransmitterClass
+
+
+@dataclass(frozen=True)
+class ClouConfig:
+    """Analysis parameters (Fig. 6's "configuration parameters")."""
+
+    rob_size: int = 250
+    lsq_size: int = 50
+    window_size: int = 250
+    classes: tuple[str, ...] = ("udt", "uct", "dt", "ct")
+    addr_gep_filter: bool = True
+    max_store_hops: int = 1
+    require_transient_access: bool = True
+    timeout_seconds: float | None = None
+    max_witnesses_per_function: int = 5000
+    assume_alias_prediction: bool = False
+    """§5.2: Clou's default hardware assumption is NO alias prediction;
+    enabling this models PSF-style hardware — STL bypass pairs are then
+    computed with transient alias results (anything may forward)."""
+    detect_interference_variant: bool = False
+    """§6.1: also report the new attack variant Clou identified in every
+    PHT program — a DT where a *transient* instruction prefetches a cache
+    line for a *non-transient*, tfo-prior instruction still in flight
+    (the speculative-interference phenomenon)."""
+
+
+CLOU_DEFAULT_CONFIG = ClouConfig()
+
+
+class _Budget:
+    def __init__(self, seconds: float | None):
+        self.deadline = time.monotonic() + seconds if seconds else None
+        self.expired = False
+
+    def check(self) -> bool:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.expired = True
+        return self.expired
+
+
+def _ref(node: AEGNode | None, aeg=None) -> NodeRef | None:
+    return NodeRef.of(node, aeg) if node is not None else None
+
+
+class DetectionEngine:
+    """Shared machinery for the PHT and STL engines."""
+
+    name = "base"
+
+    def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
+        self.aeg = aeg
+        self.config = config
+
+    # -- per-engine hooks --------------------------------------------------
+
+    def speculation_sources(self, transmit: AEGNode, view: WindowView
+                            ) -> list[tuple[AEGNode, AEGNode | None]]:
+        """Candidate (primitive, window_start) pairs that could make
+        ``transmit`` execute transiently (window_start is the first
+        transient instruction; None means the primitive itself)."""
+        raise NotImplementedError
+
+    def universal_first_hop_ok(self, dep: Dep) -> bool:
+        raise NotImplementedError
+
+    # -- shared search -------------------------------------------------------
+
+    def run(self) -> FunctionReport:
+        started = time.monotonic()
+        budget = _Budget(self.config.timeout_seconds)
+        report = FunctionReport(
+            function=self.aeg.function.name,
+            engine=self.name,
+            aeg_size=self.aeg.size,
+        )
+        try:
+            self._search(report, budget)
+        finally:
+            report.elapsed = time.monotonic() - started
+            report.timed_out = budget.expired
+        return report
+
+    def _search(self, report: FunctionReport, budget: _Budget) -> None:
+        want = set(self.config.classes)
+        bound = max(self.config.rob_size, self.config.window_size)
+        for transmit in self.aeg.memory_nodes():
+            if budget.check():
+                return
+            if len(report.witnesses) >= self.config.max_witnesses_per_function:
+                return
+            address_deps = self.aeg.address_deps(transmit)
+            has_control_work = "ct" in want or "uct" in want
+            if not address_deps and not has_control_work:
+                continue
+            view = self.aeg.window(transmit, bound)
+            self._search_transmit(transmit, view, address_deps, want,
+                                  report, budget)
+
+    def _search_transmit(self, transmit: AEGNode, view: WindowView,
+                         address_deps: tuple[Dep, ...], want: set[str],
+                         report: FunctionReport, budget: _Budget) -> None:
+        primitives = self.speculation_sources(transmit, view)
+        if not primitives:
+            return
+        for dep in address_deps:
+            if budget.check():
+                return
+            if dep.store_hops > self.config.max_store_hops:
+                continue
+            access = self.aeg.node_of(dep.source)
+            if access.nid == transmit.nid:
+                continue
+            if not view.contains(access):
+                continue  # outside the sliding window
+            self._classify_chain(transmit, access, dep, primitives,
+                                 view, want, report)
+        if "ct" in want or "uct" in want:
+            self._search_control(transmit, view, primitives, want,
+                                 report, budget)
+
+    def _classify_chain(self, transmit: AEGNode, access: AEGNode, dep: Dep,
+                        primitives: list[tuple[AEGNode, AEGNode | None]],
+                        view: WindowView, want: set[str],
+                        report: FunctionReport) -> None:
+        for primitive, window_start in primitives:
+            access_transient = self._is_transient(access, primitive,
+                                                  window_start, view)
+            transmit_transient = self._is_transient(transmit, primitive,
+                                                    window_start, view)
+            if not (access_transient or transmit_transient):
+                continue
+            reported_universal = False
+            if "udt" in want:
+                for index_dep in self.aeg.address_deps(access):
+                    if not self.universal_first_hop_ok(index_dep):
+                        continue
+                    if dep.store_hops + index_dep.store_hops > \
+                            self.config.max_store_hops:
+                        continue
+                    index = self.aeg.node_of(index_dep.source)
+                    if index.nid == access.nid:
+                        continue
+                    if not self.aeg.before(index, access):
+                        continue
+                    if not view.contains(index):
+                        continue
+                    if not self._index_attacker_controlled(index):
+                        continue
+                    if self.config.require_transient_access and \
+                            not access_transient:
+                        # Committed access: leakage scope is bounded, so
+                        # the pattern downgrades to a DT (§6.2.1).
+                        continue
+                    report.witnesses.append(ClouWitness(
+                        engine=self.name,
+                        klass=TransmitterClass.UNIVERSAL_DATA,
+                        transmit=NodeRef.of(transmit, self.aeg),
+                        primitive=NodeRef.of(primitive, self.aeg),
+                        access=NodeRef.of(access, self.aeg),
+                        index=NodeRef.of(index, self.aeg),
+                        window_start=_ref(window_start, self.aeg),
+                        transient_transmit=transmit_transient,
+                        transient_access=access_transient,
+                        store_hops=dep.store_hops + index_dep.store_hops,
+                    ))
+                    reported_universal = True
+                    break
+            if "dt" in want and not reported_universal:
+                report.witnesses.append(ClouWitness(
+                    engine=self.name,
+                    klass=TransmitterClass.DATA,
+                    transmit=NodeRef.of(transmit, self.aeg),
+                    primitive=NodeRef.of(primitive, self.aeg),
+                    access=NodeRef.of(access, self.aeg),
+                    window_start=_ref(window_start, self.aeg),
+                    transient_transmit=transmit_transient,
+                    transient_access=access_transient,
+                    store_hops=dep.store_hops,
+                ))
+            return  # one primitive witness per chain suffices
+
+    def _search_control(self, transmit: AEGNode, view: WindowView,
+                        primitives: list[tuple[AEGNode, AEGNode | None]],
+                        want: set[str], report: FunctionReport,
+                        budget: _Budget) -> None:
+        """access -ctrl-> transmit patterns: the transmitter leaks the
+        outcome of a branch on the access's loaded value."""
+        for branch in self._branches_in(view):
+            if budget.check():
+                return
+            cond_deps = self.aeg.branch_cond_deps(branch)
+            if not cond_deps:
+                continue
+            for primitive, window_start in primitives:
+                transmit_transient = self._is_transient(
+                    transmit, primitive, window_start, view)
+                if not transmit_transient:
+                    continue
+                for dep in cond_deps:
+                    if dep.store_hops > self.config.max_store_hops:
+                        continue
+                    access = self.aeg.node_of(dep.source)
+                    access_transient = self._is_transient(
+                        access, primitive, window_start, view)
+                    if "uct" in want:
+                        reported = False
+                        for index_dep in self.aeg.address_deps(access):
+                            if not self.universal_first_hop_ok(index_dep):
+                                continue
+                            index = self.aeg.node_of(index_dep.source)
+                            if index.nid == access.nid:
+                                continue
+                            if not self.aeg.before(index, access):
+                                continue
+                            if not self._index_attacker_controlled(index):
+                                continue
+                            if self.config.require_transient_access and \
+                                    not access_transient:
+                                continue
+                            report.witnesses.append(ClouWitness(
+                                engine=self.name,
+                                klass=TransmitterClass.UNIVERSAL_CONTROL,
+                                transmit=NodeRef.of(transmit, self.aeg),
+                                primitive=NodeRef.of(primitive, self.aeg),
+                                access=NodeRef.of(access, self.aeg),
+                                index=NodeRef.of(index, self.aeg),
+                                window_start=_ref(window_start, self.aeg),
+                                transient_transmit=transmit_transient,
+                                transient_access=access_transient,
+                                store_hops=dep.store_hops + index_dep.store_hops,
+                            ))
+                            reported = True
+                            break
+                        if reported:
+                            break
+                    if "ct" in want:
+                        report.witnesses.append(ClouWitness(
+                            engine=self.name,
+                            klass=TransmitterClass.CONTROL,
+                            transmit=NodeRef.of(transmit, self.aeg),
+                            primitive=NodeRef.of(primitive, self.aeg),
+                            access=NodeRef.of(access, self.aeg),
+                            window_start=_ref(window_start, self.aeg),
+                            transient_transmit=transmit_transient,
+                            transient_access=access_transient,
+                            store_hops=dep.store_hops,
+                        ))
+                        break
+                break
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _branches_in(self, view: WindowView) -> list[AEGNode]:
+        found = [
+            node for node in view.nodes_within(self.aeg, self.config.window_size)
+            if node.is_branch
+        ]
+        found.sort(key=lambda n: n.position)
+        return found
+
+    def _is_transient(self, node: AEGNode, primitive: AEGNode,
+                      window_start: AEGNode | None, view: WindowView) -> bool:
+        """Does the node lie inside the primitive's transient window?
+
+        The view is anchored at the transmitter; the origin's distance to
+        the anchor bounds the distance to any node between them.
+        """
+        origin = window_start or primitive
+        if node.nid == origin.nid:
+            return True
+        if not self.aeg.before(origin, node):
+            return False
+        if node.nid == view.anchor.nid:
+            distance = view.distance(origin)
+            return (distance is not None
+                    and distance <= self.config.rob_size
+                    and view.fence_free(origin))
+        origin_distance = view.distance(origin)
+        if origin_distance is None or origin_distance > self.config.rob_size:
+            return False
+        return view.fence_free(origin)
+
+    def _index_attacker_controlled(self, index: AEGNode) -> bool:
+        result = index.instruction.result
+        return result is not None and self.aeg.value_tainted(result)
+
+
+class ClouPHT(DetectionEngine):
+    """Spectre v1/v1.1: control-flow speculation (§5.3)."""
+
+    name = "pht"
+
+    def _search(self, report: FunctionReport, budget: _Budget) -> None:
+        super()._search(report, budget)
+        if self.config.detect_interference_variant:
+            self._search_interference(report, budget)
+
+    def _search_interference(self, report: FunctionReport,
+                             budget: _Budget) -> None:
+        """The §6.1 variant: a transient load T warms the cache line of
+        a committed, tfo-prior load C that is still in flight — T's
+        address modulates C's latency, a data transmitter through
+        interference (cf. speculative interference attacks)."""
+        committed_loads = self.aeg.loads()
+        for transient_load in self.aeg.loads():
+            if budget.check():
+                return
+            view = self.aeg.window(transient_load, self.config.rob_size)
+            primitives = self.speculation_sources(transient_load, view)
+            if not primitives:
+                continue
+            primitive, window_start = primitives[0]
+            if not self._is_transient(transient_load, primitive,
+                                      window_start, view):
+                continue
+            deps = self.aeg.address_deps(transient_load)
+            if not deps:
+                continue  # a constant-address prefetch transmits nothing
+            for committed in committed_loads:
+                if committed.nid == transient_load.nid:
+                    continue
+                # The committed access is tfo-prior, still within the
+                # same in-flight window, and not itself transient.
+                if not self.aeg.before(committed, transient_load):
+                    continue
+                if self._is_transient(committed, primitive, window_start,
+                                      view):
+                    continue
+                distance = view.distance(committed)
+                if distance is None or distance > self.config.rob_size:
+                    continue
+                if not self.aeg.alias.may_alias(
+                    committed.instruction.pointer,
+                    transient_load.instruction.pointer,
+                    transient=True,
+                ):
+                    continue
+                access = self.aeg.node_of(deps[0].source)
+                report.witnesses.append(ClouWitness(
+                    engine=self.name,
+                    klass=TransmitterClass.DATA,
+                    transmit=NodeRef.of(transient_load, self.aeg),
+                    primitive=NodeRef.of(primitive, self.aeg),
+                    access=NodeRef.of(access, self.aeg),
+                    window_start=NodeRef.of(committed, self.aeg),
+                    transient_transmit=True,
+                    transient_access=False,
+                    store_hops=deps[0].store_hops,
+                ))
+                break  # one interference witness per transient load
+
+    def speculation_sources(self, transmit: AEGNode, view: WindowView
+                            ) -> list[tuple[AEGNode, AEGNode | None]]:
+        sources = []
+        for branch in self._branches_in(view):
+            distance = view.distance(branch)
+            if distance is None or distance > self.config.rob_size:
+                continue
+            if not view.fence_free(branch):
+                continue
+            sources.append((branch, None))
+        return sources
+
+    def universal_first_hop_ok(self, dep: Dep) -> bool:
+        # The addr_gep filter: base pointers stored in memory are not
+        # attacker-controlled architecturally (§5.3).
+        if self.config.addr_gep_filter:
+            return dep.via_gep_index
+        return True
+
+
+class ClouSTL(DetectionEngine):
+    """Spectre v4: store-to-load forwarding bypass (§5.3)."""
+
+    name = "stl"
+
+    def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
+        super().__init__(aeg, config)
+        self._bypassable = self._compute_bypassable()
+
+    def _compute_bypassable(self) -> dict[int, AEGNode]:
+        """load nid -> one store it can transiently bypass.
+
+        A load bypasses a store when the store is possibly-same-address,
+        still in the LSQ (within ``lsq_size`` instructions), and no
+        lfence separates them.
+        """
+        bypassable: dict[int, AEGNode] = {}
+        if self.config.lsq_size <= 0:
+            return bypassable  # no store can be in flight
+        for load in self.aeg.loads():
+            view = self.aeg.window(load, self.config.lsq_size)
+            best: AEGNode | None = None
+            for node in view.nodes_within(self.aeg, self.config.lsq_size):
+                if not node.is_store:
+                    continue
+                if not view.fence_free(node):
+                    continue
+                if not self.aeg.alias.may_alias(
+                    node.instruction.pointer, load.instruction.pointer,
+                    transient=self.config.assume_alias_prediction,
+                ):
+                    continue
+                if best is None or node.position > best.position:
+                    best = node
+            if best is not None:
+                bypassable[load.nid] = best
+        return bypassable
+
+    def speculation_sources(self, transmit: AEGNode, view: WindowView
+                            ) -> list[tuple[AEGNode, AEGNode | None]]:
+        """The primitive is a bypassed store; the transient window starts
+        at the bypassing load.  Any bypassable load ahead of the
+        transmitter (within the ROB) opens a window over it."""
+        sources = []
+        for node in view.nodes_within(self.aeg, self.config.rob_size):
+            if not node.is_load:
+                continue
+            store = self._bypassable.get(node.nid)
+            if store is None:
+                continue
+            if not view.fence_free(node):
+                continue
+            sources.append((store, node))
+        sources.sort(key=lambda pair: pair[1].position)
+        return sources
+
+    def universal_first_hop_ok(self, dep: Dep) -> bool:
+        # addr_gep cannot filter v4: a stale load can hand the attacker a
+        # base pointer (§5.3).
+        return True
+
+    def _index_attacker_controlled(self, index: AEGNode) -> bool:
+        # A bypassing load returns stale memory, which is attacker-
+        # controlled regardless of type (§5.3); otherwise fall back to
+        # ordinary taint.
+        if index.nid in self._bypassable:
+            return True
+        return super()._index_attacker_controlled(index)
+
+
+ENGINES = {"pht": ClouPHT, "stl": ClouSTL}

@@ -1,0 +1,189 @@
+"""Automatic repair via minimal fence insertion (§5, §6.1).
+
+Every witness can be broken by an ``lfence`` at one of a small set of
+program points:
+
+- PHT: a fence between the mispredicting branch and the transmitter —
+  we use "immediately before the access instruction", which kills every
+  pattern routed through that access;
+- STL: a fence between the bypassed store and the bypassing load —
+  "immediately before the load".
+
+Choosing fences is then a minimum hitting set problem over the
+witnesses' candidate sets: exact search for small instances, greedy
+otherwise.  The paper reports 1 fence per vulnerable PHT/STL program and
+2 for FWD/NEW; the benchmarks check we match.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.clou.engine import ClouConfig, ENGINES
+from repro.clou.aeg import SAEG
+from repro.clou.report import ClouWitness, FunctionReport
+from repro.ir import FenceInstr, Function
+
+Position = tuple[str, int]  # (block label, instruction index)
+
+
+def _block_positions(block: str, upto: int, primitive_block: str,
+                     primitive_index: int) -> set[Position]:
+    """Positions in ``block`` up to index ``upto`` (inclusive) that lie
+    strictly after the primitive when it shares the block."""
+    start = primitive_index + 1 if block == primitive_block else 0
+    return {(block, i) for i in range(start, upto + 1)}
+
+
+def protect_positions(witness: ClouWitness) -> set[Position]:
+    """Blade-style ``protect`` placement (§7): instead of stalling the
+    whole pipeline, ``protect`` breaks the value flow from a *transient*
+    access to its transmitters — placed immediately after the access
+    instruction (before the value's first use as an address).
+
+    Control transmitters are out of protect's reach (a committed branch
+    leaks its condition architecturally; Blade scopes these out too), as
+    are witnesses whose access is architectural — those fall back to the
+    lfence placement.
+    """
+    from repro.lcm.taxonomy import TransmitterClass
+
+    data_flow = witness.klass in (TransmitterClass.DATA,
+                                  TransmitterClass.UNIVERSAL_DATA)
+    if data_flow and witness.access is not None and witness.transient_access:
+        return {(witness.access.block, witness.access.index + 1)}
+    return candidate_positions(witness)
+
+
+def candidate_positions(witness: ClouWitness) -> set[Position]:
+    """Program points where a single lfence breaks this witness.
+
+    A fence breaks a witness if it lies on every path from the
+    speculation primitive (or, for STL, from the bypassed store to the
+    bypassing load) to the transmitter.  Positions inside the
+    transmitter's own block always qualify; so do positions before a
+    transient access, and — for STL — positions that separate the
+    bypassed store from the bypassing load.
+    """
+    primitive = witness.primitive
+    positions = _block_positions(
+        witness.transmit.block, witness.transmit.index,
+        primitive.block, primitive.index,
+    )
+    if witness.access is not None and witness.transient_access:
+        positions |= _block_positions(
+            witness.access.block, witness.access.index,
+            primitive.block, primitive.index,
+        )
+    if witness.window_start is not None:
+        positions |= _block_positions(
+            witness.window_start.block, witness.window_start.index,
+            primitive.block, primitive.index,
+        )
+    return positions
+
+
+def minimum_hitting_set(sets: list[set[Position]],
+                        exact_limit: int = 12) -> list[Position]:
+    """Smallest set of positions intersecting every witness set."""
+    sets = [s for s in sets if s]
+    if not sets:
+        return []
+    universe = sorted(set().union(*sets))
+    if len(universe) <= exact_limit:
+        for size in range(1, len(universe) + 1):
+            for combo in itertools.combinations(universe, size):
+                chosen = set(combo)
+                if all(chosen & s for s in sets):
+                    return sorted(chosen)
+    # Greedy fallback.
+    chosen: list[Position] = []
+    remaining = list(sets)
+    while remaining:
+        best = max(universe, key=lambda p: sum(1 for s in remaining if p in s))
+        chosen.append(best)
+        remaining = [s for s in remaining if best not in s]
+    return sorted(chosen)
+
+
+def insert_fences(function: Function, positions: list[Position]) -> Function:
+    """Insert an lfence before each (block, index) position, in place."""
+    by_block: dict[str, list[int]] = {}
+    for block_label, index in positions:
+        by_block.setdefault(block_label, []).append(index)
+    for block in function.blocks:
+        if block.label not in by_block:
+            continue
+        for index in sorted(by_block[block.label], reverse=True):
+            block.instructions.insert(index, FenceInstr(kind="lfence"))
+    return function
+
+
+@dataclass
+class RepairResult:
+    function: str
+    engine: str
+    fences: list[Position]
+    before: FunctionReport
+    after: FunctionReport
+
+    @property
+    def fully_repaired(self) -> bool:
+        return not self.after.leaky
+
+    def summary(self) -> str:
+        status = "repaired" if self.fully_repaired else "RESIDUAL LEAKS"
+        return (f"{self.function} [{self.engine}]: {len(self.fences)} "
+                f"fence(s), {status}")
+
+
+def repair(acfg_function: Function, engine_name: str,
+           config: ClouConfig | None = None,
+           max_rounds: int = 48,
+           strategy: str = "lfence") -> RepairResult:
+    """Detect, insert a minimal fence set, and re-verify (Fig. 6's
+    "fence insertion" stage).
+
+    Repair iterates: a fence that breaks one witness may leave an
+    alternative chain to the same transmitter alive (the engines report
+    one witness per chain), so detection is re-run after each insertion
+    round until the function is clean, the surviving-leak signature stops
+    changing, or the round budget is exhausted.  The first round's
+    hitting set is minimal; later rounds only add fences if new chains
+    surface.
+    """
+    config = config or ClouConfig()
+    if strategy not in ("lfence", "protect"):
+        raise ValueError(f"unknown repair strategy {strategy!r}")
+    positions_of = (candidate_positions if strategy == "lfence"
+                    else protect_positions)
+    engine_cls = ENGINES[engine_name]
+    before = engine_cls(SAEG(acfg_function), config).run()
+    all_fences: list[Position] = []
+    current = before
+    previous_signature = None
+    for _ in range(max_rounds):
+        if not current.leaky:
+            break
+        signature = frozenset(
+            (w.primitive.text, w.transmit.text, w.klass)
+            for w in current.witnesses
+        )
+        if signature == previous_signature:
+            break  # the exact same leaks survived: fences are not helping
+        previous_signature = signature
+        witness_sets = [positions_of(w) for w in current.witnesses]
+        fences = minimum_hitting_set(witness_sets)
+        if not fences:
+            break
+        insert_fences(acfg_function, fences)
+        all_fences.extend(fences)
+        current = engine_cls(SAEG(acfg_function), config).run()
+    return RepairResult(
+        function=acfg_function.name,
+        engine=engine_name,
+        fences=all_fences,
+        before=before,
+        after=current,
+    )

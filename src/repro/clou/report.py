@@ -1,0 +1,153 @@
+"""Report types for Clou analyses (Fig. 6's outputs: transmitters +
+witness executions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clou.aeg import AEGNode
+from repro.lcm.taxonomy import TransmitterClass
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A stable, printable reference to an S-AEG node.
+
+    ``provenance`` names the storage a memory node touches (the alias
+    analysis base, e.g. ``global:sec_table``) — used by the secrecy-label
+    filter of :mod:`repro.clou.postprocess` and handy in reports.
+    """
+
+    block: str
+    index: int
+    text: str
+    provenance: str = ""
+
+    @classmethod
+    def of(cls, node: AEGNode, aeg=None) -> "NodeRef":
+        provenance = ""
+        if aeg is not None:
+            from repro.ir import Store
+
+            ins = node.instruction
+            pointer = getattr(ins, "pointer", None)
+            if pointer is not None:
+                provenance = str(aeg.alias.value_provenance(pointer))
+        return cls(node.block, node.index, str(node.instruction), provenance)
+
+    def __str__(self) -> str:
+        suffix = f"  <{self.provenance}>" if self.provenance else ""
+        return f"[{self.block}#{self.index}] {self.text}{suffix}"
+
+
+@dataclass(frozen=True)
+class ClouWitness:
+    """One leakage witness: the speculation primitive plus the chain."""
+
+    engine: str                     # 'pht' | 'stl'
+    klass: TransmitterClass
+    transmit: NodeRef
+    primitive: NodeRef              # the branch (PHT) / bypassed store (STL)
+    access: NodeRef | None = None
+    index: NodeRef | None = None
+    window_start: NodeRef | None = None  # STL: the bypassing load
+    transient_transmit: bool = True
+    transient_access: bool = False
+    store_hops: int = 0
+    """Total (data.rf) memory hops in the chain — 0 means a pure
+    addr_gep/addr pattern, the high-confidence class of §6.2.2's
+    worst-case-alias counts (the parenthesized numbers in Table 2)."""
+
+    def describe(self) -> str:
+        parts = [f"{self.klass.value} via {self.engine.upper()}"]
+        parts.append(f"  primitive: {self.primitive}")
+        if self.index is not None:
+            parts.append(f"  index:     {self.index}")
+        if self.access is not None:
+            marker = " (transient)" if self.transient_access else ""
+            parts.append(f"  access:    {self.access}{marker}")
+        marker = " (transient)" if self.transient_transmit else ""
+        parts.append(f"  transmit:  {self.transmit}{marker}")
+        return "\n".join(parts)
+
+
+@dataclass
+class FunctionReport:
+    """Result of running one engine over one public function."""
+
+    function: str
+    engine: str
+    witnesses: list[ClouWitness] = field(default_factory=list)
+    aeg_size: int = 0
+    elapsed: float = 0.0
+    timed_out: bool = False
+    error: str | None = None
+
+    def transmitters(self) -> list[ClouWitness]:
+        """One witness per distinct (transmit node, class)."""
+        seen: dict[tuple[str, int, TransmitterClass], ClouWitness] = {}
+        for witness in self.witnesses:
+            key = (witness.transmit.block, witness.transmit.index, witness.klass)
+            seen.setdefault(key, witness)
+        return list(seen.values())
+
+    def count(self, klass: TransmitterClass) -> int:
+        return sum(1 for w in self.transmitters() if w.klass is klass)
+
+    def counts(self) -> dict[TransmitterClass, int]:
+        return {klass: self.count(klass) for klass in TransmitterClass}
+
+    @property
+    def leaky(self) -> bool:
+        return bool(self.witnesses)
+
+    def summary(self) -> str:
+        counts = self.counts()
+        rendered = "/".join(
+            f"{counts[k]}{k.value}"
+            for k in (TransmitterClass.DATA, TransmitterClass.CONTROL,
+                      TransmitterClass.UNIVERSAL_DATA,
+                      TransmitterClass.UNIVERSAL_CONTROL)
+        )
+        status = " TIMEOUT" if self.timed_out else ""
+        return (f"{self.function} [{self.engine}] "
+                f"{rendered} in {self.elapsed:.2f}s "
+                f"(aeg={self.aeg_size}){status}")
+
+
+@dataclass
+class ModuleReport:
+    """Aggregated results over every analyzed public function."""
+
+    name: str
+    engine: str
+    functions: list[FunctionReport] = field(default_factory=list)
+
+    def total(self, klass: TransmitterClass) -> int:
+        return sum(report.count(klass) for report in self.functions)
+
+    def totals(self) -> dict[TransmitterClass, int]:
+        return {klass: self.total(klass) for klass in TransmitterClass}
+
+    @property
+    def elapsed(self) -> float:
+        return sum(report.elapsed for report in self.functions)
+
+    @property
+    def transmitters(self) -> list[ClouWitness]:
+        return [w for report in self.functions for w in report.transmitters()]
+
+    @property
+    def leaky(self) -> bool:
+        return any(report.leaky for report in self.functions)
+
+    def summary(self) -> str:
+        totals = self.totals()
+        rendered = "/".join(
+            f"{totals[k]}{k.value}"
+            for k in (TransmitterClass.DATA, TransmitterClass.CONTROL,
+                      TransmitterClass.UNIVERSAL_DATA,
+                      TransmitterClass.UNIVERSAL_CONTROL)
+        )
+        return (f"{self.name} [{self.engine}] {len(self.functions)} functions, "
+                f"{rendered}, {self.elapsed:.2f}s")

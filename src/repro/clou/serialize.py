@@ -1,0 +1,67 @@
+"""JSON serialization of Clou reports (for CI pipelines and tooling)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.clou.report import ClouWitness, FunctionReport, ModuleReport, NodeRef
+
+
+def _noderef_dict(ref: NodeRef | None) -> dict[str, Any] | None:
+    if ref is None:
+        return None
+    return {
+        "block": ref.block,
+        "index": ref.index,
+        "text": ref.text,
+        "provenance": ref.provenance,
+    }
+
+
+def witness_dict(witness: ClouWitness) -> dict[str, Any]:
+    return {
+        "engine": witness.engine,
+        "class": witness.klass.value,
+        "transmit": _noderef_dict(witness.transmit),
+        "primitive": _noderef_dict(witness.primitive),
+        "access": _noderef_dict(witness.access),
+        "index": _noderef_dict(witness.index),
+        "window_start": _noderef_dict(witness.window_start),
+        "transient_transmit": witness.transient_transmit,
+        "transient_access": witness.transient_access,
+        "store_hops": witness.store_hops,
+    }
+
+
+def function_report_dict(report: FunctionReport) -> dict[str, Any]:
+    return {
+        "function": report.function,
+        "engine": report.engine,
+        "aeg_size": report.aeg_size,
+        "elapsed_seconds": report.elapsed,
+        "timed_out": report.timed_out,
+        "error": report.error,
+        "counts": {
+            klass.value: count for klass, count in report.counts().items()
+        },
+        "transmitters": [witness_dict(w) for w in report.transmitters()],
+    }
+
+
+def module_report_dict(report: ModuleReport) -> dict[str, Any]:
+    return {
+        "name": report.name,
+        "engine": report.engine,
+        "leaky": report.leaky,
+        "elapsed_seconds": report.elapsed,
+        "totals": {
+            klass.value: count for klass, count in report.totals().items()
+        },
+        "functions": [function_report_dict(f) for f in report.functions],
+    }
+
+
+def to_json(report: ModuleReport, indent: int = 2) -> str:
+    return json.dumps(module_report_dict(report), indent=indent,
+                      ensure_ascii=False)

@@ -1,0 +1,37 @@
+"""Events, event structures, and candidate executions."""
+
+from repro.events.event import (
+    AccessKind,
+    Bottom,
+    Branch,
+    Event,
+    Fence,
+    Location,
+    MemoryEvent,
+    Read,
+    Top,
+    Write,
+    make_bottom,
+    make_top,
+)
+from repro.events.execution import CandidateExecution, ExecutionWitness, XWitness
+from repro.events.structure import EventStructure
+
+__all__ = [
+    "AccessKind",
+    "Bottom",
+    "Branch",
+    "CandidateExecution",
+    "Event",
+    "EventStructure",
+    "ExecutionWitness",
+    "Fence",
+    "Location",
+    "MemoryEvent",
+    "Read",
+    "Top",
+    "Write",
+    "XWitness",
+    "make_bottom",
+    "make_top",
+]

@@ -1,0 +1,176 @@
+"""Events: the nodes of event structures and candidate executions.
+
+The vocabulary follows §2.1.1 of the paper.  An :class:`Event` is one
+dynamic instance of an instruction on a particular control-flow path;
+:class:`MemoryEvent` additionally accesses an architectural
+:class:`Location`.  The LCM extensions (§3.2) add:
+
+- ``transient`` events — fetched (ordered by ``tfo``) but never committed
+  (not ordered by ``po``);
+- ``prefetch`` events — issued by hardware prefetchers, never architectural;
+- the distinguished ``TOP`` (⊤) initializer and ``BOTTOM`` (⊥) observer
+  events, which bracket every candidate execution.
+
+Events compare by identity (``eid``), so the same static instruction can
+appear several times in one execution (e.g. its committed and transient
+instances).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """An architectural memory location.
+
+    ``base`` names the storage (a variable or array); ``offset`` selects an
+    element within it.  Two locations are the *same address* iff both fields
+    are equal.  Symbolic offsets (e.g. an attacker-controlled index) are
+    represented by strings; equal strings denote equal runtime addresses.
+    """
+
+    base: str
+    offset: int | str = 0
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return self.base
+        return f"{self.base}+{self.offset}"
+
+
+class AccessKind(enum.Enum):
+    """How an event touches its xstate element (§3.2.1).
+
+    A cache hit *reads* xstate; a cache miss (and a write, under a
+    write-allocate policy) *read-modify-writes* it; a store under a
+    no-write-allocate policy *writes* it.
+    """
+
+    READ = "R"
+    WRITE = "W"
+    READ_MODIFY_WRITE = "RW"
+
+    @property
+    def reads_xstate(self) -> bool:
+        return self in (AccessKind.READ, AccessKind.READ_MODIFY_WRITE)
+
+    @property
+    def writes_xstate(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.READ_MODIFY_WRITE)
+
+
+_UNIQUE = object()
+
+
+@dataclass(frozen=True)
+class Event:
+    """A node of an event structure.
+
+    ``eid`` is unique within a program elaboration and provides identity;
+    ``label`` is the human-readable name used when rendering executions
+    (e.g. ``"5"`` for a committed event, ``"5S"`` for its transient twin).
+    """
+
+    eid: int
+    tid: int = 0
+    label: str = ""
+    transient: bool = False
+    prefetch: bool = False
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", str(self.eid))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.eid == other.eid
+
+    def __hash__(self) -> int:
+        return hash(self.eid)
+
+    def __repr__(self) -> str:
+        marks = "S" if self.transient else ""
+        marks += "P" if self.prefetch else ""
+        return f"{type(self).__name__}({self.label}{marks and '·' + marks})"
+
+    @property
+    def committed(self) -> bool:
+        """Committed events are architectural: neither transient nor prefetch."""
+        return not self.transient and not self.prefetch
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class MemoryEvent(Event):
+    """An event that accesses an architectural memory location."""
+
+    loc: Location = field(default_factory=lambda: Location("?"))
+
+    def __repr__(self) -> str:
+        tag = "R" if isinstance(self, Read) else "W" if isinstance(self, Write) else "M"
+        suffix = "S" if self.transient else ("P" if self.prefetch else "")
+        return f"{self.label}:{tag}{suffix} {self.loc}"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Read(MemoryEvent):
+    """An architectural load (or a transient/prefetch instance of one)."""
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Write(MemoryEvent):
+    """An architectural store (or a transient instance of one).
+
+    ``data`` carries the written value when it is statically known; silent
+    store detection (§4.2) compares these values.
+    """
+
+    data: object = None
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Fence(Event):
+    """An explicit ordering instruction (e.g. lfence/mfence)."""
+
+    kind: str = "mfence"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Branch(Event):
+    """A conditional branch — a control-flow speculation primitive."""
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Top(Event):
+    """⊤: the set of writes initializing architectural and xstate state.
+
+    ⊤ behaves as the coherence-first write to every location and the
+    first write to every xstate element.
+    """
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Bottom(Read):
+    """⊥: one observer access probing final state after the program runs.
+
+    The paper models ⊥ as a *set* of observer accesses; we instantiate one
+    ``Bottom`` event per probed xstate element.  The observer does not
+    share memory with the program, so architecturally it only ever reads
+    from ⊤ (its ``rf`` source is pinned to ⊤ during witness enumeration);
+    microarchitecturally it reads the xstate element for its ``loc``.
+    """
+
+
+TOP_EID = -1
+BOTTOM_EID_BASE = 1_000_000
+
+
+def make_top() -> Top:
+    return Top(eid=TOP_EID, label="⊤")
+
+
+def make_bottom(index: int = 0) -> Bottom:
+    return Bottom(eid=BOTTOM_EID_BASE + index, label="⊥" if index == 0 else f"⊥{index}")

@@ -1,0 +1,63 @@
+"""An LLVM-like IR: the compilation target of the mini-C frontend."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (
+    Alloca,
+    Argument,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Constant,
+    FenceInstr,
+    GetElementPtr,
+    GlobalRef,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    Value,
+)
+from repro.ir.module import (
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    Module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import (
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    VOID,
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    element_type,
+    pointer_to,
+)
+
+__all__ = [
+    "Alloca", "Argument", "ArrayType", "BasicBlock", "BinOp", "Branch",
+    "Call", "Cast", "Constant", "FenceInstr", "Function", "GetElementPtr",
+    "GlobalRef", "GlobalVariable", "I1", "I16", "I32", "I64", "I8", "ICmp",
+    "IRBuilder", "Instruction", "IntType", "Jump", "Load", "Module",
+    "PointerType", "Ret", "Store", "StructType", "Temp", "Type", "U16",
+    "U32", "U64", "U8", "VOID", "Value", "VoidType", "element_type",
+    "pointer_to", "print_function", "print_module", "verify_function",
+    "verify_module",
+]

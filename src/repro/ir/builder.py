@@ -1,0 +1,139 @@
+"""A convenience builder for emitting IR, Clang-style."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Constant,
+    FenceInstr,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    Value,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import (
+    I1,
+    I32,
+    Type,
+    element_type,
+    pointer_to,
+)
+
+
+class IRBuilder:
+    """Builds one function, one block at a time."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._temp_counter = itertools.count(0)
+        self._label_counter = itertools.count(0)
+        self.current: BasicBlock | None = None
+
+    # -- blocks ----------------------------------------------------------
+
+    def new_label(self, hint: str = "bb") -> str:
+        return f"{hint}.{next(self._label_counter)}"
+
+    def start_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        self.function.blocks.append(block)
+        self.current = block
+        return block
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.current is not None and self.current.terminator is not None
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        if self.current is None:
+            raise RuntimeError("no current block")
+        if self.is_terminated:
+            # Dead code after a terminator (e.g. code after return) is
+            # dropped, as Clang does.
+            return instruction
+        self.current.instructions.append(instruction)
+        return instruction
+
+    # -- values ----------------------------------------------------------
+
+    def fresh(self, type_: Type, hint: str = "t") -> Temp:
+        return Temp(f"{hint}{next(self._temp_counter)}", type_)
+
+    # -- instructions ------------------------------------------------------
+
+    def alloca(self, type_: Type, var_name: str) -> Temp:
+        result = self.fresh(pointer_to(type_), hint=f"{var_name}.addr")
+        self.emit(Alloca(result=result, allocated_type=type_, var_name=var_name))
+        return result
+
+    def load(self, pointer: Value) -> Temp:
+        result = self.fresh(element_type(pointer.type), hint="ld")
+        self.emit(Load(result=result, pointer=pointer))
+        return result
+
+    def store(self, value: Value, pointer: Value) -> None:
+        self.emit(Store(value=value, pointer=pointer))
+
+    def gep(self, base: Value, indices: list[Value]) -> Temp:
+        pointee = element_type(base.type)
+        # Multi-index GEPs peel nested aggregates one index at a time.
+        for _ in indices[1:]:
+            pointee = element_type(pointee)
+        result = self.fresh(pointer_to(pointee), hint="gep")
+        self.emit(GetElementPtr(result=result, base=base,
+                                indices=tuple(indices), element=pointee))
+        return result
+
+    def binop(self, op: str, lhs: Value, rhs: Value, type_: Type | None = None) -> Temp:
+        result = self.fresh(type_ or lhs.type, hint="bin")
+        self.emit(BinOp(result=result, op=op, lhs=lhs, rhs=rhs))
+        return result
+
+    def icmp(self, op: str, lhs: Value, rhs: Value) -> Temp:
+        result = self.fresh(I1, hint="cmp")
+        self.emit(ICmp(result=result, op=op, lhs=lhs, rhs=rhs))
+        return result
+
+    def cast(self, value: Value, type_: Type) -> Temp:
+        if value.type == type_:
+            return value
+        result = self.fresh(type_, hint="cast")
+        self.emit(Cast(result=result, value=value))
+        return result
+
+    def call(self, callee: str, args: list[Value], return_type: Type) -> Temp | None:
+        from repro.ir.types import VoidType
+
+        if isinstance(return_type, VoidType):
+            self.emit(Call(callee=callee, args=tuple(args)))
+            return None
+        result = self.fresh(return_type, hint="call")
+        self.emit(Call(result=result, callee=callee, args=tuple(args)))
+        return result
+
+    def fence(self, kind: str = "lfence") -> None:
+        self.emit(FenceInstr(kind=kind))
+
+    def branch(self, cond: Value, then_label: str, else_label: str) -> None:
+        self.emit(Branch(cond=cond, then_label=then_label, else_label=else_label))
+
+    def jump(self, label: str) -> None:
+        self.emit(Jump(label=label))
+
+    def ret(self, value: Value | None = None) -> None:
+        self.emit(Ret(value=value))
+
+    def const(self, value: int, type_: Type = I32) -> Constant:
+        return Constant(value, type_)

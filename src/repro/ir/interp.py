@@ -1,0 +1,305 @@
+"""A reference interpreter for the IR: executable architectural semantics.
+
+Used for differential testing — the mini-C compiler's output is executed
+against known-answer vectors (e.g. TEA test vectors), and fence-repaired
+functions are checked to compute identical results (lfence is a pure
+ordering instruction; repair must not change architectural behaviour).
+
+The machine model is byte-addressed: globals and allocas live in disjoint
+address ranges; loads/stores move little-endian integers of their type's
+width.  Undefined calls raise; the interpreter is for defined, complete
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir.instructions import (
+    Alloca,
+    Argument,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Constant,
+    FenceInstr,
+    GetElementPtr,
+    GlobalRef,
+    ICmp,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    Temp,
+    Value,
+)
+from repro.ir.module import Function, Module
+from repro.ir.types import ArrayType, IntType, PointerType, StructType, Type
+
+
+class InterpError(ReproError):
+    """Raised on invalid executions (OOB access, missing function...)."""
+
+
+def _mask(value: int, type_: Type) -> int:
+    if isinstance(type_, IntType):
+        masked = value & ((1 << type_.bits) - 1)
+        if type_.signed and masked >= (1 << (type_.bits - 1)):
+            masked -= 1 << type_.bits
+        return masked
+    return value & ((1 << 64) - 1)
+
+
+def _unsigned(value: int, bits: int = 64) -> int:
+    return value & ((1 << bits) - 1)
+
+
+@dataclass
+class Machine:
+    """Flat byte memory plus an allocation map."""
+
+    memory: bytearray = field(default_factory=lambda: bytearray(1 << 20))
+    next_address: int = 0x1000
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, size: int, name: str | None = None) -> int:
+        address = self.next_address
+        self.next_address += max(size, 1)
+        # 8-byte align the next allocation.
+        self.next_address = (self.next_address + 7) & ~7
+        if name is not None:
+            self.symbols[name] = address
+        if self.next_address > len(self.memory):
+            raise InterpError("machine out of memory")
+        return address
+
+    def read_int(self, address: int, type_: IntType) -> int:
+        size = type_.size_bytes()
+        if not 0 <= address <= len(self.memory) - size:
+            raise InterpError(f"out-of-bounds read at {address:#x}")
+        raw = int.from_bytes(self.memory[address:address + size], "little")
+        return _mask(raw, type_)
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        if not 0 <= address <= len(self.memory) - size:
+            raise InterpError(f"out-of-bounds write at {address:#x}")
+        self.memory[address:address + size] = _unsigned(
+            value, size * 8).to_bytes(size, "little")
+
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+}
+
+
+class Interpreter:
+    """Executes functions of a module on a :class:`Machine`."""
+
+    def __init__(self, module: Module, machine: Machine | None = None,
+                 max_steps: int = 2_000_000):
+        self.module = module
+        self.machine = machine or Machine()
+        self.max_steps = max_steps
+        self._initialize_globals()
+
+    # -- setup -----------------------------------------------------------
+
+    def _initialize_globals(self) -> None:
+        for name, variable in self.module.globals.items():
+            if name in self.machine.symbols:
+                continue
+            address = self.machine.allocate(
+                max(variable.type.size_bytes(), 8), name)
+            self._store_initializer(address, variable.type,
+                                    variable.initializer)
+
+    def _store_initializer(self, address: int, type_: Type, init) -> None:
+        if init is None:
+            return
+        if isinstance(type_, IntType) and isinstance(init, int):
+            self.machine.write_int(address, init, type_.size_bytes())
+        elif isinstance(type_, ArrayType) and isinstance(init, list):
+            size = type_.element.size_bytes()
+            for i, element in enumerate(init):
+                if isinstance(element, int):
+                    self.machine.write_int(address + i * size, element, size)
+        elif isinstance(type_, ArrayType) and isinstance(init, str):
+            for i, char in enumerate(init.encode()):
+                self.machine.write_int(address + i, char, 1)
+
+    # -- value evaluation ---------------------------------------------------
+
+    def _element_size(self, pointee: Type) -> int:
+        return max(pointee.size_bytes(), 1)
+
+    def call(self, name: str, args: list[int]) -> int | None:
+        """Run a function with integer/pointer (address) arguments."""
+        function = self.module.functions.get(name)
+        if function is None:
+            raise InterpError(f"call to undefined function {name!r}")
+        return self._run(function, args)
+
+    def _run(self, function: Function, args: list[int]) -> int | None:
+        env: dict[str, int] = {}
+        arg_values = {
+            param_name: value
+            for (param_name, _), value in zip(function.params, args)
+        }
+
+        def evaluate(value: Value) -> int:
+            if isinstance(value, Constant):
+                return _mask(value.value, value.type)
+            if isinstance(value, Temp):
+                if value.name not in env:
+                    raise InterpError(f"use of undefined temp %{value.name}")
+                return env[value.name]
+            if isinstance(value, GlobalRef):
+                return self.machine.symbols[value.name]
+            if isinstance(value, Argument):
+                return arg_values[value.name]
+            raise InterpError(f"cannot evaluate {value!r}")
+
+        blocks = {b.label: b for b in function.blocks}
+        label = function.entry.label
+        steps = 0
+        while True:
+            block = blocks[label]
+            for ins in block.instructions:
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpError("step budget exhausted (runaway loop?)")
+                if isinstance(ins, Alloca):
+                    env[ins.result.name] = self.machine.allocate(
+                        max(ins.allocated_type.size_bytes(), 8))
+                elif isinstance(ins, Load):
+                    address = evaluate(ins.pointer)
+                    result_type = ins.result.type
+                    if isinstance(result_type, IntType):
+                        env[ins.result.name] = self.machine.read_int(
+                            address, result_type)
+                    else:
+                        env[ins.result.name] = self.machine.read_int(
+                            address, IntType(64, signed=False))
+                elif isinstance(ins, Store):
+                    address = evaluate(ins.pointer)
+                    pointee = (ins.pointer.type.pointee
+                               if isinstance(ins.pointer.type, PointerType)
+                               else IntType(64))
+                    size = (pointee.size_bytes()
+                            if isinstance(pointee, IntType) else 8)
+                    self.machine.write_int(address, evaluate(ins.value),
+                                           max(size, 1))
+                elif isinstance(ins, GetElementPtr):
+                    # LLVM GEP semantics: the leading index strides over
+                    # whole pointees; subsequent indices step into
+                    # aggregates (array elements / struct fields).
+                    address = evaluate(ins.base)
+                    pointee = (ins.base.type.pointee
+                               if isinstance(ins.base.type, PointerType)
+                               else ins.element)
+                    for position, index in enumerate(ins.indices):
+                        index_value = evaluate(index)
+                        if position == 0:
+                            address += index_value * self._element_size(pointee)
+                            continue
+                        if isinstance(pointee, StructType):
+                            struct = self.module.structs.get(
+                                pointee.name, pointee)
+                            if not isinstance(index, Constant):
+                                raise InterpError("dynamic struct index")
+                            field_name = struct.fields[index.value][0]
+                            address += struct.field_offset(field_name)
+                            pointee = struct.fields[index.value][1]
+                        elif isinstance(pointee, ArrayType):
+                            address += (index_value
+                                        * self._element_size(pointee.element))
+                            pointee = pointee.element
+                        else:
+                            address += (index_value
+                                        * self._element_size(pointee))
+                    env[ins.result.name] = address
+                elif isinstance(ins, BinOp):
+                    lhs = evaluate(ins.lhs)
+                    rhs = evaluate(ins.rhs)
+                    type_ = ins.result.type
+                    if ins.op in _BINOPS:
+                        raw = _BINOPS[ins.op](lhs, rhs)
+                    elif ins.op in ("udiv", "urem"):
+                        bits = type_.bits if isinstance(type_, IntType) else 64
+                        ua, ub = _unsigned(lhs, bits), _unsigned(rhs, bits)
+                        if ub == 0:
+                            raise InterpError("division by zero")
+                        raw = ua // ub if ins.op == "udiv" else ua % ub
+                    elif ins.op in ("sdiv", "srem"):
+                        if rhs == 0:
+                            raise InterpError("division by zero")
+                        quotient = abs(lhs) // abs(rhs)
+                        if (lhs < 0) != (rhs < 0):
+                            quotient = -quotient
+                        raw = quotient if ins.op == "sdiv" else lhs - quotient * rhs
+                    elif ins.op == "lshr":
+                        bits = type_.bits if isinstance(type_, IntType) else 64
+                        raw = _unsigned(lhs, bits) >> (rhs & 63)
+                    elif ins.op == "ashr":
+                        raw = lhs >> (rhs & 63)
+                    else:
+                        raise InterpError(f"unknown binop {ins.op!r}")
+                    env[ins.result.name] = _mask(raw, type_)
+                elif isinstance(ins, ICmp):
+                    lhs = evaluate(ins.lhs)
+                    rhs = evaluate(ins.rhs)
+                    if ins.op.startswith("u"):
+                        lhs, rhs = _unsigned(lhs), _unsigned(rhs)
+                        op = ins.op[1:]
+                    elif ins.op.startswith("s"):
+                        op = ins.op[1:]
+                    else:
+                        op = ins.op
+                    table = {
+                        "eq": lhs == rhs, "ne": lhs != rhs,
+                        "lt": lhs < rhs, "le": lhs <= rhs,
+                        "gt": lhs > rhs, "ge": lhs >= rhs,
+                    }
+                    env[ins.result.name] = int(table[op])
+                elif isinstance(ins, Cast):
+                    env[ins.result.name] = _mask(
+                        evaluate(ins.value), ins.result.type)
+                elif isinstance(ins, Call):
+                    result = self.call(
+                        ins.callee, [evaluate(a) for a in ins.args])
+                    if ins.result is not None:
+                        env[ins.result.name] = _mask(
+                            result or 0, ins.result.type)
+                elif isinstance(ins, FenceInstr):
+                    pass  # pure ordering: no architectural effect
+                elif isinstance(ins, Branch):
+                    label = (ins.then_label if evaluate(ins.cond)
+                             else ins.else_label)
+                    break
+                elif isinstance(ins, Jump):
+                    label = ins.label
+                    break
+                elif isinstance(ins, Ret):
+                    if ins.value is None:
+                        return None
+                    return evaluate(ins.value)
+                else:
+                    raise InterpError(f"cannot interpret {ins!r}")
+            else:
+                raise InterpError(f"block {label} fell through")
+
+
+def run_function(module: Module, name: str, args: list[int],
+                 machine: Machine | None = None) -> tuple[int | None, Machine]:
+    """Convenience wrapper: run one function, return (result, machine)."""
+    interpreter = Interpreter(module, machine)
+    result = interpreter.call(name, args)
+    return result, interpreter.machine

@@ -1,0 +1,26 @@
+"""Textual rendering of IR modules (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.module import Function, Module
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{t} %{n}" for n, t in function.params)
+    lines = [f"define {function.return_type} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for ins in block.instructions:
+            lines.append(f"  {ins}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = []
+    for name, variable in module.globals.items():
+        const = "constant" if variable.is_const else "global"
+        parts.append(f"@{name} = {const} {variable.type} {variable.initializer!r}")
+    for function in module.functions.values():
+        parts.append(print_function(function))
+    return "\n\n".join(parts)

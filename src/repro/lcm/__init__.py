@@ -1,0 +1,69 @@
+"""Leakage containment models (LCMs): the paper's core contribution."""
+
+from repro.lcm.contracts import (
+    LCMAnalysis,
+    LeakageContainmentModel,
+    LeakyExecution,
+    inorder_lcm,
+    x86_lcm,
+)
+from repro.lcm.microarch import (
+    confidentiality_strict,
+    confidentiality_x86,
+    directed_xwitnesses,
+    microarchitectural_semantics,
+    xwitness_candidates,
+)
+from repro.lcm.prefetch import (
+    PrefetchPrimitive,
+    extend_with_prefetches,
+    find_prefetch_primitives,
+)
+from repro.lcm.noninterference import (
+    Leak,
+    LeakKind,
+    TransmitterEvent,
+    detect_leaks,
+    is_leaky,
+    receivers,
+    transmitters,
+)
+from repro.lcm.taxonomy import (
+    TransmitterClass,
+    TransmitterReport,
+    classify_transmitters,
+    extended_addr,
+    most_severe,
+)
+from repro.lcm.xstate import DirectMappedPolicy, XStateElement, XStatePolicy
+
+__all__ = [
+    "DirectMappedPolicy",
+    "LCMAnalysis",
+    "Leak",
+    "PrefetchPrimitive",
+    "LeakKind",
+    "LeakageContainmentModel",
+    "LeakyExecution",
+    "TransmitterClass",
+    "TransmitterEvent",
+    "TransmitterReport",
+    "XStateElement",
+    "XStatePolicy",
+    "classify_transmitters",
+    "confidentiality_strict",
+    "confidentiality_x86",
+    "detect_leaks",
+    "directed_xwitnesses",
+    "extend_with_prefetches",
+    "extended_addr",
+    "find_prefetch_primitives",
+    "inorder_lcm",
+    "is_leaky",
+    "microarchitectural_semantics",
+    "most_severe",
+    "receivers",
+    "transmitters",
+    "x86_lcm",
+    "xwitness_candidates",
+]

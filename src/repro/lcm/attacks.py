@@ -1,0 +1,265 @@
+"""The paper's attack gallery (§4.2, Figs. 2-5).
+
+Each entry pairs a litmus program (or hand-built event structure) with
+the LCM under which the paper analyzes it, and records the transmitter
+classes the paper reports.  ``tests/lcm/test_attacks.py`` checks that the
+leakage definition of §4.1 recovers exactly these findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events import (
+    EventStructure,
+    Location,
+    Read,
+    make_bottom,
+    make_top,
+)
+from repro.lcm.contracts import LeakageContainmentModel, LCMAnalysis
+from repro.lcm.microarch import confidentiality_x86
+from repro.lcm.taxonomy import TransmitterClass
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import Program, SpeculationConfig, parse_program
+from repro.mcm import TSO
+from repro.relations import Relation
+
+SPECTRE_V1_SOURCE = """
+# Fig. 1a: if (y < size_A) { x = A[y]; tmp &= B[x]; }
+thread 0:
+  r1 = load size
+  r2 = load y
+  r3 = lt r2, r1
+  beqz r3, END
+  r4 = load A[r2]
+  r5 = load B[r4]
+  store tmp, r5
+END: nop
+"""
+
+SPECTRE_V1_VARIANT_SOURCE = """
+# Fig. 3: x = A[y]; if (y < size_A) temp &= B[x];
+# The access instruction (the A[y] load) is non-transient.
+thread 0:
+  r2 = load y
+  r4 = load A[r2]
+  r1 = load size
+  r3 = lt r2, r1
+  beqz r3, END
+  r5 = load B[r4]
+  store tmp, r5
+END: nop
+"""
+
+SPECTRE_V4_SOURCE = """
+# Fig. 4a: y = y & (size_A - 1); x = A[y]; temp &= B[x];
+# The speculation primitive is store forwarding: the second load of y can
+# transiently bypass the masking store.
+thread 0:
+  r1 = load size
+  r2 = load y
+  r3 = sub r1, 1
+  r4 = and r2, r3
+  store y, r4
+  r5 = load y
+  r6 = load A[r5]
+  r7 = load B[r6]
+  store tmp, r7
+"""
+
+SPECTRE_PSF_SOURCE = """
+# Fig. 4b: C[0] = 64; temp &= B[A[C[y] * y]];
+# The speculation primitive is alias prediction: the load of C[y] may
+# forward from the store to C[0] even though y may differ from 0.
+thread 0:
+  r1 = load y
+  store C[0], 64
+  r2 = load C[r1]
+  r3 = mul r1, r2
+  r4 = load A[r3]
+  r5 = load B[r4]
+  store tmp, r5
+"""
+
+SILENT_STORES_SOURCE = """
+# Fig. 5a: two stores of the same value to x; the second may be silent.
+thread 0:
+  store x, 1
+  store x, 1
+"""
+
+
+@dataclass(frozen=True)
+class AttackCase:
+    """One gallery entry: program, model, and the paper's findings."""
+
+    name: str
+    figure: str
+    program: Program | None
+    structure: EventStructure | None
+    lcm: LeakageContainmentModel
+    expected_classes: frozenset[TransmitterClass]
+    expects_transient_transmitter: bool = False
+    expects_transient_access: bool = False
+    notes: str = ""
+
+    def analyze(self) -> LCMAnalysis:
+        if self.program is not None:
+            return self.lcm.analyze(self.program)
+        return self.lcm.analyze_structure(self.structure)
+
+
+def _lcm(name: str, speculation: SpeculationConfig, **policy_kwargs) -> LeakageContainmentModel:
+    return LeakageContainmentModel(
+        name=name,
+        mcm=TSO,
+        policy_factory=lambda: DirectMappedPolicy(**policy_kwargs),
+        confidentiality=confidentiality_x86,
+        speculation=speculation,
+    )
+
+
+def imp_prefetch_structure() -> EventStructure:
+    """Fig. 5b: an indirect memory prefetcher issues R_P events for
+    Z, Y, and X; none are architectural (no po/com participation)."""
+    top = make_top()
+    z = Read(eid=1, label="1P", prefetch=True, loc=Location("Z"))
+    y = Read(eid=2, label="2P", prefetch=True, loc=Location("Y"))
+    x = Read(eid=3, label="3P", prefetch=True, loc=Location("X"))
+    from dataclasses import replace
+
+    bottoms = tuple(
+        replace(make_bottom(i), loc=loc)
+        for i, loc in enumerate([Location("X"), Location("Y"), Location("Z")])
+    )
+    events = (top, z, y, x, *bottoms)
+    chain = [top, z, y, x, *bottoms]
+    tfo = Relation.from_total_order(chain, "tfo")
+    po = Relation(
+        [(top, b) for b in bottoms] + list(Relation.from_total_order(bottoms)),
+        "po",
+    )
+    addr = Relation([(z, y), (y, x)], "addr")
+    structure = EventStructure(
+        events=events, po=po, tfo=tfo, addr=addr,
+        top=top, bottoms=bottoms, name="imp-prefetch/fig5b",
+    )
+    structure.validate()
+    return structure
+
+
+def spectre_v1() -> AttackCase:
+    return AttackCase(
+        name="spectre-v1",
+        figure="Fig. 2b",
+        program=parse_program(SPECTRE_V1_SOURCE, name="spectre-v1"),
+        structure=None,
+        lcm=_lcm("x86-LCM", SpeculationConfig(depth=2)),
+        expected_classes=frozenset({
+            TransmitterClass.ADDRESS,
+            TransmitterClass.DATA,
+            TransmitterClass.UNIVERSAL_DATA,
+        }),
+        expects_transient_transmitter=True,
+        notes="6S is a true universal data transmitter; the bounds check "
+              "restricts committed 6 only.",
+    )
+
+
+def spectre_v1_variant() -> AttackCase:
+    return AttackCase(
+        name="spectre-v1-variant",
+        figure="Fig. 3",
+        program=parse_program(SPECTRE_V1_VARIANT_SOURCE, name="spectre-v1-variant"),
+        structure=None,
+        lcm=_lcm("x86-LCM", SpeculationConfig(depth=2)),
+        expected_classes=frozenset({
+            TransmitterClass.ADDRESS,
+            TransmitterClass.DATA,
+            TransmitterClass.UNIVERSAL_DATA,
+        }),
+        expects_transient_transmitter=True,
+        notes="transient transmitter with a NON-transient access instruction",
+    )
+
+
+def spectre_v4() -> AttackCase:
+    return AttackCase(
+        name="spectre-v4",
+        figure="Fig. 4a",
+        program=parse_program(SPECTRE_V4_SOURCE, name="spectre-v4"),
+        structure=None,
+        lcm=_lcm("x86-LCM", SpeculationConfig(depth=2, branch_speculation=False,
+                                              store_bypass=True)),
+        expected_classes=frozenset({
+            TransmitterClass.ADDRESS,
+            TransmitterClass.DATA,
+            TransmitterClass.UNIVERSAL_DATA,
+        }),
+        expects_transient_transmitter=True,
+        expects_transient_access=True,
+        notes="requires a confidentiality predicate permitting frx+tfo_loc cycles",
+    )
+
+
+def spectre_psf() -> AttackCase:
+    return AttackCase(
+        name="spectre-psf",
+        figure="Fig. 4b",
+        program=parse_program(SPECTRE_PSF_SOURCE, name="spectre-psf"),
+        structure=None,
+        lcm=_lcm("x86-PSF-LCM",
+                 SpeculationConfig(depth=3, branch_speculation=False,
+                                   store_bypass=True),
+                 alias_prediction=True),
+        expected_classes=frozenset({
+            TransmitterClass.ADDRESS,
+            TransmitterClass.DATA,
+            TransmitterClass.UNIVERSAL_DATA,
+        }),
+        expects_transient_transmitter=True,
+        expects_transient_access=True,
+        notes="alias prediction lets the C[y] load read the C[0] store's element",
+    )
+
+
+def silent_stores() -> AttackCase:
+    return AttackCase(
+        name="silent-stores",
+        figure="Fig. 5a",
+        program=parse_program(SILENT_STORES_SOURCE, name="silent-stores"),
+        structure=None,
+        lcm=_lcm("silent-store-LCM", SpeculationConfig.none(), silent_stores=True),
+        expected_classes=frozenset({TransmitterClass.ADDRESS}),
+        notes="the second store transmits the DATA field of its xstate",
+    )
+
+
+def imp_prefetch() -> AttackCase:
+    return AttackCase(
+        name="imp-prefetch",
+        figure="Fig. 5b",
+        program=None,
+        structure=imp_prefetch_structure(),
+        lcm=_lcm("imp-LCM", SpeculationConfig.none()),
+        expected_classes=frozenset({
+            TransmitterClass.ADDRESS,
+            TransmitterClass.DATA,
+            TransmitterClass.UNIVERSAL_DATA,
+        }),
+        expects_transient_transmitter=True,
+        notes="the prefetcher's 3P access is a universal data transmitter",
+    )
+
+
+def gallery() -> list[AttackCase]:
+    """Every attack the paper demonstrates LCMs against (§4.2)."""
+    return [
+        spectre_v1(),
+        spectre_v1_variant(),
+        spectre_v4(),
+        spectre_psf(),
+        silent_stores(),
+        imp_prefetch(),
+    ]

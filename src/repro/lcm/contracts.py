@@ -1,0 +1,203 @@
+"""Leakage containment models: the paper's central abstraction (§3).
+
+A :class:`LeakageContainmentModel` bundles:
+
+- an axiomatic MCM (the architectural semantics, §2.2),
+- an xstate policy (which hardware state instructions touch, §3.2.1),
+- a confidentiality predicate (legal ``comx`` instantiations, §3.2.2),
+- a speculation configuration (the speculative semantics, §3.3).
+
+``analyze`` runs the full pipeline on a litmus program: elaborate event
+structures (with transient windows), enumerate consistent candidate
+executions, complete them microarchitecturally, detect non-interference
+violations, and classify the resulting transmitters per Table 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.events import CandidateExecution, EventStructure
+from repro.lcm.microarch import (
+    ConfidentialityPredicate,
+    confidentiality_strict,
+    confidentiality_x86,
+    directed_xwitnesses,
+    xwitness_candidates,
+)
+from repro.lcm.noninterference import Leak, detect_leaks, transmitters
+from repro.lcm.taxonomy import (
+    TransmitterClass,
+    TransmitterReport,
+    classify_transmitters,
+)
+from repro.lcm.xstate import DirectMappedPolicy, XStatePolicy
+from repro.litmus import Program, SpeculationConfig, elaborate
+from repro.mcm import TSO, MemoryModel, consistent_executions
+
+
+@dataclass(frozen=True)
+class LeakyExecution:
+    """One leaky candidate execution: a witness to detected leakage."""
+
+    execution: CandidateExecution
+    leaks: tuple[Leak, ...]
+    reports: tuple[TransmitterReport, ...]
+
+    def classes(self) -> set[TransmitterClass]:
+        return {report.klass for report in self.reports}
+
+
+@dataclass(frozen=True)
+class LCMAnalysis:
+    """The result of analyzing a program under an LCM."""
+
+    program_name: str
+    witnesses: tuple[LeakyExecution, ...]
+    executions_examined: int
+
+    @cached_property
+    def reports(self) -> tuple[TransmitterReport, ...]:
+        """All transmitter reports, deduplicated by (label, class, field)."""
+        seen: dict[tuple[str, TransmitterClass, str], TransmitterReport] = {}
+        for witness in self.witnesses:
+            for report in witness.reports:
+                key = (report.event.label, report.klass, report.field)
+                seen.setdefault(key, report)
+        return tuple(sorted(
+            seen.values(),
+            key=lambda r: (-r.klass.severity, r.event.label),
+        ))
+
+    def classes(self) -> set[TransmitterClass]:
+        return {report.klass for report in self.reports}
+
+    def transmitters_of_class(self, klass: TransmitterClass) -> list[TransmitterReport]:
+        return [r for r in self.reports if r.klass is klass]
+
+    @property
+    def leaky(self) -> bool:
+        return bool(self.witnesses)
+
+    def summary(self) -> str:
+        counts = {klass: 0 for klass in TransmitterClass}
+        for report in self.reports:
+            counts[report.klass] += 1
+        rendered = "/".join(
+            f"{counts[k]}{k.value}" for k in (
+                TransmitterClass.ADDRESS, TransmitterClass.CONTROL,
+                TransmitterClass.DATA, TransmitterClass.UNIVERSAL_CONTROL,
+                TransmitterClass.UNIVERSAL_DATA,
+            )
+        )
+        return (
+            f"{self.program_name}: {len(self.witnesses)} leaky executions "
+            f"of {self.executions_examined}; transmitters {rendered}"
+        )
+
+
+@dataclass
+class LeakageContainmentModel:
+    """An LCM: (MCM, xstate policy, confidentiality predicate, speculation)."""
+
+    name: str
+    mcm: MemoryModel = field(default_factory=lambda: TSO)
+    policy_factory: Callable[[], XStatePolicy] = DirectMappedPolicy
+    confidentiality: ConfidentialityPredicate = confidentiality_x86
+    speculation: SpeculationConfig = field(
+        default_factory=lambda: SpeculationConfig(depth=2)
+    )
+    max_leaky_witnesses: int = 64
+    exhaustive: bool = False
+    """When True, explore the full microarchitectural semantics (only
+    feasible at litmus scale); otherwise use the directed slice of
+    :func:`repro.lcm.microarch.directed_xwitnesses`."""
+
+    # -- pipeline stages -------------------------------------------------
+
+    def event_structures(self, program: Program) -> list[EventStructure]:
+        return elaborate(program, self.speculation)
+
+    def architectural_semantics(self, program: Program) -> list[CandidateExecution]:
+        executions = []
+        for structure in self.event_structures(program):
+            executions.extend(consistent_executions(structure, self.mcm))
+        return executions
+
+    def microarchitectural_semantics(
+        self, program: Program
+    ) -> list[CandidateExecution]:
+        complete = []
+        for execution in self.architectural_semantics(program):
+            policy = self.policy_factory()
+            complete.extend(
+                xwitness_candidates(execution, policy, self.confidentiality)
+            )
+        return complete
+
+    # -- analysis ----------------------------------------------------------
+
+    def analyze_structure(self, structure: EventStructure) -> LCMAnalysis:
+        """Analyze a single (possibly hand-built) event structure."""
+        witnesses: list[LeakyExecution] = []
+        examined = 0
+        for execution in consistent_executions(structure, self.mcm):
+            policy = self.policy_factory()
+            generator = (
+                xwitness_candidates(execution, policy, self.confidentiality)
+                if self.exhaustive
+                else directed_xwitnesses(execution, policy, self.confidentiality)
+            )
+            for candidate in generator:
+                examined += 1
+                leaks = detect_leaks(candidate)
+                if not leaks:
+                    continue
+                found = transmitters(candidate, leaks)
+                reports = classify_transmitters(candidate, found)
+                witnesses.append(
+                    LeakyExecution(candidate, tuple(leaks), tuple(reports))
+                )
+                if len(witnesses) >= self.max_leaky_witnesses:
+                    return LCMAnalysis(structure.name, tuple(witnesses), examined)
+        return LCMAnalysis(structure.name, tuple(witnesses), examined)
+
+    def analyze(self, program: Program) -> LCMAnalysis:
+        """Analyze every event structure of a litmus program."""
+        witnesses: list[LeakyExecution] = []
+        examined = 0
+        for structure in self.event_structures(program):
+            analysis = self.analyze_structure(structure)
+            witnesses.extend(analysis.witnesses)
+            examined += analysis.executions_examined
+            if len(witnesses) >= self.max_leaky_witnesses:
+                break
+        return LCMAnalysis(program.name, tuple(witnesses), examined)
+
+
+def x86_lcm(speculation: SpeculationConfig | None = None,
+            **policy_kwargs) -> LeakageContainmentModel:
+    """The LCM Clou hard-codes (§5.2): TSO consistency, write-allocate
+    caches, no silent stores, no alias prediction, comx otherwise
+    unconstrained up to fetch order."""
+    return LeakageContainmentModel(
+        name="x86-LCM",
+        mcm=TSO,
+        policy_factory=lambda: DirectMappedPolicy(**policy_kwargs),
+        confidentiality=confidentiality_x86,
+        speculation=speculation or SpeculationConfig(depth=2),
+    )
+
+
+def inorder_lcm(speculation: SpeculationConfig | None = None) -> LeakageContainmentModel:
+    """A strict LCM whose confidentiality predicate is the naive
+    sc_per_loc lift — it forbids Spectre v4's frx + tfo_loc cycle (§4.2)."""
+    return LeakageContainmentModel(
+        name="inorder-LCM",
+        mcm=TSO,
+        policy_factory=DirectMappedPolicy,
+        confidentiality=confidentiality_strict,
+        speculation=speculation or SpeculationConfig.none(),
+    )

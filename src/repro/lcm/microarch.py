@@ -1,0 +1,393 @@
+"""The microarchitectural semantics of LCMs (§3.2.2).
+
+Extends architectural candidate executions with *xstate witnesses*: an
+assignment of xstate elements and access kinds to events, plus the
+``rfx``/``cox`` communication choices (``frx`` is derived).  Illegal
+instantiations of ``comx`` are ruled out by a *confidentiality predicate*,
+the microarchitectural analogue of a consistency predicate.
+
+Two reference predicates are provided:
+
+- :func:`confidentiality_strict` — the naive lift of ``sc_per_loc``:
+  ``acyclic(rfx + cox + frx + tfo)``.  This forbids the ``frx + tfo_loc``
+  cycle of Spectre v4 and so does **not** model Intel x86 (§4.2).
+- :func:`confidentiality_x86` — permits ``frx + tfo`` cycles (a load may
+  microarchitecturally read *before* a tfo-earlier store writes) while
+  still requiring ``rfx``/``cox`` to respect transient fetch order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator
+
+from repro.errors import ModelError
+from repro.events import (
+    CandidateExecution,
+    Event,
+    XWitness,
+)
+from repro.lcm.xstate import TOP_ELEMENT, XStatePolicy
+from repro.relations import Relation
+
+ConfidentialityPredicate = Callable[[CandidateExecution], bool]
+
+
+def confidentiality_strict(execution: CandidateExecution) -> bool:
+    """acyclic(rfx + cox + frx + tfo): in-order memory system, no bypass."""
+    return (
+        execution.rfx | execution.cox | execution.frx | execution.structure.tfo
+    ).is_acyclic()
+
+
+def confidentiality_x86(execution: CandidateExecution) -> bool:
+    """Permits frx + tfo cycles (store bypass / Spectre v4, §4.2)."""
+    return (
+        execution.rfx | execution.cox | execution.structure.tfo
+    ).is_acyclic()
+
+
+def _tfo_consistent_orders(writers: list[Event],
+                           tfo: Relation) -> Iterator[tuple[Event, ...]]:
+    """Total orders on xstate writers that do not contradict tfo.
+
+    Any order contradicting tfo would be rejected by both reference
+    confidentiality predicates, so this is a sound pruning of the cox
+    search space.
+    """
+    for order in itertools.permutations(writers):
+        position = {event: i for i, event in enumerate(order)}
+        ok = True
+        for a, b in tfo:
+            if a in position and b in position and position[a] > position[b]:
+                ok = False
+                break
+        if ok:
+            yield order
+
+
+def xwitness_candidates(
+    execution: CandidateExecution,
+    policy: XStatePolicy,
+    confidentiality: ConfidentialityPredicate = confidentiality_x86,
+    max_witnesses: int = 200_000,
+) -> Iterator[CandidateExecution]:
+    """Enumerate confidential microarchitectural completions (§3.2.2).
+
+    Yields copies of ``execution`` extended with every xstate witness the
+    confidentiality predicate allows.  Sources of ``rfx`` edges are
+    restricted to tfo-earlier events (or ⊤) up front — both reference
+    predicates would reject the rest.
+    """
+    structure = execution.structure
+    top = structure.top
+    tfo = structure.tfo
+
+    xstate_events = [e for e in structure.events if policy.kinds(e)]
+    per_event_choices = []
+    for event in xstate_events:
+        elems = policy.elements(event, structure)
+        kinds = policy.kinds(event)
+        if not elems:
+            elems = (None,)
+        per_event_choices.append([(elem, kind) for elem in elems for kind in kinds])
+
+    produced = 0
+    for combo in itertools.product(*per_event_choices):
+        xmap: dict[Event, object] = {}
+        kinds: dict[Event, object] = {}
+        for event, (elem, kind) in zip(xstate_events, combo):
+            xmap[event] = elem
+            kinds[event] = kind
+
+        writers_by_elem: dict[object, list[Event]] = {}
+        readers: list[Event] = []
+        for event in xstate_events:
+            kind = kinds[event]
+            elem = xmap[event]
+            if elem == TOP_ELEMENT:
+                continue
+            if kind.writes_xstate:
+                writers_by_elem.setdefault(elem, []).append(event)
+            if kind.reads_xstate:
+                readers.append(event)
+
+        rfx_choices: list[list[Event]] = []
+        for reader in readers:
+            elem = xmap[reader]
+            sources = [
+                w for w in writers_by_elem.get(elem, ())
+                if w != reader and (w, reader) in tfo
+            ]
+            if top is not None:
+                sources = [top, *sources]
+            rfx_choices.append(sources or [None])
+
+        cox_orders_per_elem = [
+            list(_tfo_consistent_orders(writers, tfo))
+            for writers in writers_by_elem.values()
+        ]
+
+        for rfx_combo in itertools.product(*rfx_choices):
+            rfx_pairs = [
+                (source, reader)
+                for source, reader in zip(rfx_combo, readers)
+                if source is not None
+            ]
+            for cox_combo in itertools.product(*cox_orders_per_elem):
+                cox_pairs: list[tuple[Event, Event]] = []
+                for order in cox_combo:
+                    cox_pairs.extend(Relation.from_total_order(order))
+                    if top is not None:
+                        cox_pairs.extend((top, w) for w in order)
+                xwitness = XWitness(
+                    xmap=dict(xmap),
+                    kinds=dict(kinds),
+                    rfx=Relation(rfx_pairs, "rfx"),
+                    cox=Relation(cox_pairs, "cox"),
+                )
+                candidate = execution.with_xwitness(xwitness)
+                produced += 1
+                if produced > max_witnesses:
+                    raise ModelError(
+                        "xstate witness enumeration exceeded "
+                        f"{max_witnesses} candidates; reduce the program size"
+                    )
+                if confidentiality(candidate):
+                    yield candidate
+
+
+def _baseline_assignment(
+    execution: CandidateExecution,
+    policy: XStatePolicy,
+) -> tuple[list[Event], dict[Event, object], dict[Event, object], dict[Event, Event]]:
+    """The attacker-primed realistic run: every access misses (so every
+    access is visible in xstate), every reader's rfx source matches its
+    architectural expectation, and each ⊥ observer reads the *last* xstate
+    writer of its element — the state a probing attacker actually sees.
+    """
+    structure = execution.structure
+    top = structure.top
+    order = {event: i for i, event in enumerate(structure.events)}
+
+    xstate_events = [e for e in structure.events if policy.kinds(e)]
+    xmap: dict[Event, object] = {}
+    kinds: dict[Event, object] = {}
+    for event in xstate_events:
+        elems = policy.elements(event, structure)
+        xmap[event] = elems[0] if elems else None
+        possible = policy.kinds(event)
+        # Prefer read-modify-write (miss) when available: conservative
+        # visibility; Bottom/Top keep their only kind.
+        from repro.events import AccessKind
+
+        kinds[event] = (
+            AccessKind.READ_MODIFY_WRITE
+            if AccessKind.READ_MODIFY_WRITE in possible
+            else possible[0]
+        )
+
+    rf_source = {r: w for w, r in execution.rf}
+    rfx_map: dict[Event, Event] = {}
+    for event in xstate_events:
+        if not kinds[event].reads_xstate:
+            continue
+        elem = xmap[event]
+        if elem is None:
+            continue
+        from repro.events import Bottom, Write
+
+        def last_writer(before: Event | None) -> Event | None:
+            writers = [
+                w for w in xstate_events
+                if w != event
+                and kinds[w].writes_xstate
+                and xmap[w] == elem
+                and (before is None or order[w] < order[before])
+            ]
+            return max(writers, key=lambda w: order[w]) if writers else None
+
+        if isinstance(event, Bottom):
+            # The observer reads the final state of the element.
+            source = last_writer(None) or top
+            if source is not None:
+                rfx_map[event] = source
+            continue
+        if isinstance(event, Write):
+            # A write's cache-line read hits on its coherence
+            # predecessor's fill (co-NI, §4.1).
+            source = last_writer(event) or top
+            if source is not None:
+                rfx_map[event] = source
+            continue
+        source = rf_source.get(event)
+        if (
+            source is not None
+            and source in kinds
+            and kinds[source].writes_xstate
+            and xmap.get(source) == elem
+            and (source, event) in structure.tfo
+        ):
+            rfx_map[event] = source
+        elif top is not None:
+            rfx_map[event] = top
+    return xstate_events, xmap, kinds, rfx_map
+
+
+def _materialize(
+    execution: CandidateExecution,
+    xstate_events: list[Event],
+    xmap: dict[Event, object],
+    kinds: dict[Event, object],
+    rfx_map: dict[Event, Event],
+) -> CandidateExecution:
+    structure = execution.structure
+    top = structure.top
+    order = {event: i for i, event in enumerate(structure.events)}
+    writers_by_elem: dict[object, list[Event]] = {}
+    for event in xstate_events:
+        elem = xmap.get(event)
+        if elem is None or elem == TOP_ELEMENT:
+            continue
+        if kinds[event].writes_xstate:
+            writers_by_elem.setdefault(elem, []).append(event)
+    cox_pairs: list[tuple[Event, Event]] = []
+    for writers in writers_by_elem.values():
+        ordered = sorted(writers, key=lambda w: order[w])
+        cox_pairs.extend(Relation.from_total_order(ordered))
+        if top is not None:
+            cox_pairs.extend((top, w) for w in ordered)
+    xwitness = XWitness(
+        xmap=dict(xmap),
+        kinds=dict(kinds),
+        rfx=Relation(((w, r) for r, w in rfx_map.items()), "rfx"),
+        cox=Relation(cox_pairs, "cox"),
+    )
+    return execution.with_xwitness(xwitness)
+
+
+def directed_xwitnesses(
+    execution: CandidateExecution,
+    policy: XStatePolicy,
+    confidentiality: ConfidentialityPredicate = confidentiality_x86,
+) -> Iterator[CandidateExecution]:
+    """A directed (non-exhaustive) slice of the microarchitectural
+    semantics sufficient to expose the paper's leakage scenarios:
+
+    1. the attacker-primed baseline (observer reads last xstate writers);
+    2. single *stale-source* deviations: one reader's rfx redirected to
+       each legal alternative writer (store bypass / eviction effects);
+    3. *silent-store* runs: one store demoted to an xstate read when its
+       data provably matches its coherence predecessor's (Fig. 5a);
+    4. *alias-misprediction* runs: one transient load accessing the
+       element of a tfo-earlier store (Spectre-PSF, Fig. 4b).
+
+    Every yielded execution satisfies the confidentiality predicate; the
+    exhaustive :func:`xwitness_candidates` remains available for
+    litmus-scale exploration (and is what subrosa uses).
+    """
+    from repro.events import AccessKind, Bottom, Read, Write
+
+    structure = execution.structure
+    top = structure.top
+    base = _baseline_assignment(execution, policy)
+    xstate_events, xmap, kinds, rfx_map = base
+
+    def emit(xm, kd, rm) -> Iterator[CandidateExecution]:
+        candidate = _materialize(execution, xstate_events, xm, kd, rm)
+        if confidentiality(candidate):
+            yield candidate
+
+    yield from emit(xmap, kinds, rfx_map)
+
+    # Single stale-source deviations.
+    for reader in xstate_events:
+        if not kinds[reader].reads_xstate or isinstance(reader, Bottom):
+            continue
+        elem = xmap[reader]
+        alternatives = [
+            w for w in xstate_events
+            if w != reader
+            and kinds[w].writes_xstate
+            and xmap[w] == elem
+            and (w, reader) in structure.tfo
+            and rfx_map.get(reader) != w
+        ]
+        if top is not None and rfx_map.get(reader) != top:
+            alternatives.append(top)
+        for alt in alternatives:
+            deviated = dict(rfx_map)
+            deviated[reader] = alt
+            yield from emit(xmap, kinds, deviated)
+
+    # Silent stores.
+    for write in xstate_events:
+        if not isinstance(write, Write):
+            continue
+        if AccessKind.READ not in policy.kinds(write):
+            continue
+        predecessors = [
+            w for w in execution.co.predecessors(write)
+            if isinstance(w, Write) and w in kinds
+        ]
+        order = {event: i for i, event in enumerate(structure.events)}
+        predecessors.sort(key=lambda w: order.get(w, -1))
+        if not predecessors:
+            continue
+        previous = predecessors[-1]
+        if write.data is None or previous.data != write.data:
+            continue
+        silent_kinds = dict(kinds)
+        silent_kinds[write] = AccessKind.READ
+        silent_rfx = dict(rfx_map)
+        silent_rfx[write] = previous
+        # Observers of this element now read the predecessor.
+        for event in xstate_events:
+            if isinstance(event, Bottom) and silent_rfx.get(event) == write:
+                silent_rfx[event] = previous
+        yield from emit(xmap, silent_kinds, silent_rfx)
+
+    # Alias misprediction (PSF): a transient read accesses a tfo-earlier
+    # store's element instead of its own.
+    for reader in xstate_events:
+        if not (isinstance(reader, Read) and reader.transient):
+            continue
+        candidates = policy.elements(reader, structure)
+        own = xmap[reader]
+        for elem in candidates:
+            if elem == own:
+                continue
+            stores = [
+                w for w in xstate_events
+                if isinstance(w, Write)
+                and xmap[w] == elem
+                and kinds[w].writes_xstate
+                and (w, reader) in structure.tfo
+            ]
+            if not stores:
+                continue
+            order = {event: i for i, event in enumerate(structure.events)}
+            source = max(stores, key=lambda w: order[w])
+            mis_xmap = dict(xmap)
+            mis_xmap[reader] = elem
+            mis_kinds = dict(kinds)
+            mis_kinds[reader] = AccessKind.READ
+            mis_rfx = dict(rfx_map)
+            mis_rfx[reader] = source
+            yield from emit(mis_xmap, mis_kinds, mis_rfx)
+
+
+def microarchitectural_semantics(
+    executions: list[CandidateExecution],
+    policy_factory: Callable[[], XStatePolicy],
+    confidentiality: ConfidentialityPredicate = confidentiality_x86,
+) -> list[CandidateExecution]:
+    """The full microarchitectural semantics of a program: every
+    confidential xstate completion of every consistent execution."""
+    complete = []
+    for execution in executions:
+        policy = policy_factory()
+        complete.extend(
+            xwitness_candidates(execution, policy, confidentiality)
+        )
+    return complete

@@ -1,0 +1,190 @@
+"""Non-interference predicates and microarchitectural leak detection (§4.1).
+
+The paper defines three non-interference predicates mapping the building
+blocks of the architectural semantics (rf, co, fr) to those of the
+microarchitectural semantics (rfx, cox, frx):
+
+- **rf-NI**: ``w -rf-> r`` implies ``w -rfx-> r``: a read architecturally
+  sourced by a write also microarchitecturally reads the cache line / LSQ
+  entry the write populated.
+- **co-NI**: ``w0 -co-> w1`` implies ``w0 -cox-> w1``; when ``w0``
+  immediately precedes ``w1``, additionally ``w0 -rfx-> w1`` (``w1``'s
+  cache-line read hits on ``w0``'s fill).
+- **fr-NI**: ``r -fr-> w`` implies ``r -frx-> w``; when ``r`` writes
+  xstate (a miss) and ``w`` immediately follows ``r``'s source in co,
+  additionally ``r -rfx-> w``.
+
+A *microarchitectural leak* is a consistent candidate execution violating
+one of these predicates.  The endpoints of the culprit com edges are
+*receivers*; the instructions that source receivers via rfx are
+*transmitters* (§3.2.3-§3.2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.events import (
+    CandidateExecution,
+    Event,
+    Top,
+    Write,
+)
+from repro.lcm.xstate import TOP_ELEMENT
+
+
+class LeakKind(enum.Enum):
+    RF = "rf"
+    CO = "co"
+    FR = "fr"
+
+
+@dataclass(frozen=True)
+class Leak:
+    """One violated non-interference expectation.
+
+    ``edge`` is the culprit com edge (rendered dashed in the paper's
+    figures); ``expected`` describes the missing comx edge; ``receiver``
+    is the endpoint that observes the deviation.
+    """
+
+    kind: LeakKind
+    edge: tuple[Event, Event]
+    expected: str
+    receiver: Event
+
+    def __str__(self) -> str:
+        a, b = self.edge
+        return (
+            f"{self.kind.value}-NI violation: {a.label} -{self.kind.value}-> "
+            f"{b.label} lacks {self.expected}; receiver {self.receiver.label}"
+        )
+
+
+@dataclass(frozen=True)
+class TransmitterEvent:
+    """An instruction that conveys information to a receiver via rfx.
+
+    ``field`` records which component of the accessed xstate is
+    transmitted: the ``address`` field for cache hit/miss channels, the
+    ``data`` field for silent-store channels (§4.2).
+    """
+
+    event: Event
+    receiver: Event
+    field: str = "address"
+
+    def __str__(self) -> str:
+        return f"transmitter {self.event.label} -> receiver {self.receiver.label} ({self.field})"
+
+
+def _same_element(xw, a: Event, b: Event) -> bool:
+    elem_a = xw.element_of(a)
+    elem_b = xw.element_of(b)
+    if elem_a is None or elem_b is None:
+        return False
+    return elem_a == elem_b or TOP_ELEMENT in (elem_a, elem_b)
+
+
+def detect_leaks(execution: CandidateExecution) -> list[Leak]:
+    """All rf/co/fr non-interference violations in one execution (§4.1)."""
+    xw = execution.xwitness
+    if xw is None:
+        raise ValueError("execution lacks a microarchitectural witness")
+    leaks: list[Leak] = []
+    rfx = execution.rfx
+    cox = execution.cox
+    frx = execution.frx
+
+    # --- rf-NI ---------------------------------------------------------
+    for w, r in execution.rf:
+        if not xw.reads_xstate(r):
+            continue
+        if not (isinstance(w, Top) or xw.writes_xstate(w)):
+            continue
+        if (w, r) not in rfx:
+            leaks.append(Leak(LeakKind.RF, (w, r), f"rfx {w.label}->{r.label}", r))
+
+    # --- co-NI ---------------------------------------------------------
+    co_immediate = execution.co.immediate()
+    for w0, w1 in execution.co:
+        if not xw.writes_xstate(w0) and not isinstance(w0, Top):
+            # w0 itself deviated (e.g. a silent store); rendered through
+            # its own co edge with its predecessor.
+            continue
+        if isinstance(w1, Top):
+            continue
+        if xw.element_of(w1) is None:
+            continue
+        immediate = (w0, w1) in co_immediate
+        if not xw.writes_xstate(w1):
+            # Silent store: w1 did not write xstate, so no cox edge exists.
+            leaks.append(Leak(LeakKind.CO, (w0, w1), f"cox {w0.label}->{w1.label}", w1))
+            continue
+        if not isinstance(w0, Top) and (w0, w1) not in cox:
+            leaks.append(Leak(LeakKind.CO, (w0, w1), f"cox {w0.label}->{w1.label}", w1))
+        if immediate and xw.reads_xstate(w1) and (w0, w1) not in rfx:
+            leaks.append(Leak(LeakKind.CO, (w0, w1), f"rfx {w0.label}->{w1.label}", w1))
+
+    # --- fr-NI ---------------------------------------------------------
+    rf_source: dict[Event, Event] = {r: w for w, r in execution.rf}
+    for r, w in execution.fr:
+        if xw.element_of(r) is None or xw.element_of(w) is None:
+            continue
+        if not _same_element(xw, r, w):
+            continue
+        if (r, w) not in frx:
+            leaks.append(Leak(LeakKind.FR, (r, w), f"frx {r.label}->{w.label}", w))
+            continue
+        source = rf_source.get(r)
+        if source is None:
+            continue
+        follows_immediately = (
+            (source, w) in execution.co.immediate()
+            if not isinstance(source, Top)
+            else not any(
+                (other, w) in execution.co and not isinstance(other, Top)
+                for other in execution.co.predecessors(w)
+            )
+        )
+        if follows_immediately and xw.writes_xstate(r) and (r, w) not in rfx:
+            leaks.append(Leak(LeakKind.FR, (r, w), f"rfx {r.label}->{w.label}", w))
+
+    return leaks
+
+
+def receivers(leaks: list[Leak]) -> set[Event]:
+    return {leak.receiver for leak in leaks}
+
+
+def transmitters(execution: CandidateExecution,
+                 leaks: list[Leak]) -> list[TransmitterEvent]:
+    """Instructions sourcing a receiver via rfx (§3.2.4), plus silent-store
+    data-field transmitters flagged by co-NI violations (§4.2)."""
+    found: dict[tuple[int, int, str], TransmitterEvent] = {}
+    sinks = receivers(leaks)
+    for source, sink in execution.rfx:
+        if sink in sinks and not isinstance(source, Top):
+            key = (source.eid, sink.eid, "address")
+            found[key] = TransmitterEvent(source, sink, "address")
+    xw = execution.xwitness
+    for leak in leaks:
+        if leak.kind is LeakKind.CO:
+            culprit = leak.edge[1]
+            # Only a *silent* store (one that did not write its xstate,
+            # §4.2) transmits the data field; an ordinary cox/rfx
+            # deviation is an eviction effect, not a data channel.
+            if (
+                isinstance(culprit, Write)
+                and not isinstance(culprit, Top)
+                and xw is not None
+                and not xw.writes_xstate(culprit)
+            ):
+                key = (culprit.eid, leak.receiver.eid, "data")
+                found.setdefault(key, TransmitterEvent(culprit, leak.receiver, "data"))
+    return sorted(found.values(), key=lambda t: (t.event.eid, t.receiver.eid, t.field))
+
+
+def is_leaky(execution: CandidateExecution) -> bool:
+    return bool(detect_leaks(execution))

@@ -1,0 +1,148 @@
+"""Indirect-memory-prefetcher (IMP) modeling (§4.2, Fig. 5b).
+
+Fig. 5b's prefetch events are non-architectural: the IMP hardware watches
+for ``X[Y[Z[i]]]`` access patterns and issues prefetches for future
+iterations' addresses.  The paper notes that "an enhanced version of LCMs
+could extend user-level programs with prefetch operations based on the
+presence of *prefetch primitives* — instruction sequences which can
+initiate hardware prefetches."  This module is that enhancement:
+
+- :func:`find_prefetch_primitives` detects indirect chains
+  (``index -addr-> mid -addr-> target``) among committed reads;
+- :func:`extend_with_prefetches` adds, per detected chain, a set of
+  prefetch events (``R_P``) replaying the chain for the *next* iteration
+  — fetched (tfo) but never committed (po), exactly like Fig. 5b's
+  1P/2P/3P nodes.
+
+The extended structure then flows through the ordinary LCM pipeline: the
+prefetcher's final access is detected as a universal data transmitter,
+reproducing §4.2's "IMPs can construct a universal read gadget" finding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.events import Event, EventStructure, Read
+from repro.relations import Relation
+
+
+@dataclass(frozen=True)
+class PrefetchPrimitive:
+    """One detected indirect chain: index -> mid -> target reads."""
+
+    index: Read
+    mid: Read
+    target: Read
+
+    def __str__(self) -> str:
+        return (f"prefetch primitive: {self.index.label} -> "
+                f"{self.mid.label} -> {self.target.label}")
+
+
+def find_prefetch_primitives(structure: EventStructure) -> list[PrefetchPrimitive]:
+    """Indirect double-dereference chains among committed reads — the
+    pattern an IMP trains on (``for (i..N) X[Y[Z[i]]]``)."""
+    primitives = []
+    addr = structure.addr
+    for index in structure.reads:
+        if not index.committed:
+            continue
+        for mid in addr.successors(index):
+            if not isinstance(mid, Read) or not mid.committed:
+                continue
+            for target in addr.successors(mid):
+                if not isinstance(target, Read) or not target.committed:
+                    continue
+                primitives.append(PrefetchPrimitive(index, mid, target))
+    return primitives
+
+
+def extend_with_prefetches(structure: EventStructure) -> EventStructure:
+    """Return a structure augmented with IMP prefetch events.
+
+    For each primitive, three prefetch reads (of the index/mid/target
+    locations, at the *next* stride) are appended to the transient fetch
+    order after the target read.  They participate in tfo and addr (the
+    prefetcher chases the same pointers) but not po/com — they are
+    hardware-generated, not architectural (Fig. 5b).
+    """
+    primitives = find_prefetch_primitives(structure)
+    if not primitives:
+        return structure
+
+    next_eid = itertools.count(
+        max(e.eid for e in structure.events if e.eid < 1_000_000) + 1
+    )
+    new_events: list[Event] = []
+    addr_pairs = list(structure.addr)
+    tfo_pairs = list(structure.tfo)
+
+    for primitive in primitives:
+        chain = []
+        for role, source in (("Z", primitive.index), ("Y", primitive.mid),
+                             ("X", primitive.target)):
+            loc = replace(source.loc,
+                          offset=f"{source.loc.offset}+Δ"
+                          if source.loc.offset else "Δ")
+            prefetch = Read(
+                eid=next(next_eid),
+                tid=source.tid,
+                label=f"{source.label}P",
+                prefetch=True,
+                loc=loc,
+            )
+            chain.append(prefetch)
+        new_events.extend(chain)
+        addr_pairs.extend(zip(chain, chain[1:]))
+        # Fetch order: issued after the architectural target, in chain
+        # order, before the observers.
+        anchor = primitive.target
+        tfo_pairs.append((anchor, chain[0]))
+        tfo_pairs.extend(zip(chain, chain[1:]))
+        for bottom in structure.bottoms:
+            tfo_pairs.extend((p, bottom) for p in chain)
+
+    # The observer also probes the prefetched lines (new ⊥ events).
+    from repro.events.event import BOTTOM_EID_BASE, Bottom
+
+    next_bottom_index = itertools.count(len(structure.bottoms))
+    new_bottoms: list[Bottom] = []
+    po_pairs = list(structure.po)
+    for prefetch in new_events:
+        index = next(next_bottom_index)
+        bottom = Bottom(
+            eid=BOTTOM_EID_BASE + index,
+            label=f"⊥{index}",
+            loc=prefetch.loc,
+        )
+        new_bottoms.append(bottom)
+    committed = [e for e in structure.events
+                 if e.committed and not isinstance(e, Bottom)]
+    for bottom in new_bottoms:
+        po_pairs.extend((e, bottom) for e in committed)
+        po_pairs.extend((old, bottom) for old in structure.bottoms)
+        tfo_pairs.extend(
+            (e, bottom) for e in [*committed, *new_events, *structure.bottoms]
+        )
+
+    bottoms = (*structure.bottoms, *new_bottoms)
+    events = tuple(
+        [e for e in structure.events if not isinstance(e, Bottom)]
+        + new_events
+        + list(bottoms)
+    )
+    extended = EventStructure(
+        events=events,
+        po=Relation(po_pairs, "po").transitive_closure(),
+        tfo=Relation(tfo_pairs, "tfo").transitive_closure(),
+        addr=Relation(addr_pairs, "addr"),
+        data=structure.data,
+        ctrl=structure.ctrl,
+        top=structure.top,
+        bottoms=bottoms,
+        name=f"{structure.name}+imp",
+    )
+    extended.validate()
+    return extended

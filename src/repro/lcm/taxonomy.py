@@ -1,0 +1,151 @@
+"""The transmitter taxonomy of Table 1 (§3.2.4).
+
+Transmitters convey information to receivers via ``rfx``.  They are
+classified by the dependency chains feeding them:
+
+===================  =====================================================
+address (AT)         ``transmit -rfx-> receiver``
+control (CT)         ``access -ctrl-> transmit -rfx-> receiver``
+data (DT)            ``access -addr-> transmit -rfx-> receiver``
+universal ctrl (UCT) ``index -addr-> access -ctrl-> transmit -rfx-> recv``
+universal data (UDT) ``index -addr-> access -addr-> transmit -rfx-> recv``
+===================  =====================================================
+
+Severity partial order: ``AT < CT < {DT, UCT} < UDT``.
+
+An ``addr`` step in these patterns may in reality be realized as zero or
+more ``data.rf`` hops followed by one ``addr`` edge — the loaded value can
+be stored and re-loaded before its use as an address (§5.3); the
+``extended_addr`` relation accounts for this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.events import CandidateExecution, Event, Read
+from repro.lcm.noninterference import TransmitterEvent
+from repro.relations import Relation
+
+
+class TransmitterClass(enum.Enum):
+    ADDRESS = "AT"
+    CONTROL = "CT"
+    DATA = "DT"
+    UNIVERSAL_CONTROL = "UCT"
+    UNIVERSAL_DATA = "UDT"
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+    def __lt__(self, other: "TransmitterClass") -> bool:
+        return self.severity < other.severity
+
+
+_SEVERITY = {
+    TransmitterClass.ADDRESS: 0,
+    TransmitterClass.CONTROL: 1,
+    TransmitterClass.DATA: 2,
+    TransmitterClass.UNIVERSAL_CONTROL: 2,
+    TransmitterClass.UNIVERSAL_DATA: 3,
+}
+
+
+@dataclass(frozen=True)
+class TransmitterReport:
+    """One classified transmitter, with its supporting chain."""
+
+    event: Event
+    klass: TransmitterClass
+    receiver: Event
+    access: Event | None = None
+    index: Event | None = None
+    field: str = "address"
+
+    @property
+    def transient(self) -> bool:
+        return self.event.transient or self.event.prefetch
+
+    @property
+    def access_transient(self) -> bool:
+        return self.access is not None and (self.access.transient or self.access.prefetch)
+
+    def __str__(self) -> str:
+        chain = []
+        if self.index is not None:
+            chain.append(f"index {self.index.label}")
+        if self.access is not None:
+            chain.append(f"access {self.access.label}")
+        chain.append(f"transmit {self.event.label}{'(transient)' if self.transient else ''}")
+        return f"{self.klass.value}: {' -> '.join(chain)} -> receiver {self.receiver.label}"
+
+
+def extended_addr(execution: CandidateExecution, max_hops: int = 4) -> Relation:
+    """``(data.rf)*.addr`` — address dependencies through memory (§5.3)."""
+    structure = execution.structure
+    step = structure.data @ execution.rf
+    result = structure.addr
+    hop = structure.addr
+    for _ in range(max_hops):
+        hop = step @ hop
+        if not hop or hop.is_subset_of(result):
+            break
+        result = result | hop
+    return result
+
+
+def classify_transmitters(
+    execution: CandidateExecution,
+    transmitter_events: list[TransmitterEvent],
+) -> list[TransmitterReport]:
+    """Classify each detected transmitter at its *most severe* class.
+
+    Returns one report per (transmitter, receiver) pair; the report's
+    ``klass`` is maximal in the Table 1 severity order among all patterns
+    the transmitter participates in.
+    """
+    addr_ext = extended_addr(execution)
+    ctrl = execution.structure.ctrl
+    reports = []
+    for transmitter in transmitter_events:
+        event = transmitter.event
+        best = TransmitterReport(
+            event=event,
+            klass=TransmitterClass.ADDRESS,
+            receiver=transmitter.receiver,
+            field=transmitter.field,
+        )
+        accesses_addr = [a for a in addr_ext.predecessors(event) if isinstance(a, Read)]
+        accesses_ctrl = [a for a in ctrl.predecessors(event) if isinstance(a, Read)]
+        for access in accesses_ctrl:
+            indexes = [i for i in addr_ext.predecessors(access) if isinstance(i, Read)]
+            klass = (TransmitterClass.UNIVERSAL_CONTROL if indexes
+                     else TransmitterClass.CONTROL)
+            candidate = TransmitterReport(
+                event=event, klass=klass, receiver=transmitter.receiver,
+                access=access, index=indexes[0] if indexes else None,
+                field=transmitter.field,
+            )
+            if candidate.klass.severity > best.klass.severity:
+                best = candidate
+        for access in accesses_addr:
+            indexes = [i for i in addr_ext.predecessors(access) if isinstance(i, Read)]
+            klass = (TransmitterClass.UNIVERSAL_DATA if indexes
+                     else TransmitterClass.DATA)
+            candidate = TransmitterReport(
+                event=event, klass=klass, receiver=transmitter.receiver,
+                access=access, index=indexes[0] if indexes else None,
+                field=transmitter.field,
+            )
+            if candidate.klass.severity > best.klass.severity:
+                best = candidate
+        reports.append(best)
+    return reports
+
+
+def most_severe(reports: list[TransmitterReport]) -> TransmitterReport | None:
+    if not reports:
+        return None
+    return max(reports, key=lambda r: r.klass.severity)

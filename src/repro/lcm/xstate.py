@@ -1,0 +1,131 @@
+"""Extra-architectural state (xstate) modeling (§3.2.1).
+
+An xstate element abstracts the core-private cache line *and* LSQ entry
+accessed on behalf of an architectural memory instruction; instructions
+that access a common element can communicate microarchitecturally.
+
+An :class:`XStatePolicy` answers two questions per event:
+
+- *which* element(s) the event may access (``elements``), and
+- *how* it may access them (``kinds``): read (cache hit), read-modify-write
+  (miss / write-allocate store), or write (no-write-allocate store).
+
+Policies model the paper's hardware variants:
+
+- :class:`DirectMappedPolicy` — the default: one element per architectural
+  address (an infinitely-sized direct-mapped cache, §5.2), write-allocate.
+- ``silent_stores=True`` — stores may behave as reads when their data
+  matches memory (Fig. 5a).
+- ``write_allocate=False`` — stores write xstate without reading it.
+- ``alias_prediction=True`` — transient loads may mis-predict their
+  element, accessing that of a tfo-earlier store (Spectre-PSF, Fig. 4b).
+- ``num_sets`` — finite direct-mapped cache: distinct addresses may
+  collide on one element (the ablation of §5.2's infinite-cache choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events import (
+    AccessKind,
+    Bottom,
+    Event,
+    EventStructure,
+    Location,
+    MemoryEvent,
+    Read,
+    Top,
+    Write,
+)
+
+TOP_ELEMENT = "*"  # ⊤ initializes every element.
+
+
+@dataclass(frozen=True)
+class XStateElement:
+    """One abstract hardware state element (cache line + LSQ entry)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+    def __repr__(self) -> str:
+        return f"s{self.index}"
+
+
+class XStatePolicy:
+    """Base policy; subclasses define the element map and access kinds."""
+
+    def elements(self, event: Event, structure: EventStructure) -> tuple[object, ...]:
+        raise NotImplementedError
+
+    def kinds(self, event: Event) -> tuple[AccessKind, ...]:
+        raise NotImplementedError
+
+    def element_names(self) -> dict[object, str]:
+        """Stable display names (s0, s1, ...) for rendered executions."""
+        return {}
+
+
+@dataclass
+class DirectMappedPolicy(XStatePolicy):
+    """The paper's default xstate model plus its hardware variants."""
+
+    write_allocate: bool = True
+    silent_stores: bool = False
+    alias_prediction: bool = False
+    num_sets: int | None = None  # None: infinite cache (1:1 address map)
+
+    _element_of: dict[Location, XStateElement] = field(default_factory=dict)
+
+    def element_for(self, loc: Location) -> XStateElement:
+        if loc not in self._element_of:
+            if self.num_sets is None:
+                self._element_of[loc] = XStateElement(len(self._element_of))
+            else:
+                self._element_of[loc] = XStateElement(
+                    hash((loc.base, loc.offset)) % self.num_sets
+                )
+        return self._element_of[loc]
+
+    def elements(self, event: Event, structure: EventStructure) -> tuple[object, ...]:
+        if isinstance(event, Top):
+            return (TOP_ELEMENT,)
+        if not isinstance(event, MemoryEvent):
+            return ()
+        own = self.element_for(event.loc)
+        if (
+            self.alias_prediction
+            and isinstance(event, Read)
+            and event.transient
+        ):
+            # Alias misprediction: the load may access the element of any
+            # tfo-earlier store instead of its own (§3.3, Fig. 4b).
+            earlier_stores = [
+                e for e in structure.tfo.predecessors(event)
+                if isinstance(e, Write)
+            ]
+            candidates = {own}
+            candidates.update(self.element_for(w.loc) for w in earlier_stores)
+            return tuple(sorted(candidates, key=lambda e: e.index))
+        return (own,)
+
+    def kinds(self, event: Event) -> tuple[AccessKind, ...]:
+        if isinstance(event, Top):
+            return (AccessKind.WRITE,)
+        if isinstance(event, Bottom):
+            return (AccessKind.READ,)
+        if isinstance(event, Read):
+            # Cache hit (read xstate) or miss (read-modify-write xstate).
+            return (AccessKind.READ, AccessKind.READ_MODIFY_WRITE)
+        if isinstance(event, Write):
+            if self.silent_stores:
+                # The store may be "silent" (behave as a read) when its
+                # data matches memory (Fig. 5a).
+                return (AccessKind.READ, AccessKind.READ_MODIFY_WRITE)
+            if not self.write_allocate:
+                return (AccessKind.WRITE,)
+            return (AccessKind.READ_MODIFY_WRITE,)
+        return ()

@@ -1,0 +1,38 @@
+"""Litmus assembly language: parsing and elaboration to event structures."""
+
+from repro.litmus.ast import (
+    Address,
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Program,
+    Store,
+    Thread,
+)
+from repro.litmus.elaborate import SpeculationConfig, elaborate
+from repro.litmus.parser import parse_program
+
+__all__ = [
+    "Address",
+    "Alu",
+    "CondBranch",
+    "FenceInstr",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Mov",
+    "Nop",
+    "Operand",
+    "Program",
+    "SpeculationConfig",
+    "Store",
+    "Thread",
+    "elaborate",
+    "parse_program",
+]

@@ -1,0 +1,162 @@
+"""AST for the litmus assembly pseudo-code of Fig. 1b.
+
+The language is a small RISC-like assembly with symbolic memory
+locations, sufficient to express every litmus-style program in the paper:
+
+- ``rD = load BASE`` / ``rD = load BASE[rI]`` — architectural reads;
+- ``store BASE, rS`` / ``store BASE[rI], rS`` / ``store BASE, #imm`` —
+  architectural writes;
+- ``rD = op rA, rB`` with ``op`` in {add, sub, and, or, xor, mul, lt, eq};
+- ``rD = mov rA`` / ``rD = mov #imm``;
+- ``beqz rC, LABEL`` / ``bnez rC, LABEL`` / ``jmp LABEL``;
+- ``fence`` / ``lfence`` / ``nop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Either a register (``kind='reg'``) or an immediate (``kind='imm'``)."""
+
+    kind: str
+    value: str | int
+
+    @classmethod
+    def reg(cls, name: str) -> "Operand":
+        return cls("reg", name)
+
+    @classmethod
+    def imm(cls, value: int) -> "Operand":
+        return cls("imm", value)
+
+    @property
+    def is_reg(self) -> bool:
+        return self.kind == "reg"
+
+    def __str__(self) -> str:
+        return str(self.value) if self.is_reg else f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Address:
+    """A symbolic address ``base[index]``; ``index`` may be None."""
+
+    base: str
+    index: Operand | None = None
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.base
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    label: str | None = None
+
+    def mnemonic(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    dest: str = ""
+    address: Address = Address("?")
+
+    def mnemonic(self) -> str:
+        return f"{self.dest} = load {self.address}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    address: Address = Address("?")
+    src: Operand = Operand.imm(0)
+
+    def mnemonic(self) -> str:
+        return f"store {self.address}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    dest: str = ""
+    op: str = "add"
+    lhs: Operand = Operand.imm(0)
+    rhs: Operand = Operand.imm(0)
+
+    def mnemonic(self) -> str:
+        return f"{self.dest} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    dest: str = ""
+    src: Operand = Operand.imm(0)
+
+    def mnemonic(self) -> str:
+        return f"{self.dest} = mov {self.src}"
+
+
+@dataclass(frozen=True)
+class CondBranch(Instruction):
+    cond: str = ""
+    target: str = ""
+    negated: bool = False  # False: beqz (branch if zero); True: bnez
+
+    def mnemonic(self) -> str:
+        op = "bnez" if self.negated else "beqz"
+        return f"{op} {self.cond}, {self.target}"
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    target: str = ""
+
+    def mnemonic(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class FenceInstr(Instruction):
+    kind: str = "mfence"
+
+    def mnemonic(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    def mnemonic(self) -> str:
+        return "nop"
+
+
+@dataclass(frozen=True)
+class Thread:
+    tid: int
+    instructions: tuple[Instruction, ...]
+
+    def label_index(self) -> dict[str, int]:
+        return {
+            ins.label: i
+            for i, ins in enumerate(self.instructions)
+            if ins.label is not None
+        }
+
+
+@dataclass(frozen=True)
+class Program:
+    """A multi-threaded litmus program."""
+
+    threads: tuple[Thread, ...]
+    name: str = ""
+
+    def __str__(self) -> str:
+        lines = [f"program {self.name}" if self.name else "program"]
+        for thread in self.threads:
+            lines.append(f"thread {thread.tid}:")
+            for ins in thread.instructions:
+                prefix = f"{ins.label}: " if ins.label else "  "
+                lines.append(f"  {prefix}{ins.mnemonic()}")
+        return "\n".join(lines)

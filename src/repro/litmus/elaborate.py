@@ -1,0 +1,437 @@
+"""Elaborating litmus programs into event structures (§2.1.1, §3.3).
+
+Architectural elaboration resolves every conditional branch both ways,
+yielding one event structure per control-flow path.  Speculative
+elaboration (§3.3) additionally splices *transient windows* into the
+transient fetch order ``tfo``:
+
+- **control-flow speculation**: at each committed branch, a window of up
+  to ``depth`` instructions from the *other* branch direction executes
+  transiently before being rolled back (Fig. 2b);
+- **store bypass** (Spectre v4's primitive): a load with a po-earlier,
+  possibly-aliasing store may execute transiently early, together with a
+  window of its dependents, before re-executing architecturally (Fig. 4a).
+
+Syntactic dependencies (``addr``/``data``/``ctrl``) are tracked by
+symbolic execution over registers: each register carries an expression
+string (used to canonicalize addresses) and the set of Read events whose
+return values flow into it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.errors import ModelError
+from repro.events import (
+    Branch,
+    Event,
+    EventStructure,
+    Fence,
+    Location,
+    Read,
+    Write,
+    make_bottom,
+    make_top,
+)
+from repro.litmus.ast import (
+    Address,
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Operand,
+    Program,
+    Store,
+    Thread,
+)
+from repro.relations import Relation
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Which speculation primitives elaboration models, and how deep."""
+
+    depth: int = 2
+    branch_speculation: bool = True
+    store_bypass: bool = False
+
+    @classmethod
+    def none(cls) -> "SpeculationConfig":
+        return cls(depth=0, branch_speculation=False, store_bypass=False)
+
+
+@dataclass(frozen=True)
+class _SymValue:
+    """A symbolic register value: a canonical expression plus the Read
+    events it (syntactically) depends on."""
+
+    expr: str
+    deps: frozenset[Read] = frozenset()
+
+    @classmethod
+    def imm(cls, value: int) -> "_SymValue":
+        return cls(str(value))
+
+
+_OP_SYMBOL = {
+    "add": "+", "sub": "-", "and": "&", "or": "|", "xor": "^",
+    "mul": "*", "lt": "<", "eq": "==", "shl": "<<", "shr": ">>",
+}
+
+
+class _ThreadElaborator:
+    """Builds the events of one thread along one committed path."""
+
+    def __init__(self, thread: Thread, eid_counter: itertools.count,
+                 config: SpeculationConfig):
+        self.thread = thread
+        self.labels = thread.label_index()
+        self.eids = eid_counter
+        self.config = config
+        self.regs: dict[str, _SymValue] = {}
+        self.ctrl_deps: frozenset[Read] = frozenset()
+        self.events: list[Event] = []       # fetch order (committed + transient)
+        self.committed: list[Event] = []
+        self.addr_pairs: list[tuple[Read, Event]] = []
+        self.data_pairs: list[tuple[Read, Write]] = []
+        self.ctrl_pairs: list[tuple[Read, Event]] = []
+        self.branch_constraints: list[tuple[Event, Event, bool]] = []
+        self.speculation_active = True       # cleared by fences within windows
+
+    # -- symbolic evaluation -------------------------------------------
+
+    def _eval(self, regs: dict[str, _SymValue], operand: Operand) -> _SymValue:
+        if operand.is_reg:
+            return regs.get(str(operand.value), _SymValue(str(operand.value)))
+        return _SymValue.imm(int(operand.value))
+
+    def _location(self, regs: dict[str, _SymValue], address: Address) -> tuple[Location, frozenset[Read]]:
+        if address.index is None:
+            return Location(address.base, 0), frozenset()
+        value = self._eval(regs, address.index)
+        offset: int | str
+        try:
+            offset = int(value.expr)
+        except ValueError:
+            offset = value.expr
+        return Location(address.base, offset), value.deps
+
+    # -- event emission -------------------------------------------------
+
+    def _emit_load(self, ins: Load, regs: dict[str, _SymValue],
+                   ctrl: frozenset[Read], index: int, transient: bool) -> Read:
+        loc, addr_deps = self._location(regs, ins.address)
+        label = f"{index}{'S' if transient else ''}"
+        event = Read(eid=next(self.eids), tid=self.thread.tid, label=label,
+                     transient=transient, loc=loc)
+        self._record(event, addr_deps, ctrl, transient)
+        regs[ins.dest] = _SymValue(f"M[{loc}]", frozenset([event]))
+        return event
+
+    def _emit_store(self, ins: Store, regs: dict[str, _SymValue],
+                    ctrl: frozenset[Read], index: int, transient: bool) -> Write:
+        loc, addr_deps = self._location(regs, ins.address)
+        value = self._eval(regs, ins.src)
+        label = f"{index}{'S' if transient else ''}"
+        event = Write(eid=next(self.eids), tid=self.thread.tid, label=label,
+                      transient=transient, loc=loc, data=value.expr)
+        self._record(event, addr_deps, ctrl, transient)
+        self.data_pairs.extend((dep, event) for dep in value.deps)
+        return event
+
+    def _record(self, event: Event, addr_deps: frozenset[Read],
+                ctrl: frozenset[Read], transient: bool) -> None:
+        self.events.append(event)
+        if not transient:
+            self.committed.append(event)
+        self.addr_pairs.extend((dep, event) for dep in addr_deps)
+        self.ctrl_pairs.extend((dep, event) for dep in ctrl)
+
+    def _exec_alu(self, ins: Alu | Mov, regs: dict[str, _SymValue]) -> None:
+        if isinstance(ins, Mov):
+            regs[ins.dest] = self._eval(regs, ins.src)
+            return
+        lhs = self._eval(regs, ins.lhs)
+        rhs = self._eval(regs, ins.rhs)
+        symbol = _OP_SYMBOL.get(ins.op, ins.op)
+        regs[ins.dest] = _SymValue(f"({lhs.expr}{symbol}{rhs.expr})",
+                                   lhs.deps | rhs.deps)
+
+    # -- transient windows ----------------------------------------------
+
+    def _fetch_window(self, start_pc: int) -> list[tuple[int, Instruction]]:
+        """Straight-line fetch of up to ``depth`` instructions from
+        ``start_pc``, following jumps, stopping at branches/fences/end."""
+        window: list[tuple[int, Instruction]] = []
+        pc = start_pc
+        steps = 0
+        while 0 <= pc < len(self.thread.instructions) and len(window) < self.config.depth:
+            steps += 1
+            if steps > len(self.thread.instructions) + self.config.depth:
+                break
+            ins = self.thread.instructions[pc]
+            if isinstance(ins, Jump):
+                pc = self.labels.get(ins.target, len(self.thread.instructions))
+                continue
+            if isinstance(ins, (CondBranch, FenceInstr)):
+                break
+            window.append((pc, ins))
+            pc += 1
+        return window
+
+    def _run_transient_window(self, start_pc: int, branch_deps: frozenset[Read]) -> None:
+        """Execute a transient window (registers on a private copy)."""
+        wregs = dict(self.regs)
+        wctrl = self.ctrl_deps | branch_deps
+        for pc, ins in self._fetch_window(start_pc):
+            index = pc + 1
+            if isinstance(ins, Load):
+                self._emit_load(ins, wregs, wctrl, index, transient=True)
+            elif isinstance(ins, Store):
+                self._emit_store(ins, wregs, wctrl, index, transient=True)
+            elif isinstance(ins, (Alu, Mov)):
+                self._exec_alu(ins, wregs)
+            # Nop: nothing.
+
+    def _run_bypass_window(self, start_pc: int) -> None:
+        """Transient early execution of a load and its dependents (§3.3).
+
+        Unlike a branch window, the bypassing load itself is the first
+        transient event, and subsequent instructions execute on the stale
+        register state it produces.
+        """
+        wregs = dict(self.regs)
+        wctrl = frozenset(self.ctrl_deps)
+        pc = start_pc
+        emitted = 0
+        while 0 <= pc < len(self.thread.instructions) and emitted <= self.config.depth:
+            ins = self.thread.instructions[pc]
+            if isinstance(ins, Jump):
+                pc = self.labels.get(ins.target, len(self.thread.instructions))
+                continue
+            if isinstance(ins, (CondBranch, FenceInstr)):
+                break
+            index = pc + 1
+            if isinstance(ins, Load):
+                self._emit_load(ins, wregs, wctrl, index, transient=True)
+                emitted += 1
+            elif isinstance(ins, Store):
+                self._emit_store(ins, wregs, wctrl, index, transient=True)
+                emitted += 1
+            elif isinstance(ins, (Alu, Mov)):
+                self._exec_alu(ins, wregs)
+            pc += 1
+
+    # -- committed path -------------------------------------------------
+
+    def run(self, trace: list[tuple[int, Instruction, bool | None]],
+            bypass_at: int | None = None) -> None:
+        """Walk one committed path.
+
+        ``trace`` holds ``(pc, instruction, branch_taken)`` triples
+        (``branch_taken`` is None for non-branches).  ``bypass_at``, if
+        given, is a trace position whose load starts a store-bypass
+        transient window *before* its committed execution.
+        """
+        has_stores = False
+        for position, (pc, ins, taken) in enumerate(trace):
+            index = pc + 1
+            if bypass_at is not None and position == bypass_at:
+                self._run_bypass_window(pc)
+            if isinstance(ins, Load):
+                self._emit_load(ins, self.regs, self.ctrl_deps, index, transient=False)
+            elif isinstance(ins, Store):
+                self._emit_store(ins, self.regs, self.ctrl_deps, index, transient=False)
+                has_stores = True
+            elif isinstance(ins, (Alu, Mov)):
+                self._exec_alu(ins, self.regs)
+            elif isinstance(ins, FenceInstr):
+                event = Fence(eid=next(self.eids), tid=self.thread.tid,
+                              label=str(index), kind=ins.kind)
+                self.events.append(event)
+                self.committed.append(event)
+            elif isinstance(ins, CondBranch):
+                cond_value = self.regs.get(ins.cond, _SymValue(ins.cond))
+                cond_deps = cond_value.deps
+                event = Branch(eid=next(self.eids), tid=self.thread.tid, label=str(index))
+                self.events.append(event)
+                self.committed.append(event)
+                # When the condition is a raw loaded value, the resolved
+                # branch direction constrains that value (§2.1.1: candidate
+                # executions fix a control-flow path; value-consistency
+                # ties it to the execution witness).
+                if len(cond_deps) == 1:
+                    (source_read,) = tuple(cond_deps)
+                    if cond_value.expr == f"M[{source_read.loc}]":
+                        expects_zero = taken if not ins.negated else not taken
+                        self.branch_constraints.append(
+                            (event, source_read, expects_zero)
+                        )
+                self.ctrl_deps = self.ctrl_deps | cond_deps
+                if self.config.branch_speculation and self.config.depth > 0:
+                    # The transient window follows the direction the
+                    # committed path did NOT take.
+                    target_pc = self.labels.get(ins.target, len(self.thread.instructions))
+                    alternate_pc = pc + 1 if taken else target_pc
+                    self._run_transient_window(alternate_pc, cond_deps)
+            # Nop/Jump emit nothing.
+        self.has_stores = has_stores
+
+
+def _thread_traces(thread: Thread, max_steps: int = 256,
+                   max_visits: int = 2) -> list[list[tuple[int, Instruction, bool | None]]]:
+    """Enumerate committed control-flow paths of one thread.
+
+    Branches fork both directions; back-edges are bounded by
+    ``max_visits`` per program counter (matching Clou's two-unrolling
+    loop summarization intuition).
+    """
+    traces: list[list[tuple[int, Instruction, bool | None]]] = []
+    labels = thread.label_index()
+    instructions = thread.instructions
+
+    def walk(pc: int, visits: dict[int, int],
+             trace: list[tuple[int, Instruction, bool | None]]) -> None:
+        if len(traces) > 512:
+            raise ModelError("too many control-flow paths; simplify the litmus test")
+        while pc < len(instructions):
+            if len(trace) >= max_steps:
+                return
+            count = visits.get(pc, 0)
+            if count >= max_visits:
+                return
+            ins = instructions[pc]
+            if isinstance(ins, Jump):
+                visits = {**visits, pc: count + 1}
+                pc = labels.get(ins.target, len(instructions))
+                continue
+            if isinstance(ins, CondBranch):
+                visits = {**visits, pc: count + 1}
+                target = labels.get(ins.target, len(instructions))
+                walk(target, dict(visits), trace + [(pc, ins, True)])
+                pc, trace = pc + 1, trace + [(pc, ins, False)]
+                continue
+            visits = {**visits, pc: count + 1}
+            trace = trace + [(pc, ins, None)]
+            pc += 1
+        traces.append(trace)
+
+    walk(0, {}, [])
+    return traces
+
+
+def _assemble(program: Program, per_thread: list[_ThreadElaborator],
+              name: str) -> EventStructure:
+    """Combine per-thread event lists into one EventStructure with ⊤/⊥."""
+    all_events: list[Event] = []
+    po_pairs: list[tuple[Event, Event]] = []
+    tfo_pairs: list[tuple[Event, Event]] = []
+    addr_pairs: list[tuple[Event, Event]] = []
+    data_pairs: list[tuple[Event, Event]] = []
+    ctrl_pairs: list[tuple[Event, Event]] = []
+    branch_constraints: list[tuple[Event, Event, bool]] = []
+    for elaborator in per_thread:
+        all_events.extend(elaborator.events)
+        po_pairs.extend(Relation.from_total_order(elaborator.committed))
+        tfo_pairs.extend(Relation.from_total_order(elaborator.events))
+        addr_pairs.extend(elaborator.addr_pairs)
+        data_pairs.extend(elaborator.data_pairs)
+        ctrl_pairs.extend(elaborator.ctrl_pairs)
+        branch_constraints.extend(elaborator.branch_constraints)
+
+    top = make_top()
+    locations = sorted(
+        {e.loc for e in all_events if isinstance(e, (Read, Write))},
+        key=lambda loc: (loc.base, str(loc.offset)),
+    )
+    bottoms = tuple(
+        make_bottom(i) for i, _ in enumerate(locations)
+    )
+    bottoms = tuple(
+        replace(bottom, loc=loc) for bottom, loc in zip(bottoms, locations)
+    )
+
+    committed = [e for e in all_events if e.committed]
+    po_pairs.extend((top, e) for e in committed)
+    po_pairs.extend((e, b) for e in committed for b in bottoms)
+    po_pairs.extend(Relation.from_total_order(bottoms))
+    tfo_pairs.extend((top, e) for e in all_events)
+    tfo_pairs.extend((e, b) for e in all_events for b in bottoms)
+    tfo_pairs.extend((top, b) for b in bottoms)
+    tfo_pairs.extend(Relation.from_total_order(bottoms))
+
+    events = tuple([top, *all_events, *bottoms])
+    structure = EventStructure(
+        events=events,
+        po=Relation(po_pairs, "po").transitive_closure(),
+        tfo=Relation(tfo_pairs, "tfo").transitive_closure(),
+        addr=Relation(addr_pairs, "addr"),
+        data=Relation(data_pairs, "data"),
+        ctrl=Relation(ctrl_pairs, "ctrl"),
+        top=top,
+        bottoms=bottoms,
+        name=name,
+        branch_constraints=tuple(branch_constraints),
+    )
+    structure.validate()
+    return structure
+
+
+def elaborate(program: Program,
+              speculation: SpeculationConfig | None = None) -> list[EventStructure]:
+    """Produce all event structures of a program (§2.1.1 + §3.3).
+
+    Without speculation, each structure is one committed control-flow
+    path.  With branch speculation, each structure gains transient windows
+    at every branch.  With store bypass, additional structures are
+    generated in which a load (with a po-earlier same-base store) and its
+    dependents execute transiently early.
+    """
+    config = speculation or SpeculationConfig.none()
+    per_thread_traces = [_thread_traces(t) for t in program.threads]
+
+    structures: list[EventStructure] = []
+    for combo_index, combo in enumerate(itertools.product(*per_thread_traces)):
+        eids = itertools.count(0)
+        elaborators = []
+        for thread, trace in zip(program.threads, combo):
+            elaborator = _ThreadElaborator(thread, eids, config)
+            elaborator.run(list(trace))
+            elaborators.append(elaborator)
+        name = f"{program.name or 'prog'}/path{combo_index}"
+        structures.append(_assemble(program, elaborators, name))
+
+        if config.store_bypass:
+            structures.extend(
+                _bypass_structures(program, combo, combo_index, config)
+            )
+    return structures
+
+
+def _bypass_structures(program: Program, combo, combo_index: int,
+                       config: SpeculationConfig) -> list[EventStructure]:
+    """One extra structure per (earlier store, later load) bypass pair."""
+    extra: list[EventStructure] = []
+    for thread_pos, (thread, trace) in enumerate(zip(program.threads, combo)):
+        store_bases: set[str] = set()
+        for position, (pc, ins, _) in enumerate(trace):
+            if isinstance(ins, Store):
+                store_bases.add(ins.address.base)
+            elif isinstance(ins, Load) and ins.address.base in store_bases:
+                eids = itertools.count(0)
+                elaborators = []
+                for inner_pos, (inner_thread, inner_trace) in enumerate(
+                        zip(program.threads, combo)):
+                    elaborator = _ThreadElaborator(inner_thread, eids, config)
+                    bypass = position if inner_pos == thread_pos else None
+                    elaborator.run(list(inner_trace), bypass_at=bypass)
+                    elaborators.append(elaborator)
+                name = (f"{program.name or 'prog'}/path{combo_index}"
+                        f"/bypass@{thread.tid}.{pc + 1}")
+                extra.append(_assemble(program, elaborators, name))
+    return extra

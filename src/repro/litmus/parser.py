@@ -1,0 +1,179 @@
+"""Parser for the litmus assembly language (see :mod:`repro.litmus.ast`).
+
+Grammar (one instruction per line; ``#``-to-end-of-line comments)::
+
+    program   := { "thread" INT ":"? line* }
+    line      := [LABEL ":"] instr
+    instr     := REG "=" "load" addr
+               | "store" addr "," operand
+               | REG "=" OP operand "," operand
+               | REG "=" "mov" operand
+               | ("beqz" | "bnez") REG "," LABEL
+               | "jmp" LABEL
+               | "fence" | "mfence" | "lfence" | "nop"
+    addr      := IDENT [ "[" operand "]" ]
+    operand   := REG | "#" INT | INT
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.litmus.ast import (
+    Address,
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Program,
+    Store,
+    Thread,
+)
+
+ALU_OPS = {"add", "sub", "and", "or", "xor", "mul", "lt", "eq", "shl", "shr"}
+_REG_RE = re.compile(r"^r\d+$|^r[a-z_]\w*$")
+_ADDR_RE = re.compile(r"^(?P<base>[A-Za-z_]\w*)(\[(?P<index>[^\]]+)\])?$")
+
+
+def _is_register(token: str) -> bool:
+    return bool(_REG_RE.match(token))
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    if _is_register(token):
+        return Operand.reg(token)
+    try:
+        return Operand.imm(int(token, 0))
+    except ValueError:
+        raise ParseError(f"expected register or immediate, got {token!r}", line_no)
+
+
+def _parse_address(token: str, line_no: int) -> Address:
+    match = _ADDR_RE.match(token.strip())
+    if not match:
+        raise ParseError(f"malformed address {token!r}", line_no)
+    index_text = match.group("index")
+    index = _parse_operand(index_text, line_no) if index_text else None
+    return Address(match.group("base"), index)
+
+
+def _parse_instruction(text: str, label: str | None, line_no: int) -> Instruction:
+    text = text.strip()
+    lowered = text.lower()
+
+    if lowered in ("nop", "skip"):
+        return Nop(label=label)
+    if lowered in ("fence", "mfence"):
+        return FenceInstr(label=label, kind="mfence")
+    if lowered == "lfence":
+        return FenceInstr(label=label, kind="lfence")
+
+    if lowered.startswith(("beqz", "bnez")):
+        negated = lowered.startswith("bnez")
+        rest = text[4:].strip()
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) != 2 or not _is_register(parts[0]):
+            raise ParseError(f"malformed branch {text!r}", line_no)
+        return CondBranch(label=label, cond=parts[0], target=parts[1], negated=negated)
+
+    if lowered.startswith("jmp"):
+        target = text[3:].strip()
+        if not target:
+            raise ParseError("jmp requires a target label", line_no)
+        return Jump(label=label, target=target)
+
+    if lowered.startswith("store"):
+        rest = text[5:].strip()
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) != 2:
+            raise ParseError(f"store needs address and source: {text!r}", line_no)
+        return Store(
+            label=label,
+            address=_parse_address(parts[0], line_no),
+            src=_parse_operand(parts[1], line_no),
+        )
+
+    if "=" in text:
+        dest_text, _, rhs = text.partition("=")
+        dest = dest_text.strip()
+        if not _is_register(dest):
+            raise ParseError(f"assignment target must be a register: {dest!r}", line_no)
+        rhs = rhs.strip()
+        first, _, remainder = rhs.partition(" ")
+        op = first.lower()
+        remainder = remainder.strip()
+        if op == "load":
+            return Load(label=label, dest=dest, address=_parse_address(remainder, line_no))
+        if op == "mov":
+            return Mov(label=label, dest=dest, src=_parse_operand(remainder, line_no))
+        if op in ALU_OPS:
+            parts = [p.strip() for p in remainder.split(",")]
+            if len(parts) != 2:
+                raise ParseError(f"{op} needs two operands: {text!r}", line_no)
+            return Alu(
+                label=label,
+                dest=dest,
+                op=op,
+                lhs=_parse_operand(parts[0], line_no),
+                rhs=_parse_operand(parts[1], line_no),
+            )
+        raise ParseError(f"unknown operation {op!r}", line_no)
+
+    raise ParseError(f"unrecognized instruction {text!r}", line_no)
+
+
+def parse_program(source: str, name: str = "") -> Program:
+    """Parse litmus source text into a :class:`Program`."""
+    threads: list[Thread] = []
+    current_tid: int | None = None
+    current_instructions: list[Instruction] = []
+
+    def flush() -> None:
+        nonlocal current_instructions
+        if current_tid is not None:
+            threads.append(Thread(current_tid, tuple(current_instructions)))
+        current_instructions = []
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        # `#` starts a comment unless it introduces an immediate (`#7`).
+        line = re.split(r"(?:^|\s)#(?!\d)", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("thread"):
+            flush()
+            tid_text = line[6:].strip().rstrip(":").strip()
+            try:
+                current_tid = int(tid_text)
+            except ValueError:
+                raise ParseError(f"malformed thread header {line!r}", line_no)
+            continue
+        if current_tid is None:
+            # Single-thread shorthand: instructions before any header go to
+            # thread 0.
+            current_tid = 0
+
+        label: str | None = None
+        body = line
+        colon_match = re.match(r"^([A-Za-z_]\w*)\s*:\s*(.*)$", line)
+        if colon_match and colon_match.group(1).lower() not in ("thread",):
+            candidate_label, rest = colon_match.group(1), colon_match.group(2)
+            # Avoid mis-parsing `r1 = ...` (no colon there, so safe) — a
+            # label is any identifier followed by ':'.
+            label = candidate_label
+            body = rest if rest else "nop"
+        current_instructions.append(_parse_instruction(body, label, line_no))
+
+    flush()
+    if not threads:
+        raise ParseError("program has no instructions")
+    return Program(tuple(threads), name=name)

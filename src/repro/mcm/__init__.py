@@ -1,0 +1,44 @@
+"""Axiomatic memory consistency models and witness enumeration."""
+
+from repro.mcm.enumerate import (
+    architectural_semantics,
+    consistent_executions,
+    witness_candidates,
+)
+from repro.mcm.operational import OperationalTSO, operational_outcomes
+from repro.mcm.outcomes import (
+    CLASSIC_TESTS,
+    LitmusTest,
+    allows,
+    outcomes,
+    run_classic_suite,
+)
+from repro.mcm.model import (
+    SC,
+    TSO,
+    MemoryModel,
+    causality,
+    committed_only,
+    rmw_atomicity,
+    sc_per_loc,
+)
+
+__all__ = [
+    "CLASSIC_TESTS",
+    "LitmusTest",
+    "OperationalTSO",
+    "SC",
+    "TSO",
+    "MemoryModel",
+    "architectural_semantics",
+    "causality",
+    "committed_only",
+    "consistent_executions",
+    "rmw_atomicity",
+    "sc_per_loc",
+    "allows",
+    "operational_outcomes",
+    "outcomes",
+    "run_classic_suite",
+    "witness_candidates",
+]

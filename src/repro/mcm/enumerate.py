@@ -1,0 +1,140 @@
+"""Enumerating execution witnesses for an event structure (§2.1.2).
+
+A witness chooses, for every read, the write that sources it (``rf``) and,
+per location, a total coherence order on writes (``co``).  ⊤ is always the
+coherence-first write; ⊥ observers are architecturally pinned to read from
+⊤ (the observer does not share memory with the program, §3.2).
+
+Architectural ``rf`` sources are committed writes (or ⊤); transient reads
+also receive an rf source — the value they would architecturally observe —
+which the non-interference predicates compare against ``rfx`` (Fig. 2b
+draws these edges explicitly).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.events import (
+    Bottom,
+    CandidateExecution,
+    EventStructure,
+    ExecutionWitness,
+    Write,
+)
+from repro.mcm.model import MemoryModel
+from repro.relations import Relation
+
+
+def witness_candidates(structure: EventStructure) -> Iterator[ExecutionWitness]:
+    """Yield every (rf, co) witness for the structure.
+
+    The blow-up is |writers|^|reads| × Π |writes_at(loc)|! — fine for
+    litmus-scale structures; the Clou pipeline never calls this.
+    """
+    top = structure.top
+    reads = [r for r in structure.reads if not isinstance(r, Bottom)]
+    bottom_rf = [(top, b) for b in structure.bottoms] if top is not None else []
+
+    source_choices: list[list[object]] = []
+    for read in reads:
+        committed_writers = [
+            w for w in structure.writes_at(read.loc) if w.committed and w != read
+        ]
+        choices: list[object] = committed_writers
+        if top is not None:
+            choices = [top, *choices]
+        if not choices:
+            choices = [None]
+        source_choices.append(choices)
+
+    co_choices: list[list[tuple[Write, ...]]] = []
+    for loc in sorted(structure.locations, key=lambda l: (l.base, str(l.offset))):
+        writers = [w for w in structure.writes_at(loc) if w.committed]
+        orders = [tuple(p) for p in itertools.permutations(writers)] or [()]
+        co_choices.append(orders)
+
+    for rf_combo in itertools.product(*source_choices):
+        rf_pairs = list(bottom_rf)
+        rf_pairs.extend(
+            (source, read)
+            for source, read in zip(rf_combo, reads)
+            if source is not None
+        )
+        for co_combo in itertools.product(*co_choices):
+            co_pairs: list[tuple[object, object]] = []
+            for order in co_combo:
+                co_pairs.extend(Relation.from_total_order(order))
+                if top is not None:
+                    co_pairs.extend((top, w) for w in order)
+            yield ExecutionWitness(
+                rf=Relation(rf_pairs, "rf"),
+                co=Relation(co_pairs, "co"),
+            )
+
+
+def _read_value(structure: EventStructure, witness: ExecutionWitness,
+                read) -> int | None:
+    """The concrete value a read observes, when statically known:
+    0 from ⊤ (litmus convention: memory is zero-initialized), or the
+    integer data of a committed store."""
+    for source, sink in witness.rf:
+        if sink != read:
+            continue
+        if structure.top is not None and source == structure.top:
+            return 0
+        data = getattr(source, "data", None)
+        if isinstance(data, str):
+            try:
+                return int(data)
+            except ValueError:
+                return None
+        return None
+    return None
+
+
+def branch_value_consistent(structure: EventStructure,
+                            witness: ExecutionWitness) -> bool:
+    """Does the witness agree with the path's resolved branch outcomes?
+
+    A candidate execution fixes a control-flow path *and* a data-flow
+    witness; when a branch condition is a raw loaded value, the two must
+    agree (a `beqz` resolved taken cannot coexist with the load observing
+    a nonzero value).
+    """
+    for _branch, read, expects_zero in structure.branch_constraints:
+        value = _read_value(structure, witness, read)
+        if value is None:
+            continue  # symbolic: unconstrained
+        if (value == 0) != expects_zero:
+            return False
+    return True
+
+
+def consistent_executions(structure: EventStructure,
+                          model: MemoryModel) -> list[CandidateExecution]:
+    """All candidate executions of the structure allowed by the MCM —
+    the program's architectural semantics restricted to this path (§2.2).
+
+    Witnesses contradicting the path's resolved branch values are
+    excluded (see :func:`branch_value_consistent`).
+    """
+    executions = []
+    for witness in witness_candidates(structure):
+        if not branch_value_consistent(structure, witness):
+            continue
+        execution = CandidateExecution(structure, witness)
+        if model.is_consistent(execution):
+            executions.append(execution)
+    return executions
+
+
+def architectural_semantics(structures: list[EventStructure],
+                            model: MemoryModel) -> list[CandidateExecution]:
+    """The architectural semantics of a whole program: consistent candidate
+    executions across every event structure (§2.2)."""
+    executions = []
+    for structure in structures:
+        executions.extend(consistent_executions(structure, model))
+    return executions

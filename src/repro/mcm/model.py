@@ -1,0 +1,117 @@
+"""Axiomatic memory consistency models (§2.1.3).
+
+A :class:`MemoryModel` is a named consistency predicate over candidate
+executions, built from auxiliary predicates (``sc_per_loc``, ``causality``,
+``rmw_atomicity``) exactly as the paper presents TSO.
+
+Consistency is evaluated over *committed* events only: transient and
+prefetch events are microarchitectural and constrained by the LCM's
+confidentiality predicate instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.events import CandidateExecution, MemoryEvent, Read, Write
+from repro.relations import Relation
+
+ConsistencyPredicate = Callable[[CandidateExecution], bool]
+
+
+def committed_only(relation: Relation) -> Relation:
+    """Restrict a relation to committed (architectural) endpoints."""
+    return relation.filter(lambda a, b: a.committed and b.committed)
+
+
+def sc_per_loc(execution: CandidateExecution) -> bool:
+    """acyclic(rf + co + fr + po_loc) — coherence (§2.1.3)."""
+    structure = execution.structure
+    return (
+        committed_only(execution.rf)
+        | committed_only(execution.co)
+        | committed_only(execution.fr)
+        | committed_only(structure.po_loc)
+    ).is_acyclic()
+
+
+def rmw_atomicity(execution: CandidateExecution) -> bool:
+    """Atomicity of read-modify-writes.
+
+    The litmus language has no RMW instructions, so the predicate requires
+    only that no event is both a Read and a Write — trivially true for the
+    event vocabulary, kept for fidelity to the TSO definition.
+    """
+    return not any(
+        isinstance(e, Read) and isinstance(e, Write)
+        for e in execution.structure.events
+    )
+
+
+def _tso_ppo(execution: CandidateExecution) -> Relation:
+    """x86-TSO preserved program order: all (Write, Write) and
+    (Read, MemoryEvent) pairs in po (§2.1.3)."""
+    po = committed_only(execution.structure.po)
+    return po.filter(
+        lambda a, b: isinstance(a, MemoryEvent)
+        and isinstance(b, MemoryEvent)
+        and (
+            (isinstance(a, Write) and isinstance(b, Write))
+            or isinstance(a, Read)
+        )
+    )
+
+
+def _sc_ppo(execution: CandidateExecution) -> Relation:
+    po = committed_only(execution.structure.po)
+    return po.filter(
+        lambda a, b: isinstance(a, MemoryEvent) and isinstance(b, MemoryEvent)
+    )
+
+
+def causality(execution: CandidateExecution,
+              ppo: Callable[[CandidateExecution], Relation]) -> bool:
+    """acyclic(rfe + co + fr + ppo + fence) (§2.1.3)."""
+    return (
+        committed_only(execution.rfe)
+        | committed_only(execution.co)
+        | committed_only(execution.fr)
+        | ppo(execution)
+        | committed_only(execution.structure.fence_order)
+    ).is_acyclic()
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """A named axiomatic MCM: a consistency predicate plus its ppo."""
+
+    name: str
+    predicate: ConsistencyPredicate
+    ppo: Callable[[CandidateExecution], Relation]
+
+    def is_consistent(self, execution: CandidateExecution) -> bool:
+        return self.predicate(execution)
+
+    def __repr__(self) -> str:
+        return f"<MemoryModel {self.name}>"
+
+
+def _tso_predicate(execution: CandidateExecution) -> bool:
+    return (
+        sc_per_loc(execution)
+        and rmw_atomicity(execution)
+        and causality(execution, _tso_ppo)
+    )
+
+
+def _sc_predicate(execution: CandidateExecution) -> bool:
+    return (
+        sc_per_loc(execution)
+        and rmw_atomicity(execution)
+        and causality(execution, _sc_ppo)
+    )
+
+
+TSO = MemoryModel("x86-TSO", _tso_predicate, _tso_ppo)
+SC = MemoryModel("SC", _sc_predicate, _sc_ppo)

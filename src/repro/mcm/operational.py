@@ -1,0 +1,237 @@
+"""An operational x86-TSO simulator, for cross-validating the axiomatic
+model.
+
+The paper argues axiomatic contracts are more amenable to automated
+verification than operational ones (§1) — but the two styles must agree
+on what they model.  This module implements the classic operational TSO
+machine (Owens-Sarkar-Sewell: per-thread FIFO store buffers over a
+shared memory, with non-deterministic buffer drain) and exhaustively
+enumerates its outcomes for litmus programs.  Tests check the outcome
+sets coincide with the axiomatic TSO of :mod:`repro.mcm.model` — the
+cross-validation that gives the architectural layer its footing.
+
+The simulator executes the same litmus AST the elaborator consumes, so
+any litmus test can be checked both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.litmus.ast import (
+    Address,
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Program,
+    Store,
+)
+
+_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "mul": lambda a, b: a * b,
+    "lt": lambda a, b: int(a < b),
+    "eq": lambda a, b: int(a == b),
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+}
+
+INIT = "init"
+
+
+@dataclass(frozen=True)
+class _ThreadState:
+    pc: int
+    registers: tuple[tuple[str, object], ...]
+    buffer: tuple[tuple[str, object], ...]  # FIFO of (location, value)
+    reads: tuple[tuple[str, object], ...]   # (label, observed value)
+    steps: int
+
+    def register(self, name: str):
+        return dict(self.registers).get(name, 0)
+
+
+def _location_key(address: Address, registers: dict) -> str:
+    if address.index is None:
+        return address.base
+    index = (registers.get(str(address.index.value), 0)
+             if address.index.is_reg else address.index.value)
+    return f"{address.base}[{index}]"
+
+
+def _operand(registers: dict, operand: Operand):
+    if operand.is_reg:
+        return registers.get(str(operand.value), 0)
+    return operand.value
+
+
+class OperationalTSO:
+    """Exhaustive-interleaving TSO machine for litmus programs.
+
+    State: per-thread (pc, registers, store buffer, read log) plus shared
+    memory.  Transitions: any thread steps its next instruction, or any
+    thread drains the oldest entry of its store buffer.  Loads first
+    forward from the youngest same-location buffer entry, else read
+    shared memory.  MFENCE blocks until the buffer is empty.
+    """
+
+    def __init__(self, program: Program, max_states: int = 400_000,
+                 max_steps_per_thread: int = 64):
+        self.program = program
+        self.max_states = max_states
+        self.max_steps_per_thread = max_steps_per_thread
+        self._labels = [t.label_index() for t in program.threads]
+
+    # -- state stepping -----------------------------------------------------
+
+    def outcomes(self) -> set[frozenset]:
+        """All distinct read-outcome sets (``"tid:label" -> value``)."""
+        initial_threads = tuple(
+            _ThreadState(pc=0, registers=(), buffer=(), reads=(), steps=0)
+            for _ in self.program.threads
+        )
+        initial = (initial_threads, frozenset())  # (threads, memory items)
+        seen = {initial}
+        stack = [initial]
+        outcomes: set[frozenset] = set()
+        explored = 0
+        while stack:
+            explored += 1
+            if explored > self.max_states:
+                raise ModelError(
+                    "operational state space too large; shrink the test"
+                )
+            threads, memory = stack.pop()
+            successors = list(self._successors(threads, memory))
+            if not successors:
+                outcome = frozenset(
+                    (f"{self.program.threads[i].tid}:{label}", value)
+                    for i, thread in enumerate(threads)
+                    for label, value in thread.reads
+                )
+                outcomes.add(outcome)
+                continue
+            for successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return outcomes
+
+    def _successors(self, threads, memory):
+        for i, thread in enumerate(threads):
+            # Drain the oldest buffered store.
+            if thread.buffer:
+                location, value = thread.buffer[0]
+                new_thread = _ThreadState(
+                    pc=thread.pc,
+                    registers=thread.registers,
+                    buffer=thread.buffer[1:],
+                    reads=thread.reads,
+                    steps=thread.steps,
+                )
+                new_memory = frozenset(
+                    {(l, v) for l, v in memory if l != location}
+                    | {(location, value)}
+                )
+                yield (self._replace(threads, i, new_thread), new_memory)
+            # Execute the next instruction.
+            stepped = self._step_instruction(i, thread, memory)
+            if stepped is not None:
+                new_thread, new_memory = stepped
+                yield (self._replace(threads, i, new_thread), new_memory)
+
+    @staticmethod
+    def _replace(threads, i, new_thread):
+        return tuple(
+            new_thread if j == i else t for j, t in enumerate(threads)
+        )
+
+    def _step_instruction(self, i, thread, memory):
+        instructions = self.program.threads[i].instructions
+        if thread.pc >= len(instructions):
+            return None
+        if thread.steps >= self.max_steps_per_thread:
+            return None
+        ins = instructions[thread.pc]
+        registers = dict(thread.registers)
+        pc = thread.pc + 1
+        buffer = thread.buffer
+        reads = thread.reads
+
+        if isinstance(ins, Load):
+            location = _location_key(ins.address, registers)
+            value = None
+            for buffered_location, buffered_value in reversed(thread.buffer):
+                if buffered_location == location:
+                    value = buffered_value  # store forwarding
+                    break
+            if value is None:
+                memory_map = dict(memory)
+                value = memory_map.get(location, INIT)
+            registers[ins.dest] = value
+            reads = reads + ((f"{thread.pc + 1}", value),)
+        elif isinstance(ins, Store):
+            location = _location_key(ins.address, registers)
+            value = _operand(registers, ins.src)
+            buffer = buffer + ((location, value),)
+        elif isinstance(ins, Alu):
+            lhs = _operand(registers, ins.lhs)
+            rhs = _operand(registers, ins.rhs)
+            if isinstance(lhs, str) or isinstance(rhs, str):
+                # Arithmetic on an init-valued read: treat init as 0.
+                lhs = 0 if isinstance(lhs, str) else lhs
+                rhs = 0 if isinstance(rhs, str) else rhs
+            registers[ins.dest] = _OPS[ins.op](lhs, rhs)
+        elif isinstance(ins, Mov):
+            registers[ins.dest] = _operand(registers, ins.src)
+        elif isinstance(ins, CondBranch):
+            value = registers.get(ins.cond, 0)
+            # Litmus convention: reads of initial memory observe zero.
+            truthy = bool(value) and value != INIT
+            condition = (not truthy) if not ins.negated else truthy
+            if condition:
+                pc = self._labels[i].get(
+                    ins.target, len(instructions))
+        elif isinstance(ins, Jump):
+            pc = self._labels[i].get(ins.target, len(instructions))
+        elif isinstance(ins, FenceInstr):
+            if thread.buffer:
+                return None  # mfence: wait for the buffer to drain
+        elif isinstance(ins, Nop):
+            pass
+        else:
+            raise ModelError(f"operational model: unsupported {ins!r}")
+
+        new_thread = _ThreadState(
+            pc=pc,
+            registers=tuple(sorted(registers.items())),
+            buffer=buffer,
+            reads=reads,
+            steps=thread.steps + 1,
+        )
+        return new_thread, memory
+
+
+def operational_outcomes(program: Program) -> set[frozenset]:
+    """Outcome sets of the operational TSO machine, in the same
+    ``"tid:label" -> value-string`` format as
+    :func:`repro.mcm.outcomes.outcomes` (values stringified, reads from
+    initial memory reported as ``"init"``)."""
+    raw = OperationalTSO(program).outcomes()
+    normalized: set[frozenset] = set()
+    for outcome in raw:
+        normalized.add(frozenset(
+            (key, value if value == INIT else str(value))
+            for key, value in outcome
+        ))
+    return normalized

@@ -1,0 +1,229 @@
+"""Litmus-test outcome exploration, herd/litmus7 style.
+
+The architectural semantics LCMs build on (§2.2) is exactly what
+litmus-style tools enumerate: the final register/memory outcomes a
+memory model allows.  This module evaluates *outcome predicates* over a
+program's consistent candidate executions, supporting the classic
+"allowed/forbidden" litmus methodology used to validate our MCM layer
+(and shipped as a small litmus-test library in :data:`CLASSIC_TESTS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events import Bottom, CandidateExecution
+from repro.litmus import Program, parse_program, elaborate
+from repro.mcm.enumerate import consistent_executions
+from repro.mcm.model import SC, TSO, MemoryModel
+
+
+def observed_values(execution: CandidateExecution) -> dict[str, str]:
+    """Map ``"tid:label"`` to the value each committed read observed.
+
+    Reads from ⊤ observe ``"init"``; reads from a write observe the
+    write's (symbolic) data.
+    """
+    outcome: dict[str, str] = {}
+    top = execution.structure.top
+    for write, read in execution.rf:
+        if not read.committed or isinstance(read, Bottom):
+            continue
+        key = f"{read.tid}:{read.label}"
+        if top is not None and write == top:
+            outcome[key] = "init"
+        else:
+            outcome[key] = str(write.data)
+    return outcome
+
+
+def outcomes(program: Program, model: MemoryModel) -> set[frozenset]:
+    """All distinct read-outcome combinations the model allows."""
+    found: set[frozenset] = set()
+    for structure in elaborate(program):
+        for execution in consistent_executions(structure, model):
+            found.add(frozenset(observed_values(execution).items()))
+    return found
+
+
+def allows(program: Program, model: MemoryModel,
+           outcome: dict[str, str]) -> bool:
+    """Is the (partial) outcome allowed?  Keys are ``"tid:label"``."""
+    target = set(outcome.items())
+    return any(target <= candidate for candidate in outcomes(program, model))
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test with its expected verdicts per model."""
+
+    name: str
+    source: str
+    outcome: dict[str, str]
+    allowed: dict[str, bool]  # model name -> allowed?
+    description: str = ""
+
+    def program(self) -> Program:
+        return parse_program(self.source, name=self.name)
+
+    def check(self, model: MemoryModel) -> bool:
+        """True when the model's verdict matches the expectation."""
+        expected = self.allowed[model.name]
+        return allows(self.program(), model, self.outcome) == expected
+
+
+CLASSIC_TESTS: list[LitmusTest] = [
+    LitmusTest(
+        name="MP",
+        description="message passing: seeing the flag implies seeing the data",
+        source="""
+thread 0:
+  store x, 1
+  store flag, 1
+thread 1:
+  r1 = load flag
+  r2 = load x
+""",
+        outcome={"1:1": "1", "1:2": "init"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="SB",
+        description="store buffering (Dekker): both loads stale",
+        source="""
+thread 0:
+  store x, 1
+  r1 = load y
+thread 1:
+  store y, 1
+  r2 = load x
+""",
+        outcome={"0:2": "init", "1:2": "init"},
+        allowed={"SC": False, "x86-TSO": True},
+    ),
+    LitmusTest(
+        name="SB+mfences",
+        description="store buffering with fences: forbidden even on TSO",
+        source="""
+thread 0:
+  store x, 1
+  mfence
+  r1 = load y
+thread 1:
+  store y, 1
+  mfence
+  r2 = load x
+""",
+        outcome={"0:3": "init", "1:3": "init"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="LB",
+        description="load buffering: both loads see the other's store",
+        source="""
+thread 0:
+  r1 = load x
+  store y, 1
+thread 1:
+  r2 = load y
+  store x, 1
+""",
+        outcome={"0:1": "1", "1:1": "1"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="CoRR",
+        description="coherence: two reads of one location never go backwards",
+        source="""
+thread 0:
+  store x, 1
+thread 1:
+  r1 = load x
+  r2 = load x
+""",
+        outcome={"1:1": "1", "1:2": "init"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="2+2W",
+        description="coherence orders on two locations may disagree on TSO? "
+                    "(no: writes serialize per location; outcome checks rf)",
+        source="""
+thread 0:
+  store x, 1
+  store y, 2
+thread 1:
+  store y, 1
+  store x, 2
+thread 2:
+  r1 = load x
+  r2 = load y
+""",
+        outcome={"2:1": "2", "2:2": "2"},
+        allowed={"SC": True, "x86-TSO": True},
+    ),
+    LitmusTest(
+        name="WRC",
+        description="write-to-read causality: transitive visibility",
+        source="""
+thread 0:
+  store x, 1
+thread 1:
+  r1 = load x
+  beqz r1, SKIP
+  store y, 1
+SKIP: nop
+thread 2:
+  r2 = load y
+  beqz r2, OUT
+  r3 = load x
+OUT: nop
+""",
+        outcome={"1:1": "1", "2:1": "1", "2:3": "init"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="IRIW",
+        description="independent reads of independent writes: all cores "
+                    "agree on the order of stores (multi-copy atomicity)",
+        source="""
+thread 0:
+  store x, 1
+thread 1:
+  store y, 1
+thread 2:
+  r1 = load x
+  r2 = load y
+thread 3:
+  r3 = load y
+  r4 = load x
+""",
+        outcome={"2:1": "1", "2:2": "init", "3:1": "1", "3:2": "init"},
+        allowed={"SC": False, "x86-TSO": False},
+    ),
+    LitmusTest(
+        name="R",
+        description="the R shape: store-store vs. store-read ordering",
+        source="""
+thread 0:
+  store x, 1
+  store y, 1
+thread 1:
+  store y, 2
+  r1 = load x
+""",
+        outcome={"1:2": "init"},
+        allowed={"SC": True, "x86-TSO": True},
+    ),
+]
+
+
+def run_classic_suite(models: list[MemoryModel] | None = None
+                      ) -> list[tuple[str, str, bool]]:
+    """(test, model, verdict-correct) triples over the classic tests."""
+    models = models or [SC, TSO]
+    results = []
+    for test in CLASSIC_TESTS:
+        for model in models:
+            results.append((test.name, model.name, test.check(model)))
+    return results

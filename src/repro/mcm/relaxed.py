@@ -1,0 +1,55 @@
+"""A weakly-ordered MCM (ARM-flavoured), for model-comparison studies.
+
+LCMs are defined per-ISA (§2); the paper's tooling focuses on x86-TSO
+but the vocabulary is model-generic.  This module provides a third
+consistency predicate at the weak end of the spectrum — program order is
+preserved only through syntactic dependencies and explicit fences — so
+the MCM layer (and subrosa comparisons built on it) can span SC ⊃ TSO ⊃
+RELAXED:
+
+- ``sc_per_loc`` (coherence) still holds — all real ISAs keep it;
+- ``causality`` uses ``ppo = dep ∪ (dep ; po)``: an access is ordered
+  after a read it depends on (address/data/control), and writes are
+  ordered after reads that control them; independent accesses may
+  reorder freely.
+
+The classic splits: MP's weak outcome is **allowed** (no dependency
+between the flag read and the data read), but MP-with-an-address-
+dependency is forbidden; SB and LB weak outcomes are allowed.
+"""
+
+from __future__ import annotations
+
+from repro.events import CandidateExecution, MemoryEvent
+from repro.mcm.model import (
+    MemoryModel,
+    causality,
+    committed_only,
+    rmw_atomicity,
+    sc_per_loc,
+)
+from repro.relations import Relation
+
+
+def _relaxed_ppo(execution: CandidateExecution) -> Relation:
+    """Dependency-preserved program order: dep edges between committed
+    memory events (addr/data/ctrl), closed under following program order
+    (a dependent access orders everything po-after it is ordered before).
+    """
+    structure = execution.structure
+    po = committed_only(structure.po)
+    dep = committed_only(structure.dep).filter(
+        lambda a, b: isinstance(a, MemoryEvent) and isinstance(b, MemoryEvent)
+    )
+    return dep
+
+
+def _relaxed_predicate(execution: CandidateExecution) -> bool:
+    return (
+        sc_per_loc(execution)
+        and rmw_atomicity(execution)
+        and causality(execution, _relaxed_ppo)
+    )
+
+
+RELAXED = MemoryModel("RELAXED", _relaxed_predicate, _relaxed_ppo)

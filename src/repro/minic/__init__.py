@@ -1,0 +1,7 @@
+"""A mini-C frontend: lexer, parser, and IR lowering (Clang -O0 style)."""
+
+from repro.minic.cparser import parse_c
+from repro.minic.lexer import Token, tokenize
+from repro.minic.lower import compile_c
+
+__all__ = ["Token", "compile_c", "parse_c", "tokenize"]

@@ -1,0 +1,104 @@
+"""Lexer for the mini-C frontend.
+
+Covers the C subset the benchmarks and crypto replicas use: all the
+fixed-width integer typedefs, pointers, arrays, structs, control flow,
+and the full expression operator set (including compound assignment and
+short-circuit logic).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "unsigned", "signed",
+    "const", "static", "register", "volatile", "inline", "extern",
+    "struct", "union", "enum", "typedef",
+    "return", "if", "else", "while", "for", "do", "break", "continue",
+    "sizeof", "goto", "switch", "case", "default",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "size_t", "ssize_t", "uintptr_t", "intptr_t", "bool",
+}
+
+# Longest-first operator list so the regex prefers `<<=` over `<<` over `<`.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<preproc>\#[^\n]*)
+  | (?P<number>0[xX][0-9a-fA-F]+[uUlL]*|\d+[uUlL]*)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'char' | 'string' | 'ident' | 'keyword' | 'op' | 'eof'
+    text: str
+    value: int | str | None
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}", line
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind in ("ws", "line_comment", "block_comment", "preproc"):
+            line += text.count("\n")
+            position = match.end()
+            continue
+        if kind == "number":
+            stripped = text.rstrip("uUlL")
+            value = int(stripped, 0)
+            tokens.append(Token("number", text, value, line))
+        elif kind == "char":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                value = _ESCAPES.get(body[1], ord(body[1]))
+            else:
+                value = ord(body)
+            tokens.append(Token("number", text, value, line))
+        elif kind == "string":
+            tokens.append(Token("string", text, text[1:-1], line))
+        elif kind == "ident":
+            token_kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(token_kind, text, text, line))
+        else:
+            tokens.append(Token("op", text, text, line))
+        line += text.count("\n")
+        position = match.end()
+    tokens.append(Token("eof", "", None, line))
+    return tokens

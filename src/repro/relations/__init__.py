@@ -1,0 +1,5 @@
+"""Relational algebra primitives used by the axiomatic model layers."""
+
+from repro.relations.relation import Relation, acyclic, empty, irreflexive
+
+__all__ = ["Relation", "acyclic", "empty", "irreflexive"]

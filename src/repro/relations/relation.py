@@ -1,0 +1,333 @@
+"""Binary relations over finite carrier sets, in the style of herd/cat.
+
+Axiomatic memory models (and the LCMs built on them) are phrased as
+predicates over *relations*: ``po``, ``rf``, ``co``, ``fr``, ``rfx`` and
+friends.  This module provides the relational algebra those predicates are
+written in: union, intersection, difference, relational join (``.``),
+transpose (``~``), reflexive/transitive closure, restriction, and the
+acyclicity/irreflexivity tests that consistency predicates bottom out in.
+
+A :class:`Relation` is an immutable set of ordered pairs of hashable
+elements.  All operators return new relations; nothing is mutated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from typing import Any
+
+Pair = tuple[Any, Any]
+
+
+class Relation:
+    """An immutable binary relation: a set of ``(source, target)`` pairs.
+
+    Supports the operator vocabulary of cat-like model specifications:
+
+    - ``a | b`` — union
+    - ``a & b`` — intersection
+    - ``a - b`` — difference
+    - ``a @ b`` — relational join (``a.b`` in cat syntax)
+    - ``~a``    — transpose (inverse)
+    - ``a ** n``— n-fold join with itself
+    """
+
+    __slots__ = ("_pairs", "_name")
+
+    def __init__(self, pairs: Iterable[Pair] = (), name: str = ""):
+        self._pairs: frozenset[Pair] = frozenset(pairs)
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, name: str = "") -> "Relation":
+        return cls((), name)
+
+    @classmethod
+    def identity(cls, elements: Iterable[Hashable], name: str = "id") -> "Relation":
+        return cls(((e, e) for e in elements), name)
+
+    @classmethod
+    def cross(
+        cls,
+        sources: Iterable[Hashable],
+        targets: Iterable[Hashable],
+        name: str = "",
+    ) -> "Relation":
+        """The full cross product ``sources x targets``."""
+        targets = list(targets)
+        return cls(((s, t) for s in sources for t in targets), name)
+
+    @classmethod
+    def from_total_order(cls, ordered: Iterable[Hashable], name: str = "") -> "Relation":
+        """The strict total order relating each element to every later one."""
+        seq = list(ordered)
+        return cls(
+            ((seq[i], seq[j]) for i in range(len(seq)) for j in range(i + 1, len(seq))),
+            name,
+        )
+
+    @classmethod
+    def from_successor_chain(cls, ordered: Iterable[Hashable], name: str = "") -> "Relation":
+        """Only adjacent pairs of the given sequence (the Hasse diagram)."""
+        seq = list(ordered)
+        return cls(zip(seq, seq[1:]), name)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def named(self, name: str) -> "Relation":
+        return Relation(self._pairs, name)
+
+    @property
+    def pairs(self) -> frozenset[Pair]:
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        label = self._name or "Relation"
+        return f"<{label}: {len(self._pairs)} pairs>"
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def __or__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs | other._pairs)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs & other._pairs)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs - other._pairs)
+
+    def union(self, *others: "Relation") -> "Relation":
+        pairs = set(self._pairs)
+        for other in others:
+            pairs |= other._pairs
+        return Relation(pairs)
+
+    def is_subset_of(self, other: "Relation") -> bool:
+        return self._pairs <= other._pairs
+
+    # ------------------------------------------------------------------
+    # Relational algebra
+    # ------------------------------------------------------------------
+
+    def __invert__(self) -> "Relation":
+        """Transpose: ``~r`` relates ``b -> a`` whenever ``r`` relates ``a -> b``."""
+        return Relation(((b, a) for a, b in self._pairs))
+
+    def __matmul__(self, other: "Relation") -> "Relation":
+        """Relational join: ``(a, c)`` whenever ``a -r-> b -other-> c``."""
+        by_source: dict[Any, list[Any]] = {}
+        for b, c in other._pairs:
+            by_source.setdefault(b, []).append(c)
+        return Relation(
+            (a, c)
+            for a, b in self._pairs
+            for c in by_source.get(b, ())
+        )
+
+    def __pow__(self, n: int) -> "Relation":
+        if n < 1:
+            raise ValueError("Relation ** n requires n >= 1")
+        result = self
+        for _ in range(n - 1):
+            result = result @ self
+        return result
+
+    def transitive_closure(self) -> "Relation":
+        """The smallest transitive relation containing this one."""
+        closure = set(self._pairs)
+        frontier = set(self._pairs)
+        by_source: dict[Any, set[Any]] = {}
+        for a, b in self._pairs:
+            by_source.setdefault(a, set()).add(b)
+        while frontier:
+            new_pairs: set[Pair] = set()
+            for a, b in frontier:
+                for c in by_source.get(b, ()):
+                    pair = (a, c)
+                    if pair not in closure:
+                        new_pairs.add(pair)
+            closure |= new_pairs
+            for a, c in new_pairs:
+                by_source.setdefault(a, set()).add(c)
+            frontier = new_pairs
+        return Relation(closure)
+
+    def reflexive_closure(self, elements: Iterable[Hashable]) -> "Relation":
+        return self | Relation.identity(elements)
+
+    # ------------------------------------------------------------------
+    # Restriction and projection
+    # ------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Any, Any], bool]) -> "Relation":
+        return Relation((p for p in self._pairs if predicate(*p)))
+
+    def restrict(
+        self,
+        sources: Iterable[Hashable] | None = None,
+        targets: Iterable[Hashable] | None = None,
+    ) -> "Relation":
+        """Keep only pairs whose endpoints lie in the given sets."""
+        src = set(sources) if sources is not None else None
+        tgt = set(targets) if targets is not None else None
+        return Relation(
+            (a, b)
+            for a, b in self._pairs
+            if (src is None or a in src) and (tgt is None or b in tgt)
+        )
+
+    def domain(self) -> set[Any]:
+        return {a for a, _ in self._pairs}
+
+    def range(self) -> set[Any]:
+        return {b for _, b in self._pairs}
+
+    def elements(self) -> set[Any]:
+        return self.domain() | self.range()
+
+    def successors(self, element: Hashable) -> set[Any]:
+        return {b for a, b in self._pairs if a == element}
+
+    def predecessors(self, element: Hashable) -> set[Any]:
+        return {a for a, b in self._pairs if b == element}
+
+    def immediate(self) -> "Relation":
+        """The Hasse diagram: drop pairs implied by transitivity.
+
+        ``(a, c)`` is dropped when some ``b`` has ``(a, b)`` and ``(b, c)``.
+        """
+        return Relation(self._pairs - (self @ self)._pairs)
+
+    # ------------------------------------------------------------------
+    # Predicates used by consistency/confidentiality axioms
+    # ------------------------------------------------------------------
+
+    def is_irreflexive(self) -> bool:
+        return all(a != b for a, b in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the directed graph of this relation has no cycle."""
+        adjacency: dict[Any, list[Any]] = {}
+        for a, b in self._pairs:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, [])
+        # Iterative three-color DFS to avoid recursion limits on long chains.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in adjacency}
+        for root in adjacency:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[Any, Iterator[Any]]] = [(root, iter(adjacency[root]))]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        return False
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    def is_transitive(self) -> bool:
+        return (self @ self).is_subset_of(self)
+
+    def is_total_order_on(self, elements: Iterable[Hashable]) -> bool:
+        """Strict total order: irreflexive, transitive, total on `elements`."""
+        elems = list(elements)
+        if not self.is_irreflexive() or not self.is_transitive():
+            return False
+        for i, a in enumerate(elems):
+            for b in elems[i + 1:]:
+                if (a, b) not in self._pairs and (b, a) not in self._pairs:
+                    return False
+        return True
+
+    def find_cycle(self) -> list[Any] | None:
+        """Return one cycle as a list of nodes, or None if acyclic."""
+        adjacency: dict[Any, list[Any]] = {}
+        for a, b in self._pairs:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, [])
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in adjacency}
+        parent: dict[Any, Any] = {}
+        for root in adjacency:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[Any, Iterator[Any]]] = [(root, iter(adjacency[root]))]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == GRAY:
+                        # Reconstruct the cycle child -> ... -> node -> child.
+                        cycle = [node]
+                        cursor = node
+                        while cursor != child:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        return cycle
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+
+def acyclic(*relations: Relation) -> bool:
+    """``acyclic(r1 + r2 + ...)`` — the workhorse of consistency predicates."""
+    return Relation().union(*relations).is_acyclic()
+
+
+def irreflexive(*relations: Relation) -> bool:
+    return Relation().union(*relations).is_irreflexive()
+
+
+def empty(*relations: Relation) -> bool:
+    return not Relation().union(*relations)

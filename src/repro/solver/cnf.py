@@ -1,0 +1,105 @@
+"""Tseitin transformation: boolean expressions to CNF.
+
+Literals are nonzero integers (DIMACS convention): variable ``v`` is a
+positive integer, its negation ``-v``.  Named variables from
+:mod:`repro.solver.expr` map to the low indices; Tseitin auxiliaries are
+allocated above them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.solver.expr import And, BoolExpr, Const, Not, Or, Var
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class CNF:
+    """A CNF formula plus the name <-> index mapping."""
+
+    clauses: list[Clause] = field(default_factory=list)
+    index_of: dict[str, int] = field(default_factory=dict)
+    num_vars: int = 0
+
+    def new_var(self, name: str | None = None) -> int:
+        self.num_vars += 1
+        if name is not None:
+            if name in self.index_of:
+                raise SolverError(f"variable {name!r} already allocated")
+            self.index_of[name] = self.num_vars
+        return self.num_vars
+
+    def lookup(self, name: str) -> int:
+        if name not in self.index_of:
+            self.index_of[name] = self.new_var()
+        return self.index_of[name]
+
+    def add_clause(self, *literals: int) -> None:
+        if not literals:
+            raise SolverError("empty clause added directly (formula is UNSAT)")
+        self.clauses.append(tuple(literals))
+
+    def decode(self, model: dict[int, bool]) -> dict[str, bool]:
+        return {name: model.get(index, False) for name, index in self.index_of.items()}
+
+
+class TseitinEncoder:
+    """Encodes expressions into a shared CNF with structural caching."""
+
+    def __init__(self, cnf: CNF | None = None):
+        self.cnf = cnf or CNF()
+        self._cache: dict[BoolExpr, int] = {}
+
+    def assert_expr(self, expr: BoolExpr) -> None:
+        """Add clauses forcing ``expr`` to be true."""
+        if isinstance(expr, Const):
+            if not expr.value:
+                # Force UNSAT with a fresh contradictory pair.
+                fresh = self.cnf.new_var()
+                self.cnf.add_clause(fresh)
+                self.cnf.add_clause(-fresh)
+            return
+        if isinstance(expr, And):
+            for operand in expr.operands:
+                self.assert_expr(operand)
+            return
+        self.cnf.add_clause(self._literal(expr))
+
+    def _literal(self, expr: BoolExpr) -> int:
+        if isinstance(expr, Var):
+            return self.cnf.lookup(expr.name)
+        if isinstance(expr, Not):
+            return -self._literal(expr.operand)
+        if isinstance(expr, Const):
+            # Materialize a constant as a forced fresh variable.
+            fresh = self.cnf.new_var()
+            self.cnf.add_clause(fresh if expr.value else -fresh)
+            return fresh
+        if expr in self._cache:
+            return self._cache[expr]
+        if isinstance(expr, And):
+            output = self.cnf.new_var()
+            literals = [self._literal(op) for op in expr.operands]
+            for literal in literals:
+                self.cnf.add_clause(-output, literal)
+            self.cnf.add_clause(output, *(-lit for lit in literals))
+            self._cache[expr] = output
+            return output
+        if isinstance(expr, Or):
+            output = self.cnf.new_var()
+            literals = [self._literal(op) for op in expr.operands]
+            for literal in literals:
+                self.cnf.add_clause(output, -literal)
+            self.cnf.add_clause(-output, *literals)
+            self._cache[expr] = output
+            return output
+        raise SolverError(f"cannot encode expression of type {type(expr)!r}")
+
+
+def encode(expr: BoolExpr) -> CNF:
+    encoder = TseitinEncoder()
+    encoder.assert_expr(expr)
+    return encoder.cnf

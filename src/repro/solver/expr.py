@@ -1,0 +1,179 @@
+"""Boolean expressions with hash-consing, for SAT encoding.
+
+This is the front half of the Z3 substitution (see DESIGN.md): formulas
+are built with ``&``/``|``/``~``/``>>`` (implies) and lowered to CNF via
+Tseitin transformation in :mod:`repro.solver.cnf`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+class BoolExpr:
+    """Base class for boolean expressions (immutable, structural)."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return conj(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return disj(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return neg(self)
+
+    def __rshift__(self, other: "BoolExpr") -> "BoolExpr":
+        """Implication: ``a >> b`` is ``~a | b``."""
+        return disj(neg(self), other)
+
+    def variables(self) -> set[str]:
+        found: set[str] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                found.add(node.name)
+            elif isinstance(node, Not):
+                stack.append(node.operand)
+            elif isinstance(node, (And, Or)):
+                stack.extend(node.operands)
+        return found
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        if isinstance(self, Const):
+            return self.value
+        if isinstance(self, Var):
+            return assignment[self.name]
+        if isinstance(self, Not):
+            return not self.operand.evaluate(assignment)
+        if isinstance(self, And):
+            return all(op.evaluate(assignment) for op in self.operands)
+        if isinstance(self, Or):
+            return any(op.evaluate(assignment) for op in self.operands)
+        raise TypeError(f"unknown expression type {type(self)!r}")
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def __repr__(self) -> str:
+        return f"!{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.operands)) + ")"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def neg(expr: BoolExpr) -> BoolExpr:
+    if isinstance(expr, Const):
+        return Const(not expr.value)
+    if isinstance(expr, Not):
+        return expr.operand
+    return Not(expr)
+
+
+def _flatten(kind: type, operands: tuple[BoolExpr, ...]) -> list[BoolExpr]:
+    flat: list[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, kind):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return flat
+
+
+def conj(*operands: BoolExpr) -> BoolExpr:
+    flat = _flatten(And, tuple(operands))
+    kept = []
+    for operand in flat:
+        if operand == FALSE:
+            return FALSE
+        if operand == TRUE:
+            continue
+        kept.append(operand)
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return And(tuple(kept))
+
+
+def disj(*operands: BoolExpr) -> BoolExpr:
+    flat = _flatten(Or, tuple(operands))
+    kept = []
+    for operand in flat:
+        if operand == TRUE:
+            return TRUE
+        if operand == FALSE:
+            continue
+        kept.append(operand)
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return Or(tuple(kept))
+
+
+def implies(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    return disj(neg(a), b)
+
+
+def iff(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    return conj(implies(a, b), implies(b, a))
+
+
+def exactly_one(operands: list[BoolExpr]) -> BoolExpr:
+    """At least one, and pairwise at most one."""
+    if not operands:
+        return FALSE
+    at_least = disj(*operands)
+    at_most = conj(*(
+        neg(conj(a, b))
+        for a, b in itertools.combinations(operands, 2)
+    ))
+    return conj(at_least, at_most)
+
+
+def at_most_one(operands: list[BoolExpr]) -> BoolExpr:
+    return conj(*(
+        neg(conj(a, b))
+        for a, b in itertools.combinations(operands, 2)
+    ))

@@ -1,0 +1,346 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+This stands in for Z3 in the reproduction (see DESIGN.md).  Features:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict analysis with clause learning,
+- VSIDS-style activity-based decision heuristic with decay,
+- Luby-sequence restarts,
+- incremental solving under assumptions (:meth:`SatSolver.solve`),
+- model enumeration via blocking clauses (:func:`enumerate_models`).
+
+The implementation favours clarity over raw speed; it comfortably
+handles the tens of thousands of clauses the subrosa encodings produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF
+
+UNASSIGNED = 0
+TRUE = 1
+FALSE = -1
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    (i is 1-based.)  If ``i == 2^k - 1`` the value is ``2^(k-1)``;
+    otherwise recurse into the residual prefix.
+    """
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """CDCL over integer literals (positive = true, negative = false)."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._assign: list[int] = [UNASSIGNED] * (num_vars + 1)
+        self._level: list[int] = [0] * (num_vars + 1)
+        self._reason: list[int | None] = [None] * (num_vars + 1)
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._activity: list[float] = [0.0] * (num_vars + 1)
+        self._activity_inc = 1.0
+        self._propagate_head = 0
+        self._root_units: list[int] = []
+        self.statistics = {"decisions": 0, "conflicts": 0, "propagations": 0,
+                           "restarts": 0, "learned": 0}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_cnf(cls, cnf: CNF) -> "SatSolver":
+        solver = cls(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        return solver
+
+    def _ensure_var(self, variable: int) -> None:
+        while self.num_vars < variable:
+            self.num_vars += 1
+            self._assign.append(UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            raise SolverError("cannot add the empty clause")
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        for literal in clause:
+            self._ensure_var(abs(literal))
+        if len(clause) == 1:
+            # Unit clauses bypass the two-watch scheme: re-applied at the
+            # root of every solve() call.
+            self._root_units.append(clause[0])
+            return
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for literal in clause[:2]:
+            self._watches.setdefault(literal, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        value = self._assign[abs(literal)]
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: int | None) -> None:
+        variable = abs(literal)
+        self._assign[variable] = TRUE if literal > 0 else FALSE
+        self._level[variable] = len(self._trail_lim)
+        self._reason[variable] = reason
+        self._trail.append(literal)
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._propagate_head < len(self._trail):
+            literal = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            self.statistics["propagations"] += 1
+            falsified = -literal
+            watch_list = self._watches.get(falsified, [])
+            kept: list[int] = []
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self.clauses[clause_index]
+                # Ensure falsified literal is in slot 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == TRUE:
+                    kept.append(clause_index)
+                    continue
+                # Find a replacement watch.
+                replaced = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != FALSE:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                kept.append(clause_index)
+                if self._value(first) == FALSE:
+                    # Conflict: restore remaining watches and report.
+                    kept.extend(watch_list[i:])
+                    self._watches[falsified] = kept
+                    return clause_index
+                self._enqueue(first, clause_index)
+            self._watches[falsified] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, variable: int) -> None:
+        self._activity[variable] += self._activity_inc
+        if self._activity[variable] > 1e100:
+            self._activity = [a * 1e-100 for a in self._activity]
+            self._activity_inc *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = None
+        clause = self.clauses[conflict_index]
+        trail_index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+
+        while True:
+            for lit in clause:
+                if literal is not None and lit == literal:
+                    continue
+                variable = abs(lit)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            variable = abs(literal)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                learned.insert(0, -literal)
+                break
+            reason = self._reason[variable]
+            clause = self.clauses[reason]
+
+        if len(learned) == 1:
+            return learned, 0
+        backtrack_level = max(self._level[abs(lit)] for lit in learned[1:])
+        return learned, backtrack_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for literal in self._trail[limit:]:
+            variable = abs(literal)
+            self._assign[variable] = UNASSIGNED
+            self._reason[variable] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    def _decide(self) -> int | None:
+        best_var, best_activity = None, -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self._assign[variable] == UNASSIGNED:
+                if self._activity[variable] > best_activity:
+                    best_var, best_activity = variable, self._activity[variable]
+        if best_var is None:
+            return None
+        return -best_var  # negative-first polarity: small models first
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Iterable[int] = ()) -> dict[int, bool] | None:
+        """Return a model as {variable: bool}, or None if UNSAT."""
+        self._backtrack(0)
+        # Clauses may have been added since the last call; re-propagate the
+        # whole root-level trail so they are checked.
+        self._propagate_head = 0
+        for literal in self._root_units:
+            value = self._value(literal)
+            if value == FALSE:
+                return None
+            if value == UNASSIGNED:
+                self._enqueue(literal, None)
+        conflict = self._propagate()
+        if conflict is not None:
+            return None
+
+        # Assumption literals become level-1+ decisions that we never undo
+        # past; a conflict at assumption level means UNSAT.
+        assumption_list = list(assumptions)
+        for literal in assumption_list:
+            self._ensure_var(abs(literal))
+
+        restart_count = 0
+        conflicts_until_restart = 32 * _luby(restart_count + 1)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics["conflicts"] += 1
+                conflicts_since_restart += 1
+                if not self._trail_lim:
+                    return None
+                if len(self._trail_lim) <= len(assumption_list):
+                    return None  # conflict depends only on assumptions
+                learned, level = self._analyze(conflict)
+                self.statistics["learned"] += 1
+                if len(learned) == 1:
+                    self._root_units.append(learned[0])
+                    self._backtrack(len(assumption_list))
+                    value = self._value(learned[0])
+                    if value == FALSE:
+                        return None
+                    if value == UNASSIGNED:
+                        self._enqueue(learned[0], None)
+                    continue
+                level = max(level, len(assumption_list))
+                if level >= len(self._trail_lim):
+                    level = len(self._trail_lim) - 1
+                self._backtrack(level)
+                index = len(self.clauses)
+                self.clauses.append(learned)
+                for literal in learned[:2]:
+                    self._watches.setdefault(literal, []).append(index)
+                self._enqueue(learned[0], index)
+                self._activity_inc *= 1.05
+                if conflicts_since_restart >= conflicts_until_restart:
+                    self.statistics["restarts"] += 1
+                    restart_count += 1
+                    conflicts_until_restart = 32 * _luby(restart_count + 1)
+                    conflicts_since_restart = 0
+                    self._backtrack(len(assumption_list))
+                continue
+
+            # Apply pending assumptions as decisions.
+            if len(self._trail_lim) < len(assumption_list):
+                literal = assumption_list[len(self._trail_lim)]
+                value = self._value(literal)
+                if value == FALSE:
+                    return None
+                self._trail_lim.append(len(self._trail))
+                if value == UNASSIGNED:
+                    self._enqueue(literal, None)
+                continue
+
+            decision = self._decide()
+            if decision is None:
+                return {
+                    variable: self._assign[variable] == TRUE
+                    for variable in range(1, self.num_vars + 1)
+                }
+            self.statistics["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+
+def solve_cnf(cnf: CNF, assumptions: Iterable[int] = ()) -> dict[str, bool] | None:
+    """Solve a named CNF; returns {name: bool} or None."""
+    solver = SatSolver.from_cnf(cnf)
+    model = solver.solve(assumptions)
+    if model is None:
+        return None
+    return cnf.decode(model)
+
+
+def enumerate_models(cnf: CNF, over: list[str] | None = None,
+                     limit: int = 10_000) -> Iterator[dict[str, bool]]:
+    """Yield distinct models, projected onto ``over`` (default: all named
+    variables), blocking each projection as it is found."""
+    solver = SatSolver.from_cnf(cnf)
+    names = over if over is not None else sorted(cnf.index_of)
+    indices = [cnf.index_of[name] for name in names]
+    produced = 0
+    while produced < limit:
+        model = solver.solve()
+        if model is None:
+            return
+        projection = {name: model[index] for name, index in zip(names, indices)}
+        yield projection
+        produced += 1
+        blocking = [
+            -index if model[index] else index
+            for index in indices
+        ]
+        if not blocking:
+            return
+        solver.add_clause(blocking)

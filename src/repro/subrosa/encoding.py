@@ -1,0 +1,177 @@
+"""SAT-backed relational model finding for the microarchitectural layer.
+
+subrosa's Alloy heritage (§3.4) is bounded model finding over relational
+constraints.  This module encodes the xstate-witness space of a fixed
+architectural execution into CNF — one boolean per (event, access kind)
+and per candidate ``rfx`` edge — and enumerates or constrains models with
+the package's CDCL solver.  Unlike the explicit enumeration in
+:mod:`repro.lcm.microarch`, the SAT backend supports *partial instance*
+queries ("find an execution where this rfx edge is present and that one
+absent"), the Alloy idiom the paper's toolkit relies on.
+
+Scope: single-core executions whose tfo totally orders xstate writers
+(all litmus elaborations in this package), with the x86 confidentiality
+predicate (rfx/cox respect tfo; frx unconstrained, §4.2).  Under a total
+tfo, cox is forced, so it needs no variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ModelError
+from repro.events import (
+    AccessKind,
+    CandidateExecution,
+    Event,
+    XWitness,
+)
+from repro.lcm.xstate import TOP_ELEMENT, XStatePolicy
+from repro.relations import Relation
+from repro.solver import SatSolver, TseitinEncoder, disj, exactly_one, iff, var
+
+
+def _kind_var(event: Event, kind: AccessKind):
+    return var(f"kind_{event.eid}_{kind.value}")
+
+
+def _rfx_var(writer: Event, reader: Event):
+    return var(f"rfx_{writer.eid}_{reader.eid}")
+
+
+class XWitnessEncoder:
+    """Encodes the xstate-witness space of one architectural execution."""
+
+    def __init__(self, execution: CandidateExecution, policy: XStatePolicy):
+        self.execution = execution
+        self.policy = policy
+        structure = execution.structure
+        self.top = structure.top
+        self.events = [e for e in structure.events if policy.kinds(e)]
+        self.elem_of: dict[Event, object] = {}
+        for event in self.events:
+            elems = policy.elements(event, structure)
+            if len(elems) > 1:
+                raise ModelError(
+                    "the SAT encoding fixes one element per event; "
+                    "alias-prediction policies need explicit enumeration"
+                )
+            self.elem_of[event] = elems[0] if elems else None
+        self.encoder = TseitinEncoder()
+        self._readers: list[Event] = []
+        self._rfx_candidates: dict[Event, list[Event]] = {}
+        self._encode()
+
+    # -- encoding ----------------------------------------------------------
+
+    def _reads(self, event: Event):
+        return disj(*(
+            _kind_var(event, kind)
+            for kind in self.policy.kinds(event) if kind.reads_xstate
+        ))
+
+    def _writes(self, event: Event):
+        return disj(*(
+            _kind_var(event, kind)
+            for kind in self.policy.kinds(event) if kind.writes_xstate
+        ))
+
+    def _encode(self) -> None:
+        structure = self.execution.structure
+        tfo = structure.tfo
+        for event in self.events:
+            kinds = self.policy.kinds(event)
+            self.encoder.assert_expr(exactly_one(
+                [_kind_var(event, kind) for kind in kinds]
+            ))
+        for reader in self.events:
+            if self.elem_of[reader] in (None, TOP_ELEMENT):
+                continue
+            reading = self._reads(reader)
+            if reading == disj():  # no reading kinds at all
+                continue
+            candidates = [
+                w for w in self.events
+                if w != reader
+                and self.elem_of[w] == self.elem_of[reader]
+                and any(k.writes_xstate for k in self.policy.kinds(w))
+                and (w, reader) in tfo  # x86 confidentiality: rfx <= tfo
+            ]
+            if self.top is not None:
+                candidates = [self.top, *candidates]
+            self._readers.append(reader)
+            self._rfx_candidates[reader] = candidates
+            edge_vars = [_rfx_var(w, reader) for w in candidates]
+            # Reads ⇒ exactly one source; no read ⇒ no source.
+            self.encoder.assert_expr(
+                iff(reading, exactly_one(edge_vars))
+                if edge_vars else ~reading
+            )
+            for w, edge in zip(candidates, edge_vars):
+                if self.top is not None and w == self.top:
+                    continue
+                self.encoder.assert_expr(edge >> self._writes(w))
+
+    # -- solving -------------------------------------------------------------
+
+    def _solver(self, require=(), forbid=()) -> SatSolver:
+        encoder = self.encoder
+        for writer, reader in require:
+            encoder.assert_expr(_rfx_var(writer, reader))
+        for writer, reader in forbid:
+            encoder.assert_expr(~_rfx_var(writer, reader))
+        return SatSolver.from_cnf(encoder.cnf)
+
+    def decode(self, named_model: dict[str, bool]) -> CandidateExecution:
+        kinds: dict[Event, AccessKind] = {}
+        for event in self.events:
+            for kind in self.policy.kinds(event):
+                if named_model.get(f"kind_{event.eid}_{kind.value}"):
+                    kinds[event] = kind
+        rfx_pairs = []
+        for reader in self._readers:
+            for writer in self._rfx_candidates[reader]:
+                if named_model.get(f"rfx_{writer.eid}_{reader.eid}"):
+                    rfx_pairs.append((writer, reader))
+        order = {e: i for i, e in enumerate(self.execution.structure.events)}
+        writers_by_elem: dict[object, list[Event]] = {}
+        for event in self.events:
+            if kinds.get(event) is not None and kinds[event].writes_xstate \
+                    and self.elem_of[event] not in (None, TOP_ELEMENT):
+                writers_by_elem.setdefault(self.elem_of[event], []).append(event)
+        cox_pairs = []
+        for writers in writers_by_elem.values():
+            ordered = sorted(writers, key=lambda w: order[w])
+            cox_pairs.extend(Relation.from_total_order(ordered))
+            if self.top is not None:
+                cox_pairs.extend((self.top, w) for w in ordered)
+        xwitness = XWitness(
+            xmap=dict(self.elem_of),
+            kinds=kinds,
+            rfx=Relation(rfx_pairs, "rfx"),
+            cox=Relation(cox_pairs, "cox"),
+        )
+        return self.execution.with_xwitness(xwitness)
+
+    def solve(self, require=(), forbid=()) -> CandidateExecution | None:
+        """Find one xstate witness with the given rfx edges present /
+        absent (an Alloy-style partial instance query)."""
+        solver = self._solver(require, forbid)
+        model = solver.solve()
+        if model is None:
+            return None
+        named = self.encoder.cnf.decode(model)
+        return self.decode(named)
+
+    def enumerate(self, limit: int = 10_000) -> Iterator[CandidateExecution]:
+        """Yield every xstate witness (projected on kind/rfx variables)."""
+        from repro.solver import enumerate_models
+
+        names = sorted(self.encoder.cnf.index_of)
+        projection = [n for n in names if n.startswith(("kind_", "rfx_"))]
+        for named in enumerate_models(self.encoder.cnf, over=projection,
+                                      limit=limit):
+            yield self.decode(named)
+
+    def count(self, limit: int = 10_000) -> int:
+        return sum(1 for _ in self.enumerate(limit))

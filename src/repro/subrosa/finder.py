@@ -1,0 +1,139 @@
+"""subrosa: bounded model finding over the LCM vocabulary (§3.4).
+
+The paper mechanizes LCMs in Alloy; subrosa here is the same idea built
+on this package's own enumeration machinery: within the (finite) bounds
+of a litmus program's event structures, it
+
+- **finds** candidate executions satisfying a user predicate
+  (:func:`find`),
+- **checks** assertions over all executions, returning a counterexample
+  when one exists (:func:`check`), and
+- **compares** two LCM specifications, reporting microarchitectural
+  behaviours allowed by one but not the other (:func:`compare`) — the
+  "automatically comparing LCMs across microarchitectures" use case the
+  paper plans for subrosa.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.events import CandidateExecution, EventStructure
+from repro.lcm.contracts import LeakageContainmentModel
+from repro.lcm.microarch import xwitness_candidates
+from repro.litmus import Program
+from repro.mcm import consistent_executions
+
+Predicate = Callable[[CandidateExecution], bool]
+
+
+def _structures(lcm: LeakageContainmentModel,
+                subject: Program | EventStructure) -> list[EventStructure]:
+    if isinstance(subject, EventStructure):
+        return [subject]
+    return lcm.event_structures(subject)
+
+
+def instances(lcm: LeakageContainmentModel,
+              subject: Program | EventStructure) -> Iterator[CandidateExecution]:
+    """Every microarchitecturally complete candidate execution the LCM
+    allows for the subject — the full bounded model space."""
+    for structure in _structures(lcm, subject):
+        for execution in consistent_executions(structure, lcm.mcm):
+            policy = lcm.policy_factory()
+            yield from xwitness_candidates(
+                execution, policy, lcm.confidentiality
+            )
+
+
+def find(lcm: LeakageContainmentModel,
+         subject: Program | EventStructure,
+         predicate: Predicate,
+         limit: int = 1) -> list[CandidateExecution]:
+    """Find up to ``limit`` executions satisfying the predicate."""
+    found = []
+    for execution in instances(lcm, subject):
+        if predicate(execution):
+            found.append(execution)
+            if len(found) >= limit:
+                break
+    return found
+
+
+def check(lcm: LeakageContainmentModel,
+          subject: Program | EventStructure,
+          assertion: Predicate) -> CandidateExecution | None:
+    """Check an assertion over every execution; return a counterexample
+    or None if the assertion holds throughout the bounds."""
+    for execution in instances(lcm, subject):
+        if not assertion(execution):
+            return execution
+    return None
+
+
+def _signature(execution: CandidateExecution) -> frozenset:
+    """A label-level fingerprint of an execution's comx behaviour."""
+    xw = execution.xwitness
+    parts = set()
+    for a, b in execution.rfx:
+        parts.add(("rfx", a.label, b.label))
+    for a, b in execution.cox:
+        parts.add(("cox", a.label, b.label))
+    for event, kind in xw.kinds.items():
+        parts.add(("kind", event.label, kind.value))
+    for event, elem in xw.xmap.items():
+        parts.add(("elem", event.label, str(elem)))
+    return frozenset(parts)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Behaviours distinguishing two LCMs on a common subject."""
+
+    only_first: tuple[CandidateExecution, ...]
+    only_second: tuple[CandidateExecution, ...]
+    common: int
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.only_first and not self.only_second
+
+    def __repr__(self) -> str:
+        return (
+            f"<Comparison: {len(self.only_first)} only-first, "
+            f"{len(self.only_second)} only-second, {self.common} common>"
+        )
+
+
+def compare(first: LeakageContainmentModel,
+            second: LeakageContainmentModel,
+            subject: Program | EventStructure,
+            max_witnesses: int = 8) -> Comparison:
+    """Compare the microarchitectural semantics two LCMs assign to the
+    same subject.  Both LCMs must agree on the architectural side (the
+    comparison elaborates with the *first* model's speculation config so
+    the event structures match)."""
+    structures = _structures(first, subject)
+
+    def semantics(lcm: LeakageContainmentModel) -> dict[frozenset, CandidateExecution]:
+        by_signature: dict[frozenset, CandidateExecution] = {}
+        for structure in structures:
+            for execution in consistent_executions(structure, lcm.mcm):
+                policy = lcm.policy_factory()
+                for candidate in xwitness_candidates(
+                    execution, policy, lcm.confidentiality
+                ):
+                    by_signature.setdefault(_signature(candidate), candidate)
+        return by_signature
+
+    first_sigs = semantics(first)
+    second_sigs = semantics(second)
+    only_first = [first_sigs[s] for s in first_sigs.keys() - second_sigs.keys()]
+    only_second = [second_sigs[s] for s in second_sigs.keys() - first_sigs.keys()]
+    common = len(first_sigs.keys() & second_sigs.keys())
+    return Comparison(
+        tuple(only_first[:max_witnesses]),
+        tuple(only_second[:max_witnesses]),
+        common,
+    )

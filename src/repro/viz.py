@@ -1,0 +1,129 @@
+"""Graphviz (DOT) rendering of candidate executions and Clou witnesses.
+
+The paper presents candidate executions as directed graphs (Figs. 1-5)
+and Clou outputs "witness executions (in graph form)".  This module
+renders both:
+
+- :func:`execution_to_dot` — an LCM candidate execution with po/tfo as
+  solid black edges, dependencies in gray, com in blue, comx in red, and
+  NI-violating com edges dashed (the paper's convention);
+- :func:`witness_to_dot` — a Clou witness chain (primitive → index →
+  access → transmit) over the S-AEG.
+
+Output is plain DOT text; no graphviz binary is required.
+"""
+
+from __future__ import annotations
+
+from repro.events import CandidateExecution
+from repro.lcm.noninterference import detect_leaks
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def _event_label(execution: CandidateExecution, event) -> str:
+    xw = execution.xwitness
+    annot = ""
+    if xw is not None:
+        element = xw.element_of(event)
+        kind = xw.kind_of(event)
+        if element is not None and kind is not None:
+            annot = f"\\n({kind.value} {element})"
+    return f"{event!r}{annot}"
+
+
+_EDGE_STYLES = {
+    "po": ("black", "solid", True),
+    "tfo": ("black", "dotted", True),
+    "addr": ("gray40", "solid", False),
+    "data": ("gray40", "solid", False),
+    "ctrl": ("gray40", "solid", False),
+    "rf": ("blue", "solid", False),
+    "co": ("blue", "solid", False),
+    "fr": ("blue", "solid", False),
+    "rfx": ("red", "solid", False),
+    "cox": ("red", "solid", False),
+    "frx": ("red", "solid", False),
+}
+
+
+def execution_to_dot(execution: CandidateExecution,
+                     name: str = "execution") -> str:
+    """Render one candidate execution in the style of the paper's figures.
+
+    When the execution carries an xstate witness, com edges that violate
+    a non-interference predicate are drawn dashed (the paper's marker
+    for culprit edges pointing at receivers).
+    """
+    violating: set[tuple[int, int, str]] = set()
+    if execution.xwitness is not None:
+        for leak in detect_leaks(execution):
+            a, b = leak.edge
+            violating.add((a.eid, b.eid, leak.kind.value))
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    for event in execution.structure.events:
+        attributes = [f"label={_quote(_event_label(execution, event))}"]
+        if event.transient or event.prefetch:
+            attributes.append('style="filled"')
+            attributes.append('fillcolor="gray92"')
+        lines.append(f"  e{event.eid} [{', '.join(attributes)}];")
+
+    for rel_name, relation in execution.relations().items():
+        color, style, use_immediate = _EDGE_STYLES.get(
+            rel_name, ("black", "solid", False))
+        rendered = relation.immediate() if use_immediate else relation
+        for a, b in sorted(rendered, key=lambda p: (p[0].eid, p[1].eid)):
+            edge_style = style
+            if (a.eid, b.eid, rel_name) in violating:
+                edge_style = "dashed"
+            lines.append(
+                f"  e{a.eid} -> e{b.eid} "
+                f"[label={_quote(rel_name)}, color={_quote(color)}, "
+                f"style={_quote(edge_style)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def witness_to_dot(witness, name: str = "witness") -> str:
+    """Render one Clou witness chain as a DOT graph."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    nodes = []
+    if witness.index is not None:
+        nodes.append(("index", witness.index))
+    if witness.access is not None:
+        nodes.append(("access", witness.access))
+    nodes.append(("transmit", witness.transmit))
+
+    lines.append(
+        f"  primitive [label={_quote('primitive: ' + str(witness.primitive))},"
+        ' shape=diamond];'
+    )
+    for role, ref in nodes:
+        transient = (
+            (role == "access" and witness.transient_access)
+            or (role == "transmit" and witness.transient_transmit)
+        )
+        style = ', style="filled", fillcolor="gray92"' if transient else ""
+        lines.append(
+            f"  {role} [label={_quote(role + ': ' + str(ref))}{style}];"
+        )
+    lines.append('  receiver [label="receiver ⊥", shape=ellipse];')
+
+    previous = None
+    for role, _ in nodes:
+        if previous is not None:
+            label = "addr" if role in ("access", "transmit") else "dep"
+            lines.append(
+                f"  {previous} -> {role} [label={_quote(label)}, color=gray40];"
+            )
+        previous = role
+    lines.append('  primitive -> transmit [label="speculation", style=dotted];')
+    lines.append('  transmit -> receiver [label="rfx", color=red];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Tests for the Binsec/Haunted-style baseline."""
+
+import pytest
+
+from repro.baselines import BHAnalyzer, bh_analyze_source
+from repro.bench.suites import by_name
+
+SPECTRE_V1 = by_name("pht01").source
+STL01 = by_name("stl01").source
+
+
+class TestBHPht:
+    def test_finds_v1_bug(self):
+        reports = bh_analyze_source(SPECTRE_V1, engine="pht")
+        assert sum(r.bug_count for r in reports) > 0
+
+    def test_bug_is_unclassified(self):
+        reports = bh_analyze_source(SPECTRE_V1, engine="pht")
+        bug = reports[0].bugs[0]
+        # BH reports only location + sink kind, no Table 1 class.
+        assert bug.sink in ("address", "branch")
+        assert not hasattr(bug, "klass")
+
+    def test_clean_function(self):
+        source = "uint64_t f(uint64_t x) { return x + 1; }"
+        reports = bh_analyze_source(source, engine="pht")
+        assert sum(r.bug_count for r in reports) == 0
+
+
+class TestBHStl:
+    def test_finds_stl_bug(self):
+        reports = bh_analyze_source(STL01, engine="stl")
+        assert sum(r.bug_count for r in reports) > 0
+
+    def test_no_stores_no_bugs(self):
+        source = """
+uint8_t A[16];
+uint8_t f(void) { return A[0]; }
+"""
+        reports = bh_analyze_source(source, engine="stl")
+        assert sum(r.bug_count for r in reports) == 0
+
+
+class TestScaling:
+    def test_times_out_on_branchy_code(self):
+        """Path enumeration is exponential: a function with many
+        sequential branches exhausts the budget (the paper's BH rows for
+        donna/mee-cbc are timeouts)."""
+        branches = "\n".join(
+            f"    if (x & {1 << (i % 20)}) {{ acc += {i}; }}"
+            for i in range(25)
+        )
+        source = f"""
+uint64_t f(uint64_t x) {{
+    uint64_t acc = 0;
+{branches}
+    return acc;
+}}
+"""
+        reports = bh_analyze_source(source, engine="pht",
+                                    timeout_seconds=0.2)
+        assert reports[0].timed_out
+
+    def test_small_function_completes(self):
+        reports = bh_analyze_source(SPECTRE_V1, engine="pht",
+                                    timeout_seconds=5.0)
+        assert not reports[0].timed_out
+        assert reports[0].paths_explored >= 1
+
+    def test_summary_renders(self):
+        reports = bh_analyze_source(SPECTRE_V1, engine="pht")
+        assert "bh-pht" in reports[0].summary()
+
+    def test_error_captured(self):
+        from repro.ir import Module
+
+        analyzer = BHAnalyzer(Module(), "missing", "pht")
+        report = analyzer.run()
+        assert report.error

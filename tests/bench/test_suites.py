@@ -1,0 +1,116 @@
+"""Tests for the benchmark corpus registry and harnesses."""
+
+import pytest
+
+from repro.bench.suites import (
+    all_cases,
+    all_litmus,
+    by_name,
+    crypto_cases,
+    litmus_fwd,
+    litmus_new,
+    litmus_pht,
+    litmus_stl,
+)
+from repro.bench.synthetic import generate_function, scaling_corpus
+from repro.minic import compile_c
+
+
+class TestCorpusShape:
+    def test_suite_sizes_match_paper(self):
+        assert len(litmus_pht()) == 15
+        assert len(litmus_stl()) == 14
+        assert len(litmus_fwd()) == 5
+        assert len(litmus_new()) == 2
+        assert len(all_litmus()) == 36
+
+    def test_crypto_corpus_present(self):
+        names = {case.name for case in crypto_cases()}
+        assert {"tea", "donna", "secretbox", "ssl3_digest",
+                "mee_cbc", "sigalgs", "sodium_misc"} <= names
+
+    def test_all_sources_exist(self):
+        for case in all_cases():
+            assert case.path.exists(), case.name
+            assert case.source.strip()
+
+    def test_all_sources_compile(self):
+        for case in all_cases():
+            module = compile_c(case.source, name=case.name)
+            assert module.public_functions(), case.name
+
+    def test_by_name(self):
+        assert by_name("pht01").suite == "pht"
+        with pytest.raises(KeyError):
+            by_name("nothing")
+
+    def test_engine_assignments(self):
+        for case in litmus_pht():
+            assert case.engines == ("pht",)
+        for case in litmus_fwd():
+            assert set(case.engines) == {"pht", "stl"}
+
+    def test_mislabeled_cases_annotated(self):
+        assert "§6.1" in by_name("stl13").notes
+        assert "§6.1" in by_name("stl06").notes
+
+
+class TestSynthetic:
+    def test_generation_deterministic(self):
+        a = generate_function("f", rounds=10, seed=1)
+        b = generate_function("f", rounds=10, seed=1)
+        assert a == b
+
+    def test_generated_code_compiles(self):
+        for name, source in scaling_corpus(sizes=[2, 10, 40]):
+            module = compile_c(source, name=name)
+            assert name in module.functions
+
+    def test_sizes_scale(self):
+        sources = dict(scaling_corpus(sizes=[2, 40]))
+        small = compile_c(sources["synth_2"]).functions["synth_2"]
+        large = compile_c(sources["synth_40"]).functions["synth_40"]
+        assert large.instruction_count() > 3 * small.instruction_count()
+
+
+class TestTable2Harness:
+    def test_litmus_rows_structure(self):
+        from repro.bench.table2 import litmus_rows, render
+        from repro.clou import ClouConfig
+
+        rows = litmus_rows(
+            config=ClouConfig(timeout_seconds=60.0), include_bh=True
+        )
+        assert len(rows) == 4
+        text = render(rows)
+        assert "litmus-pht" in text
+        assert "clou-pht" in text and "bh-pht" in text
+
+    def test_clou_classifies_bh_does_not(self):
+        from repro.bench.table2 import litmus_rows
+
+        rows = litmus_rows(include_bh=True)
+        pht_row = next(r for r in rows if r.suite == "litmus-pht")
+        clou = next(t for t in pht_row.tools if t.tool == "clou-pht")
+        bh = next(t for t in pht_row.tools if t.tool == "bh-pht")
+        assert clou.counts and clou.bug_count is None
+        assert bh.bug_count is not None and not bh.counts
+        assert clou.counts["UDT"] >= 10  # 13 intended-UDT programs
+
+
+class TestFig8Harness:
+    def test_points_and_slope(self):
+        from repro.bench.fig8 import Fig8Point, loglog_slope
+
+        points = [
+            Fig8Point("a", "pht", 10, 0.01),
+            Fig8Point("b", "pht", 100, 0.1),
+            Fig8Point("c", "pht", 1000, 1.0),
+        ]
+        assert abs(loglog_slope(points) - 1.0) < 1e-6
+
+    def test_render(self):
+        from repro.bench.fig8 import Fig8Point, render
+
+        text = render([Fig8Point("a", "pht", 10, 0.01)])
+        assert "S-AEG size" in text

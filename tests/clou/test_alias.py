@@ -1,0 +1,151 @@
+"""Tests for the alias analysis (§5.2)."""
+
+import pytest
+
+from repro.clou import AliasAnalysis, AliasResult, build_acfg
+from repro.ir import GetElementPtr, Load, Store, Temp
+from repro.minic import compile_c
+
+
+def _analysis(source, function="f"):
+    module = compile_c(source)
+    acfg = build_acfg(module, function)
+    return acfg.function, AliasAnalysis(acfg.function)
+
+
+def _pointers(function, kind):
+    return [ins.pointer for block in function.blocks
+            for ins in block.instructions if isinstance(ins, kind)]
+
+
+class TestProvenance:
+    def test_distinct_allocas_never_alias(self):
+        function, analysis = _analysis("""
+void f(void) {
+    uint64_t a = 1;
+    uint64_t b = 2;
+    a = b;
+}
+""")
+        stores = _pointers(function, Store)
+        slot_a, slot_b = stores[0], stores[1]
+        assert analysis.alias(slot_a, slot_b) is AliasResult.NO
+
+    def test_same_slot_must_alias(self):
+        function, analysis = _analysis("""
+void f(void) {
+    uint64_t a = 1;
+    a = 2;
+}
+""")
+        stores = _pointers(function, Store)
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MUST
+
+    def test_distinct_globals_never_alias(self):
+        function, analysis = _analysis("""
+uint64_t g1;
+uint64_t g2;
+void f(void) { g1 = 1; g2 = 2; }
+""")
+        stores = _pointers(function, Store)
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.NO
+
+    def test_constant_indices_distinguish(self):
+        function, analysis = _analysis("""
+uint8_t a[8];
+void f(void) { a[1] = 1; a[2] = 2; }
+""")
+        stores = _pointers(function, Store)
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.NO
+
+    def test_symbolic_index_may_alias(self):
+        function, analysis = _analysis("""
+uint8_t a[8];
+void f(uint64_t i) { a[i] = 1; a[2] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MAY
+
+    def test_arg_pointers_may_alias_each_other(self):
+        function, analysis = _analysis("""
+void f(uint64_t *p, uint64_t *q) { *p = 1; *q = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "arg"]
+        assert len(stores) == 2
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MAY
+
+    def test_arg_pointer_never_aliases_local(self):
+        function, analysis = _analysis("""
+void f(uint64_t *p) {
+    uint64_t local = 0;
+    *p = 1;
+    local = 2;
+}
+""")
+        stores = _pointers(function, Store)
+        results = {
+            analysis.alias(a, b)
+            for a in stores for b in stores if a is not b
+        }
+        assert AliasResult.NO in results
+
+    def test_transient_mode_defeats_distinctions(self):
+        """§5.2 assumption 2: alias results do not hold transiently."""
+        function, analysis = _analysis("""
+uint64_t g1;
+uint64_t g2;
+void f(void) { g1 = 1; g2 = 2; }
+""")
+        stores = _pointers(function, Store)
+        assert analysis.alias(stores[0], stores[1], transient=True) \
+            is AliasResult.MAY
+
+    def test_transient_must_alias_survives(self):
+        function, analysis = _analysis("""
+uint64_t g1;
+void f(void) { g1 = 1; g1 = 2; }
+""")
+        stores = _pointers(function, Store)
+        assert analysis.alias(stores[0], stores[1], transient=True) \
+            is AliasResult.MUST
+
+
+class TestSlotPointsTo:
+    def test_spilled_pointer_sees_through(self):
+        """-O0 spills a pointer param; reloads recover its provenance."""
+        function, analysis = _analysis("""
+static uint64_t get(uint64_t *arr, uint64_t i) { return arr[i]; }
+uint64_t f(uint64_t i) {
+    uint64_t local[4];
+    uint64_t counter = 0;
+    counter = get(local, i);
+    return counter;
+}
+""")
+        # The store through the inlined arr[i] gep must NOT alias the
+        # counter slot (both are distinct allocas after refinement).
+        loads = [ins for block in function.blocks
+                 for ins in block.instructions if isinstance(ins, Load)]
+        gep_loads = [
+            l for l in loads
+            if isinstance(l.pointer, Temp) and "gep" in l.pointer.name
+        ]
+        counter_slots = [
+            l.pointer for l in loads
+            if isinstance(l.pointer, Temp) and "counter" in l.pointer.name
+        ]
+        assert gep_loads and counter_slots
+        assert analysis.alias(gep_loads[0].pointer, counter_slots[0]) \
+            is AliasResult.NO
+
+    def test_loaded_global_pointer_stays_unknown(self):
+        function, analysis = _analysis("""
+uint8_t *sec;
+void f(uint64_t i) { sec[i] = 0; }
+""")
+        stores = _pointers(function, Store)
+        gep_store = stores[-1]
+        provenance = analysis.value_provenance(gep_store)
+        assert provenance.kind == "unknown"

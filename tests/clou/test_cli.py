@@ -1,0 +1,74 @@
+"""Tests for the clou command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def victim_file(tmp_path):
+    path = tmp_path / "victim.c"
+    path.write_text("""
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512];
+    }
+}
+""")
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text("uint64_t f(uint64_t x) { return x + 1; }")
+    return str(path)
+
+
+class TestAnalyze:
+    def test_leaky_exit_code(self, victim_file, capsys):
+        assert main(["analyze", victim_file]) == 1
+        out = capsys.readouterr().out
+        assert "UDT" in out
+
+    def test_clean_exit_code(self, clean_file, capsys):
+        assert main(["analyze", clean_file]) == 0
+
+    def test_witness_flag(self, victim_file, capsys):
+        main(["analyze", victim_file, "--witnesses"])
+        out = capsys.readouterr().out
+        assert "primitive" in out and "transmit" in out
+
+    def test_engine_selection(self, victim_file, capsys):
+        assert main(["analyze", victim_file, "--engine", "stl"]) in (0, 1)
+
+    def test_class_filter(self, victim_file, capsys):
+        main(["analyze", victim_file, "--classes", "udt"])
+        out = capsys.readouterr().out
+        assert "0DT" in out  # DT search disabled
+
+    def test_parameter_flags(self, victim_file, capsys):
+        # A tiny ROB/window suppresses the universal pattern.
+        code = main(["analyze", victim_file, "--rob", "1", "--window", "1",
+                     "--classes", "udt"])
+        assert code == 0
+
+    def test_no_addr_gep_filter(self, victim_file):
+        assert main(["analyze", victim_file, "--no-addr-gep-filter"]) == 1
+
+
+class TestRepair:
+    def test_repair_success(self, victim_file, capsys):
+        assert main(["repair", victim_file]) == 0
+        out = capsys.readouterr().out
+        assert "lfence at" in out
+        assert "repaired" in out
+
+    def test_repair_clean_function(self, clean_file, capsys):
+        assert main(["repair", clean_file]) == 0

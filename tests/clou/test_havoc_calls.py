@@ -1,0 +1,68 @@
+"""Undefined-call havoc semantics (§5.1): a call to an undefined
+function behaves as a load or store to its pointer operands."""
+
+import pytest
+
+from repro.clou import SAEG, analyze_source, build_acfg
+from repro.lcm.taxonomy import TransmitterClass as TC
+from repro.minic import compile_c
+
+MEMCMP_GADGET = """
+uint64_t n = 16;
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint8_t scratch[64];
+int memcmp(void *a, void *b, size_t len);
+
+int f(uint64_t y) {
+    if (y < n) {
+        return memcmp(scratch, B + (A[y] * 512), 1);
+    }
+    return 0;
+}
+"""
+
+
+class TestHavocCalls:
+    def test_call_is_a_memory_node(self):
+        module = compile_c(MEMCMP_GADGET)
+        aeg = SAEG(build_acfg(module, "f").function)
+        from repro.ir import Call
+
+        call_nodes = [n for n in aeg.nodes
+                      if isinstance(n.instruction, Call)]
+        assert call_nodes
+        assert all(n.is_memory for n in call_nodes)
+
+    def test_call_argument_deps_are_address_deps(self):
+        """The SMT solver 'considers all options' for how an undefined
+        call touches its pointer args (§5.1); our engines treat pointer
+        operands as potential access addresses."""
+        module = compile_c(MEMCMP_GADGET)
+        aeg = SAEG(build_acfg(module, "f").function)
+        from repro.ir import Call
+
+        call = next(n for n in aeg.nodes if isinstance(n.instruction, Call))
+        deps = aeg.address_deps(call)
+        assert deps  # A[y]'s load flows into the B+... argument
+
+    def test_memcmp_transmitter_detected(self):
+        """PHT11's shape: the leak happens inside the library call."""
+        report = analyze_source(MEMCMP_GADGET, engine="pht")
+        assert report.leaky
+        call_transmitters = [
+            w for w in report.transmitters if "memcmp" in w.transmit.text
+        ]
+        assert call_transmitters
+
+    def test_call_result_tainted(self):
+        module = compile_c("""
+uint64_t get_len(void);
+uint8_t A[4096];
+uint8_t f(void) { return A[get_len() & 4095]; }
+""")
+        aeg = SAEG(build_acfg(module, "f").function)
+        from repro.ir import Call
+
+        call = next(n for n in aeg.nodes if isinstance(n.instruction, Call))
+        assert aeg.value_tainted(call.instruction.result)

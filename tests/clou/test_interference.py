@@ -1,0 +1,46 @@
+"""The §6.1 speculative-interference DT variant."""
+
+import pytest
+
+from repro.bench.suites import litmus_pht
+from repro.clou import ClouConfig, analyze_source
+from repro.lcm.taxonomy import TransmitterClass as TC
+
+
+def _interference_witnesses(report):
+    """Variant witnesses are DTs whose window_start records the
+    non-transient in-flight load being prefetched for."""
+    return [
+        w for f in report.functions for w in f.witnesses
+        if w.klass is TC.DATA and w.window_start is not None
+        and w.engine == "pht" and not w.transient_access
+        and w.transient_transmit
+    ]
+
+
+class TestInterferenceVariant:
+    def test_found_in_every_pht_program(self):
+        """§6.1: 'Clou also identifies a new attack variant in ALL PHT
+        programs — a DT involving a transient instruction prefetching a
+        cache line for a non-transient tfo-prior instruction.'"""
+        config = ClouConfig(detect_interference_variant=True)
+        for case in litmus_pht():
+            report = analyze_source(case.source, engine="pht",
+                                    config=config, name=case.name)
+            assert _interference_witnesses(report), case.name
+
+    def test_off_by_default(self):
+        case = litmus_pht()[0]
+        report = analyze_source(case.source, engine="pht",
+                                config=ClouConfig(), name=case.name)
+        assert not _interference_witnesses(report)
+
+    def test_requires_transient_window(self):
+        source = """
+uint8_t A[16];
+uint8_t tmp;
+void f(uint64_t y) { tmp &= A[y & 15]; }
+"""
+        config = ClouConfig(detect_interference_variant=True)
+        report = analyze_source(source, engine="pht", config=config)
+        assert not _interference_witnesses(report)

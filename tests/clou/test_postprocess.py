@@ -1,0 +1,80 @@
+"""Tests for §6.2.2 post-processing and §7 secrecy-label filtering."""
+
+import pytest
+
+from repro.clou import ClouConfig, analyze_source
+from repro.clou.postprocess import postprocess
+from repro.lcm.taxonomy import TransmitterClass as TC
+
+SIGALGS_LIKE = """
+uint64_t table_len = 16;
+uint64_t sec_table[16];
+uint8_t pub_probe[4096];
+uint8_t tmp;
+
+void lookup(uint64_t idx) {
+    if (idx < table_len) {
+        tmp &= pub_probe[sec_table[idx]];
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    module_report = analyze_source(SIGALGS_LIKE, engine="pht")
+    return module_report.functions[0]
+
+
+class TestPostProcess:
+    def test_true_positive_kept(self, report):
+        result = postprocess(report)
+        assert any(w.klass is TC.UNIVERSAL_DATA for w in result.kept)
+
+    def test_worst_case_alias_count(self, report):
+        result = postprocess(report)
+        # The direct sec_table[idx] chain has no data.rf hop: it survives
+        # worst-case alias analysis (Table 2's parenthesized counts).
+        assert result.worst_case_alias_count(TC.UNIVERSAL_DATA) >= 1
+
+    def test_memory_hop_counted(self):
+        source = """
+uint64_t n = 16;
+uint8_t A[16];
+uint8_t B[4096];
+uint8_t t;
+uint64_t spill;
+void f(uint64_t y) {
+    if (y < n) {
+        spill = A[y];
+        t &= B[spill];
+    }
+}
+"""
+        module_report = analyze_source(source, engine="pht")
+        function_report = module_report.functions[0]
+        hopped = [w for w in function_report.transmitters()
+                  if w.store_hops >= 1]
+        assert hopped
+        result = postprocess(function_report)
+        # With a data.rf hop, the UDT does NOT count as worst-case-alias
+        # confirmed.
+        assert result.worst_case_alias_count(TC.UNIVERSAL_DATA) == 0
+
+    def test_summary(self, report):
+        assert "kept" in postprocess(report).summary()
+
+
+class TestSecrecyLabels:
+    def test_secret_symbol_keeps_witness(self, report):
+        result = postprocess(report, secret_symbols=("sec_table",))
+        assert any(w.klass is TC.UNIVERSAL_DATA for w in result.kept)
+
+    def test_non_secret_filtered(self, report):
+        result = postprocess(report, secret_symbols=("something_else",))
+        assert not result.kept
+        assert result.filtered_benign
+
+    def test_no_labels_keeps_everything(self, report):
+        unlabeled = postprocess(report)
+        assert not unlabeled.filtered_benign

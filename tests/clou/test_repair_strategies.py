@@ -1,0 +1,62 @@
+"""Repair strategies: minimal lfence vs. Blade-style protect (§7)."""
+
+import pytest
+
+from repro.clou import build_acfg, repair
+from repro.clou.repair import protect_positions
+from repro.ir import print_function
+from repro.minic import compile_c
+
+SPECTRE_V1 = """
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512];
+    }
+}
+"""
+
+
+def _repair(strategy):
+    module = compile_c(SPECTRE_V1)
+    acfg = build_acfg(module, "victim")
+    return repair(acfg.function, "pht", strategy=strategy), acfg.function
+
+
+class TestProtectStrategy:
+    def test_protect_fully_repairs(self):
+        result, _ = _repair("protect")
+        assert result.fully_repaired
+
+    def test_protect_places_after_accesses(self):
+        result, function = _repair("protect")
+        assert result.fences
+        # Every protect fence immediately follows a load.
+        from repro.ir import FenceInstr, Load
+
+        for block in function.blocks:
+            for i, ins in enumerate(block.instructions):
+                if isinstance(ins, FenceInstr) and i > 0:
+                    assert isinstance(block.instructions[i - 1], Load)
+
+    def test_lfence_remains_minimal(self):
+        result, _ = _repair("lfence")
+        assert result.fully_repaired
+        assert len(result.fences) == 1
+
+    def test_unknown_strategy_rejected(self):
+        module = compile_c(SPECTRE_V1)
+        acfg = build_acfg(module, "victim")
+        with pytest.raises(ValueError, match="strategy"):
+            repair(acfg.function, "pht", strategy="bogus")
+
+    def test_repaired_ir_printable(self):
+        """Fig. 6's final output: repaired IR."""
+        result, function = _repair("lfence")
+        text = print_function(function)
+        assert "lfence" in text

@@ -1,0 +1,238 @@
+"""Unit tests for events, structures, and witnesses."""
+
+import pytest
+
+from repro.events import (
+    AccessKind,
+    Bottom,
+    Branch,
+    CandidateExecution,
+    Event,
+    EventStructure,
+    ExecutionWitness,
+    Fence,
+    Location,
+    Read,
+    Top,
+    Write,
+    XWitness,
+    make_bottom,
+    make_top,
+)
+from repro.relations import Relation
+
+
+class TestLocation:
+    def test_equality(self):
+        assert Location("A", 1) == Location("A", 1)
+        assert Location("A", 1) != Location("A", 2)
+        assert Location("A") != Location("B")
+
+    def test_symbolic_offsets(self):
+        assert Location("A", "M[y]") == Location("A", "M[y]")
+        assert Location("A", "M[y]") != Location("A", "M[x]")
+
+    def test_str(self):
+        assert str(Location("A")) == "A"
+        assert str(Location("A", 4)) == "A+4"
+
+
+class TestAccessKind:
+    def test_read_flags(self):
+        assert AccessKind.READ.reads_xstate
+        assert not AccessKind.READ.writes_xstate
+
+    def test_write_flags(self):
+        assert not AccessKind.WRITE.reads_xstate
+        assert AccessKind.WRITE.writes_xstate
+
+    def test_rmw_flags(self):
+        assert AccessKind.READ_MODIFY_WRITE.reads_xstate
+        assert AccessKind.READ_MODIFY_WRITE.writes_xstate
+
+
+class TestEventIdentity:
+    def test_equality_by_eid(self):
+        assert Read(eid=1, loc=Location("x")) == Read(eid=1, loc=Location("y"))
+        assert Read(eid=1) != Read(eid=2)
+
+    def test_hash_by_eid(self):
+        assert len({Read(eid=1), Write(eid=1)}) == 1
+
+    def test_default_label(self):
+        assert Event(eid=7).label == "7"
+
+    def test_committed_flags(self):
+        assert Read(eid=1).committed
+        assert not Read(eid=1, transient=True).committed
+        assert not Read(eid=1, prefetch=True).committed
+
+    def test_top_bottom_factories(self):
+        top = make_top()
+        bottom = make_bottom(0)
+        assert isinstance(top, Top)
+        assert isinstance(bottom, Bottom)
+        assert isinstance(bottom, Read)  # the observer probes via reads
+        assert top.label == "⊤"
+        assert bottom.label == "⊥"
+        assert make_bottom(2).label == "⊥2"
+
+
+def _simple_structure():
+    """w: W x; r: R x, with ⊤/⊥."""
+    top = make_top()
+    w = Write(eid=1, label="1", loc=Location("x"), data="1")
+    r = Read(eid=2, label="2", loc=Location("x"))
+    from dataclasses import replace
+
+    bottom = replace(make_bottom(0), loc=Location("x"))
+    po = Relation([(top, w), (top, r), (w, r), (w, bottom), (r, bottom),
+                   (top, bottom)], "po")
+    structure = EventStructure(
+        events=(top, w, r, bottom),
+        po=po,
+        tfo=po,
+        top=top,
+        bottoms=(bottom,),
+        name="simple",
+    )
+    structure.validate()
+    return structure, top, w, r, bottom
+
+
+class TestEventStructure:
+    def test_views(self):
+        structure, top, w, r, bottom = _simple_structure()
+        assert structure.writes == (w,)
+        assert r in structure.reads and bottom in structure.reads
+        assert structure.locations == frozenset({Location("x")})
+        assert structure.writes_at(Location("x")) == (w,)
+
+    def test_po_loc(self):
+        structure, top, w, r, bottom = _simple_structure()
+        assert (w, r) in structure.po_loc
+
+    def test_validate_rejects_cyclic_po(self):
+        a, b = Event(eid=1), Event(eid=2)
+        structure = EventStructure(
+            events=(a, b),
+            po=Relation([(a, b), (b, a)]),
+            tfo=Relation([(a, b), (b, a)]),
+        )
+        with pytest.raises(ValueError, match="po has a cycle"):
+            structure.validate()
+
+    def test_validate_rejects_po_not_in_tfo(self):
+        a, b = Event(eid=1), Event(eid=2)
+        structure = EventStructure(
+            events=(a, b), po=Relation([(a, b)]), tfo=Relation(),
+        )
+        with pytest.raises(ValueError, match="subset of tfo"):
+            structure.validate()
+
+    def test_validate_rejects_transient_in_po(self):
+        a = Event(eid=1)
+        s = Event(eid=2, transient=True)
+        structure = EventStructure(
+            events=(a, s), po=Relation([(a, s)]), tfo=Relation([(a, s)]),
+        )
+        with pytest.raises(ValueError, match="non-committed"):
+            structure.validate()
+
+    def test_validate_rejects_duplicate_eids(self):
+        structure = EventStructure(
+            events=(Event(eid=1), Event(eid=1, label="dup")),
+            po=Relation(), tfo=Relation(),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            structure.validate()
+
+    def test_fence_order(self):
+        a = Read(eid=1, loc=Location("x"))
+        f = Fence(eid=2)
+        b = Read(eid=3, loc=Location("y"))
+        po = Relation.from_total_order([a, f, b])
+        structure = EventStructure(events=(a, f, b), po=po, tfo=po)
+        assert (a, b) in structure.fence_order
+
+    def test_dep_union(self):
+        structure, top, w, r, bottom = _simple_structure()
+        assert structure.dep == structure.addr | structure.data | structure.ctrl
+
+
+class TestWitness:
+    def test_fr_from_top(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(top, r), (top, bottom)]),
+            co=Relation([(top, w)]),
+        )
+        fr = witness.fr_for(structure)
+        assert (r, w) in fr  # read-from-init is fr-before every write
+
+    def test_fr_from_write(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(w, r), (top, bottom)]),
+            co=Relation([(top, w)]),
+        )
+        assert not witness.fr_for(structure)  # no write after w
+
+    def test_bottom_generates_no_fr(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(w, r), (top, bottom)]), co=Relation([(top, w)]),
+        )
+        fr = witness.fr_for(structure)
+        assert all(a != bottom for a, _ in fr)
+
+    def test_rfi_includes_top(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(top, r)]), co=Relation([(top, w)]),
+        )
+        execution = CandidateExecution(structure, witness)
+        assert (top, r) in execution.rfi
+        assert not execution.rfe
+
+    def test_com_is_union(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(top, r)]), co=Relation([(top, w)]),
+        )
+        execution = CandidateExecution(structure, witness)
+        assert execution.com == execution.rf | execution.co | execution.fr
+
+
+class TestXWitness:
+    def test_frx_derivation(self):
+        structure, top, w, r, bottom = _simple_structure()
+        xw = XWitness(
+            xmap={top: "*", w: "s0", r: "s0", bottom: "s0"},
+            kinds={
+                top: AccessKind.WRITE,
+                w: AccessKind.READ_MODIFY_WRITE,
+                r: AccessKind.READ,
+                bottom: AccessKind.READ,
+            },
+            rfx=Relation([(top, r)]),
+            cox=Relation([(top, w)]),
+        )
+        frx = xw.frx(top)
+        assert (r, w) in frx  # r read s0 before w overwrote it
+
+    def test_requires_xwitness(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(rf=Relation(), co=Relation())
+        execution = CandidateExecution(structure, witness)
+        with pytest.raises(ValueError, match="no microarchitectural witness"):
+            _ = execution.rfx
+
+    def test_describe_renders(self):
+        structure, top, w, r, bottom = _simple_structure()
+        witness = ExecutionWitness(
+            rf=Relation([(top, r)]), co=Relation([(top, w)]),
+        )
+        execution = CandidateExecution(structure, witness)
+        text = execution.describe()
+        assert "rf" in text and "simple" in text

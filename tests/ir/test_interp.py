@@ -1,0 +1,199 @@
+"""Differential tests: interpret compiled mini-C against reference
+implementations (executable architectural semantics)."""
+
+import pytest
+
+from repro.bench.suites import by_name
+from repro.ir.interp import InterpError, Interpreter, Machine, run_function
+from repro.minic import compile_c
+
+
+def _tea_encrypt_reference(v, k):
+    """Reference TEA (Wheeler & Needham)."""
+    v0, v1 = v
+    sum_ = 0
+    delta = 0x9E3779B9
+    mask = 0xFFFFFFFF
+    for _ in range(32):
+        sum_ = (sum_ + delta) & mask
+        v0 = (v0 + ((((v1 << 4) & mask) + k[0]) ^ ((v1 + sum_) & mask)
+                    ^ ((v1 >> 5) + k[1]))) & mask
+        v1 = (v1 + ((((v0 << 4) & mask) + k[2]) ^ ((v0 + sum_) & mask)
+                    ^ ((v0 >> 5) + k[3]))) & mask
+    return v0, v1
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        module = compile_c("uint64_t f(uint64_t a, uint64_t b) { return a * b + 3; }")
+        result, _ = run_function(module, "f", [6, 7])
+        assert result == 45
+
+    def test_branching(self):
+        module = compile_c("""
+int f(int x) {
+    if (x > 10) { return 1; }
+    return 0;
+}
+""")
+        assert run_function(module, "f", [11])[0] == 1
+        assert run_function(module, "f", [3])[0] == 0
+
+    def test_loop(self):
+        module = compile_c("""
+uint64_t f(uint64_t n) {
+    uint64_t acc = 0;
+    for (uint64_t i = 1; i <= n; i++) { acc += i; }
+    return acc;
+}
+""")
+        assert run_function(module, "f", [10])[0] == 55
+
+    def test_global_read_write(self):
+        module = compile_c("""
+uint64_t counter = 40;
+uint64_t f(void) { counter += 2; return counter; }
+""")
+        assert run_function(module, "f", [])[0] == 42
+
+    def test_array_initializer_and_index(self):
+        module = compile_c("""
+uint8_t table[4] = {10, 20, 30, 40};
+uint8_t f(uint64_t i) { return table[i]; }
+""")
+        assert run_function(module, "f", [2])[0] == 30
+
+    def test_pointer_args(self):
+        module = compile_c("""
+void f(uint64_t *p) { *p = 99; }
+uint64_t g(void) {
+    uint64_t x = 0;
+    f(&x);
+    return x;
+}
+""")
+        assert run_function(module, "g", [])[0] == 99
+
+    def test_struct_fields(self):
+        module = compile_c("""
+struct P { uint32_t a; uint32_t b; };
+struct P box;
+uint32_t f(void) {
+    box.a = 7;
+    box.b = 35;
+    return box.a + box.b;
+}
+""")
+        assert run_function(module, "f", [])[0] == 42
+
+    def test_signed_wrapping(self):
+        module = compile_c("int8_t f(int8_t x) { return x + 1; }")
+        assert run_function(module, "f", [127])[0] == -128
+
+    def test_unsigned_comparison_semantics(self):
+        module = compile_c("int f(uint64_t a) { return a < 2; }")
+        # -1 as unsigned is huge.
+        assert run_function(module, "f", [2**64 - 1])[0] == 0
+
+    def test_division_by_zero(self):
+        module = compile_c("uint64_t f(uint64_t a) { return 10 / a; }")
+        with pytest.raises(InterpError, match="division"):
+            run_function(module, "f", [0])
+
+    def test_undefined_function(self):
+        module = compile_c("int g(void);\nint f(void) { return g(); }")
+        with pytest.raises(InterpError, match="undefined function"):
+            run_function(module, "f", [])
+
+    def test_runaway_loop_bounded(self):
+        module = compile_c("void f(void) { while (1) { } }")
+        interp = Interpreter(module, max_steps=1000)
+        with pytest.raises(InterpError, match="step budget"):
+            interp.call("f", [])
+
+    def test_logical_short_circuit(self):
+        module = compile_c("""
+uint64_t hits = 0;
+static int bump(void) { hits += 1; return 1; }
+int f(int a) { return a && bump(); }
+""")
+        interp = Interpreter(compile_c("""
+uint64_t hits = 0;
+static int bump(void) { hits += 1; return 1; }
+int f(int a) { return a && bump(); }
+uint64_t get_hits(void) { return hits; }
+"""))
+        assert interp.call("f", [0]) == 0
+        assert interp.call("get_hits", []) == 0  # bump never ran
+        assert interp.call("f", [1]) == 1
+        assert interp.call("get_hits", []) == 1
+
+
+class TestTEADifferential:
+    def _run_tea(self, v, k, function="tea_encrypt"):
+        module = compile_c(by_name("tea").source)
+        interp = Interpreter(module)
+        v_addr = interp.machine.allocate(8, "v_buf")
+        k_addr = interp.machine.allocate(16, "k_buf")
+        for i, word in enumerate(v):
+            interp.machine.write_int(v_addr + 4 * i, word, 4)
+        for i, word in enumerate(k):
+            interp.machine.write_int(k_addr + 4 * i, word, 4)
+        interp.call(function, [v_addr, k_addr])
+        from repro.ir.types import U32
+
+        return tuple(
+            interp.machine.read_int(v_addr + 4 * i, U32) for i in range(2)
+        )
+
+    @pytest.mark.parametrize("v,k", [
+        ((0, 0), (0, 0, 0, 0)),
+        ((0x12345678, 0x9ABCDEF0), (1, 2, 3, 4)),
+        ((0xFFFFFFFF, 0xFFFFFFFF), (0xDEADBEEF, 0xCAFEBABE, 7, 9)),
+    ])
+    def test_encrypt_matches_reference(self, v, k):
+        assert self._run_tea(v, k) == _tea_encrypt_reference(v, k)
+
+    def test_decrypt_inverts_encrypt(self):
+        v, k = (0xCAFEF00D, 0x8BADF00D), (11, 22, 33, 44)
+        ciphertext = self._run_tea(v, k, "tea_encrypt")
+        plaintext = self._run_tea(ciphertext, k, "tea_decrypt")
+        assert plaintext == v
+
+
+class TestRepairPreservesSemantics:
+    def test_fenced_function_computes_same_result(self):
+        """lfence is pure ordering: repair must not change architectural
+        results (run the repaired A-CFG against the original)."""
+        from repro.clou import build_acfg, repair
+        from repro.ir import Module
+
+        source = """
+uint8_t A[16] = {3, 1, 4, 1, 5, 9, 2, 6};
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp = 255;
+
+uint64_t victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512] + x;
+    }
+    return tmp;
+}
+"""
+        module = compile_c(source)
+        baseline = [run_function(module, "victim", [y])[0] for y in range(4)]
+
+        acfg = build_acfg(module, "victim")
+        result = repair(acfg.function, "pht")
+        assert result.fully_repaired
+        repaired_module = Module(
+            functions={"victim": acfg.function},
+            globals=module.globals,
+            structs=module.structs,
+        )
+        repaired = [
+            run_function(repaired_module, "victim", [y])[0] for y in range(4)
+        ]
+        assert repaired == baseline

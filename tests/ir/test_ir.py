@@ -1,0 +1,190 @@
+"""Unit tests for the IR layer: types, instructions, builder, verifier."""
+
+import pytest
+
+from repro.errors import IRVerificationError
+from repro.ir import (
+    I1,
+    I8,
+    I32,
+    I64,
+    U8,
+    VOID,
+    ArrayType,
+    BasicBlock,
+    Constant,
+    Function,
+    GetElementPtr,
+    IRBuilder,
+    IntType,
+    Jump,
+    Load,
+    PointerType,
+    Ret,
+    Store,
+    StructType,
+    Temp,
+    element_type,
+    pointer_to,
+    print_function,
+    verify_function,
+)
+
+
+class TestTypes:
+    def test_int_sizes(self):
+        assert I8.size_bytes() == 1
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+
+    def test_signedness(self):
+        assert I32.signed and not U8.signed
+        assert str(I32) == "i32"
+        assert str(U8) == "u8"
+
+    def test_pointer(self):
+        ptr = pointer_to(I32)
+        assert ptr.is_pointer
+        assert ptr.size_bytes() == 8
+        assert element_type(ptr) == I32
+
+    def test_array(self):
+        arr = ArrayType(I8, 16)
+        assert arr.size_bytes() == 16
+        assert element_type(arr) == I8
+
+    def test_struct_layout(self):
+        struct = StructType("S", (("a", I32), ("b", I64), ("c", I8)))
+        assert struct.field_index("b") == 1
+        assert struct.field_type("c") == I8
+        assert struct.field_offset("b") == 4
+        assert struct.size_bytes() == 13
+
+    def test_struct_unknown_field(self):
+        struct = StructType("S", (("a", I32),))
+        with pytest.raises(KeyError):
+            struct.field_index("zz")
+
+    def test_element_type_rejects_scalar(self):
+        with pytest.raises(TypeError):
+            element_type(I32)
+
+
+class TestBuilder:
+    def _function(self):
+        fn = Function("f", [], VOID)
+        return fn, IRBuilder(fn)
+
+    def test_alloca_load_store(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        slot = builder.alloca(I32, "x")
+        builder.store(builder.const(7), slot)
+        value = builder.load(slot)
+        builder.ret()
+        assert slot.type == pointer_to(I32)
+        assert value.type == I32
+        verify_function(fn)
+
+    def test_gep_through_array(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        slot = builder.alloca(ArrayType(I8, 16), "a")
+        element = builder.gep(slot, [builder.const(0), builder.const(3)])
+        builder.ret()
+        assert element.type == pointer_to(I8)
+
+    def test_gep_index_arithmetic_flag(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        slot = builder.alloca(ArrayType(I8, 16), "a")
+        idx = builder.fresh(I64, "i")
+        gep = builder.gep(slot, [builder.const(0), idx])
+        const_gep = builder.gep(slot, [builder.const(0), builder.const(1)])
+        builder.ret()
+        gep_ins = fn.entry.instructions[1]
+        const_ins = fn.entry.instructions[2]
+        assert gep_ins.is_index_arithmetic
+        assert not const_ins.is_index_arithmetic
+
+    def test_dead_code_after_terminator_dropped(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        builder.ret()
+        builder.store(builder.const(1), builder.const(0, pointer_to(I32)))
+        assert len(fn.entry.instructions) == 1
+
+    def test_cast_identity_is_noop(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        value = builder.const(1, I32)
+        assert builder.cast(value, I32) is value
+
+    def test_void_call_has_no_result(self):
+        fn, builder = self._function()
+        builder.start_block("entry")
+        result = builder.call("ext", [], VOID)
+        builder.ret()
+        assert result is None
+
+
+class TestFunctionStructure:
+    def _valid(self):
+        fn = Function("g", [("x", I64)], I64)
+        builder = IRBuilder(fn)
+        builder.start_block("entry")
+        builder.jump("exit")
+        builder.start_block("exit")
+        builder.ret(builder.const(0, I64))
+        return fn
+
+    def test_verify_accepts_valid(self):
+        verify_function(self._valid())
+
+    def test_cfg_edges(self):
+        fn = self._valid()
+        assert ("entry", "exit") in fn.cfg_edges()
+        assert fn.is_dag()
+
+    def test_missing_terminator_rejected(self):
+        fn = Function("g", [], VOID, blocks=[BasicBlock("entry")])
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_unknown_successor_rejected(self):
+        fn = Function("g", [], VOID,
+                      blocks=[BasicBlock("entry", [Jump(label="nowhere")])])
+        with pytest.raises(IRVerificationError, match="unknown successor"):
+            verify_function(fn)
+
+    def test_duplicate_labels_rejected(self):
+        fn = Function("g", [], VOID, blocks=[
+            BasicBlock("entry", [Ret()]),
+            BasicBlock("entry", [Ret()]),
+        ])
+        with pytest.raises(IRVerificationError, match="duplicate"):
+            verify_function(fn)
+
+    def test_redefined_temp_rejected(self):
+        t = Temp("t", I32)
+        fn = Function("g", [], VOID, blocks=[
+            BasicBlock("entry", [
+                Load(result=t, pointer=Temp("p", pointer_to(I32))),
+                Load(result=t, pointer=Temp("p", pointer_to(I32))),
+                Ret(),
+            ]),
+        ])
+        with pytest.raises(IRVerificationError, match="redefined"):
+            verify_function(fn)
+
+    def test_no_return_rejected(self):
+        fn = Function("g", [], VOID,
+                      blocks=[BasicBlock("entry", [Jump(label="entry")])])
+        with pytest.raises(IRVerificationError, match="no return"):
+            verify_function(fn)
+
+    def test_printer_output(self):
+        text = print_function(self._valid())
+        assert "define i64 @g" in text
+        assert "entry:" in text
+        assert "ret" in text

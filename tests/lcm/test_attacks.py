@@ -1,0 +1,168 @@
+"""The attack gallery of §4.2: LCMs must detect every sampled attack."""
+
+import pytest
+
+from repro.lcm import TransmitterClass, inorder_lcm
+from repro.lcm.attacks import (
+    gallery,
+    imp_prefetch,
+    silent_stores,
+    spectre_psf,
+    spectre_v1,
+    spectre_v1_variant,
+    spectre_v4,
+)
+from repro.litmus import SpeculationConfig, parse_program
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {case.name: (case, case.analyze()) for case in gallery()}
+
+
+class TestGallery:
+    def test_every_attack_detected(self, analyses):
+        for name, (case, analysis) in analyses.items():
+            assert analysis.leaky, f"{name} ({case.figure}) must leak"
+
+    def test_expected_classes_found(self, analyses):
+        for name, (case, analysis) in analyses.items():
+            missing = case.expected_classes - analysis.classes()
+            assert not missing, f"{name}: missing transmitter classes {missing}"
+
+    def test_transient_transmitters(self, analyses):
+        for name, (case, analysis) in analyses.items():
+            if case.expects_transient_transmitter:
+                assert any(r.transient for r in analysis.reports), (
+                    f"{name} must exhibit a transient transmitter"
+                )
+
+    def test_transient_accesses(self, analyses):
+        for name, (case, analysis) in analyses.items():
+            if case.expects_transient_access:
+                assert any(
+                    r.access_transient for r in analysis.reports
+                ), f"{name} must exhibit a transient access instruction"
+
+
+class TestSpectreV1:
+    def test_universal_transmitter_is_transient(self, analyses):
+        _, analysis = analyses["spectre-v1"]
+        udts = analysis.transmitters_of_class(TransmitterClass.UNIVERSAL_DATA)
+        assert any(r.transient for r in udts), (
+            "6S (the transient B[x] load) is the true UDT (§4.2)"
+        )
+
+    def test_udt_chain_matches_figure(self, analyses):
+        _, analysis = analyses["spectre-v1"]
+        udts = [r for r in analysis.transmitters_of_class(TransmitterClass.UNIVERSAL_DATA)
+                if r.transient]
+        report = udts[0]
+        assert report.event.label == "6S"
+        assert report.access.label == "5S"
+        assert report.index.label == "2"
+
+    def test_address_transmitters_include_y_load(self, analyses):
+        _, analysis = analyses["spectre-v1"]
+        labels = {r.event.label for r in analysis.reports}
+        assert "2" in labels  # the load of y transmits its address
+
+    def test_no_speculation_still_leaks_addresses(self):
+        case = spectre_v1()
+        lcm = case.lcm
+        lcm.speculation = SpeculationConfig.none()
+        analysis = lcm.analyze(case.program)
+        assert analysis.leaky
+        assert TransmitterClass.ADDRESS in analysis.classes()
+        assert not any(r.transient for r in analysis.reports)
+
+
+class TestSpectreV1Variant:
+    def test_transient_transmitter_nontransient_access(self, analyses):
+        """Fig. 3's hallmark: 6S is transient but its access (5) commits —
+        leakage STT declares out of scope (§4.2)."""
+        _, analysis = analyses["spectre-v1-variant"]
+        matching = [
+            r for r in analysis.reports
+            if r.transient and r.access is not None and not r.access_transient
+        ]
+        assert matching
+
+
+class TestSpectreV4:
+    def test_requires_relaxed_confidentiality(self):
+        """The naive sc_per_loc lift forbids the frx+tfo_loc cycle, so an
+        in-order LCM must NOT find the v4 stale-forwarding leak (§4.2)."""
+        case = spectre_v4()
+        strict = inorder_lcm(SpeculationConfig(
+            depth=2, branch_speculation=False, store_bypass=True))
+        analysis = strict.analyze(case.program)
+        stale_receivers = {
+            leak.receiver.label
+            for witness in analysis.witnesses
+            for leak in witness.leaks
+            if leak.kind.value == "rf" and leak.edge[1].transient
+        }
+        assert "6S" not in stale_receivers
+
+    def test_x86_lcm_finds_stale_forwarding(self, analyses):
+        _, analysis = analyses["spectre-v4"]
+        stale = [
+            leak
+            for witness in analysis.witnesses
+            for leak in witness.leaks
+            if leak.kind.value == "rf" and leak.edge[1].transient
+            and leak.edge[1].label == "6S"
+        ]
+        assert stale, "the bypassing load must violate rf-NI"
+
+
+class TestSpectrePSF:
+    def test_misprediction_leak_found(self, analyses):
+        _, analysis = analyses["spectre-psf"]
+        # The C[y] load (3S) reads the C[0] store's element: rf-NI breaks.
+        receivers = {
+            leak.receiver.label
+            for witness in analysis.witnesses
+            for leak in witness.leaks
+        }
+        assert "3S" in receivers
+
+
+class TestSilentStores:
+    def test_data_field_transmitter(self, analyses):
+        _, analysis = analyses["silent-stores"]
+        data_field = [r for r in analysis.reports if r.field == "data"]
+        assert data_field
+        assert data_field[0].event.label == "2"
+
+    def test_no_silent_stores_policy_no_data_leak(self):
+        case = silent_stores()
+        from repro.lcm import x86_lcm
+        lcm = x86_lcm(SpeculationConfig.none())  # silent stores off
+        analysis = lcm.analyze(case.program)
+        assert not any(r.field == "data" for r in analysis.reports)
+
+    def test_different_data_cannot_be_silent(self):
+        from repro.lcm.attacks import _lcm
+        program = parse_program("store x, 1\nstore x, 2", name="not-silent")
+        lcm = _lcm("silent", SpeculationConfig.none(), silent_stores=True)
+        analysis = lcm.analyze(program)
+        assert not any(r.field == "data" for r in analysis.reports)
+
+
+class TestIMPPrefetch:
+    def test_prefetch_udt(self, analyses):
+        _, analysis = analyses["imp-prefetch"]
+        udts = analysis.transmitters_of_class(TransmitterClass.UNIVERSAL_DATA)
+        assert udts
+        assert udts[0].event.label == "3P"
+        assert udts[0].event.prefetch
+
+    def test_structure_validates(self):
+        imp_prefetch().structure.validate()
+
+    def test_prefetches_not_in_po(self):
+        structure = imp_prefetch().structure
+        for event in structure.prefetch_events:
+            assert not any(event in pair for pair in structure.po)

@@ -1,0 +1,139 @@
+"""The cat DSL: parsing, evaluation, and equivalence with the built-in
+predicates."""
+
+import pytest
+
+from repro.cat import (
+    SC_PER_LOC_CAT,
+    STRICT_CONFIDENTIALITY_CAT,
+    X86_CONFIDENTIALITY_CAT,
+    parse_cat,
+)
+from repro.errors import ParseError
+from repro.lcm import (
+    confidentiality_strict,
+    confidentiality_x86,
+    xwitness_candidates,
+)
+from repro.lcm.contracts import LeakageContainmentModel
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import SpeculationConfig, parse_program, elaborate
+from repro.mcm import TSO, consistent_executions, sc_per_loc
+
+
+def _complete_executions(source, speculation=None):
+    """All microarchitecturally complete executions (unfiltered)."""
+    program = parse_program(source, name="t")
+    complete = []
+    for structure in elaborate(program, speculation):
+        for execution in consistent_executions(structure, TSO):
+            complete.extend(xwitness_candidates(
+                execution, DirectMappedPolicy(), lambda x: True))
+    return complete
+
+
+class TestParsing:
+    def test_named_axiom(self):
+        spec = parse_cat("acyclic rf | co as causal")
+        assert spec.axioms[0].name == "causal"
+        assert spec.axioms[0].check == "acyclic"
+
+    def test_multiple_axioms(self):
+        spec = parse_cat("""
+# a comment
+acyclic rf | co | fr | po-loc as coherence
+irreflexive fr ; rf as no-self
+""")
+        assert len(spec.axioms) == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(ParseError, match="unknown relation"):
+            parse_cat("acyclic bogus")
+
+    def test_unknown_check(self):
+        with pytest.raises(ParseError, match="unknown check"):
+            parse_cat("frobnicate rf")
+
+    def test_empty_spec(self):
+        with pytest.raises(ParseError, match="no axioms"):
+            parse_cat("# nothing\n")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError, match="missing"):
+            parse_cat("acyclic (rf | co")
+
+    def test_precedence_and_grouping(self):
+        # `a ; b | c` parses as `(a;b) | c`.
+        spec = parse_cat("empty (rf ; co) \\ (rf ; co) as trivial")
+        assert spec.axioms[0].name == "trivial"
+
+
+class TestEvaluation:
+    def test_sc_per_loc_equivalence(self):
+        """The cat coherence axiom matches the built-in sc_per_loc on
+        every execution of a coherence-shaped litmus test."""
+        spec = parse_cat(SC_PER_LOC_CAT)
+        program = parse_program("store x, 1\nstore x, 2\nr1 = load x",
+                                name="coherence")
+        from repro.mcm import witness_candidates
+        from repro.events import CandidateExecution
+
+        (structure,) = elaborate(program)
+        for witness in witness_candidates(structure):
+            execution = CandidateExecution(structure, witness)
+            assert spec(execution) == sc_per_loc(execution)
+
+    @pytest.mark.parametrize("cat_source,builtin", [
+        (STRICT_CONFIDENTIALITY_CAT, confidentiality_strict),
+        (X86_CONFIDENTIALITY_CAT, confidentiality_x86),
+    ])
+    def test_confidentiality_equivalence(self, cat_source, builtin):
+        spec = parse_cat(cat_source)
+        for execution in _complete_executions("store x, 1\nr1 = load x"):
+            assert spec(execution) == builtin(execution)
+
+    def test_failing_axioms_reported(self):
+        spec = parse_cat("empty rf as no-reads")
+        executions = _complete_executions("store x, 1\nr1 = load x")
+        assert spec.failing_axioms(executions[0]) == ["no-reads"]
+
+    def test_transpose_and_join(self):
+        # fr = ~rf ; co (within a location) — check subset on executions.
+        spec = parse_cat("empty fr \\ (~rf ; co) as fr-shape")
+        for execution in _complete_executions("store x, 1\nr1 = load x"):
+            # fr may include init-sourced pairs not captured by ~rf;co
+            # with explicit ⊤ handling, so just evaluate without error.
+            spec(execution)
+
+    def test_closure(self):
+        spec = parse_cat("acyclic (rf | co)+ as closed")
+        for execution in _complete_executions("store x, 1\nr1 = load x"):
+            assert spec(execution)
+
+
+class TestCatDrivenLCM:
+    def test_lcm_with_cat_confidentiality(self):
+        """A cat spec is directly usable as the LCM's confidentiality
+        predicate — the §5.2 'MCM + LCM as inputs' parameterization."""
+        from repro.lcm import TransmitterClass
+
+        spec = parse_cat(X86_CONFIDENTIALITY_CAT)
+        lcm = LeakageContainmentModel(
+            name="cat-LCM",
+            mcm=TSO,
+            policy_factory=DirectMappedPolicy,
+            confidentiality=spec,
+            speculation=SpeculationConfig(depth=2),
+        )
+        program = parse_program("""
+  r1 = load size
+  r2 = load y
+  r3 = lt r2, r1
+  beqz r3, END
+  r4 = load A[r2]
+  r5 = load B[r4]
+END: nop
+""", name="v1")
+        analysis = lcm.analyze(program)
+        assert analysis.leaky
+        assert TransmitterClass.UNIVERSAL_DATA in analysis.classes()

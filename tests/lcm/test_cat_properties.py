@@ -1,0 +1,89 @@
+"""Property-based tests for the cat DSL: random expressions evaluate
+identically to direct relational-algebra computation."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cat import parse_cat
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.lcm import xwitness_candidates, confidentiality_x86
+from repro.litmus import parse_program, elaborate
+from repro.mcm import TSO, consistent_executions
+
+NAMES = ["po", "rf", "co", "fr", "addr", "data", "ctrl", "tfo", "dep"]
+
+
+@st.composite
+def cat_expressions(draw, depth=0):
+    """(cat_text, direct_evaluator) pairs."""
+    if depth >= 3 or draw(st.booleans()):
+        name = draw(st.sampled_from(NAMES))
+        getters = {
+            "po": lambda x: x.structure.po,
+            "tfo": lambda x: x.structure.tfo,
+            "addr": lambda x: x.structure.addr,
+            "data": lambda x: x.structure.data,
+            "ctrl": lambda x: x.structure.ctrl,
+            "dep": lambda x: x.structure.dep,
+            "rf": lambda x: x.rf,
+            "co": lambda x: x.co,
+            "fr": lambda x: x.fr,
+        }
+        return name, getters[name]
+    op = draw(st.sampled_from(["|", "&", ";", "~", "+"]))
+    left_text, left_fn = draw(cat_expressions(depth=depth + 1))
+    if op == "~":
+        return f"~({left_text})", lambda x, f=left_fn: ~f(x)
+    if op == "+":
+        return (f"({left_text})+",
+                lambda x, f=left_fn: f(x).transitive_closure())
+    right_text, right_fn = draw(cat_expressions(depth=depth + 1))
+    table = {
+        "|": lambda a, b: a | b,
+        "&": lambda a, b: a & b,
+        ";": lambda a, b: a @ b,
+    }
+    return (
+        f"({left_text} {op} {right_text})",
+        lambda x, f=left_fn, g=right_fn, h=table[op]: h(f(x), g(x)),
+    )
+
+
+def _sample_execution():
+    program = parse_program("store x, 1\nr1 = load x\nr2 = load y",
+                            name="sample")
+    (structure,) = elaborate(program)
+    execution = consistent_executions(structure, TSO)[0]
+    candidate = next(xwitness_candidates(
+        execution, DirectMappedPolicy(), confidentiality_x86))
+    return candidate
+
+
+EXECUTION = _sample_execution()
+
+
+@given(cat_expressions())
+@settings(max_examples=60, deadline=None)
+def test_cat_matches_direct_evaluation(expr):
+    text, direct = expr
+    spec = parse_cat(f"acyclic {text} as prop")
+    expected = direct(EXECUTION).is_acyclic()
+    assert spec(EXECUTION) == expected
+
+
+@given(cat_expressions())
+@settings(max_examples=40, deadline=None)
+def test_cat_empty_check(expr):
+    text, direct = expr
+    spec = parse_cat(f"empty {text} as prop")
+    assert spec(EXECUTION) == (not direct(EXECUTION))
+
+
+@given(cat_expressions(), cat_expressions())
+@settings(max_examples=30, deadline=None)
+def test_union_commutes(a, b):
+    text_a, _ = a
+    text_b, _ = b
+    left = parse_cat(f"acyclic {text_a} | {text_b} as l")
+    right = parse_cat(f"acyclic {text_b} | {text_a} as r")
+    assert left(EXECUTION) == right(EXECUTION)

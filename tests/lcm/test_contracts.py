@@ -1,0 +1,82 @@
+"""API coverage for the LeakageContainmentModel pipeline."""
+
+import pytest
+
+from repro.lcm import (
+    LeakageContainmentModel,
+    TransmitterClass,
+    confidentiality_x86,
+    inorder_lcm,
+    x86_lcm,
+)
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import SpeculationConfig, parse_program
+
+PROGRAM = parse_program("""
+  r1 = load n
+  r2 = load y
+  r3 = lt r2, r1
+  beqz r3, END
+  r4 = load A[r2]
+END: nop
+""", name="tiny-v1")
+
+
+class TestPipelineStages:
+    def test_event_structures(self):
+        lcm = x86_lcm(SpeculationConfig(depth=1))
+        structures = lcm.event_structures(PROGRAM)
+        assert len(structures) == 2
+
+    def test_architectural_semantics(self):
+        lcm = x86_lcm(SpeculationConfig.none())
+        executions = lcm.architectural_semantics(PROGRAM)
+        assert executions
+        assert all(x.xwitness is None for x in executions)
+
+    def test_microarchitectural_semantics(self):
+        lcm = x86_lcm(SpeculationConfig.none())
+        complete = lcm.microarchitectural_semantics(PROGRAM)
+        assert complete
+        assert all(x.xwitness is not None for x in complete)
+
+    def test_policy_factory_fresh_per_execution(self):
+        """Element numbering must not leak across analyses."""
+        lcm = x86_lcm(SpeculationConfig.none())
+        first = lcm.analyze(PROGRAM)
+        second = lcm.analyze(PROGRAM)
+        assert first.summary() == second.summary()
+
+
+class TestAnalysisResults:
+    def test_summary_renders(self):
+        analysis = x86_lcm(SpeculationConfig(depth=2)).analyze(PROGRAM)
+        text = analysis.summary()
+        assert "tiny-v1" in text and "UDT" in text
+
+    def test_reports_sorted_by_severity(self):
+        analysis = x86_lcm(SpeculationConfig(depth=2)).analyze(PROGRAM)
+        severities = [r.klass.severity for r in analysis.reports]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_transmitters_of_class(self):
+        analysis = x86_lcm(SpeculationConfig(depth=2)).analyze(PROGRAM)
+        for report in analysis.transmitters_of_class(TransmitterClass.DATA):
+            assert report.klass is TransmitterClass.DATA
+
+    def test_max_witnesses_cap(self):
+        lcm = x86_lcm(SpeculationConfig(depth=2))
+        lcm.max_leaky_witnesses = 1
+        analysis = lcm.analyze(PROGRAM)
+        assert len(analysis.witnesses) == 1
+
+    def test_named_constructors(self):
+        assert x86_lcm().name == "x86-LCM"
+        assert inorder_lcm().name == "inorder-LCM"
+        assert inorder_lcm().confidentiality.__name__ == \
+            "confidentiality_strict"
+
+    def test_leaky_execution_classes(self):
+        analysis = x86_lcm(SpeculationConfig(depth=2)).analyze(PROGRAM)
+        witness = analysis.witnesses[0]
+        assert witness.classes() <= set(TransmitterClass)

@@ -1,0 +1,90 @@
+"""Property-based soundness checks for the microarchitectural layer.
+
+The directed witness generator is a *slice* of the semantics: every
+execution it yields must also be produced by exhaustive enumeration
+under the same confidentiality predicate (no invented behaviours), and
+every yielded execution must satisfy the predicate.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lcm import (
+    confidentiality_strict,
+    confidentiality_x86,
+    directed_xwitnesses,
+    xwitness_candidates,
+)
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import parse_program, elaborate
+from repro.mcm import TSO, consistent_executions
+
+LOCATIONS = ["x", "y"]
+
+
+@st.composite
+def tiny_programs(draw):
+    """1-3 instruction straight-line programs over two locations."""
+    lines = []
+    count = draw(st.integers(1, 3))
+    reg = 1
+    for _ in range(count):
+        loc = draw(st.sampled_from(LOCATIONS))
+        if draw(st.booleans()):
+            lines.append(f"r{reg} = load {loc}")
+            reg += 1
+        else:
+            lines.append(f"store {loc}, {draw(st.integers(0, 2))}")
+    return "\n".join(lines)
+
+
+def _signature(execution):
+    xw = execution.xwitness
+    return frozenset(
+        [("rfx", a.label, b.label) for a, b in xw.rfx]
+        + [("cox", a.label, b.label) for a, b in xw.cox]
+        + [("kind", e.label, k.value) for e, k in xw.kinds.items()]
+    )
+
+
+@given(tiny_programs())
+@settings(max_examples=25, deadline=None)
+def test_directed_is_a_subset_of_exhaustive(source):
+    program = parse_program(source, name="gen")
+    (structure,) = elaborate(program)
+    for execution in consistent_executions(structure, TSO):
+        exhaustive = {
+            _signature(c)
+            for c in xwitness_candidates(
+                execution, DirectMappedPolicy(), confidentiality_x86)
+        }
+        for candidate in directed_xwitnesses(
+                execution, DirectMappedPolicy(), confidentiality_x86):
+            assert _signature(candidate) in exhaustive
+
+
+@given(tiny_programs())
+@settings(max_examples=25, deadline=None)
+def test_directed_satisfies_the_predicate(source):
+    program = parse_program(source, name="gen")
+    (structure,) = elaborate(program)
+    for execution in consistent_executions(structure, TSO):
+        for predicate in (confidentiality_x86, confidentiality_strict):
+            for candidate in directed_xwitnesses(
+                    execution, DirectMappedPolicy(), predicate):
+                assert predicate(candidate)
+
+
+@given(tiny_programs())
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_respects_tfo(source):
+    """Every enumerated rfx edge points forward in fetch order (or from
+    ⊤) under the x86 predicate."""
+    program = parse_program(source, name="gen")
+    (structure,) = elaborate(program)
+    for execution in consistent_executions(structure, TSO):
+        for candidate in xwitness_candidates(
+                execution, DirectMappedPolicy(), confidentiality_x86):
+            for writer, reader in candidate.rfx:
+                assert writer == structure.top or \
+                    (writer, reader) in structure.tfo

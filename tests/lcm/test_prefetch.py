@@ -1,0 +1,82 @@
+"""The IMP prefetch extension (§4.2, Fig. 5b) derived from programs."""
+
+import pytest
+
+from repro.lcm import TransmitterClass, x86_lcm
+from repro.lcm.prefetch import extend_with_prefetches, find_prefetch_primitives
+from repro.litmus import SpeculationConfig, parse_program, elaborate
+
+# for (i..N) X[Y[Z[i]]] — one unrolled iteration of the IMP training
+# pattern.
+INDIRECT = """
+  r1 = load Z[r0]
+  r2 = load Y[r1]
+  r3 = load X[r2]
+"""
+
+PLAIN = """
+  r1 = load a
+  r2 = load b
+"""
+
+
+def _structure(source):
+    (structure,) = elaborate(parse_program(source, name="imp"))
+    return structure
+
+
+class TestPrimitiveDetection:
+    def test_indirect_chain_found(self):
+        primitives = find_prefetch_primitives(_structure(INDIRECT))
+        assert len(primitives) == 1
+        primitive = primitives[0]
+        assert primitive.index.label == "1"
+        assert primitive.target.label == "3"
+
+    def test_plain_loads_have_no_primitive(self):
+        assert not find_prefetch_primitives(_structure(PLAIN))
+
+    def test_str(self):
+        (primitive,) = find_prefetch_primitives(_structure(INDIRECT))
+        assert "prefetch primitive" in str(primitive)
+
+
+class TestExtension:
+    def test_prefetch_events_added(self):
+        extended = extend_with_prefetches(_structure(INDIRECT))
+        prefetches = extended.prefetch_events
+        assert len(prefetches) == 3
+        assert all(e.prefetch for e in prefetches)
+        assert {e.label for e in prefetches} == {"1P", "2P", "3P"}
+
+    def test_prefetches_not_architectural(self):
+        extended = extend_with_prefetches(_structure(INDIRECT))
+        for event in extended.prefetch_events:
+            assert not any(event in pair for pair in extended.po)
+            assert any(event in pair for pair in extended.tfo)
+
+    def test_prefetch_addr_chain(self):
+        extended = extend_with_prefetches(_structure(INDIRECT))
+        by_label = {e.label: e for e in extended.events}
+        assert (by_label["1P"], by_label["2P"]) in extended.addr
+        assert (by_label["2P"], by_label["3P"]) in extended.addr
+
+    def test_no_primitive_no_change(self):
+        structure = _structure(PLAIN)
+        assert extend_with_prefetches(structure) is structure
+
+    def test_validates(self):
+        extend_with_prefetches(_structure(INDIRECT)).validate()
+
+
+class TestLeakageThroughPrefetcher:
+    def test_prefetch_udt_detected(self):
+        """§4.2: an IMP constructs a universal read gadget — the derived
+        prefetch chain must be classified as a UDT."""
+        extended = extend_with_prefetches(_structure(INDIRECT))
+        lcm = x86_lcm(SpeculationConfig.none())
+        analysis = lcm.analyze_structure(extended)
+        udts = analysis.transmitters_of_class(TransmitterClass.UNIVERSAL_DATA)
+        prefetch_udts = [r for r in udts if r.event.prefetch]
+        assert prefetch_udts
+        assert prefetch_udts[0].event.label == "3P"

@@ -1,0 +1,159 @@
+"""Unit tests for the transmitter taxonomy (Table 1, §3.2.4)."""
+
+import pytest
+
+from repro.events import (
+    CandidateExecution,
+    EventStructure,
+    ExecutionWitness,
+    Location,
+    Read,
+    Write,
+    make_bottom,
+    make_top,
+)
+from repro.lcm.noninterference import TransmitterEvent
+from repro.lcm.taxonomy import (
+    TransmitterClass,
+    classify_transmitters,
+    extended_addr,
+    most_severe,
+)
+from repro.relations import Relation
+
+
+class TestSeverityOrder:
+    def test_table1_partial_order(self):
+        """AT < CT < {DT, UCT} < UDT."""
+        at = TransmitterClass.ADDRESS
+        ct = TransmitterClass.CONTROL
+        dt = TransmitterClass.DATA
+        uct = TransmitterClass.UNIVERSAL_CONTROL
+        udt = TransmitterClass.UNIVERSAL_DATA
+        assert at < ct < dt < udt
+        assert at < ct < uct < udt
+        assert dt.severity == uct.severity
+
+    def test_values(self):
+        assert TransmitterClass.UNIVERSAL_DATA.value == "UDT"
+        assert TransmitterClass.ADDRESS.value == "AT"
+
+
+def _chain_execution(with_index=True, via="addr"):
+    """⊤ → index → access → transmit → ⊥ with addr/ctrl chains."""
+    top = make_top()
+    index = Read(eid=1, label="index", loc=Location("y"))
+    access = Read(eid=2, label="access", loc=Location("A"))
+    transmit = Read(eid=3, label="transmit", loc=Location("B"))
+    from dataclasses import replace
+
+    bottom = replace(make_bottom(0), loc=Location("B"))
+    events = (top, index, access, transmit, bottom)
+    po = Relation.from_total_order(events)
+    addr_pairs = []
+    ctrl_pairs = []
+    if with_index:
+        addr_pairs.append((index, access))
+    if via == "addr":
+        addr_pairs.append((access, transmit))
+    else:
+        ctrl_pairs.append((access, transmit))
+    structure = EventStructure(
+        events=events, po=po, tfo=po,
+        addr=Relation(addr_pairs), ctrl=Relation(ctrl_pairs),
+        top=top, bottoms=(bottom,), name="chain",
+    )
+    witness = ExecutionWitness(
+        rf=Relation([(top, index), (top, access), (top, transmit),
+                     (top, bottom)]),
+        co=Relation(),
+    )
+    return CandidateExecution(structure, witness), transmit, bottom
+
+
+class TestClassification:
+    def _classify(self, with_index, via):
+        execution, transmit, bottom = _chain_execution(with_index, via)
+        found = [TransmitterEvent(transmit, bottom)]
+        reports = classify_transmitters(execution, found)
+        return reports[0]
+
+    def test_udt(self):
+        report = self._classify(with_index=True, via="addr")
+        assert report.klass is TransmitterClass.UNIVERSAL_DATA
+        assert report.index.label == "index"
+        assert report.access.label == "access"
+
+    def test_dt(self):
+        report = self._classify(with_index=False, via="addr")
+        assert report.klass is TransmitterClass.DATA
+        assert report.index is None
+
+    def test_uct(self):
+        report = self._classify(with_index=True, via="ctrl")
+        assert report.klass is TransmitterClass.UNIVERSAL_CONTROL
+
+    def test_ct(self):
+        report = self._classify(with_index=False, via="ctrl")
+        assert report.klass is TransmitterClass.CONTROL
+
+    def test_at_with_no_chain(self):
+        execution, transmit, bottom = _chain_execution(False, "addr")
+        # Classify the *index-free access-free* node: the index itself.
+        index_event = next(e for e in execution.structure.events
+                           if e.label == "index")
+        found = [TransmitterEvent(index_event, bottom)]
+        report = classify_transmitters(execution, found)[0]
+        assert report.klass is TransmitterClass.ADDRESS
+
+    def test_most_severe(self):
+        execution, transmit, bottom = _chain_execution(True, "addr")
+        found = [
+            TransmitterEvent(transmit, bottom),
+            TransmitterEvent(
+                next(e for e in execution.structure.events
+                     if e.label == "index"), bottom),
+        ]
+        reports = classify_transmitters(execution, found)
+        top_report = most_severe(reports)
+        assert top_report.klass is TransmitterClass.UNIVERSAL_DATA
+
+    def test_most_severe_empty(self):
+        assert most_severe([]) is None
+
+
+class TestExtendedAddr:
+    def test_plain_addr_included(self):
+        execution, transmit, bottom = _chain_execution(True, "addr")
+        ext = extended_addr(execution)
+        assert ext  # contains the direct addr edges
+
+    def test_data_rf_hop(self):
+        """access -data-> W -rf-> R -addr-> transmit counts as addr (§5.3)."""
+        top = make_top()
+        access = Read(eid=1, label="access", loc=Location("A"))
+        spill = Write(eid=2, label="spill", loc=Location("slot"))
+        reload = Read(eid=3, label="reload", loc=Location("slot"))
+        transmit = Read(eid=4, label="transmit", loc=Location("B"))
+        events = (top, access, spill, reload, transmit)
+        po = Relation.from_total_order(events)
+        structure = EventStructure(
+            events=events, po=po, tfo=po,
+            addr=Relation([(reload, transmit)]),
+            data=Relation([(access, spill)]),
+            top=top, name="hop",
+        )
+        witness = ExecutionWitness(
+            rf=Relation([(top, access), (spill, reload), (top, transmit)]),
+            co=Relation([(top, spill)]),
+        )
+        execution = CandidateExecution(structure, witness)
+        ext = extended_addr(execution)
+        assert (access, transmit) in ext
+
+    def test_transient_flags_in_report_str(self):
+        execution, transmit, bottom = _chain_execution(True, "addr")
+        found = [TransmitterEvent(transmit, bottom)]
+        report = classify_transmitters(execution, found)[0]
+        text = str(report)
+        assert "index" in text and "transmit" in text and "UDT" in text

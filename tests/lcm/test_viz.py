@@ -1,0 +1,67 @@
+"""Tests for DOT rendering of executions and witnesses."""
+
+import pytest
+
+from repro.clou import analyze_source
+from repro.lcm.attacks import spectre_v1
+from repro.viz import execution_to_dot, witness_to_dot
+
+
+@pytest.fixture(scope="module")
+def leaky_execution():
+    case = spectre_v1()
+    analysis = case.analyze()
+    return analysis.witnesses[0].execution
+
+
+class TestExecutionDot:
+    def test_valid_dot_structure(self, leaky_execution):
+        dot = execution_to_dot(leaky_execution, name="v1")
+        assert dot.startswith('digraph "v1" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_all_events_rendered(self, leaky_execution):
+        dot = execution_to_dot(leaky_execution)
+        for event in leaky_execution.structure.events:
+            assert f"e{event.eid} [" in dot
+
+    def test_relations_labeled(self, leaky_execution):
+        dot = execution_to_dot(leaky_execution)
+        for label in ("po", "rf", "rfx"):
+            assert f'label="{label}"' in dot
+
+    def test_violating_edges_dashed(self, leaky_execution):
+        dot = execution_to_dot(leaky_execution)
+        assert 'style="dashed"' in dot
+
+    def test_transient_events_shaded(self, leaky_execution):
+        dot = execution_to_dot(leaky_execution)
+        assert "gray92" in dot
+
+    def test_architectural_execution_renders_without_xwitness(self):
+        from repro.litmus import parse_program, elaborate
+        from repro.mcm import TSO, consistent_executions
+
+        (structure,) = elaborate(parse_program("r1 = load x"))
+        (execution,) = consistent_executions(structure, TSO)
+        dot = execution_to_dot(execution)
+        assert "digraph" in dot
+        assert "rfx" not in dot
+
+
+class TestWitnessDot:
+    def test_witness_chain(self):
+        source = """
+uint8_t A[16]; uint8_t B[4096]; uint64_t n; uint8_t t;
+void f(uint64_t y) {
+    if (y < n) { t &= B[A[y] * 16]; }
+}
+"""
+        report = analyze_source(source, engine="pht")
+        witness = report.transmitters[0]
+        dot = witness_to_dot(witness)
+        assert "digraph" in dot
+        assert "primitive" in dot
+        assert "transmit" in dot
+        assert "receiver" in dot
+        assert "rfx" in dot

@@ -1,0 +1,112 @@
+"""Unit tests for xstate policies (§3.2.1)."""
+
+import pytest
+
+from repro.events import (
+    AccessKind,
+    Bottom,
+    Location,
+    Read,
+    Top,
+    Write,
+    make_bottom,
+    make_top,
+)
+from repro.lcm.xstate import TOP_ELEMENT, DirectMappedPolicy, XStateElement
+from repro.litmus import parse_program, elaborate
+
+
+def _structure(source):
+    (structure,) = elaborate(parse_program(source))
+    return structure
+
+
+class TestElementMap:
+    def test_one_element_per_address(self):
+        policy = DirectMappedPolicy()
+        a = policy.element_for(Location("x"))
+        b = policy.element_for(Location("y"))
+        same = policy.element_for(Location("x"))
+        assert a == same
+        assert a != b
+
+    def test_element_naming_is_first_use_order(self):
+        policy = DirectMappedPolicy()
+        first = policy.element_for(Location("x"))
+        second = policy.element_for(Location("y"))
+        assert str(first) == "s0"
+        assert str(second) == "s1"
+
+    def test_finite_cache_collides(self):
+        policy = DirectMappedPolicy(num_sets=1)
+        a = policy.element_for(Location("x"))
+        b = policy.element_for(Location("y"))
+        assert a == b  # everything maps to the single set
+
+    def test_top_accesses_every_element(self):
+        policy = DirectMappedPolicy()
+        structure = _structure("r1 = load x")
+        assert policy.elements(make_top(), structure) == (TOP_ELEMENT,)
+
+
+class TestAccessKinds:
+    def test_read_hits_or_misses(self):
+        policy = DirectMappedPolicy()
+        kinds = policy.kinds(Read(eid=1, loc=Location("x")))
+        assert set(kinds) == {AccessKind.READ, AccessKind.READ_MODIFY_WRITE}
+
+    def test_write_allocate_store_is_rmw(self):
+        policy = DirectMappedPolicy()
+        kinds = policy.kinds(Write(eid=1, loc=Location("x")))
+        assert kinds == (AccessKind.READ_MODIFY_WRITE,)
+
+    def test_no_write_allocate_store_is_write(self):
+        policy = DirectMappedPolicy(write_allocate=False)
+        kinds = policy.kinds(Write(eid=1, loc=Location("x")))
+        assert kinds == (AccessKind.WRITE,)
+
+    def test_silent_store_may_read(self):
+        policy = DirectMappedPolicy(silent_stores=True)
+        kinds = policy.kinds(Write(eid=1, loc=Location("x")))
+        assert AccessKind.READ in kinds
+
+    def test_bottom_reads(self):
+        policy = DirectMappedPolicy()
+        assert policy.kinds(make_bottom()) == (AccessKind.READ,)
+
+    def test_non_memory_events_have_no_kinds(self):
+        from repro.events import Branch, Fence
+
+        policy = DirectMappedPolicy()
+        assert policy.kinds(Branch(eid=1)) == ()
+        assert policy.kinds(Fence(eid=1)) == ()
+
+
+class TestAliasPrediction:
+    def test_transient_read_may_mispredict(self):
+        policy = DirectMappedPolicy(alias_prediction=True)
+        structure = _structure("store C[0], 64\nr1 = load y")
+        # Build a synthetic transient read after the store.
+        from repro.litmus import SpeculationConfig
+
+        structures = elaborate(
+            parse_program("r1 = load y\nstore C[0], 64\nr2 = load C[r1]"),
+            SpeculationConfig(depth=2, branch_speculation=False,
+                              store_bypass=True),
+        )
+        bypass = [s for s in structures if "bypass" in s.name]
+        assert bypass
+        transient_reads = [e for e in bypass[0].transient_events
+                           if isinstance(e, Read)]
+        assert transient_reads
+        elems = policy.elements(transient_reads[0], bypass[0])
+        assert len(elems) >= 1
+
+    def test_committed_read_never_mispredicts(self):
+        policy = DirectMappedPolicy(alias_prediction=True)
+        structure = _structure("store C[0], 64\nr1 = load y")
+        committed_read = next(
+            e for e in structure.reads
+            if e.committed and e not in structure.bottoms
+        )
+        assert len(policy.elements(committed_read, structure)) == 1

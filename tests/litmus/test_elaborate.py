@@ -1,0 +1,203 @@
+"""Tests for litmus elaboration: paths, deps, and speculative windows."""
+
+import pytest
+
+from repro.events import Branch, Read, Write
+from repro.litmus import SpeculationConfig, elaborate, parse_program
+
+SPECTRE_V1 = """
+thread 0:
+  r1 = load size
+  r2 = load y
+  r3 = lt r2, r1
+  beqz r3, END
+  r4 = load A[r2]
+  r5 = load B[r4]
+  store tmp, r5
+END: nop
+"""
+
+
+def _by_label(structure):
+    return {e.label: e for e in structure.events}
+
+
+class TestArchitecturalElaboration:
+    def test_branch_yields_two_structures(self):
+        structures = elaborate(parse_program(SPECTRE_V1, name="v1"))
+        assert len(structures) == 2
+
+    def test_straight_line_single_structure(self):
+        structures = elaborate(parse_program("r1 = load x\nstore y, r1"))
+        assert len(structures) == 1
+
+    def test_taken_path_has_no_body(self):
+        structures = elaborate(parse_program(SPECTRE_V1))
+        sizes = sorted(len(s.committed_events) for s in structures)
+        # taken (bounds fail): ⊤, 2 loads, branch + bottoms committed;
+        # not-taken: extra 2 loads + store.
+        assert sizes[0] < sizes[1]
+
+    def test_dependencies_on_body_path(self):
+        structures = elaborate(parse_program(SPECTRE_V1))
+        body = max(structures, key=lambda s: len(s.committed_events))
+        events = _by_label(body)
+        assert (events["2"], events["5"]) in body.addr
+        assert (events["5"], events["6"]) in body.addr
+        assert (events["6"], events["7"]) in body.data
+        assert (events["2"], events["5"]) in body.ctrl
+        assert (events["1"], events["6"]) in body.ctrl
+
+    def test_address_canonicalization(self):
+        # Two loads with the same symbolic index hit the same Location.
+        structures = elaborate(parse_program("""
+r1 = load y
+r2 = load A[r1]
+r3 = load y
+r4 = load A[r3]
+"""))
+        (structure,) = structures
+        events = _by_label(structure)
+        assert events["2"].loc == events["4"].loc
+
+    def test_distinct_indices_distinct_locations(self):
+        (structure,) = elaborate(parse_program("""
+r1 = load y
+r2 = load z
+r3 = load A[r1]
+r4 = load A[r2]
+"""))
+        events = _by_label(structure)
+        assert events["3"].loc != events["4"].loc
+
+    def test_immediate_index_location(self):
+        (structure,) = elaborate(parse_program("store C[0], 64"))
+        events = _by_label(structure)
+        assert events["1"].loc.offset == 0
+        assert events["1"].loc.base == "C"
+
+    def test_top_and_bottoms_present(self):
+        (structure,) = elaborate(parse_program("r1 = load x"))
+        assert structure.top is not None
+        assert len(structure.bottoms) == 1  # one probe per location
+        assert structure.bottoms[0].loc.base == "x"
+
+    def test_po_brackets_program(self):
+        (structure,) = elaborate(parse_program("r1 = load x"))
+        load = _by_label(structure)["1"]
+        assert (structure.top, load) in structure.po
+        assert (load, structure.bottoms[0]) in structure.po
+
+    def test_store_data_recorded(self):
+        (structure,) = elaborate(parse_program("store x, 1\nstore x, 1"))
+        writes = [e for e in structure.events if isinstance(e, Write)]
+        assert writes[0].data == writes[1].data == "1"
+
+    def test_fence_event_emitted(self):
+        (structure,) = elaborate(parse_program("r1 = load x\nlfence\nstore y, r1"))
+        assert len(structure.fences) == 1
+
+    def test_multithreaded_po_is_per_thread(self):
+        structures = elaborate(parse_program("""
+thread 0:
+  store x, 1
+thread 1:
+  r1 = load x
+"""))
+        (structure,) = structures
+        store = next(e for e in structure.events if isinstance(e, Write))
+        load = next(
+            e for e in structure.events
+            if isinstance(e, Read) and e.committed and e.tid == 1
+        )
+        assert (store, load) not in structure.po
+        assert (structure.top, store) in structure.po
+        assert (structure.top, load) in structure.po
+
+    def test_loops_bounded_to_two_iterations(self):
+        structures = elaborate(parse_program("""
+LOOP: r1 = load x
+  beqz r1, LOOP
+  nop
+"""))
+        # Bounded unrolling: finitely many structures, each with <= 2
+        # instances of the loop load.
+        assert 0 < len(structures) <= 8
+        for structure in structures:
+            loads = [e for e in structure.reads if e.committed and e.label == "1"]
+            assert len(loads) <= 2
+
+    def test_validates(self):
+        for structure in elaborate(parse_program(SPECTRE_V1),
+                                   SpeculationConfig(depth=2)):
+            structure.validate()  # does not raise
+
+
+class TestSpeculativeElaboration:
+    def test_transient_window_on_mispredicted_path(self):
+        structures = elaborate(parse_program(SPECTRE_V1, name="v1"),
+                               SpeculationConfig(depth=2))
+        skip_path = min(structures, key=lambda s: len(s.committed_events))
+        labels = {e.label for e in skip_path.transient_events}
+        assert labels == {"5S", "6S"}
+
+    def test_depth_bounds_window(self):
+        structures = elaborate(parse_program(SPECTRE_V1),
+                               SpeculationConfig(depth=3))
+        skip_path = min(structures, key=lambda s: len(s.committed_events))
+        labels = {e.label for e in skip_path.transient_events}
+        assert labels == {"5S", "6S", "7S"}
+
+    def test_no_speculation_no_transients(self):
+        for structure in elaborate(parse_program(SPECTRE_V1),
+                                   SpeculationConfig.none()):
+            assert not structure.transient_events
+
+    def test_transients_in_tfo_not_po(self):
+        structures = elaborate(parse_program(SPECTRE_V1), SpeculationConfig(depth=2))
+        skip_path = min(structures, key=lambda s: len(s.committed_events))
+        branch = next(e for e in skip_path.events if isinstance(e, Branch))
+        for transient in skip_path.transient_events:
+            assert (branch, transient) in skip_path.tfo
+            assert not any(transient in pair for pair in skip_path.po)
+
+    def test_transient_deps_tracked(self):
+        structures = elaborate(parse_program(SPECTRE_V1), SpeculationConfig(depth=2))
+        skip_path = min(structures, key=lambda s: len(s.committed_events))
+        events = _by_label(skip_path)
+        assert (events["2"], events["5S"]) in skip_path.addr
+        assert (events["5S"], events["6S"]) in skip_path.addr
+
+    def test_lfence_stops_window(self):
+        source = """
+  r1 = load y
+  beqz r1, END
+  lfence
+  r2 = load A[r1]
+END: nop
+"""
+        structures = elaborate(parse_program(source), SpeculationConfig(depth=4))
+        skip_path = min(structures, key=lambda s: len(s.committed_events))
+        assert not skip_path.transient_events  # window blocked by lfence
+
+    def test_store_bypass_generates_extra_structures(self):
+        source = """
+  store y, 0
+  r1 = load y
+  r2 = load A[r1]
+"""
+        plain = elaborate(parse_program(source), SpeculationConfig(
+            depth=2, branch_speculation=False, store_bypass=False))
+        bypass = elaborate(parse_program(source), SpeculationConfig(
+            depth=2, branch_speculation=False, store_bypass=True))
+        assert len(bypass) > len(plain)
+        extra = [s for s in bypass if "bypass" in s.name]
+        assert extra
+        labels = {e.label for s in extra for e in s.transient_events}
+        assert "2S" in labels  # the bypassing load's transient twin
+
+    def test_bypass_requires_prior_store(self):
+        source = "r1 = load y\nr2 = load A[r1]"
+        bypass = elaborate(parse_program(source), SpeculationConfig(
+            depth=2, branch_speculation=False, store_bypass=True))
+        assert len(bypass) == 1  # no store, no bypass structure

@@ -1,0 +1,129 @@
+"""Property-based tests for litmus elaboration (hypothesis).
+
+Random straight-line + single-branch litmus programs are generated and
+elaboration invariants checked: structures validate, po ⊆ tfo, transient
+events never commit, dependencies respect fetch order, and turning
+speculation off removes all transient events.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.litmus import SpeculationConfig, parse_program, elaborate
+
+LOCATIONS = ["x", "y", "z", "A", "B"]
+REGISTERS = [f"r{i}" for i in range(1, 5)]
+
+
+@st.composite
+def straight_line_programs(draw):
+    lines = []
+    defined = set()
+    count = draw(st.integers(1, 6))
+    for _ in range(count):
+        choice = draw(st.integers(0, 3))
+        if choice == 0 or not defined:
+            reg = draw(st.sampled_from(REGISTERS))
+            loc = draw(st.sampled_from(LOCATIONS))
+            if draw(st.booleans()) and defined:
+                index = draw(st.sampled_from(sorted(defined)))
+                lines.append(f"{reg} = load {loc}[{index}]")
+            else:
+                lines.append(f"{reg} = load {loc}")
+            defined.add(reg)
+        elif choice == 1:
+            loc = draw(st.sampled_from(LOCATIONS))
+            source = draw(st.sampled_from(sorted(defined)))
+            lines.append(f"store {loc}, {source}")
+        elif choice == 2:
+            dest = draw(st.sampled_from(REGISTERS))
+            lhs = draw(st.sampled_from(sorted(defined)))
+            op = draw(st.sampled_from(["add", "and", "xor", "lt"]))
+            lines.append(f"{dest} = {op} {lhs}, 1")
+            defined.add(dest)
+        else:
+            lines.append("nop")
+    return "\n".join(lines)
+
+
+@st.composite
+def branchy_programs(draw):
+    prefix = draw(straight_line_programs())
+    body = draw(straight_line_programs())
+    cond = "r1"
+    return (
+        f"r1 = load c\n{prefix}\nbeqz {cond}, END\n{body}\nEND: nop"
+    )
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_structures_validate(source):
+    program = parse_program(source, name="gen")
+    for structure in elaborate(program, SpeculationConfig(depth=2)):
+        structure.validate()  # does not raise
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_po_subset_of_tfo(source):
+    program = parse_program(source, name="gen")
+    for structure in elaborate(program, SpeculationConfig(depth=3)):
+        assert structure.po.is_subset_of(structure.tfo)
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_transients_never_commit(source):
+    program = parse_program(source, name="gen")
+    for structure in elaborate(program, SpeculationConfig(depth=2)):
+        for event in structure.transient_events:
+            assert not event.committed
+            assert not any(event in pair for pair in structure.po)
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_deps_respect_tfo(source):
+    program = parse_program(source, name="gen")
+    for structure in elaborate(program, SpeculationConfig(depth=2)):
+        for a, b in structure.dep:
+            assert (a, b) in structure.tfo, f"dep {a!r}->{b!r} not in tfo"
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_no_speculation_no_transients(source):
+    program = parse_program(source, name="gen")
+    for structure in elaborate(program, SpeculationConfig.none()):
+        assert not structure.transient_events
+
+
+@given(branchy_programs())
+@settings(max_examples=30, deadline=None)
+def test_speculation_only_adds_events(source):
+    program = parse_program(source, name="gen")
+    plain = elaborate(program, SpeculationConfig.none())
+    speculative = elaborate(program, SpeculationConfig(depth=2))
+    assert len(plain) == len(speculative)
+    for before, after in zip(plain, speculative):
+        # Program (non-observer) committed events are identical; the
+        # speculative elaboration may add ⊥ probes for transiently
+        # touched locations, which is expected.
+        committed_before = {
+            e.label for e in before.committed_events
+            if e not in before.bottoms
+        }
+        committed_after = {
+            e.label for e in after.committed_events
+            if e not in after.bottoms
+        }
+        assert committed_before == committed_after
+
+
+@given(straight_line_programs())
+@settings(max_examples=40, deadline=None)
+def test_straight_line_single_structure(source):
+    program = parse_program(source, name="gen")
+    structures = elaborate(program)
+    assert len(structures) == 1

@@ -1,0 +1,150 @@
+"""Unit tests for the litmus assembly parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.litmus import (
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Store,
+    parse_program,
+)
+
+
+class TestBasicParsing:
+    def test_load(self):
+        program = parse_program("r1 = load x")
+        ins = program.threads[0].instructions[0]
+        assert isinstance(ins, Load)
+        assert ins.dest == "r1"
+        assert ins.address.base == "x"
+        assert ins.address.index is None
+
+    def test_load_indexed(self):
+        ins = parse_program("r2 = load A[r1]").threads[0].instructions[0]
+        assert ins.address.base == "A"
+        assert ins.address.index.is_reg
+        assert ins.address.index.value == "r1"
+
+    def test_load_indexed_immediate(self):
+        ins = parse_program("r2 = load C[0]").threads[0].instructions[0]
+        assert not ins.address.index.is_reg
+        assert ins.address.index.value == 0
+
+    def test_store_register(self):
+        ins = parse_program("store x, r1").threads[0].instructions[0]
+        assert isinstance(ins, Store)
+        assert ins.src.is_reg
+
+    def test_store_immediate(self):
+        ins = parse_program("store x, 64").threads[0].instructions[0]
+        assert not ins.src.is_reg
+        assert ins.src.value == 64
+
+    def test_alu(self):
+        ins = parse_program("r3 = lt r2, r1").threads[0].instructions[0]
+        assert isinstance(ins, Alu)
+        assert ins.op == "lt"
+
+    def test_alu_immediate_operand(self):
+        ins = parse_program("r3 = and r2, #7").threads[0].instructions[0]
+        assert ins.rhs.value == 7
+
+    def test_mov(self):
+        ins = parse_program("r1 = mov 5").threads[0].instructions[0]
+        assert isinstance(ins, Mov)
+
+    def test_branches(self):
+        program = parse_program("beqz r1, OUT\nbnez r2, OUT\nOUT: nop")
+        beqz, bnez, nop = program.threads[0].instructions
+        assert isinstance(beqz, CondBranch) and not beqz.negated
+        assert isinstance(bnez, CondBranch) and bnez.negated
+        assert isinstance(nop, Nop)
+        assert nop.label == "OUT"
+
+    def test_jump(self):
+        ins = parse_program("jmp END\nEND: nop").threads[0].instructions[0]
+        assert isinstance(ins, Jump)
+        assert ins.target == "END"
+
+    def test_fences(self):
+        program = parse_program("fence\nmfence\nlfence")
+        kinds = [i.kind for i in program.threads[0].instructions]
+        assert kinds == ["mfence", "mfence", "lfence"]
+        assert all(isinstance(i, FenceInstr) for i in program.threads[0].instructions)
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program("# header\n\nr1 = load x  # trailing\n")
+        assert len(program.threads[0].instructions) == 1
+
+    def test_labeled_instruction(self):
+        ins = parse_program("LOOP: r1 = load x").threads[0].instructions[0]
+        assert ins.label == "LOOP"
+        assert isinstance(ins, Load)
+
+    def test_bare_label_becomes_nop(self):
+        ins = parse_program("END:").threads[0].instructions[0]
+        assert isinstance(ins, Nop)
+        assert ins.label == "END"
+
+
+class TestThreads:
+    def test_multiple_threads(self):
+        program = parse_program("""
+thread 0:
+  store x, 1
+thread 1:
+  r1 = load x
+""")
+        assert len(program.threads) == 2
+        assert program.threads[0].tid == 0
+        assert program.threads[1].tid == 1
+
+    def test_implicit_thread_zero(self):
+        program = parse_program("r1 = load x")
+        assert program.threads[0].tid == 0
+
+    def test_str_roundtrip_mentions_instructions(self):
+        program = parse_program("r1 = load x\nstore y, r1", name="t")
+        text = str(program)
+        assert "load x" in text and "store y" in text
+
+
+class TestErrors:
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_program("   \n# only comments\n")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_program("frobnicate r1")
+
+    def test_unknown_op(self):
+        with pytest.raises(ParseError):
+            parse_program("r1 = frob r2, r3")
+
+    def test_malformed_branch(self):
+        with pytest.raises(ParseError):
+            parse_program("beqz OUT")
+
+    def test_malformed_store(self):
+        with pytest.raises(ParseError):
+            parse_program("store x")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_program("x = load y")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("r1 = load x\nbogus!")
+        assert excinfo.value.line == 2
+
+    def test_malformed_thread_header(self):
+        with pytest.raises(ParseError):
+            parse_program("thread abc:\nr1 = load x")

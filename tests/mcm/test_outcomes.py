@@ -1,0 +1,57 @@
+"""Litmus outcome exploration: the MCM layer against classic tests."""
+
+import pytest
+
+from repro.litmus import parse_program
+from repro.mcm import SC, TSO
+from repro.mcm.outcomes import (
+    CLASSIC_TESTS,
+    LitmusTest,
+    allows,
+    outcomes,
+    run_classic_suite,
+)
+
+
+class TestObservedOutcomes:
+    def test_single_thread_final_read(self):
+        program = parse_program("store x, 1\nr1 = load x", name="t")
+        assert allows(program, TSO, {"0:2": "1"})
+        assert not allows(program, TSO, {"0:2": "init"})
+
+    def test_uninitialized_read(self):
+        program = parse_program("r1 = load x", name="t")
+        assert allows(program, TSO, {"0:1": "init"})
+
+    def test_outcome_count_racy_pair(self):
+        program = parse_program("""
+thread 0:
+  store x, 1
+thread 1:
+  r1 = load x
+""", name="race")
+        found = outcomes(program, TSO)
+        # The load sees either the store or the initial value.
+        assert len(found) == 2
+
+
+@pytest.mark.parametrize("test", CLASSIC_TESTS, ids=lambda t: t.name)
+@pytest.mark.parametrize("model", [SC, TSO], ids=lambda m: m.name)
+def test_classic_litmus_verdicts(test: LitmusTest, model):
+    assert test.check(model), (
+        f"{test.name} under {model.name}: expected "
+        f"allowed={test.allowed[model.name]}"
+    )
+
+
+def test_suite_runner():
+    results = run_classic_suite()
+    assert len(results) == len(CLASSIC_TESTS) * 2
+    assert all(ok for _, _, ok in results)
+
+
+def test_tso_weaker_than_sc_on_every_classic_test():
+    """Every SC-allowed outcome is TSO-allowed (TSO is weaker)."""
+    for test in CLASSIC_TESTS:
+        program = test.program()
+        assert outcomes(program, SC) <= outcomes(program, TSO), test.name

@@ -1,0 +1,135 @@
+"""The RELAXED model: weaker than TSO, still coherent."""
+
+import pytest
+
+from repro.litmus import parse_program
+from repro.mcm import SC, TSO, outcomes, allows
+from repro.mcm.relaxed import RELAXED
+
+MP = """
+thread 0:
+  store x, 1
+  store flag, 1
+thread 1:
+  r1 = load flag
+  r2 = load x
+"""
+
+MP_DEP = """
+# Message passing, writer-side fence + reader-side control dependency:
+# the ARM-style fix for MP on weak hardware.  (An address dependency to
+# the same location is inexpressible under the symbolic address model,
+# so the control-flow variant is used.)
+thread 0:
+  store x, 1
+  mfence
+  store flag, 1
+thread 1:
+  r1 = load flag
+  beqz r1, END
+  r2 = load x
+END: nop
+"""
+
+MP_FENCED = """
+thread 0:
+  store x, 1
+  mfence
+  store flag, 1
+thread 1:
+  r1 = load flag
+  mfence
+  r2 = load x
+"""
+
+COHERENCE = """
+thread 0:
+  store x, 1
+  store x, 2
+  r1 = load x
+"""
+
+
+def _program(source, name):
+    return parse_program(source, name=name)
+
+
+class TestRelaxedVerdicts:
+    def test_mp_weak_outcome_allowed(self):
+        """Without a dependency or fence, the stale-data outcome is
+        visible on weakly-ordered hardware."""
+        program = _program(MP, "mp")
+        outcome = {"1:1": "1", "1:2": "init"}
+        assert allows(program, RELAXED, outcome)
+        assert not allows(program, TSO, outcome)
+
+    def test_mp_with_dependency_forbidden(self):
+        program = _program(MP_DEP, "mp+dep")
+        # Flag seen (branch falls through), yet the control-dependent
+        # load reads stale x: forbidden — the writer fence orders the
+        # stores and ctrl is in the relaxed ppo.
+        outcome = {"1:1": "1", "1:3": "init"}
+        assert not allows(program, RELAXED, outcome)
+
+    def test_mp_dependency_needs_writer_fence(self):
+        """Without the writer-side fence the weak outcome IS allowed —
+        the store-store reordering real weak ISAs exhibit."""
+        unfenced = _program(MP_DEP.replace("  mfence\n", ""), "mp+dep-f")
+        outcome = {"1:1": "1", "1:3": "init"}
+        assert allows(unfenced, RELAXED, outcome)
+
+    def test_mp_with_fences_forbidden(self):
+        program = _program(MP_FENCED, "mp+f")
+        outcome = {"1:2": "1", "1:4": "init"}
+        assert not allows(program, RELAXED, outcome)
+
+    def test_coherence_still_holds(self):
+        program = _program(COHERENCE, "coherence")
+        assert not allows(program, RELAXED, {"0:3": "1"})
+        assert allows(program, RELAXED, {"0:3": "2"})
+
+
+class TestModelHierarchy:
+    @pytest.mark.parametrize("source,name", [
+        (MP, "mp"), (MP_DEP, "mp+dep"), (COHERENCE, "coherence"),
+    ])
+    def test_sc_subset_tso_subset_relaxed(self, source, name):
+        program = _program(source, name)
+        sc = outcomes(program, SC)
+        tso = outcomes(program, TSO)
+        relaxed = outcomes(program, RELAXED)
+        assert sc <= tso <= relaxed, name
+
+    def test_relaxed_strictly_weaker_somewhere(self):
+        program = _program(MP, "mp")
+        assert outcomes(program, TSO) < outcomes(program, RELAXED)
+
+
+class TestLCMOnRelaxed:
+    def test_lcm_detects_leakage_under_relaxed_mcm(self):
+        """LCMs are MCM-generic: plugging the weak model into the
+        pipeline still finds the Spectre v1 transmitters."""
+        from repro.lcm import TransmitterClass, confidentiality_x86
+        from repro.lcm.contracts import LeakageContainmentModel
+        from repro.lcm.xstate import DirectMappedPolicy
+        from repro.litmus import SpeculationConfig
+
+        lcm = LeakageContainmentModel(
+            name="relaxed-LCM",
+            mcm=RELAXED,
+            policy_factory=DirectMappedPolicy,
+            confidentiality=confidentiality_x86,
+            speculation=SpeculationConfig(depth=2),
+        )
+        program = parse_program("""
+  r1 = load size
+  r2 = load y
+  r3 = lt r2, r1
+  beqz r3, END
+  r4 = load A[r2]
+  r5 = load B[r4]
+END: nop
+""", name="v1")
+        analysis = lcm.analyze(program)
+        assert analysis.leaky
+        assert TransmitterClass.UNIVERSAL_DATA in analysis.classes()

@@ -1,0 +1,67 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("uint8_t foo")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+
+    def test_decimal_and_hex_numbers(self):
+        tokens = tokenize("42 0x2a 0X2A")
+        assert [t.value for t in tokens[:3]] == [42, 42, 42]
+
+    def test_integer_suffixes(self):
+        tokens = tokenize("7u 7UL 7ll")
+        assert all(t.value == 7 for t in tokens[:3])
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0'")
+        assert [t.value for t in tokens[:3]] == [97, 10, 0]
+        assert all(t.kind == "number" for t in tokens[:3])
+
+    def test_string_literal(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind == "string"
+        assert token.value == "hello"
+
+    def test_operators_longest_match(self):
+        assert texts("a <<= b >> c >= d") == ["a", "<<=", "b", ">>", "c", ">=", "d"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("p->x - y") == ["p", "->", "x", "-", "y"]
+
+    def test_increment(self):
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_comments_stripped(self):
+        assert texts("a // comment\nb /* block\ncomment */ c") == ["a", "b", "c"]
+
+    def test_preprocessor_lines_skipped(self):
+        assert texts("#include <stdint.h>\nint x;") == ["int", "x", ";"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind == "ident"]
+        assert lines == [1, 2, 4]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("int x = `bad`;")

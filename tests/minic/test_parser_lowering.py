@@ -1,0 +1,281 @@
+"""Tests for the mini-C parser and IR lowering."""
+
+import pytest
+
+from repro.errors import LoweringError, ParseError
+from repro.ir import (
+    Alloca,
+    ArrayType,
+    Branch,
+    Call,
+    FenceInstr,
+    GetElementPtr,
+    IntType,
+    Load,
+    PointerType,
+    Store,
+    StructType,
+)
+from repro.minic import compile_c, parse_c
+
+
+def instructions_of(module, name):
+    return module.functions[name].all_instructions()
+
+
+def count(module, name, kind):
+    return sum(1 for i in instructions_of(module, name) if isinstance(i, kind))
+
+
+class TestParser:
+    def test_global_types(self):
+        unit = parse_c("uint8_t a; uint64_t *p; uint8_t arr[16];")
+        types = {g.name: g.type for g in unit.globals}
+        assert types["a"] == IntType(8, signed=False)
+        assert isinstance(types["p"], PointerType)
+        assert isinstance(types["arr"], ArrayType)
+        assert types["arr"].count == 16
+
+    def test_constant_folded_array_bound(self):
+        unit = parse_c("uint8_t big[256 * 512];")
+        assert unit.globals[0].type.count == 256 * 512
+
+    def test_struct_definition(self):
+        unit = parse_c("""
+struct Pair { int a; int b; uint8_t tag[4]; };
+struct Pair p;
+""")
+        struct = unit.structs["Pair"]
+        assert struct.field_index("b") == 1
+        assert isinstance(struct.field_type("tag"), ArrayType)
+
+    def test_function_params(self):
+        unit = parse_c("void f(uint64_t x, uint8_t *p) {}")
+        fn = unit.functions[0]
+        assert fn.params[0][0] == "x"
+        assert isinstance(fn.params[1][1], PointerType)
+
+    def test_array_param_decays(self):
+        unit = parse_c("void f(uint8_t buf[16]) {}")
+        assert isinstance(unit.functions[0].params[0][1], PointerType)
+
+    def test_declaration_only_function(self):
+        unit = parse_c("int memcmp(void *a, void *b, size_t n);")
+        assert unit.functions[0].body is None
+
+    def test_static_marks_private(self):
+        unit = parse_c("static int helper(void) { return 1; }")
+        assert unit.functions[0].is_static
+
+    def test_typedef_rejected(self):
+        with pytest.raises(ParseError, match="typedef"):
+            parse_c("typedef int myint;")
+
+    def test_unsigned_long(self):
+        unit = parse_c("unsigned long x;")
+        assert unit.globals[0].type == IntType(64, signed=False)
+
+    def test_error_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_c("int f(void) {\n  return $;\n}")
+        assert excinfo.value.line == 2
+
+
+class TestLoweringBasics:
+    def test_params_spilled_to_stack(self):
+        """Clang -O0 behaviour: every parameter lives in an alloca."""
+        module = compile_c("void f(uint64_t x) { }")
+        instructions = instructions_of(module, "f")
+        allocas = [i for i in instructions if isinstance(i, Alloca)]
+        assert any(a.var_name == "x" for a in allocas)
+
+    def test_register_keyword_ignored(self):
+        """§6.1: Clang -O0 disregards `register` and spills anyway."""
+        module = compile_c("""
+void f(uint32_t v) { register uint32_t r = v; }
+""")
+        allocas = [i for i in instructions_of(module, "f")
+                   if isinstance(i, Alloca)]
+        assert any(a.var_name == "r" for a in allocas)
+
+    def test_array_index_uses_gep(self):
+        module = compile_c("""
+uint8_t a[16];
+uint8_t f(uint64_t i) { return a[i]; }
+""")
+        geps = [i for i in instructions_of(module, "f")
+                if isinstance(i, GetElementPtr)]
+        assert any(g.is_index_arithmetic for g in geps)
+
+    def test_struct_member_gep_is_constant(self):
+        module = compile_c("""
+struct S { int a; int b; };
+int f(struct S *s) { return s->b; }
+""")
+        geps = [i for i in instructions_of(module, "f")
+                if isinstance(i, GetElementPtr)]
+        assert geps
+        assert all(not g.is_index_arithmetic for g in geps)
+
+    def test_pointer_arithmetic_becomes_gep(self):
+        module = compile_c("""
+uint8_t a[64];
+uint8_t f(uint64_t i) { return *(a + i); }
+""")
+        geps = [i for i in instructions_of(module, "f")
+                if isinstance(i, GetElementPtr)]
+        assert any(g.is_index_arithmetic for g in geps)
+
+    def test_fence_builtin(self):
+        module = compile_c("void f(void) { lfence(); }")
+        assert count(module, "f", FenceInstr) == 1
+
+    def test_undefined_call_preserved(self):
+        module = compile_c("""
+int memcmp(void *a, void *b, size_t n);
+uint8_t buf[8];
+int f(void) { return memcmp(buf, buf, 8); }
+""")
+        assert count(module, "f", Call) == 1
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(LoweringError, match="undeclared"):
+            compile_c("void f(void) { x = 1; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(LoweringError, match="break"):
+            compile_c("void f(void) { break; }")
+
+
+class TestControlFlow:
+    def test_if_produces_branch(self):
+        module = compile_c("void f(int c) { if (c) { c = 1; } }")
+        assert count(module, "f", Branch) == 1
+
+    def test_short_circuit_and(self):
+        module = compile_c("void f(int a, int b) { if (a && b) { a = 1; } }")
+        # && introduces its own branch.
+        assert count(module, "f", Branch) >= 2
+
+    def test_ternary(self):
+        module = compile_c("int f(int c) { return c ? 1 : 2; }")
+        assert count(module, "f", Branch) == 1
+
+    def test_while_loop_structure(self):
+        module = compile_c("void f(int n) { while (n) { n = n - 1; } }")
+        labels = [b.label for b in module.functions["f"].blocks]
+        assert any("while.cond" in l for l in labels)
+        assert not module.functions["f"].is_dag()  # loops stay until A-CFG
+
+    def test_for_with_break_continue(self):
+        module = compile_c("""
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        if (i == 3) { continue; }
+        if (i == 5) { break; }
+        n = n + 1;
+    }
+}
+""")
+        assert module.functions["f"].blocks  # lowers without error
+
+    def test_do_while(self):
+        module = compile_c("void f(int n) { do { n--; } while (n); }")
+        labels = [b.label for b in module.functions["f"].blocks]
+        assert any("do.body" in l for l in labels)
+
+    def test_early_return(self):
+        module = compile_c("""
+int f(int c) {
+    if (c) { return 1; }
+    return 2;
+}
+""")
+        from repro.ir import Ret
+
+        rets = [i for i in instructions_of(module, "f") if isinstance(i, Ret)]
+        assert len(rets) == 1  # all returns funnel through the exit block
+
+    def test_unreachable_code_dropped(self):
+        module = compile_c("""
+int f(void) {
+    return 1;
+    return 2;
+}
+""")
+        from repro.ir import Constant, Store
+
+        stores = [i for i in instructions_of(module, "f")
+                  if isinstance(i, Store) and isinstance(i.value, Constant)]
+        values = {s.value.value for s in stores}
+        assert 2 not in values
+
+
+class TestExpressions:
+    def test_compound_assignment(self):
+        module = compile_c("uint8_t t; void f(uint8_t v) { t &= v; }")
+        from repro.ir import BinOp
+
+        ops = [i.op for i in instructions_of(module, "f")
+               if isinstance(i, BinOp)]
+        assert "and" in ops
+
+    def test_unsigned_division(self):
+        module = compile_c("uint64_t f(uint64_t a, uint64_t b) { return a / b; }")
+        from repro.ir import BinOp
+
+        ops = [i.op for i in instructions_of(module, "f") if isinstance(i, BinOp)]
+        assert "udiv" in ops
+
+    def test_signed_shift_right(self):
+        module = compile_c("int f(int a) { return a >> 2; }")
+        from repro.ir import BinOp
+
+        ops = [i.op for i in instructions_of(module, "f") if isinstance(i, BinOp)]
+        assert "ashr" in ops
+
+    def test_unsigned_comparison(self):
+        module = compile_c("int f(uint64_t a, uint64_t b) { return a < b; }")
+        from repro.ir import ICmp
+
+        ops = [i.op for i in instructions_of(module, "f") if isinstance(i, ICmp)]
+        assert "ult" in ops
+
+    def test_sizeof(self):
+        module = compile_c("uint64_t f(void) { return sizeof(uint32_t); }")
+        from repro.ir import Constant, Store
+
+        constants = [i.value.value for i in instructions_of(module, "f")
+                     if isinstance(i, Store) and isinstance(i.value, Constant)]
+        assert 4 in constants
+
+    def test_postincrement_returns_old_value(self):
+        module = compile_c("int f(int i) { return i++; }")
+        # Structure check only: load, add, store emitted.
+        from repro.ir import BinOp
+
+        assert count(module, "f", BinOp) >= 1
+
+    def test_address_of_and_deref(self):
+        module = compile_c("""
+int f(int x) {
+    int *p = &x;
+    return *p;
+}
+""")
+        assert count(module, "f", Load) >= 2
+
+    def test_string_literal_becomes_global(self):
+        module = compile_c("""
+void g(uint8_t *s);
+void f(void) { g("hi"); }
+""")
+        assert any(name.startswith(".str") for name in module.globals)
+
+    def test_global_initializers_folded(self):
+        module = compile_c("uint64_t size = 16 * 4;")
+        assert module.globals["size"].initializer == 64
+
+    def test_array_initializer(self):
+        module = compile_c("void f(void) { uint8_t c[2] = {0, 0}; }")
+        assert count(module, "f", Store) >= 2

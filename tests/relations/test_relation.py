@@ -1,0 +1,179 @@
+"""Unit tests for the relational algebra core."""
+
+import pytest
+
+from repro.relations import Relation, acyclic, empty, irreflexive
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(Relation.empty()) == 0
+        assert not Relation.empty()
+
+    def test_identity(self):
+        rel = Relation.identity([1, 2, 3])
+        assert set(rel) == {(1, 1), (2, 2), (3, 3)}
+
+    def test_cross(self):
+        rel = Relation.cross([1, 2], ["a", "b"])
+        assert len(rel) == 4
+        assert (1, "b") in rel
+
+    def test_from_total_order(self):
+        rel = Relation.from_total_order([1, 2, 3])
+        assert set(rel) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_from_successor_chain(self):
+        rel = Relation.from_successor_chain([1, 2, 3])
+        assert set(rel) == {(1, 2), (2, 3)}
+
+    def test_duplicates_collapse(self):
+        assert len(Relation([(1, 2), (1, 2)])) == 1
+
+    def test_named(self):
+        rel = Relation([(1, 2)], "rf")
+        assert rel.name == "rf"
+        assert rel.named("co").name == "co"
+        assert "rf" in repr(rel)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert set(Relation([(1, 2)]) | Relation([(2, 3)])) == {(1, 2), (2, 3)}
+
+    def test_intersection(self):
+        assert set(Relation([(1, 2), (2, 3)]) & Relation([(2, 3)])) == {(2, 3)}
+
+    def test_difference(self):
+        assert set(Relation([(1, 2), (2, 3)]) - Relation([(2, 3)])) == {(1, 2)}
+
+    def test_union_varargs(self):
+        rel = Relation([(1, 2)]).union(Relation([(2, 3)]), Relation([(3, 4)]))
+        assert len(rel) == 3
+
+    def test_subset(self):
+        assert Relation([(1, 2)]).is_subset_of(Relation([(1, 2), (2, 3)]))
+        assert not Relation([(5, 6)]).is_subset_of(Relation([(1, 2)]))
+
+    def test_equality_ignores_name(self):
+        assert Relation([(1, 2)], "a") == Relation([(1, 2)], "b")
+
+    def test_hashable(self):
+        assert len({Relation([(1, 2)]), Relation([(1, 2)])}) == 1
+
+
+class TestRelationalAlgebra:
+    def test_transpose(self):
+        assert set(~Relation([(1, 2), (3, 4)])) == {(2, 1), (4, 3)}
+
+    def test_join(self):
+        joined = Relation([(1, 2), (1, 3)]) @ Relation([(2, 4), (3, 5)])
+        assert set(joined) == {(1, 4), (1, 5)}
+
+    def test_join_empty(self):
+        assert not (Relation([(1, 2)]) @ Relation([(3, 4)]))
+
+    def test_power(self):
+        chain = Relation([(1, 2), (2, 3), (3, 4)])
+        assert set(chain ** 2) == {(1, 3), (2, 4)}
+        assert set(chain ** 3) == {(1, 4)}
+
+    def test_power_requires_positive(self):
+        with pytest.raises(ValueError):
+            Relation([(1, 2)]) ** 0
+
+    def test_transitive_closure(self):
+        closure = Relation([(1, 2), (2, 3), (3, 4)]).transitive_closure()
+        assert (1, 4) in closure
+        assert (1, 3) in closure
+        assert len(closure) == 6
+
+    def test_transitive_closure_cycle(self):
+        closure = Relation([(1, 2), (2, 1)]).transitive_closure()
+        assert (1, 1) in closure
+        assert (2, 2) in closure
+
+    def test_reflexive_closure(self):
+        rel = Relation([(1, 2)]).reflexive_closure([1, 2, 3])
+        assert (3, 3) in rel and (1, 1) in rel and (1, 2) in rel
+
+    def test_fr_derivation_shape(self):
+        # fr = ~rf.co: read of w0 is fr-before w0's co-successors.
+        rf = Relation([("w0", "r")])
+        co = Relation([("w0", "w1")])
+        fr = ~rf @ co
+        assert set(fr) == {("r", "w1")}
+
+
+class TestRestriction:
+    def test_filter(self):
+        rel = Relation([(1, 2), (3, 4)]).filter(lambda a, b: a == 1)
+        assert set(rel) == {(1, 2)}
+
+    def test_restrict_sources(self):
+        rel = Relation([(1, 2), (3, 4)]).restrict(sources=[1])
+        assert set(rel) == {(1, 2)}
+
+    def test_restrict_targets(self):
+        rel = Relation([(1, 2), (3, 4)]).restrict(targets=[4])
+        assert set(rel) == {(3, 4)}
+
+    def test_domain_range_elements(self):
+        rel = Relation([(1, 2), (3, 4)])
+        assert rel.domain() == {1, 3}
+        assert rel.range() == {2, 4}
+        assert rel.elements() == {1, 2, 3, 4}
+
+    def test_successors_predecessors(self):
+        rel = Relation([(1, 2), (1, 3), (4, 2)])
+        assert rel.successors(1) == {2, 3}
+        assert rel.predecessors(2) == {1, 4}
+
+    def test_immediate_drops_transitive_pairs(self):
+        rel = Relation.from_total_order([1, 2, 3])
+        assert set(rel.immediate()) == {(1, 2), (2, 3)}
+
+
+class TestPredicates:
+    def test_acyclic_true(self):
+        assert Relation([(1, 2), (2, 3)]).is_acyclic()
+
+    def test_acyclic_false(self):
+        assert not Relation([(1, 2), (2, 3), (3, 1)]).is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        assert not Relation([(1, 1)]).is_acyclic()
+
+    def test_acyclic_large_chain(self):
+        # Long chains must not hit the recursion limit.
+        chain = Relation.from_successor_chain(range(5000))
+        assert chain.is_acyclic()
+
+    def test_irreflexive(self):
+        assert Relation([(1, 2)]).is_irreflexive()
+        assert not Relation([(1, 1)]).is_irreflexive()
+
+    def test_is_transitive(self):
+        assert Relation([(1, 2), (2, 3), (1, 3)]).is_transitive()
+        assert not Relation([(1, 2), (2, 3)]).is_transitive()
+
+    def test_total_order(self):
+        order = Relation.from_total_order([1, 2, 3])
+        assert order.is_total_order_on([1, 2, 3])
+        assert not Relation([(1, 2)]).is_total_order_on([1, 2, 3])
+
+    def test_find_cycle_none(self):
+        assert Relation([(1, 2)]).find_cycle() is None
+
+    def test_find_cycle_returns_nodes(self):
+        cycle = Relation([(1, 2), (2, 3), (3, 1)]).find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3}
+
+    def test_helpers(self):
+        assert acyclic(Relation([(1, 2)]), Relation([(2, 3)]))
+        assert not acyclic(Relation([(1, 2)]), Relation([(2, 1)]))
+        assert irreflexive(Relation([(1, 2)]))
+        assert not irreflexive(Relation([(1, 1)]))
+        assert empty(Relation())
+        assert not empty(Relation([(1, 2)]))

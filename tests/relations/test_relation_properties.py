@@ -1,0 +1,95 @@
+"""Property-based tests for the relational algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation
+
+pairs = st.tuples(st.integers(0, 8), st.integers(0, 8))
+relations = st.lists(pairs, max_size=24).map(Relation)
+
+
+@given(relations, relations)
+def test_union_commutative(a, b):
+    assert a | b == b | a
+
+
+@given(relations, relations, relations)
+def test_union_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(relations)
+def test_double_transpose_is_identity(rel):
+    assert ~~rel == rel
+
+
+@given(relations, relations)
+def test_transpose_distributes_over_union(a, b):
+    assert ~(a | b) == ~a | ~b
+
+
+@given(relations, relations)
+def test_transpose_antidistributes_over_join(a, b):
+    # ~(a.b) == (~b).(~a)
+    assert ~(a @ b) == (~b) @ (~a)
+
+
+@given(relations)
+def test_transitive_closure_is_transitive(rel):
+    closure = rel.transitive_closure()
+    assert closure.is_transitive()
+
+
+@given(relations)
+def test_transitive_closure_contains_original(rel):
+    assert rel.is_subset_of(rel.transitive_closure())
+
+
+@given(relations)
+def test_transitive_closure_idempotent(rel):
+    closure = rel.transitive_closure()
+    assert closure.transitive_closure() == closure
+
+
+@given(relations)
+def test_closure_preserves_acyclicity(rel):
+    assert rel.is_acyclic() == rel.transitive_closure().is_acyclic()
+
+
+@given(relations)
+def test_immediate_closure_roundtrip(rel):
+    """For a transitively closed acyclic relation, the transitive closure
+    of its Hasse diagram recovers it."""
+    closure = rel.transitive_closure()
+    if closure.is_acyclic():
+        assert closure.immediate().transitive_closure() == closure
+
+
+@given(relations)
+def test_find_cycle_agrees_with_is_acyclic(rel):
+    assert (rel.find_cycle() is None) == rel.is_acyclic()
+
+
+@given(relations)
+def test_cycle_is_a_real_path(rel):
+    cycle = rel.find_cycle()
+    if cycle is not None:
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert (a, b) in rel
+
+
+@given(relations, relations, relations)
+def test_join_associative(a, b, c):
+    assert (a @ b) @ c == a @ (b @ c)
+
+
+@given(relations)
+def test_restrict_roundtrip(rel):
+    assert rel.restrict(sources=rel.domain(), targets=rel.range()) == rel
+
+
+@given(st.lists(st.integers(0, 20), unique=True, max_size=8))
+def test_total_order_predicate(elements):
+    order = Relation.from_total_order(elements)
+    assert order.is_total_order_on(elements)

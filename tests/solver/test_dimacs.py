@@ -1,0 +1,78 @@
+"""DIMACS import/export round-trips and reference instances."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import CNF, SatSolver
+from repro.solver.dimacs import parse_dimacs, solve_dimacs, to_dimacs
+
+
+class TestParsing:
+    def test_basic_instance(self):
+        cnf = parse_dimacs("""
+c a simple instance
+p cnf 3 2
+1 -2 0
+2 3 0
+""")
+        assert cnf.num_vars == 3
+        assert len(cnf.clauses) == 2
+        assert cnf.clauses[0] == (1, -2)
+
+    def test_multiline_clause(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_missing_terminator_tolerated(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2")
+        assert cnf.clauses == [(1, 2)]
+
+    def test_bad_header(self):
+        with pytest.raises(SolverError, match="problem line"):
+            parse_dimacs("p sat 3 2\n1 0\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(SolverError, match="bad literal"):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+
+class TestRoundTrip:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.num_vars = 3
+        cnf.add_clause(1, -2)
+        cnf.add_clause(-1, 2, 3)
+        text = to_dimacs(cnf, comment="round trip")
+        parsed = parse_dimacs(text)
+        assert parsed.clauses == cnf.clauses
+        assert parsed.num_vars == cnf.num_vars
+
+    def test_comment_rendered(self):
+        cnf = CNF()
+        cnf.num_vars = 1
+        cnf.add_clause(1)
+        assert "c hello" in to_dimacs(cnf, comment="hello")
+
+
+class TestSolving:
+    def test_sat_instance(self):
+        model = solve_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert model is not None
+        assert not model[1] and model[2]
+
+    def test_unsat_instance(self):
+        assert solve_dimacs("p cnf 1 2\n1 0\n-1 0\n") is None
+
+    def test_php_instance(self):
+        """Pigeonhole PHP(4,3) in DIMACS: classic UNSAT."""
+        clauses = []
+        def var(p, h):
+            return p * 3 + h + 1
+        for p in range(4):
+            clauses.append(" ".join(str(var(p, h)) for h in range(3)) + " 0")
+        for h in range(3):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    clauses.append(f"-{var(i, h)} -{var(j, h)} 0")
+        text = "p cnf 12 %d\n%s\n" % (len(clauses), "\n".join(clauses))
+        assert solve_dimacs(text) is None

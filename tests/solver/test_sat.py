@@ -1,0 +1,259 @@
+"""Tests for the CDCL SAT solver and CNF encoding."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import (
+    CNF,
+    FALSE,
+    TRUE,
+    SatSolver,
+    TseitinEncoder,
+    at_most_one,
+    conj,
+    disj,
+    encode,
+    enumerate_models,
+    exactly_one,
+    iff,
+    implies,
+    neg,
+    solve_cnf,
+    var,
+)
+
+
+class TestExpressions:
+    def test_simplification_constants(self):
+        a = var("a")
+        assert (a & TRUE) == a
+        assert (a & FALSE) == FALSE
+        assert (a | FALSE) == a
+        assert (a | TRUE) == TRUE
+
+    def test_double_negation(self):
+        a = var("a")
+        assert ~~a == a
+
+    def test_flattening(self):
+        a, b, c = var("a"), var("b"), var("c")
+        expr = conj(conj(a, b), c)
+        assert len(expr.operands) == 3
+
+    def test_implication(self):
+        a, b = var("a"), var("b")
+        expr = a >> b
+        assert expr.evaluate({"a": True, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+        assert expr.evaluate({"a": False, "b": False})
+
+    def test_iff(self):
+        a, b = var("a"), var("b")
+        expr = iff(a, b)
+        assert expr.evaluate({"a": True, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_variables_collected(self):
+        expr = (var("a") & var("b")) | ~var("c")
+        assert expr.variables() == {"a", "b", "c"}
+
+    def test_exactly_one(self):
+        vs = [var("a"), var("b"), var("c")]
+        expr = exactly_one(vs)
+        assert expr.evaluate({"a": True, "b": False, "c": False})
+        assert not expr.evaluate({"a": True, "b": True, "c": False})
+        assert not expr.evaluate({"a": False, "b": False, "c": False})
+
+    def test_at_most_one(self):
+        vs = [var("a"), var("b")]
+        expr = at_most_one(vs)
+        assert expr.evaluate({"a": False, "b": False})
+        assert not expr.evaluate({"a": True, "b": True})
+
+
+class TestEncoding:
+    def _models_by_truth_table(self, expr):
+        names = sorted(expr.variables())
+        return {
+            combo
+            for combo in itertools.product([False, True], repeat=len(names))
+            if expr.evaluate(dict(zip(names, combo)))
+        }
+
+    @pytest.mark.parametrize("build", [
+        lambda: var("a") & var("b"),
+        lambda: var("a") | var("b"),
+        lambda: (var("a") | var("b")) & (~var("a") | var("c")),
+        lambda: iff(var("a"), var("b") & var("c")),
+        lambda: exactly_one([var("a"), var("b"), var("c")]),
+        lambda: implies(var("a"), var("b")) & implies(var("b"), var("a")),
+    ])
+    def test_encoding_preserves_models(self, build):
+        expr = build()
+        names = sorted(expr.variables())
+        expected = self._models_by_truth_table(expr)
+        cnf = encode(expr)
+        found = set()
+        for model in enumerate_models(cnf, over=names, limit=1000):
+            found.add(tuple(model[name] for name in names))
+        assert found == expected
+
+    def test_unsat_constant(self):
+        cnf = encode(FALSE)
+        assert solve_cnf(cnf) is None
+
+    def test_duplicate_variable_name_rejected(self):
+        cnf = CNF()
+        cnf.new_var("x")
+        with pytest.raises(SolverError):
+            cnf.new_var("x")
+
+    def test_shared_encoder_caches(self):
+        encoder = TseitinEncoder()
+        sub = var("a") & var("b")
+        encoder.assert_expr(sub | var("c"))
+        size1 = len(encoder.cnf.clauses)
+        encoder.assert_expr(sub | var("d"))
+        size2 = len(encoder.cnf.clauses)
+        # The second assertion reuses the cached sub-encoding.
+        assert size2 - size1 < size1
+
+
+class TestSolver:
+    def test_trivial_sat(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        model = solver.solve()
+        assert model == {1: True}
+
+    def test_trivial_unsat(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is None
+
+    def test_unit_propagation_chain(self):
+        solver = SatSolver(4)
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, 4])
+        model = solver.solve()
+        assert all(model[v] for v in (1, 2, 3, 4))
+
+    def test_requires_search(self):
+        # (a|b) & (~a|b) & (a|~b) forces a=b=True.
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([1, -2])
+        model = solver.solve()
+        assert model[1] and model[2]
+
+    def test_tautology_skipped(self):
+        solver = SatSolver(1)
+        solver.add_clause([1, -1])
+        assert solver.solve() is not None
+
+    def test_empty_clause_rejected(self):
+        solver = SatSolver(0)
+        with pytest.raises(SolverError):
+            solver.add_clause([])
+
+    def test_assumptions_sat(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        model = solver.solve(assumptions=[-1])
+        assert model is not None
+        assert not model[1] and model[2]
+
+    def test_assumptions_unsat(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        solver.add_clause([-2])
+        assert solver.solve(assumptions=[-1]) is None
+
+    def test_incremental_reuse(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is not None
+        assert solver.solve(assumptions=[1]) is not None
+        solver.add_clause([-1])
+        model = solver.solve()
+        assert model is not None and not model[1]
+
+    def test_pigeonhole_unsat(self):
+        """3 pigeons in 2 holes: classic small UNSAT needing real search."""
+        # var p_{i,h} = pigeon i in hole h; index = i*2 + h + 1
+        solver = SatSolver(6)
+        for pigeon in range(3):
+            solver.add_clause([pigeon * 2 + 1, pigeon * 2 + 2])
+        for hole in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    solver.add_clause([-(i * 2 + hole + 1), -(j * 2 + hole + 1)])
+        assert solver.solve() is None
+        assert solver.statistics["conflicts"] > 0
+
+    def test_pigeonhole_sat(self):
+        """3 pigeons in 3 holes is satisfiable."""
+        def index(pigeon, hole):
+            return pigeon * 3 + hole + 1
+
+        solver = SatSolver(9)
+        for pigeon in range(3):
+            solver.add_clause([index(pigeon, h) for h in range(3)])
+        for hole in range(3):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    solver.add_clause([-index(i, hole), -index(j, hole)])
+        model = solver.solve()
+        assert model is not None
+        for hole in range(3):
+            assert sum(model[index(p, hole)] for p in range(3)) <= 1
+
+    def test_random_3sat_agrees_with_bruteforce(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(30):
+            num_vars = 6
+            clauses = []
+            for _ in range(14):
+                chosen = rng.sample(range(1, num_vars + 1), 3)
+                clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+            brute_sat = any(
+                all(
+                    any(
+                        (lit > 0) == combo[abs(lit) - 1]
+                        for lit in clause
+                    )
+                    for clause in clauses
+                )
+                for combo in itertools.product([False, True], repeat=num_vars)
+            )
+            solver = SatSolver(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            model = solver.solve()
+            assert (model is not None) == brute_sat
+            if model is not None:
+                for clause in clauses:
+                    assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+
+class TestEnumeration:
+    def test_enumerate_all(self):
+        cnf = encode(var("a") | var("b"))
+        models = list(enumerate_models(cnf, over=["a", "b"]))
+        assert len(models) == 3
+
+    def test_enumerate_respects_limit(self):
+        cnf = encode(var("a") | var("b"))
+        assert len(list(enumerate_models(cnf, over=["a", "b"], limit=2))) == 2
+
+    def test_enumerate_unsat(self):
+        cnf = encode(var("a") & ~var("a"))
+        assert list(enumerate_models(cnf)) == []

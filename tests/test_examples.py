@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public deliverable; each is executed in a
+subprocess and must exit 0 and print its headline result.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "1 fence",
+    "litmus_outcomes.py": "SB",
+    "cat_contracts.py": "Verdicts flip",
+    "subrosa_compare.py": "subrosa distinguishes",
+    "spectre_gallery.py": "imp-prefetch",
+}
+
+SLOW_EXAMPLES = {
+    "crypto_audit.py": "SSL_get_shared_sigalgs",
+    "fence_repair.py": "fences per vulnerable program",
+}
+
+
+def _run(script: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("script", sorted(FAST_EXAMPLES))
+def test_fast_example(script):
+    output = _run(script)
+    assert FAST_EXAMPLES[script] in output
+
+
+@pytest.mark.parametrize("script", sorted(SLOW_EXAMPLES))
+def test_slow_example(script):
+    output = _run(script, timeout=600)
+    assert SLOW_EXAMPLES[script] in output
+
+
+def test_all_examples_are_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+    assert shipped == covered, (
+        "every example must have a smoke test: "
+        f"missing {shipped - covered}, stale {covered - shipped}"
+    )
