@@ -1,12 +1,30 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench table2 fig8 repair gallery all
+.PHONY: install test test-all lint bench table2 fig8 repair gallery all
 
 install:
 	pip install -e . || python setup.py develop
 
+# Fast suite for day-to-day work; `make test-all` runs everything.
 test:
+	pytest tests/ -q -m "not slow"
+
+test-all:
 	pytest tests/ -q
+
+# Constant-time lint gate over the corpus's constant-time crypto
+# implementations (message lengths are declared public; see §7).
+# Exits non-zero if any function leaks at CT or worse.
+lint:
+	python -m repro.cli lint \
+		src/repro/bench/corpus/crypto/tea.c \
+		src/repro/bench/corpus/crypto/donna.c \
+		src/repro/bench/corpus/crypto/chacha20.c \
+		src/repro/bench/corpus/crypto/poly1305.c \
+		src/repro/bench/corpus/crypto/hmac.c \
+		src/repro/bench/corpus/crypto/secretbox.c \
+		--public len,mlen,clen,inlen,bytes,outlen,n,count,rounds \
+		--fail-on-severity CT
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,30 @@
+"""Classical IR-level static analysis for the Clou pipeline.
+
+A generic worklist dataflow framework (:mod:`.dataflow`, :mod:`.cfg`)
+with the classical clients (reaching definitions, liveness) and two
+Clou-facing passes: the sequential constant-time lint (:mod:`.lint`,
+backed by the interprocedural secret taint in :mod:`.taint`) and the
+branch-independent interval analysis (:mod:`.interval`) that powers
+``ClouConfig.enable_range_pruning``.
+"""
+
+from .cfg import BlockCFG
+from .dataflow import (BitsetLattice, DataflowProblem, DataflowSolution,
+                       Lattice, LevelLattice, MapLattice, SetLattice, solve)
+from .interval import Interval, IntervalAnalysis, type_range
+from .lint import (LintFinding, LintReport, lint_module, lint_report_dict,
+                   lint_report_json, lint_source)
+from .liveness import Liveness, live_into_block, liveness
+from .reaching import (ReachingStores, SlotRef, reaching_stores, resolve_slot,
+                       stores_reaching_load)
+from .taint import SecretTaintAnalysis
+
+__all__ = [
+    "BitsetLattice", "BlockCFG", "DataflowProblem", "DataflowSolution", "Interval",
+    "IntervalAnalysis", "Lattice", "LevelLattice", "LintFinding",
+    "LintReport", "Liveness", "MapLattice", "ReachingStores",
+    "SecretTaintAnalysis", "SetLattice", "SlotRef", "lint_module",
+    "lint_report_dict", "lint_report_json", "lint_source",
+    "live_into_block", "liveness", "reaching_stores", "resolve_slot",
+    "solve", "stores_reaching_load", "type_range",
+]

@@ -1,0 +1,38 @@
+"""Backward liveness of IR temporaries.
+
+A temp is live at a point when some path to an exit uses it before any
+redefinition.  Because the IR is SSA-ish for temps (each temp has one
+defining instruction), kill sets are just the result temp; the analysis
+is still flow-sensitive because uses sit on different paths.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Function, Instruction, Temp
+
+from .cfg import BlockCFG
+from .dataflow import DataflowProblem, DataflowSolution, SetLattice, solve
+
+
+class Liveness(DataflowProblem):
+    direction = "backward"
+
+    def lattice(self) -> SetLattice:
+        return SetLattice()
+
+    def transfer(self, ins: Instruction, state: frozenset) -> frozenset:
+        if ins.result is not None:
+            state = state - {ins.result.name}
+        uses = frozenset(op.name for op in ins.operands()
+                         if isinstance(op, Temp))
+        return state | uses
+
+
+def liveness(function: Function, cfg: BlockCFG | None = None) -> DataflowSolution:
+    """Solve liveness; ``block_in[label]`` is the live set at block end."""
+    return solve(function, Liveness(), cfg=cfg)
+
+
+def live_into_block(solution: DataflowSolution, label: str) -> frozenset:
+    """Temps live on entry to ``label`` (i.e. at the top, program order)."""
+    return solution.block_out[label]

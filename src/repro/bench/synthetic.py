@@ -24,8 +24,15 @@ _OPS = ["+", "^", "*", "|", "&"]
 
 
 def generate_function(name: str, rounds: int, seed: int = 7,
-                      lookups_per_round: int = 1) -> str:
-    """One public function with ~``rounds`` round bodies."""
+                      lookups_per_round: int = 1,
+                      multipliers: tuple[int, ...] = (64, 256, 512)) -> str:
+    """One public function with ~``rounds`` round bodies.
+
+    ``multipliers`` scales the table-lookup index ``sbox[x1 & 255] * m``:
+    with the 65536-entry table, ``m <= 256`` keeps every lookup provably
+    in bounds (``255 * 256 < 65536``) while ``m = 512`` overflows it, so
+    the default mix yields both provable and unprovable accesses.
+    """
     rng = random.Random((seed, name, rounds).__hash__())
     lines = [_HEADER.format(name=name)]
     lines.append(
@@ -53,7 +60,7 @@ def generate_function(name: str, rounds: int, seed: int = 7,
             lines.append(f"    if (x1 < limit_{name}) {{")
             lines.append(
                 f"        state[{a}] ^= "
-                f"table_{name}[sbox_{name}[x1 & 255] * {rng.choice([64, 256, 512])}];"
+                f"table_{name}[sbox_{name}[x1 & 255] * {rng.choice(multipliers)}];"
             )
             lines.append("    }")
     lines.append("    uint64_t acc = 0;")
@@ -72,6 +79,29 @@ def scaling_corpus(sizes: list[int] | None = None,
     for size in sizes:
         name = f"synth_{size}"
         corpus.append((name, generate_function(name, rounds=size, seed=seed)))
+    return corpus
+
+
+def bounded_corpus(sizes: list[int] | None = None,
+                   seed: int = 7) -> list[tuple[str, str]]:
+    """(name, source) pairs whose table lookups are all mask-bounded.
+
+    Every data-dependent lookup has the shape
+    ``table[sbox[x1 & 255] * m]`` with ``m <= 256``, so the interval
+    analysis can prove each access in bounds on every A-CFG path —
+    including mispredicted ones.  With ``enable_range_pruning`` these
+    functions produce no universal (UDT/UCT) PHT transmitters and far
+    fewer windowed searches; with pruning off, each lookup is a UDT
+    candidate.  The ablation benchmark uses this corpus to measure the
+    pruning win.
+    """
+    sizes = sizes or [6, 14, 30]
+    corpus = []
+    for size in sizes:
+        name = f"bounded_{size}"
+        corpus.append((name, generate_function(
+            name, rounds=size, seed=seed, lookups_per_round=2,
+            multipliers=(64, 256))))
     return corpus
 
 

@@ -1,7 +1,9 @@
 """Command-line interface: ``clou analyze victim.c --engine pht``.
 
 Mirrors Fig. 6's tool shape: C source in; transmitters, witness chains,
-and (optionally) fence repair out.
+and (optionally) fence repair out.  ``clou lint`` is the sequential
+constant-time checker — the dataflow-only pre-pass that needs no S-AEG
+and no solver.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ import sys
 
 from repro.clou import ClouConfig, analyze_source
 from repro.lcm.taxonomy import TransmitterClass
+
+_SEVERITY_CHOICES = ("AT", "CT", "DT", "UCT", "UDT")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,10 +38,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="per-function timeout (seconds)")
     analyze.add_argument("--no-addr-gep-filter", action="store_true",
                          help="disable the addr_gep benign-leak filter")
+    analyze.add_argument("--no-range-pruning", action="store_true",
+                         help="disable interval-analysis pruning of "
+                              "provably in-bounds accesses (PHT)")
     analyze.add_argument("--witnesses", action="store_true",
                          help="print full witness chains")
     analyze.add_argument("--json", action="store_true",
-                         help="emit the report as JSON")
+                         help="emit the report as byte-stable JSON")
     analyze.add_argument("--dot", metavar="DIR",
                          help="write witness graphs as DOT files into DIR")
     analyze.add_argument("--alias-prediction", action="store_true",
@@ -50,6 +57,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated secret symbol names; "
                               "filters witnesses that cannot reach a "
                               "secret (§7 secrecy labels)")
+    analyze.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
+                         default=None, metavar="CLASS",
+                         help="exit non-zero when any detection is at or "
+                              "above this Table 1 class (CI gate); "
+                              "choices: %(choices)s")
+
+    lint = sub.add_parser(
+        "lint",
+        help="sequential constant-time lint (dataflow only, no solver)")
+    lint.add_argument("sources", nargs="+", help="C source file(s)")
+    lint.add_argument("--secrets", default="",
+                      help="comma-separated secret symbols (globals or "
+                           "parameter names); replaces the default "
+                           "all-public-inputs-are-secret policy")
+    lint.add_argument("--public", default="",
+                      help="comma-separated names to exempt from the "
+                           "default secret-input policy")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as byte-stable JSON")
+    lint.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
+                      default=None, metavar="CLASS",
+                      help="exit non-zero when any finding is at or above "
+                           "this Table 1 class; choices: %(choices)s")
 
     repair = sub.add_parser("repair", help="insert minimal lfences")
     repair.add_argument("source", help="C source file")
@@ -68,81 +98,132 @@ def _config_from_args(args) -> ClouConfig:
         window_size=args.window,
         classes=tuple(args.classes.split(",")),
         addr_gep_filter=not args.no_addr_gep_filter,
+        enable_range_pruning=not args.no_range_pruning,
         timeout_seconds=args.timeout,
         assume_alias_prediction=args.alias_prediction,
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _severity_threshold(name: str | None) -> int | None:
+    if name is None:
+        return None
+    return TransmitterClass(name).severity
+
+
+def _analyze_exit_code(report, threshold: int | None) -> int:
+    if threshold is None:
+        return 1 if report.leaky else 0
+    worst = max((w.klass.severity for w in report.transmitters), default=-1)
+    return 1 if worst >= threshold else 0
+
+
+def _run_analyze(args) -> int:
     with open(args.source) as handle:
         source = handle.read()
+    config = _config_from_args(args)
+    report = analyze_source(source, engine=args.engine, config=config,
+                            name=args.source)
+    threshold = _severity_threshold(args.fail_on_severity)
+    if args.json:
+        from repro.clou.serialize import to_json
 
+        print(to_json(report, stable=True))
+        return _analyze_exit_code(report, threshold)
+    if args.dot:
+        import os
+
+        from repro.viz import witness_to_dot
+
+        os.makedirs(args.dot, exist_ok=True)
+        for i, witness in enumerate(report.transmitters):
+            path = os.path.join(
+                args.dot, f"witness_{i:03d}_{witness.klass.value}.dot")
+            with open(path, "w") as handle:
+                handle.write(witness_to_dot(witness, name=f"w{i}"))
+        print(f"wrote {len(report.transmitters)} witness graphs to "
+              f"{args.dot}/")
+    print(report.summary())
+    for function_report in report.functions:
+        if function_report.error:
+            print(f"  {function_report.function}: ERROR "
+                  f"{function_report.error}")
+            continue
+        print("  " + function_report.summary())
+        if args.group or args.secrets:
+            from repro.clou import group_witnesses, postprocess
+
+            secrets = tuple(s for s in args.secrets.split(",") if s)
+            result = postprocess(function_report, secret_symbols=secrets)
+            print(f"    post-processing: {result.summary()}")
+            for gadget_class in group_witnesses(result.kept):
+                print(f"    {gadget_class}")
+        if args.witnesses:
+            for witness in function_report.transmitters():
+                print()
+                for line in witness.describe().splitlines():
+                    print("    " + line)
+    return _analyze_exit_code(report, threshold)
+
+
+def _run_lint(args) -> int:
+    from repro.analysis import lint_report_dict, lint_source
+
+    secrets = tuple(s for s in args.secrets.split(",") if s)
+    public = tuple(s for s in args.public.split(",") if s)
+    threshold = _severity_threshold(args.fail_on_severity)
+    reports = [
+        lint_source(_read(path), secrets=secrets, public=public, name=path)
+        for path in args.sources
+    ]
+    if args.json:
+        import json
+
+        payload = [lint_report_dict(report) for report in reports]
+        print(json.dumps(payload if len(payload) > 1 else payload[0],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.describe())
+    if threshold is None:
+        return 0
+    worst = max((f.severity.severity
+                 for report in reports for f in report.findings), default=-1)
+    return 1 if worst >= threshold else 0
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _run_repair(args) -> int:
+    from repro.clou.acfg import build_acfg
+    from repro.clou.repair import repair as run_repair
+    from repro.minic import compile_c
+
+    module = compile_c(_read(args.source), name=args.source)
+    results = [
+        run_repair(build_acfg(module, fn.name).function, args.engine,
+                   strategy=args.strategy)
+        for fn in module.public_functions()
+    ]
+    ok = True
+    for result in results:
+        print(result.summary())
+        for block, index in result.fences:
+            print(f"  lfence at {block}#{index}")
+        ok &= result.fully_repaired
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
     if args.command == "analyze":
-        config = _config_from_args(args)
-        report = analyze_source(source, engine=args.engine, config=config,
-                                name=args.source)
-        if args.json:
-            from repro.clou.serialize import to_json
-
-            print(to_json(report))
-            return 1 if report.leaky else 0
-        if args.dot:
-            import os
-
-            from repro.viz import witness_to_dot
-
-            os.makedirs(args.dot, exist_ok=True)
-            for i, witness in enumerate(report.transmitters):
-                path = os.path.join(
-                    args.dot, f"witness_{i:03d}_{witness.klass.value}.dot")
-                with open(path, "w") as handle:
-                    handle.write(witness_to_dot(witness, name=f"w{i}"))
-            print(f"wrote {len(report.transmitters)} witness graphs to "
-                  f"{args.dot}/")
-        print(report.summary())
-        for function_report in report.functions:
-            if function_report.error:
-                print(f"  {function_report.function}: ERROR "
-                      f"{function_report.error}")
-                continue
-            print("  " + function_report.summary())
-            if args.group or args.secrets:
-                from repro.clou import group_witnesses, postprocess
-
-                secrets = tuple(s for s in args.secrets.split(",") if s)
-                result = postprocess(function_report, secret_symbols=secrets)
-                print(f"    post-processing: {result.summary()}")
-                for gadget_class in group_witnesses(result.kept):
-                    print(f"    {gadget_class}")
-            if args.witnesses:
-                for witness in function_report.transmitters():
-                    print()
-                    for line in witness.describe().splitlines():
-                        print("    " + line)
-        return 1 if report.leaky else 0
-
+        return _run_analyze(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "repair":
-        from repro.clou import repair_function
-        from repro.minic import compile_c
-
-        module = compile_c(source, name=args.source)
-        from repro.clou.acfg import build_acfg
-        from repro.clou.repair import repair as run_repair
-
-        results = [
-            run_repair(build_acfg(module, fn.name).function, args.engine,
-                       strategy=args.strategy)
-            for fn in module.public_functions()
-        ]
-        ok = True
-        for result in results:
-            print(result.summary())
-            for block, index in result.fences:
-                print(f"  lfence at {block}#{index}")
-            ok &= result.fully_repaired
-        return 0 if ok else 1
-
+        return _run_repair(args)
     return 2
 
 

@@ -18,6 +18,7 @@ from repro.clou.postprocess import (
     PostProcessResult,
     group_witnesses,
     postprocess,
+    ranges_for,
 )
 from repro.clou.repair import RepairResult, insert_fences, minimum_hitting_set, repair
 from repro.clou.report import ClouWitness, FunctionReport, ModuleReport, NodeRef
@@ -51,6 +52,7 @@ __all__ = [
     "minimum_hitting_set",
     "group_witnesses",
     "postprocess",
+    "ranges_for",
     "repair",
     "repair_function",
     "repair_source",

@@ -54,6 +54,15 @@ class ClouConfig:
     PHT program — a DT where a *transient* instruction prefetches a cache
     line for a *non-transient*, tfo-prior instruction still in flight
     (the speculative-interference phenomenon)."""
+    enable_range_pruning: bool = True
+    """Use the branch-independent interval analysis
+    (:mod:`repro.analysis.interval`) to skip *universal* classification
+    hops whose access is provably in-bounds even transiently — such an
+    access can only read its own object, so the chain degrades to the
+    DT/CT case the engine reports anyway.  PHT only: under STL the
+    bypassed store invalidates the slot-range reasoning.  Sound because
+    the intervals never trust branch conditions, so a mispredicted
+    bounds check proves nothing (the Spectre v1 gadget stays flagged)."""
 
 
 CLOU_DEFAULT_CONFIG = ClouConfig()
@@ -82,8 +91,26 @@ class DetectionEngine:
     def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
         self.aeg = aeg
         self.config = config
+        self._ranges = None     # lazily-built IntervalAnalysis
+        self._ranges_built = False
 
     # -- per-engine hooks --------------------------------------------------
+
+    def prunes_ranges(self) -> bool:
+        """Does this engine apply interval range pruning?  (PHT only:
+        under STL the bypassed store invalidates slot-range reasoning.)"""
+        return False
+
+    @property
+    def ranges(self):
+        """The engine's IntervalAnalysis, built on first use."""
+        if not self._ranges_built:
+            self._ranges_built = True
+            if self.prunes_ranges():
+                from repro.analysis.interval import IntervalAnalysis
+
+                self._ranges = IntervalAnalysis(self.aeg.function)
+        return self._ranges
 
     def speculation_sources(self, transmit: AEGNode, view: WindowView
                             ) -> list[tuple[AEGNode, AEGNode | None]]:
@@ -124,6 +151,21 @@ class DetectionEngine:
             has_control_work = "ct" in want or "uct" in want
             if not address_deps and not has_control_work:
                 continue
+            if self.prunes_ranges() and "dt" not in want:
+                # Without DT work an address dep matters only as the head
+                # of a universal chain, which a provably-bounded access
+                # cannot be — filter those deps before paying for the
+                # windowed BFS (and skip the transmitter entirely when
+                # nothing is left).
+                kept = tuple(
+                    dep for dep in address_deps
+                    if not self._access_provably_bounded(
+                        self.aeg.node_of(dep.source)))
+                report.pruned += len(address_deps) - len(kept)
+                address_deps = kept
+                if not address_deps and not has_control_work:
+                    continue
+            report.candidates += 1
             view = self.aeg.window(transmit, bound)
             self._search_transmit(transmit, view, address_deps, want,
                                   report, budget)
@@ -162,7 +204,11 @@ class DetectionEngine:
             if not (access_transient or transmit_transient):
                 continue
             reported_universal = False
-            if "udt" in want:
+            universal_wanted = "udt" in want
+            if universal_wanted and self._access_provably_bounded(access):
+                report.pruned += 1
+                universal_wanted = False
+            if universal_wanted:
                 for index_dep in self.aeg.address_deps(access):
                     if not self.universal_first_hop_ok(index_dep):
                         continue
@@ -234,7 +280,11 @@ class DetectionEngine:
                     access = self.aeg.node_of(dep.source)
                     access_transient = self._is_transient(
                         access, primitive, window_start, view)
-                    if "uct" in want:
+                    uct_wanted = "uct" in want
+                    if uct_wanted and self._access_provably_bounded(access):
+                        report.pruned += 1
+                        uct_wanted = False
+                    if uct_wanted:
                         reported = False
                         for index_dep in self.aeg.address_deps(access):
                             if not self.universal_first_hop_ok(index_dep):
@@ -316,11 +366,22 @@ class DetectionEngine:
         result = index.instruction.result
         return result is not None and self.aeg.value_tainted(result)
 
+    def _access_provably_bounded(self, access: AEGNode) -> bool:
+        """Range pruning (engines opting in via :meth:`prunes_ranges`):
+        an access that stays inside its object on every A-CFG path
+        cannot head a universal chain."""
+        if not self.prunes_ranges():
+            return False
+        return self.ranges.access_in_bounds(access.instruction)
+
 
 class ClouPHT(DetectionEngine):
     """Spectre v1/v1.1: control-flow speculation (§5.3)."""
 
     name = "pht"
+
+    def prunes_ranges(self) -> bool:
+        return self.config.enable_range_pruning
 
     def _search(self, report: FunctionReport, budget: _Budget) -> None:
         super()._search(report, budget)

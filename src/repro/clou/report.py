@@ -82,14 +82,24 @@ class FunctionReport:
     elapsed: float = 0.0
     timed_out: bool = False
     error: str | None = None
+    candidates: int = 0
+    """Candidate transmitters that reached the windowed search."""
+    pruned: int = 0
+    """Universal-classification hops skipped by range pruning — accesses
+    the interval analysis proved in-bounds on every A-CFG path."""
 
     def transmitters(self) -> list[ClouWitness]:
-        """One witness per distinct (transmit node, class)."""
+        """One witness per distinct (transmit node, class), ordered by
+        (block, index, severity) so reports are byte-stable across runs."""
         seen: dict[tuple[str, int, TransmitterClass], ClouWitness] = {}
         for witness in self.witnesses:
             key = (witness.transmit.block, witness.transmit.index, witness.klass)
             seen.setdefault(key, witness)
-        return list(seen.values())
+        return sorted(
+            seen.values(),
+            key=lambda w: (w.transmit.block, w.transmit.index,
+                           -w.klass.severity, w.klass.value),
+        )
 
     def count(self, klass: TransmitterClass) -> int:
         return sum(1 for w in self.transmitters() if w.klass is klass)
@@ -135,7 +145,21 @@ class ModuleReport:
 
     @property
     def transmitters(self) -> list[ClouWitness]:
-        return [w for report in self.functions for w in report.transmitters()]
+        """All transmitters in deterministic (function, block, index)
+        order, independent of analysis order."""
+        return [
+            w
+            for report in sorted(self.functions, key=lambda r: r.function)
+            for w in report.transmitters()
+        ]
+
+    @property
+    def candidates(self) -> int:
+        return sum(report.candidates for report in self.functions)
+
+    @property
+    def pruned(self) -> int:
+        return sum(report.pruned for report in self.functions)
 
     @property
     def leaky(self) -> bool:

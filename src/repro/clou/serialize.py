@@ -1,4 +1,11 @@
-"""JSON serialization of Clou reports (for CI pipelines and tooling)."""
+"""JSON serialization of Clou reports (for CI pipelines and tooling).
+
+Output ordering is deterministic: transmitters come pre-sorted by
+(block, index, severity) from :meth:`FunctionReport.transmitters`, and
+function entries are sorted by name.  With ``stable=True`` the wall-time
+fields are omitted as well, making the JSON byte-stable across runs —
+what a CI pipeline wants to diff (the ``clou`` CLI uses this mode).
+"""
 
 from __future__ import annotations
 
@@ -34,34 +41,47 @@ def witness_dict(witness: ClouWitness) -> dict[str, Any]:
     }
 
 
-def function_report_dict(report: FunctionReport) -> dict[str, Any]:
-    return {
+def function_report_dict(report: FunctionReport,
+                         stable: bool = False) -> dict[str, Any]:
+    out: dict[str, Any] = {
         "function": report.function,
         "engine": report.engine,
         "aeg_size": report.aeg_size,
-        "elapsed_seconds": report.elapsed,
         "timed_out": report.timed_out,
         "error": report.error,
+        "candidates": report.candidates,
+        "pruned": report.pruned,
         "counts": {
             klass.value: count for klass, count in report.counts().items()
         },
         "transmitters": [witness_dict(w) for w in report.transmitters()],
     }
+    if not stable:
+        out["elapsed_seconds"] = report.elapsed
+    return out
 
 
-def module_report_dict(report: ModuleReport) -> dict[str, Any]:
-    return {
+def module_report_dict(report: ModuleReport,
+                       stable: bool = False) -> dict[str, Any]:
+    functions = sorted(report.functions, key=lambda f: f.function)
+    out: dict[str, Any] = {
         "name": report.name,
         "engine": report.engine,
         "leaky": report.leaky,
-        "elapsed_seconds": report.elapsed,
         "totals": {
             klass.value: count for klass, count in report.totals().items()
         },
-        "functions": [function_report_dict(f) for f in report.functions],
+        "candidates": report.candidates,
+        "pruned": report.pruned,
+        "functions": [function_report_dict(f, stable=stable)
+                      for f in functions],
     }
+    if not stable:
+        out["elapsed_seconds"] = report.elapsed
+    return out
 
 
-def to_json(report: ModuleReport, indent: int = 2) -> str:
-    return json.dumps(module_report_dict(report), indent=indent,
-                      ensure_ascii=False)
+def to_json(report: ModuleReport, indent: int = 2,
+            stable: bool = False) -> str:
+    return json.dumps(module_report_dict(report, stable=stable),
+                      indent=indent, ensure_ascii=False, sort_keys=stable)

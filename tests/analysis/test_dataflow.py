@@ -1,0 +1,198 @@
+"""Tests for the dataflow framework: CFG orderings, dominators,
+liveness, and reaching stores (the -O0 slot model)."""
+
+import pytest
+
+from repro.analysis import (BlockCFG, ReachingStores, liveness,
+                            live_into_block, reaching_stores, resolve_slot,
+                            solve, stores_reaching_load)
+from repro.analysis.reaching import definitions
+from repro.ir import Load, Ret, Store
+from repro.minic import compile_c
+
+
+def _function(source, name="f"):
+    return compile_c(source).functions[name]
+
+
+def _loads(function):
+    return [(block.label, index, ins)
+            for block in function.blocks
+            for index, ins in enumerate(block.instructions)
+            if isinstance(ins, Load)]
+
+
+DIAMOND = """
+uint64_t f(uint64_t x) {
+    uint64_t r = 1;
+    if (x) { r = 2; } else { r = 3; }
+    return r;
+}
+"""
+
+
+class TestBlockCFG:
+    def test_orderings_cover_reachable_blocks(self):
+        cfg = BlockCFG(_function(DIAMOND))
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == cfg.entry
+        assert set(rpo) == cfg.reachable
+        assert list(reversed(rpo)) == cfg.postorder()
+
+    def test_entry_dominates_everything(self):
+        cfg = BlockCFG(_function(DIAMOND))
+        for label in cfg.reachable:
+            assert cfg.dominates(cfg.entry, label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = BlockCFG(_function(DIAMOND))
+        join = next(label for label in cfg.reachable
+                    if len(cfg.predecessors[label]) == 2)
+        arms = cfg.predecessors[join]
+        for arm in arms:
+            assert not cfg.dominates(arm, join)
+            assert cfg.dominates(cfg.entry, arm)
+
+    def test_immediate_dominator_of_join_is_entry(self):
+        cfg = BlockCFG(_function(DIAMOND))
+        join = next(label for label in cfg.reachable
+                    if len(cfg.predecessors[label]) == 2)
+        idom = cfg.immediate_dominators()
+        assert idom[cfg.entry] is None
+        assert idom[join] == cfg.entry
+
+    def test_instruction_dominance_within_block(self):
+        cfg = BlockCFG(_function(DIAMOND))
+        assert cfg.instruction_dominates((cfg.entry, 0), (cfg.entry, 1))
+        assert not cfg.instruction_dominates((cfg.entry, 1), (cfg.entry, 0))
+
+
+class TestLiveness:
+    def test_returned_temp_live_before_ret(self):
+        function = _function(DIAMOND)
+        solution = liveness(function)
+        for block in function.blocks:
+            terminator = block.instructions[-1]
+            if not (isinstance(terminator, Ret)
+                    and terminator.value is not None):
+                continue
+            # For backward problems `at` reports what holds *after* the
+            # instruction in program order: the returned temp is live
+            # after the preceding instruction.
+            live = solution.at(block.label, len(block.instructions) - 2)
+            assert terminator.value.name in live
+
+    def test_retval_slot_live_into_exit_block(self):
+        function = _function(DIAMOND)
+        solution = liveness(function)
+        (exit_label,) = solution.cfg.exit_labels()
+        live = live_into_block(solution, exit_label)
+        assert any("retval" in name for name in live)
+
+    def test_dead_after_last_use(self):
+        function = _function("uint64_t f(uint64_t x) { return x + 1; }")
+        solution = liveness(function)
+        # Nothing is live at the function's exit boundary.
+        cfg = solution.cfg
+        for label in cfg.exit_labels():
+            assert solution.block_in[label] == frozenset()
+
+
+class TestReachingStores:
+    def test_strong_update_kills_previous_store(self):
+        function = _function("""
+uint64_t f(void) {
+    uint64_t a = 1;
+    a = 2;
+    return a;
+}
+""")
+        solution = reaching_stores(function)
+        label, index, load = _loads(function)[-1]
+        facts = stores_reaching_load(solution, load, label, index)
+        assert facts is not None
+        assert len(facts) == 1          # only `a = 2` reaches
+
+    def test_branch_merges_stores(self):
+        function = _function(DIAMOND)
+        solution = reaching_stores(function)
+        label, index, load = next(
+            x for x in _loads(function) if "r.addr" in x[2].pointer.name)
+        facts = stores_reaching_load(solution, load, label, index)
+        assert facts is not None
+        # r = 2 and r = 3 both reach; the dominated r = 1 is killed on
+        # both paths.
+        assert len(facts) == 2
+
+    def test_uninitialized_slot_returns_none(self):
+        function = _function("""
+uint64_t f(uint64_t x) {
+    uint64_t a;
+    if (x) { a = 1; }
+    return a;
+}
+""")
+        solution = reaching_stores(function)
+        label, index, load = next(
+            x for x in _loads(function) if "a.addr" in x[2].pointer.name)
+        assert stores_reaching_load(solution, load, label, index) is None
+
+    def test_unknown_pointer_store_clobbers(self):
+        function = _function("""
+uint8_t *p;
+uint64_t f(void) {
+    uint64_t a = 1;
+    p[0] = 9;
+    return a;
+}
+""")
+        solution = reaching_stores(function)
+        label, index, load = [x for x in _loads(function)
+                              if x[2].result.type.__class__.__name__
+                              != "PointerType"][-1]
+        assert stores_reaching_load(solution, load, label, index) is None
+
+    def test_bitset_decode_round_trip(self):
+        function = _function(DIAMOND)
+        problem = ReachingStores(function)
+        solution = solve(function, problem)
+        (exit_label,) = solution.cfg.exit_labels()
+        decoded = problem.decode(solution.block_in[exit_label])
+        assert decoded
+        assert all(fact[0] in ("store", "uninit", "clobber")
+                   for fact in decoded)
+        # Decode inverts the bit encoding exactly.
+        state = 0
+        for fact in decoded:
+            state |= problem._fact_bit[fact]
+        assert state == solution.block_in[exit_label]
+
+    def test_resolve_slot_sees_through_gep(self):
+        function = _function("""
+uint64_t f(uint64_t i) {
+    uint64_t a[4];
+    a[i] = 1;
+    return a[i];
+}
+""")
+        defs = definitions(function)
+        stores = [ins for block in function.blocks
+                  for ins in block.instructions if isinstance(ins, Store)]
+        element_refs = [resolve_slot(s.pointer, defs) for s in stores
+                        if not resolve_slot(s.pointer, defs).whole]
+        assert element_refs
+        assert all(ref.is_alloca for ref in element_refs)
+
+    def test_global_store_does_not_disturb_slots(self):
+        function = _function("""
+uint64_t g;
+uint64_t f(void) {
+    uint64_t a = 1;
+    g = 5;
+    return a;
+}
+""")
+        solution = reaching_stores(function)
+        label, index, load = _loads(function)[-1]
+        facts = stores_reaching_load(solution, load, label, index)
+        assert facts is not None and len(facts) == 1

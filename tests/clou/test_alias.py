@@ -149,3 +149,85 @@ void f(uint64_t i) { sec[i] = 0; }
         gep_store = stores[-1]
         provenance = analysis.value_provenance(gep_store)
         assert provenance.kind == "unknown"
+
+
+class TestMustMayEdgeCases:
+    def test_same_symbolic_index_is_only_may(self):
+        """Two geps with the same symbolic index get ⊤ offsets: the
+        analysis cannot prove MUST (the temp may differ between the
+        two uses after a redefinition), only MAY."""
+        function, analysis = _analysis("""
+uint8_t a[8];
+void f(uint64_t i) { a[i] = 1; a[i] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert len(stores) == 2
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MAY
+
+    def test_same_constant_global_index_must_alias(self):
+        function, analysis = _analysis("""
+uint8_t a[8];
+void f(void) { a[3] = 1; a[3] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MUST
+
+    def test_constant_outer_row_distinguishes_despite_symbolic_inner(self):
+        """m[1][i] vs m[2][j]: the first differing constant offset
+        proves NO before the ⊤ inner offsets are reached."""
+        function, analysis = _analysis("""
+uint8_t m[4][4];
+void f(uint64_t i, uint64_t j) { m[1][i] = 1; m[2][j] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert len(stores) == 2
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.NO
+
+    def test_same_row_symbolic_columns_may_alias(self):
+        function, analysis = _analysis("""
+uint8_t m[4][4];
+void f(uint64_t i, uint64_t j) { m[1][i] = 1; m[1][j] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MAY
+
+    def test_identical_unknown_provenance_is_only_may(self):
+        """Stores through a loaded pointer have unknown provenance:
+        even two textually identical accesses stay MAY, never MUST."""
+        function, analysis = _analysis("""
+uint8_t *p;
+void f(void) { p[0] = 1; p[0] = 2; }
+""")
+        stores = [ptr for ptr in _pointers(function, Store)
+                  if analysis.value_provenance(ptr).kind == "unknown"]
+        assert len(stores) == 2
+        assert analysis.alias(stores[0], stores[1]) is AliasResult.MAY
+
+    def test_arg_pointer_may_alias_global(self):
+        function, analysis = _analysis("""
+uint64_t g;
+void f(uint64_t *p) { *p = 1; g = 2; }
+""")
+        stores = _pointers(function, Store)
+        arg = [p for p in stores
+               if analysis.value_provenance(p).kind == "arg"]
+        glob = [p for p in stores
+                if analysis.value_provenance(p).kind == "global"]
+        assert arg and glob
+        assert analysis.alias(arg[0], glob[0]) is AliasResult.MAY
+
+    def test_transient_top_offsets_not_must(self):
+        """Identical ⊤-offset provenances are MAY even transiently —
+        the index value may differ between the uses."""
+        function, analysis = _analysis("""
+uint8_t a[8];
+void f(uint64_t i) { a[i] = 1; a[i] = 2; }
+""")
+        stores = [p for p in _pointers(function, Store)
+                  if analysis.value_provenance(p).kind == "global"]
+        assert analysis.alias(stores[0], stores[1], transient=True) \
+            is AliasResult.MAY

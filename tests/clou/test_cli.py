@@ -72,3 +72,57 @@ class TestRepair:
 
     def test_repair_clean_function(self, clean_file, capsys):
         assert main(["repair", clean_file]) == 0
+
+
+class TestFailOnSeverity:
+    def test_analyze_gate_trips_at_udt(self, victim_file):
+        assert main(["analyze", victim_file,
+                     "--fail-on-severity", "UDT"]) == 1
+
+    def test_analyze_gate_above_worst_passes(self, clean_file):
+        assert main(["analyze", clean_file,
+                     "--fail-on-severity", "CT"]) == 0
+
+    def test_analyze_gate_threshold_ordering(self, victim_file):
+        # The victim's worst finding is UDT (severity 3): both the DT
+        # and UDT thresholds trip, and the gate is monotone.
+        assert main(["analyze", victim_file,
+                     "--fail-on-severity", "DT"]) == 1
+
+    def test_no_range_pruning_flag(self, victim_file):
+        assert main(["analyze", victim_file, "--no-range-pruning"]) == 1
+
+
+class TestLint:
+    def test_lint_reports_and_exits_zero_without_gate(self, victim_file,
+                                                      capsys):
+        assert main(["lint", victim_file]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+
+    def test_lint_gate_trips(self, victim_file):
+        assert main(["lint", victim_file, "--fail-on-severity", "DT"]) == 1
+
+    def test_lint_gate_passes_clean_file(self, clean_file):
+        assert main(["lint", clean_file, "--fail-on-severity", "AT"]) == 0
+
+    def test_lint_public_exemption(self, victim_file):
+        code = main(["lint", victim_file, "--public", "y",
+                     "--fail-on-severity", "CT"])
+        assert code == 0
+
+    def test_lint_json_output(self, victim_file, capsys):
+        import json
+
+        assert main(["lint", victim_file, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["constant_time"] is False
+        assert parsed["findings"]
+
+    def test_lint_multiple_sources_json_is_list(self, victim_file,
+                                                clean_file, capsys):
+        import json
+
+        main(["lint", victim_file, clean_file, "--json"])
+        parsed = json.loads(capsys.readouterr().out)
+        assert isinstance(parsed, list) and len(parsed) == 2

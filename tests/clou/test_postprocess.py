@@ -78,3 +78,69 @@ class TestSecrecyLabels:
     def test_no_labels_keeps_everything(self, report):
         unlabeled = postprocess(report)
         assert not unlabeled.filtered_benign
+
+
+class TestDowngradePaths:
+    def _witness(self, **overrides):
+        from repro.clou.report import ClouWitness, NodeRef
+
+        fields = dict(
+            engine="pht",
+            klass=TC.UNIVERSAL_DATA,
+            transmit=NodeRef("b", 3, "%t = load u8, %gep2",
+                             provenance="global:B"),
+            primitive=NodeRef("a", 1, "br %cmp, %b, %c"),
+            access=NodeRef("b", 1, "%x = load u8, %gep1",
+                           provenance="global:A"),
+            index=NodeRef("b", 0, "%gep1 = gep @A, [%y]"),
+            store_hops=0,
+        )
+        fields.update(overrides)
+        return ClouWitness(**fields)
+
+    def _report(self, *witnesses):
+        from repro.clou.report import FunctionReport
+
+        return FunctionReport(function="f", engine="pht",
+                              witnesses=list(witnesses))
+
+    def test_pointer_reload_downgraded(self):
+        from repro.clou.report import NodeRef
+
+        witness = self._witness(
+            store_hops=1,
+            access=NodeRef("b", 1, "%p = load u8*, %slot",
+                           provenance="alloca:slot"),
+        )
+        result = postprocess(self._report(witness))
+        assert not result.kept
+        assert [w.klass for w in result.downgraded] == [TC.DATA]
+
+    def test_pointer_reload_uct_downgrades_to_ct(self):
+        from repro.clou.report import NodeRef
+
+        witness = self._witness(
+            klass=TC.UNIVERSAL_CONTROL,
+            store_hops=1,
+            access=NodeRef("b", 1, "%p = load u8*, %slot"),
+        )
+        result = postprocess(self._report(witness))
+        assert [w.klass for w in result.downgraded] == [TC.CONTROL]
+
+    def test_two_stale_reads_low_priority(self):
+        witness = self._witness(store_hops=2)
+        result = postprocess(self._report(witness))
+        assert result.low_priority == [witness]
+        assert not result.kept
+
+    def test_max_stale_reads_knob(self):
+        witness = self._witness(store_hops=2)
+        result = postprocess(self._report(witness), max_stale_reads=2)
+        assert result.kept == [witness]
+        assert not result.low_priority
+
+    def test_non_universal_witness_never_downgraded(self):
+        witness = self._witness(klass=TC.DATA, store_hops=3)
+        result = postprocess(self._report(witness))
+        assert result.kept == [witness]
+

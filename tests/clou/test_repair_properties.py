@@ -1,6 +1,7 @@
 """Property-based robustness: repair converges on generated victims."""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.bench.synthetic import generate_function
@@ -8,6 +9,7 @@ from repro.clou import build_acfg, repair
 from repro.minic import compile_c
 
 
+@pytest.mark.slow
 @given(st.integers(2, 18), st.integers(0, 1000))
 @settings(max_examples=12, deadline=None)
 def test_repair_converges_on_generated_victims(rounds, seed):
@@ -24,6 +26,7 @@ def test_repair_converges_on_generated_victims(rounds, seed):
     )
 
 
+@pytest.mark.slow
 @given(st.integers(2, 12), st.integers(0, 1000))
 @settings(max_examples=8, deadline=None)
 def test_stl_repair_converges_on_generated_victims(rounds, seed):

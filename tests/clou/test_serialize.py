@@ -97,3 +97,40 @@ void f(uint8_t v) {
         psf_count = sum(len(f.witnesses) for f in psf.functions)
         assert psf_count >= plain_count
         assert psf.leaky
+
+
+class TestStableJson:
+    def test_stable_json_is_byte_identical_across_runs(self):
+        one = to_json(analyze_source(SOURCE, engine="pht", name="victim"),
+                      stable=True)
+        two = to_json(analyze_source(SOURCE, engine="pht", name="victim"),
+                      stable=True)
+        assert one == two
+
+    def test_stable_mode_omits_timings(self, report):
+        parsed = json.loads(to_json(report, stable=True))
+        assert "elapsed_seconds" not in parsed["functions"][0]
+        # The default mode keeps them for human consumption.
+        timed = json.loads(to_json(report))
+        assert "elapsed_seconds" in timed["functions"][0]
+
+    def test_candidate_and_pruned_counters_serialized(self, report):
+        parsed = module_report_dict(report)
+        function = parsed["functions"][0]
+        assert "candidates" in function and "pruned" in function
+        assert function["candidates"] >= 1
+
+    def test_transmitters_are_deterministically_ordered(self, report):
+        witnesses = module_report_dict(report)["functions"][0]["transmitters"]
+        keys = [(w["transmit"]["block"], w["transmit"]["index"])
+                for w in witnesses]
+        assert keys == sorted(keys)
+
+    def test_cli_json_is_stable(self, tmp_path, capsys):
+        path = tmp_path / "v.c"
+        path.write_text(SOURCE)
+        main(["analyze", str(path), "--json"])
+        one = capsys.readouterr().out
+        main(["analyze", str(path), "--json"])
+        two = capsys.readouterr().out
+        assert one == two

@@ -43,6 +43,7 @@ def test_fast_example(script):
     assert FAST_EXAMPLES[script] in output
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("script", sorted(SLOW_EXAMPLES))
 def test_slow_example(script):
     output = _run(script, timeout=600)
