@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-all lint bench table2 fig8 repair gallery all
+.PHONY: install test test-all lint bench bench-sched table2 fig8 repair gallery all
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,11 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+# Scheduler speedup table (serial vs --jobs 4 vs warm cache); the
+# numbers land in EXPERIMENTS.md.
+bench-sched:
+	python benchmarks/bench_scheduler.py
 
 table2:
 	python -m repro.bench.table2

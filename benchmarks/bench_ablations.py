@@ -17,19 +17,22 @@
 import pytest
 
 from repro.bench.suites import by_name
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
 from repro.lcm import x86_lcm
 from repro.lcm.taxonomy import TransmitterClass as TC
 from repro.litmus import SpeculationConfig, parse_program
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 
 def test_addr_gep_filter_ablation(benchmark):
     case = by_name("pht01")
 
     def run():
-        on = analyze_source(case.source, engine="pht",
+        on = _SESSION.analyze(case.source, engine="pht",
                             config=ClouConfig(addr_gep_filter=True))
-        off = analyze_source(case.source, engine="pht",
+        off = _SESSION.analyze(case.source, engine="pht",
                              config=ClouConfig(addr_gep_filter=False))
         return on, off
 
@@ -44,7 +47,7 @@ def test_window_sweep(benchmark, window):
     config = ClouConfig(window_size=window, rob_size=min(window, 250),
                         timeout_seconds=120.0)
     report = benchmark.pedantic(
-        analyze_source, args=(case.source,),
+        _SESSION.analyze, args=(case.source,),
         kwargs={"engine": "pht", "config": config, "name": case.name},
         rounds=1, iterations=1,
     )
@@ -55,9 +58,9 @@ def test_window_too_small_hides_gadget(benchmark):
     case = by_name("pht01")
 
     def run():
-        tiny = analyze_source(case.source, engine="pht",
+        tiny = _SESSION.analyze(case.source, engine="pht",
                               config=ClouConfig(window_size=2, rob_size=2))
-        full = analyze_source(case.source, engine="pht",
+        full = _SESSION.analyze(case.source, engine="pht",
                               config=ClouConfig())
         return tiny, full
 

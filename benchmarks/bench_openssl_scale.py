@@ -12,7 +12,10 @@ tight per-function budget, reporting the completion fraction.
 import pytest
 
 from repro.bench.synthetic import openssl_like_source
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +28,7 @@ def test_library_scale_completion_rate(benchmark, openssl_like, engine):
     config = ClouConfig(timeout_seconds=5.0)  # tight per-function budget
 
     report = benchmark.pedantic(
-        analyze_source, args=(openssl_like,),
+        _SESSION.analyze, args=(openssl_like,),
         kwargs={"engine": engine, "config": config, "name": "openssl-like"},
         rounds=1, iterations=1,
     )
@@ -50,7 +53,7 @@ def test_gadgets_found_at_scale(benchmark, openssl_like):
 
     config = ClouConfig(timeout_seconds=5.0, classes=("udt", "uct"))
     report = benchmark.pedantic(
-        analyze_source, args=(openssl_like,),
+        _SESSION.analyze, args=(openssl_like,),
         kwargs={"engine": "pht", "config": config, "name": "openssl-like"},
         rounds=1, iterations=1,
     )

@@ -18,8 +18,11 @@ import pytest
 
 from repro.bench.suites import litmus_pht
 from repro.bench.synthetic import bounded_corpus
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 PRUNE_ON = ClouConfig(enable_range_pruning=True)
 PRUNE_OFF = ClouConfig(enable_range_pruning=False)
@@ -46,9 +49,9 @@ def test_litmus_detections_invariant(benchmark, case):
     """Pruning never changes what Table 2 reports on the PHT suite."""
 
     def run():
-        on = analyze_source(case.source, engine="pht", config=PRUNE_ON,
+        on = _SESSION.analyze(case.source, engine="pht", config=PRUNE_ON,
                             name=case.name)
-        off = analyze_source(case.source, engine="pht", config=PRUNE_OFF,
+        off = _SESSION.analyze(case.source, engine="pht", config=PRUNE_OFF,
                              name=case.name)
         return on, off
 
@@ -64,9 +67,9 @@ def test_bounded_corpus_pruning_strictly_wins(benchmark):
     def run():
         results = []
         for name, source in corpus:
-            on = analyze_source(source, engine="pht", config=PRUNE_ON,
+            on = _SESSION.analyze(source, engine="pht", config=PRUNE_ON,
                                 name=name)
-            off = analyze_source(source, engine="pht", config=PRUNE_OFF,
+            off = _SESSION.analyze(source, engine="pht", config=PRUNE_OFF,
                                  name=name)
             results.append((name, on, off))
         return results
@@ -93,9 +96,9 @@ def test_bounded_corpus_candidate_counts_decrease(benchmark):
     def run():
         pairs = []
         for name, source in corpus:
-            on = analyze_source(source, engine="pht", config=UDT_ON,
+            on = _SESSION.analyze(source, engine="pht", config=UDT_ON,
                                 name=name)
-            off = analyze_source(source, engine="pht", config=UDT_OFF,
+            off = _SESSION.analyze(source, engine="pht", config=UDT_OFF,
                                  name=name)
             pairs.append((name, on, off))
         return pairs
@@ -121,9 +124,9 @@ def test_bounded_corpus_engine_speedup(benchmark):
     def run():
         on = off = 0.0
         for name, source in corpus:
-            r_on = analyze_source(source, engine="pht", config=UDT_ON,
+            r_on = _SESSION.analyze(source, engine="pht", config=UDT_ON,
                                   name=name)
-            r_off = analyze_source(source, engine="pht", config=UDT_OFF,
+            r_off = _SESSION.analyze(source, engine="pht", config=UDT_OFF,
                                    name=name)
             on += sum(f.elapsed for f in r_on.functions)
             off += sum(f.elapsed for f in r_off.functions)

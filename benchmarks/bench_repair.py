@@ -9,7 +9,9 @@ the classic PHT shape.
 import pytest
 
 from repro.bench.suites import by_name, litmus_fwd, litmus_new, litmus_pht, litmus_stl
-from repro.clou import repair_source
+from repro.sched import ClouSession
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 SUITES = {
     "pht": (litmus_pht, "pht"),
@@ -28,7 +30,7 @@ def test_repair_suite(benchmark, suite):
         return [
             result
             for case in cases
-            for result in repair_source(case.source, engine=engine,
+            for result in _SESSION.repair(case.source, engine=engine,
                                         name=case.name)
         ]
 
@@ -40,7 +42,7 @@ def test_repair_suite(benchmark, suite):
 def test_pht01_needs_exactly_one_fence(benchmark):
     case = by_name("pht01")
     results = benchmark.pedantic(
-        repair_source, args=(case.source,),
+        _SESSION.repair, args=(case.source,),
         kwargs={"engine": "pht", "name": case.name},
         rounds=1, iterations=1,
     )
@@ -56,7 +58,7 @@ def test_fence_budget_mean_small(benchmark):
     def run():
         counts = []
         for case in litmus_pht():
-            for result in repair_source(case.source, engine="pht",
+            for result in _SESSION.repair(case.source, engine="pht",
                                         name=case.name):
                 if result.fences:
                     counts.append(len(result.fences))

@@ -15,8 +15,10 @@ import pytest
 from repro.baselines.bh import bh_analyze_source
 from repro.bench.suites import by_name, crypto_cases
 from repro.bench.table2 import CLOU_TABLE2_CONFIG
-from repro.clou import analyze_source
+from repro.sched import ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 CRYPTO = [case.name for case in crypto_cases()]
 
@@ -25,7 +27,7 @@ CRYPTO = [case.name for case in crypto_cases()]
 def test_clou_pht_crypto(benchmark, name):
     case = by_name(name)
     report = benchmark.pedantic(
-        analyze_source, args=(case.source,),
+        _SESSION.analyze, args=(case.source,),
         kwargs={"engine": "pht", "config": CLOU_TABLE2_CONFIG, "name": name},
         rounds=1, iterations=1,
     )
@@ -45,7 +47,7 @@ def test_clou_pht_crypto(benchmark, name):
 def test_clou_stl_crypto(benchmark, name):
     case = by_name(name)
     report = benchmark.pedantic(
-        analyze_source, args=(case.source,),
+        _SESSION.analyze, args=(case.source,),
         kwargs={"engine": "stl", "config": CLOU_TABLE2_CONFIG, "name": name},
         rounds=1, iterations=1,
     )
@@ -73,7 +75,7 @@ def test_sigalgs_gadget_chain(benchmark):
     transient) -> field dereference transmits."""
     case = by_name("sigalgs")
     report = benchmark.pedantic(
-        analyze_source, args=(case.source,),
+        _SESSION.analyze, args=(case.source,),
         kwargs={"engine": "pht", "config": CLOU_TABLE2_CONFIG,
                 "name": "sigalgs"},
         rounds=1, iterations=1,
@@ -91,7 +93,7 @@ def test_sodium_combined_gadget(benchmark):
     """§6.2.3: the v1.1+v4-flavoured UDT class in libsodium-like code."""
     case = by_name("sodium_misc")
     report = benchmark.pedantic(
-        analyze_source, args=(case.source,),
+        _SESSION.analyze, args=(case.source,),
         kwargs={"engine": "stl", "config": CLOU_TABLE2_CONFIG,
                 "name": "sodium_misc"},
         rounds=1, iterations=1,

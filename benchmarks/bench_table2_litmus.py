@@ -14,8 +14,10 @@ import pytest
 from repro.baselines.bh import bh_analyze_source
 from repro.bench.suites import litmus_fwd, litmus_new, litmus_pht, litmus_stl
 from repro.bench.table2 import CLOU_TABLE2_CONFIG, _bh_tool_row, _clou_tool_row
-from repro.clou import analyze_source
+from repro.sched import ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 SUITES = {
     "pht": (litmus_pht, "pht"),
@@ -37,7 +39,7 @@ def test_clou_litmus_suite(benchmark, suite):
     # Shape: Clou classifies, and every intended-leaky case leaks.
     assert sum(row.counts.values()) > 0
     for case in cases:
-        report = analyze_source(case.source, engine=engine,
+        report = _SESSION.analyze(case.source, engine=engine,
                                 config=CLOU_TABLE2_CONFIG, name=case.name)
         if case.intended_leaky:
             assert report.leaky, f"{case.name} must be flagged"
@@ -65,7 +67,7 @@ def test_clou_finds_all_intended_pht_transmitters(benchmark):
     def run():
         found = {}
         for case in litmus_pht():
-            report = analyze_source(case.source, engine="pht",
+            report = _SESSION.analyze(case.source, engine="pht",
                                     config=CLOU_TABLE2_CONFIG, name=case.name)
             best = TC.UNIVERSAL_DATA if report.total(TC.UNIVERSAL_DATA) else (
                 TC.UNIVERSAL_CONTROL if report.total(TC.UNIVERSAL_CONTROL)
@@ -88,7 +90,7 @@ def test_stl13_mislabel_detected(benchmark):
 
     case = by_name("stl13")
     report = benchmark.pedantic(
-        analyze_source,
+        _SESSION.analyze,
         args=(case.source,),
         kwargs={"engine": "stl", "config": CLOU_TABLE2_CONFIG,
                 "name": case.name},
@@ -104,7 +106,7 @@ def test_new01_found_by_both_engines(benchmark):
     case = by_name("new01")
 
     def run():
-        clou = analyze_source(case.source, engine="pht",
+        clou = _SESSION.analyze(case.source, engine="pht",
                               config=CLOU_TABLE2_CONFIG, name=case.name)
         bh = bh_analyze_source(case.source, engine="pht", name=case.name)
         return clou, bh

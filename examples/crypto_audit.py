@@ -9,20 +9,22 @@ Run: ``python examples/crypto_audit.py``
 """
 
 from repro.bench.suites import crypto_cases
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
 from repro.lcm.taxonomy import TransmitterClass
+from repro.sched import ClouSession
 
 
 def main() -> None:
     config = ClouConfig(timeout_seconds=120.0)
+    session = ClouSession(config=config, cache=False)
     print(f"{'application':14s} {'engine':6s} {'functions':>9s} "
           f"{'UDT':>4s} {'UCT':>4s} {'DT':>5s} {'CT':>5s} {'time':>8s}")
     print("-" * 64)
     sigalgs_witnesses = []
     for case in crypto_cases():
         for engine in case.engines:
-            report = analyze_source(case.source, engine=engine,
-                                    config=config, name=case.name)
+            report = session.analyze(case.source, engine=engine,
+                                     name=case.name)
             totals = report.totals()
             print(f"{case.name:14s} {engine:6s} {len(report.functions):9d} "
                   f"{totals[TransmitterClass.UNIVERSAL_DATA]:4d} "

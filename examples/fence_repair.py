@@ -10,17 +10,18 @@ Run: ``python examples/fence_repair.py``
 """
 
 from repro.bench.suites import all_litmus
-from repro.clou import repair_source
+from repro.sched import ClouSession
 
 
 def main() -> None:
+    session = ClouSession(cache=False)
     print(f"{'benchmark':10s} {'engine':6s} {'fences':>6s} {'status':>10s}")
     print("-" * 38)
     totals = {}
     for case in all_litmus():
         engine = case.engines[0]
-        for result in repair_source(case.source, engine=engine,
-                                    name=case.name):
+        for result in session.repair(case.source, engine=engine,
+                                     name=case.name):
             status = "repaired" if result.fully_repaired else "RESIDUAL"
             print(f"{case.name:10s} {engine:6s} {len(result.fences):6d} "
                   f"{status:>10s}")

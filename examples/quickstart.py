@@ -9,8 +9,7 @@ bounds-check-bypass victim:
 Run: ``python examples/quickstart.py``
 """
 
-from repro import analyze_source
-from repro.clou import repair_source
+from repro import ClouSession
 from repro.lcm.taxonomy import TransmitterClass
 
 VICTIM = """
@@ -29,8 +28,9 @@ void victim(uint64_t y) {
 
 
 def main() -> None:
+    session = ClouSession(cache=False)
     print("=== 1. Detect (Clou-PHT) ===")
-    report = analyze_source(VICTIM, engine="pht", name="quickstart")
+    report = session.analyze(VICTIM, engine="pht", name="quickstart")
     print(report.summary())
     print()
     for witness in report.transmitters:
@@ -44,7 +44,7 @@ def main() -> None:
     print()
 
     print("=== 2. Repair (minimal lfence insertion) ===")
-    for result in repair_source(VICTIM, engine="pht", name="quickstart"):
+    for result in session.repair(VICTIM, engine="pht", name="quickstart"):
         print(result.summary())
         for block, index in result.fences:
             print(f"  inserted lfence at {block}#{index}")

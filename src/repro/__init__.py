@@ -18,10 +18,14 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import analyze_source
-    report = analyze_source(open("victim.c").read(), engine="pht")
+    from repro import ClouSession
+    session = ClouSession(jobs=4)
+    report = session.analyze(open("victim.c").read(), engine="pht")
     for transmitter in report.transmitters:
         print(transmitter)
+
+(``analyze_source`` and friends still work but are deprecated shims
+over :class:`~repro.sched.ClouSession`.)
 """
 
 __version__ = "1.0.0"
@@ -29,6 +33,9 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "CLOU_DEFAULT_CONFIG": ("repro.clou.driver", "CLOU_DEFAULT_CONFIG"),
     "ClouConfig": ("repro.clou.driver", "ClouConfig"),
+    "ClouSession": ("repro.sched", "ClouSession"),
+    "AnalysisRequest": ("repro.sched", "AnalysisRequest"),
+    "AnalysisResult": ("repro.sched", "AnalysisResult"),
     "analyze_source": ("repro.clou.driver", "analyze_source"),
     "LeakageContainmentModel": ("repro.lcm.contracts", "LeakageContainmentModel"),
     "TransmitterClass": ("repro.lcm.taxonomy", "TransmitterClass"),
@@ -46,8 +53,11 @@ def __getattr__(name):
     return getattr(importlib.import_module(module_name), attr)
 
 __all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
     "CLOU_DEFAULT_CONFIG",
     "ClouConfig",
+    "ClouSession",
     "LeakageContainmentModel",
     "TransmitterClass",
     "analyze_source",

@@ -12,7 +12,8 @@ from .cfg import BlockCFG
 from .dataflow import (BitsetLattice, DataflowProblem, DataflowSolution,
                        Lattice, LevelLattice, MapLattice, SetLattice, solve)
 from .interval import Interval, IntervalAnalysis, type_range
-from .lint import (LintFinding, LintReport, lint_module, lint_report_dict,
+from .lint import (LintFinding, LintReport, lint_finding_from_dict,
+                   lint_module, lint_report_dict, lint_report_from_dict,
                    lint_report_json, lint_source)
 from .liveness import Liveness, live_into_block, liveness
 from .reaching import (ReachingStores, SlotRef, reaching_stores, resolve_slot,
@@ -23,8 +24,9 @@ __all__ = [
     "BitsetLattice", "BlockCFG", "DataflowProblem", "DataflowSolution", "Interval",
     "IntervalAnalysis", "Lattice", "LevelLattice", "LintFinding",
     "LintReport", "Liveness", "MapLattice", "ReachingStores",
-    "SecretTaintAnalysis", "SetLattice", "SlotRef", "lint_module",
-    "lint_report_dict", "lint_report_json", "lint_source",
+    "SecretTaintAnalysis", "SetLattice", "SlotRef", "lint_finding_from_dict",
+    "lint_module", "lint_report_dict", "lint_report_from_dict",
+    "lint_report_json", "lint_source",
     "live_into_block", "liveness", "reaching_stores", "resolve_slot",
     "solve", "stores_reaching_load", "type_range",
 ]

@@ -121,6 +121,30 @@ def lint_report_json(report: LintReport, indent: int = 2) -> str:
     return json.dumps(lint_report_dict(report), indent=indent)
 
 
+def lint_finding_from_dict(data: dict) -> LintFinding:
+    return LintFinding(
+        function=data["function"],
+        block=data["block"],
+        index=data["index"],
+        severity=TransmitterClass(data["severity"]),
+        kind=data["kind"],
+        text=data["text"],
+        detail=data.get("detail", ""),
+    )
+
+
+def lint_report_from_dict(data: dict) -> LintReport:
+    """Inverse of :func:`lint_report_dict` (the scheduler's result cache
+    stores lint reports as JSON).  Function order is the serialized
+    (sorted) order; findings round-trip exactly."""
+    return LintReport(
+        module_name=data["module"],
+        functions=list(data.get("functions", [])),
+        findings=[lint_finding_from_dict(f)
+                  for f in data.get("findings", [])],
+    )
+
+
 def _sort_key(finding: LintFinding) -> tuple:
     return (finding.function, finding.block, finding.index,
             -finding.severity.severity)

@@ -29,8 +29,9 @@ from repro.bench.suites import (
     litmus_pht,
     litmus_stl,
 )
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
 from repro.lcm.taxonomy import TransmitterClass as TC
+from repro.sched import ClouSession
 
 # Table 2 configuration: Clou uses ROB/LSQ 250/50; BH 200/20 (§6).
 CLOU_TABLE2_CONFIG = ClouConfig(rob_size=250, lsq_size=50, window_size=250,
@@ -74,13 +75,13 @@ def _clou_tool_row(cases: list[BenchCase], engine: str,
                    config: ClouConfig = CLOU_TABLE2_CONFIG) -> ToolRow:
     from repro.clou.postprocess import postprocess
 
+    session = ClouSession(config=config, jobs=1, cache=False)
     started = time.monotonic()
     counts = {"DT": 0, "CT": 0, "UDT": 0, "UCT": 0}
     worst_case = {"UDT": 0, "UCT": 0}
     timed_out = False
     for case in cases:
-        report = analyze_source(case.source, engine=engine, config=config,
-                                name=case.name)
+        report = session.analyze(case.source, engine=engine, name=case.name)
         totals = report.totals()
         counts["DT"] += totals[TC.DATA]
         counts["CT"] += totals[TC.CONTROL]

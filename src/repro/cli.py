@@ -4,6 +4,14 @@ Mirrors Fig. 6's tool shape: C source in; transmitters, witness chains,
 and (optionally) fence repair out.  ``clou lint`` is the sequential
 constant-time checker — the dataflow-only pre-pass that needs no S-AEG
 and no solver.
+
+All three commands run on a :class:`repro.sched.ClouSession`: work fans
+out over ``--jobs`` worker processes (default ``$REPRO_JOBS`` or 1) with
+per-item crash isolation, and analyze/lint results are cached
+content-addressed under ``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-clou``; ``--no-cache`` disables).  ``--stats`` prints
+the scheduler's cache/retry/timing counters — to stderr under ``--json``
+so the JSON stays byte-stable.
 """
 
 from __future__ import annotations
@@ -11,10 +19,28 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.clou import ClouConfig, analyze_source
 from repro.lcm.taxonomy import TransmitterClass
+from repro.sched import AnalysisRequest, ClouSession, user_cache_dir
+from repro.sched.cache import default_cache_dir
 
 _SEVERITY_CHOICES = ("AT", "CT", "DT", "UCT", "UDT")
+
+
+def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-function timeout in seconds (cooperative "
+                             "engine budget + a 2x wall-clock kill under "
+                             "--jobs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-clou)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print scheduler stats (timings, cache "
+                             "hits/misses, retries)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,8 +60,6 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--lsq", type=int, default=50, help="LSQ capacity")
     analyze.add_argument("--window", type=int, default=250,
                          help="sliding window size Wsize")
-    analyze.add_argument("--timeout", type=float, default=None,
-                         help="per-function timeout (seconds)")
     analyze.add_argument("--no-addr-gep-filter", action="store_true",
                          help="disable the addr_gep benign-leak filter")
     analyze.add_argument("--no-range-pruning", action="store_true",
@@ -62,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero when any detection is at or "
                               "above this Table 1 class (CI gate); "
                               "choices: %(choices)s")
+    _add_scheduler_flags(analyze)
 
     lint = sub.add_parser(
         "lint",
@@ -80,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="CLASS",
                       help="exit non-zero when any finding is at or above "
                            "this Table 1 class; choices: %(choices)s")
+    _add_scheduler_flags(lint)
 
     repair = sub.add_parser("repair", help="insert minimal lfences")
     repair.add_argument("source", help="C source file")
@@ -88,10 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="lfence",
                         help="lfence: minimal full-pipeline fences; "
                              "protect: Blade-style value-flow breaks (§7)")
+    _add_scheduler_flags(repair)
     return parser
 
 
-def _config_from_args(args) -> ClouConfig:
+def _config_from_args(args) -> "ClouConfig":
+    from repro.clou import ClouConfig
+
     return ClouConfig(
         rob_size=args.rob,
         lsq_size=args.lsq,
@@ -102,6 +131,25 @@ def _config_from_args(args) -> ClouConfig:
         timeout_seconds=args.timeout,
         assume_alias_prediction=args.alias_prediction,
     )
+
+
+def _session_from_args(args, config=None) -> ClouSession:
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (args.cache_dir or default_cache_dir()
+                     or user_cache_dir())
+    # The engines' cooperative budget normally fires first; the
+    # wall-clock kill (2x grace) only reaps workers hung outside it.
+    hard_timeout = args.timeout * 2 if args.timeout else None
+    return ClouSession(config=config, jobs=args.jobs, timeout=hard_timeout,
+                       cache=not args.no_cache, cache_dir=cache_dir)
+
+
+def _print_stats(args, stats) -> None:
+    if not args.stats:
+        return
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(stats.summary(), file=stream)
 
 
 def _severity_threshold(name: str | None) -> int | None:
@@ -118,16 +166,15 @@ def _analyze_exit_code(report, threshold: int | None) -> int:
 
 
 def _run_analyze(args) -> int:
-    with open(args.source) as handle:
-        source = handle.read()
-    config = _config_from_args(args)
-    report = analyze_source(source, engine=args.engine, config=config,
-                            name=args.source)
+    source = _read(args.source)
+    session = _session_from_args(args, config=_config_from_args(args))
+    report = session.analyze(source, engine=args.engine, name=args.source)
     threshold = _severity_threshold(args.fail_on_severity)
     if args.json:
         from repro.clou.serialize import to_json
 
         print(to_json(report, stable=True))
+        _print_stats(args, report.stats)
         return _analyze_exit_code(report, threshold)
     if args.dot:
         import os
@@ -162,21 +209,30 @@ def _run_analyze(args) -> int:
                 print()
                 for line in witness.describe().splitlines():
                     print("    " + line)
+    _print_stats(args, report.stats)
     return _analyze_exit_code(report, threshold)
 
 
 def _run_lint(args) -> int:
-    from repro.analysis import lint_report_dict, lint_source
-
     secrets = tuple(s for s in args.secrets.split(",") if s)
     public = tuple(s for s in args.public.split(",") if s)
     threshold = _severity_threshold(args.fail_on_severity)
-    reports = [
-        lint_source(_read(path), secrets=secrets, public=public, name=path)
+    session = _session_from_args(args)
+    results = session.run([
+        AnalysisRequest(source=_read(path), kind="lint", name=path,
+                        secrets=secrets, public=public)
         for path in args.sources
-    ]
+    ])
+    for result in results:
+        if result.exception is not None:
+            raise result.exception
+        if result.error is not None:
+            raise SystemExit(f"lint {result.request.name}: {result.error}")
+    reports = [result.lint for result in results]
     if args.json:
         import json
+
+        from repro.analysis import lint_report_dict
 
         payload = [lint_report_dict(report) for report in reports]
         print(json.dumps(payload if len(payload) > 1 else payload[0],
@@ -184,6 +240,7 @@ def _run_lint(args) -> int:
     else:
         for report in reports:
             print(report.describe())
+    _print_stats(args, session.stats)
     if threshold is None:
         return 0
     worst = max((f.severity.severity
@@ -197,22 +254,19 @@ def _read(path: str) -> str:
 
 
 def _run_repair(args) -> int:
-    from repro.clou.acfg import build_acfg
-    from repro.clou.repair import repair as run_repair
-    from repro.minic import compile_c
+    from repro.clou import ClouConfig
 
-    module = compile_c(_read(args.source), name=args.source)
-    results = [
-        run_repair(build_acfg(module, fn.name).function, args.engine,
-                   strategy=args.strategy)
-        for fn in module.public_functions()
-    ]
+    config = ClouConfig(timeout_seconds=args.timeout)
+    session = _session_from_args(args, config=config)
+    results = session.repair(_read(args.source), engine=args.engine,
+                             name=args.source, strategy=args.strategy)
     ok = True
     for result in results:
         print(result.summary())
         for block, index in result.fences:
             print(f"  lfence at {block}#{index}")
         ok &= result.fully_repaired
+    _print_stats(args, session.stats)
     return 0 if ok else 1
 
 

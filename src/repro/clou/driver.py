@@ -1,18 +1,31 @@
-"""Clou's top-level driver (Fig. 6): C source → LLVM-like IR → A-CFG →
-S-AEG → leakage detection engines → transmitters / witnesses / repair."""
+"""Deprecated free-function drivers for the Fig. 6 pipeline.
+
+.. deprecated::
+    The one-call-per-knob functions below predate the session API.  New
+    code should hold a :class:`repro.sched.ClouSession` — it owns the
+    config, the worker pool, the per-item timeout, and the result
+    cache, and it shares one S-AEG per function across engines::
+
+        from repro.sched import ClouSession
+
+        session = ClouSession(jobs=4)
+        report = session.analyze(source, engine="pht", name="victim.c")
+        repairs = session.repair(source, engine="pht")
+
+    These shims forward to a private serial session and emit a
+    :class:`DeprecationWarning`.  The repo's own test suite escalates
+    that warning to an error (see ``setup.cfg``), so internal callers
+    cannot quietly regress onto the old API; user code keeps working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import field
+import warnings
 
-from repro.clou.acfg import build_acfg
-from repro.clou.aeg import SAEG
-from repro.clou.engine import CLOU_DEFAULT_CONFIG, ClouConfig, ENGINES
-from repro.clou.repair import RepairResult, repair
+from repro.clou.engine import CLOU_DEFAULT_CONFIG, ClouConfig
+from repro.clou.repair import RepairResult
 from repro.clou.report import FunctionReport, ModuleReport
-from repro.errors import AnalysisError, ReproError
 from repro.ir import Module
-from repro.minic import compile_c
 
 __all__ = [
     "CLOU_DEFAULT_CONFIG",
@@ -25,44 +38,55 @@ __all__ = [
 ]
 
 
+def _deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.clou.{old} is deprecated; use "
+        f"repro.sched.ClouSession.{replacement} instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def _session(config: ClouConfig):
+    # A fresh serial, cache-less session per call: bitwise-faithful to
+    # the historical behaviour (no cross-call state beyond the
+    # process-local compile/S-AEG memo caches, which are content-keyed).
+    from repro.sched import ClouSession
+
+    return ClouSession(config=config, jobs=1, cache=False)
+
+
 def analyze_function(module: Module, function_name: str,
                      engine: str = "pht",
-                     config: ClouConfig = CLOU_DEFAULT_CONFIG) -> FunctionReport:
-    """Analyze one public function with one engine."""
-    if engine not in ENGINES:
-        raise AnalysisError(f"unknown engine {engine!r}; choose from "
-                            f"{sorted(ENGINES)}")
-    try:
-        acfg = build_acfg(module, function_name)
-        aeg = SAEG(acfg.function)
-        return ENGINES[engine](aeg, config).run()
-    except ReproError as error:
-        return FunctionReport(
-            function=function_name, engine=engine, error=str(error),
-        )
+                     config: ClouConfig = CLOU_DEFAULT_CONFIG
+                     ) -> FunctionReport:
+    """Deprecated: analyze one public function with one engine."""
+    _deprecated("analyze_function", "analyze_module")
+    report = _session(config).analyze_module(
+        module, engine=engine, functions=(function_name,))
+    return report.functions[0]
 
 
 def analyze_module(module: Module, engine: str = "pht",
                    config: ClouConfig = CLOU_DEFAULT_CONFIG) -> ModuleReport:
-    """Analyze each defined public function one-by-one (§5)."""
-    report = ModuleReport(name=module.name or "<module>", engine=engine)
-    for function in module.public_functions():
-        report.functions.append(
-            analyze_function(module, function.name, engine, config)
-        )
-    return report
+    """Deprecated: analyze each defined public function one-by-one."""
+    _deprecated("analyze_module", "analyze_module")
+    return _session(config).analyze_module(module, engine=engine)
 
 
 def analyze_source(source: str, engine: str = "pht",
                    config: ClouConfig = CLOU_DEFAULT_CONFIG,
                    name: str = "") -> ModuleReport:
-    """The whole Fig. 6 pipeline from C source text."""
-    module = compile_c(source, name=name)
-    return analyze_module(module, engine, config)
+    """Deprecated: the whole Fig. 6 pipeline from C source text."""
+    _deprecated("analyze_source", "analyze")
+    return _session(config).analyze(source, engine=engine, name=name)
 
 
 def repair_function(module: Module, function_name: str, engine: str = "pht",
                     config: ClouConfig = CLOU_DEFAULT_CONFIG) -> RepairResult:
+    """Deprecated: detect and fence-repair one function."""
+    _deprecated("repair_function", "repair")
+    from repro.clou.acfg import build_acfg
+    from repro.clou.repair import repair
+
     acfg = build_acfg(module, function_name)
     return repair(acfg.function, engine, config)
 
@@ -70,8 +94,6 @@ def repair_function(module: Module, function_name: str, engine: str = "pht",
 def repair_source(source: str, engine: str = "pht",
                   config: ClouConfig = CLOU_DEFAULT_CONFIG,
                   name: str = "") -> list[RepairResult]:
-    module = compile_c(source, name=name)
-    return [
-        repair_function(module, function.name, engine, config)
-        for function in module.public_functions()
-    ]
+    """Deprecated: detect and fence-repair every public function."""
+    _deprecated("repair_source", "repair")
+    return _session(config).repair(source, engine=engine, name=name)

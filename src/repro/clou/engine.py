@@ -25,7 +25,7 @@ Spectre v4 can overwrite base pointers themselves, so STL cannot use it.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.clou.aeg import AEGNode, Dep, SAEG, WindowView
 from repro.clou.report import ClouWitness, FunctionReport, NodeRef
@@ -34,7 +34,13 @@ from repro.lcm.taxonomy import TransmitterClass
 
 @dataclass(frozen=True)
 class ClouConfig:
-    """Analysis parameters (Fig. 6's "configuration parameters")."""
+    """Analysis parameters (Fig. 6's "configuration parameters").
+
+    The dataclass is frozen, so configs are hashable and usable as cache
+    keys directly; :meth:`to_dict` / :meth:`from_dict` round-trip a
+    config through JSON (``clou analyze --json`` embeds it, and the
+    scheduler's on-disk result cache keys on :meth:`cache_key`).
+    """
 
     rob_size: int = 250
     lsq_size: int = 50
@@ -63,6 +69,37 @@ class ClouConfig:
     bypassed store invalidates the slot-range reasoning.  Sound because
     the intervals never trust branch conditions, so a mispredicted
     bounds check proves nothing (the Spectre v1 gadget stays flagged)."""
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict with every field (tuples become lists)."""
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClouConfig":
+        """Inverse of :meth:`to_dict`.  Missing fields take their
+        defaults (old serialized configs keep loading after new knobs
+        are added); unknown keys are rejected."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ClouConfig fields: {sorted(unknown)}")
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """A canonical string for content-addressed caching: field order
+        and list/tuple distinctions are normalized away."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
 
 CLOU_DEFAULT_CONFIG = ClouConfig()

@@ -125,14 +125,22 @@ class RepairResult:
     function: str
     engine: str
     fences: list[Position]
-    before: FunctionReport
-    after: FunctionReport
+    before: FunctionReport | None
+    after: FunctionReport | None
+    error: str | None = None
+    """Set when the repair item itself failed (analysis error, worker
+    crash, or wall-clock timeout under the scheduler) — ``before`` and
+    ``after`` may then be ``None`` and the repair counts as incomplete."""
 
     @property
     def fully_repaired(self) -> bool:
+        if self.error is not None or self.after is None:
+            return False
         return not self.after.leaky
 
     def summary(self) -> str:
+        if self.error is not None:
+            return f"{self.function} [{self.engine}]: ERROR {self.error}"
         status = "repaired" if self.fully_repaired else "RESIDUAL LEAKS"
         return (f"{self.function} [{self.engine}]: {len(self.fences)} "
                 f"fence(s), {status}")

@@ -132,6 +132,17 @@ class ModuleReport:
     name: str
     engine: str
     functions: list[FunctionReport] = field(default_factory=list)
+    config: "object | None" = None
+    """The :class:`repro.clou.engine.ClouConfig` the analysis ran under.
+    Populated by :meth:`repro.sched.ClouSession.run` so configs
+    round-trip through ``--json`` (deterministic, so it is part of the
+    byte-stable output)."""
+    stats: "object | None" = None
+    """Scheduler observability (a :class:`repro.sched.SessionStats`):
+    per-item timings, cache hits/misses, retries, timeouts, crashes,
+    plus the aggregated candidate/pruned counters.  Populated by
+    :meth:`repro.sched.ClouSession.run`; never serialized into the
+    byte-stable ``--json`` output (wall-clock data would break it)."""
 
     def total(self, klass: TransmitterClass) -> int:
         return sum(report.count(klass) for report in self.functions)

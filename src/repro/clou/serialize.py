@@ -1,10 +1,19 @@
-"""JSON serialization of Clou reports (for CI pipelines and tooling).
+"""JSON (de)serialization of Clou reports (for CI pipelines, tooling,
+and the scheduler's on-disk result cache).
 
 Output ordering is deterministic: transmitters come pre-sorted by
 (block, index, severity) from :meth:`FunctionReport.transmitters`, and
 function entries are sorted by name.  With ``stable=True`` the wall-time
 fields are omitted as well, making the JSON byte-stable across runs —
 what a CI pipeline wants to diff (the ``clou`` CLI uses this mode).
+
+The ``*_from_dict`` functions invert their ``*_dict`` counterparts.
+Round-tripping is witness-exact up to deduplication: serialization
+stores :meth:`FunctionReport.transmitters` (one witness per distinct
+(transmit, class)), so a reconstructed report has those as its witness
+list — every derived quantity (``counts``, ``leaky``, ``transmitters``,
+the stable JSON itself) is unchanged, which is what makes cached results
+byte-identical to fresh ones.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import json
 from typing import Any
 
 from repro.clou.report import ClouWitness, FunctionReport, ModuleReport, NodeRef
+from repro.lcm.taxonomy import TransmitterClass
 
 
 def _noderef_dict(ref: NodeRef | None) -> dict[str, Any] | None:
@@ -76,6 +86,8 @@ def module_report_dict(report: ModuleReport,
         "functions": [function_report_dict(f, stable=stable)
                       for f in functions],
     }
+    if report.config is not None:
+        out["config"] = report.config.to_dict()
     if not stable:
         out["elapsed_seconds"] = report.elapsed
     return out
@@ -85,3 +97,61 @@ def to_json(report: ModuleReport, indent: int = 2,
             stable: bool = False) -> str:
     return json.dumps(module_report_dict(report, stable=stable),
                       indent=indent, ensure_ascii=False, sort_keys=stable)
+
+
+# ----------------------------------------------------------------------
+# Deserialization (the result cache's read path)
+# ----------------------------------------------------------------------
+
+
+def _noderef_from_dict(data: dict[str, Any] | None) -> NodeRef | None:
+    if data is None:
+        return None
+    return NodeRef(
+        block=data["block"],
+        index=data["index"],
+        text=data["text"],
+        provenance=data.get("provenance", ""),
+    )
+
+
+def witness_from_dict(data: dict[str, Any]) -> ClouWitness:
+    return ClouWitness(
+        engine=data["engine"],
+        klass=TransmitterClass(data["class"]),
+        transmit=_noderef_from_dict(data["transmit"]),
+        primitive=_noderef_from_dict(data["primitive"]),
+        access=_noderef_from_dict(data.get("access")),
+        index=_noderef_from_dict(data.get("index")),
+        window_start=_noderef_from_dict(data.get("window_start")),
+        transient_transmit=data.get("transient_transmit", True),
+        transient_access=data.get("transient_access", False),
+        store_hops=data.get("store_hops", 0),
+    )
+
+
+def function_report_from_dict(data: dict[str, Any]) -> FunctionReport:
+    return FunctionReport(
+        function=data["function"],
+        engine=data["engine"],
+        witnesses=[witness_from_dict(w) for w in data.get("transmitters", [])],
+        aeg_size=data.get("aeg_size", 0),
+        elapsed=data.get("elapsed_seconds", 0.0),
+        timed_out=data.get("timed_out", False),
+        error=data.get("error"),
+        candidates=data.get("candidates", 0),
+        pruned=data.get("pruned", 0),
+    )
+
+
+def module_report_from_dict(data: dict[str, Any]) -> ModuleReport:
+    from repro.clou.engine import ClouConfig
+
+    config = data.get("config")
+    return ModuleReport(
+        name=data["name"],
+        engine=data["engine"],
+        functions=[function_report_from_dict(f)
+                   for f in data.get("functions", [])],
+        config=ClouConfig.from_dict(config) if config is not None else None,
+    )

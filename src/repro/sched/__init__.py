@@ -1,0 +1,38 @@
+"""Parallel fault-isolated analysis scheduling for Clou (§5's
+per-function, per-engine workload is embarrassingly parallel).
+
+Public surface:
+
+- :class:`ClouSession` — config + executor + cache behind one API;
+- :class:`AnalysisRequest` / :class:`AnalysisResult` — the batch I/O;
+- :class:`SessionStats` / :class:`ItemStats` — observability counters;
+- :class:`ResultCache` — the content-addressed on-disk result cache;
+- :func:`run_items` / :class:`ItemOutcome` / :class:`TransientError` —
+  the generic work-item scheduler underneath.
+"""
+
+from repro.sched.cache import (CACHE_DIR_ENV, ResultCache, default_cache_dir,
+                               item_cache_key, source_digest, user_cache_dir)
+from repro.sched.scheduler import (ItemOutcome, JOBS_ENV, TransientError,
+                                   default_jobs, run_items)
+from repro.sched.session import AnalysisRequest, AnalysisResult, ClouSession
+from repro.sched.stats import ItemStats, SessionStats
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "CACHE_DIR_ENV",
+    "ClouSession",
+    "ItemOutcome",
+    "ItemStats",
+    "JOBS_ENV",
+    "ResultCache",
+    "SessionStats",
+    "TransientError",
+    "default_cache_dir",
+    "default_jobs",
+    "item_cache_key",
+    "run_items",
+    "source_digest",
+    "user_cache_dir",
+]

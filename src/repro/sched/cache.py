@@ -1,0 +1,129 @@
+"""Content-addressed on-disk result cache for analysis work items.
+
+A cache entry is keyed by the SHA-256 of a canonical JSON description of
+the work: ``(schema version, kind, source hash, function, engine,
+canonical ClouConfig, secrecy policy)``.  Anything that can change the
+result is in the key, so entries never need invalidation — a config or
+source edit simply misses.  Values are JSON (the serialized
+:class:`FunctionReport` / :class:`LintReport`), written atomically via
+``os.replace`` so concurrent runs can share a cache directory.
+
+Only *clean* results are cached: errored, crashed, or timed-out items
+are always re-run (a transient failure must not stick).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+# Bump when the serialized report schema or the analysis itself changes
+# incompatibly; old entries then miss instead of deserializing garbage.
+SCHEMA_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def item_cache_key(*, kind: str, source: str, function: str = "",
+                   engine: str = "", config_key: str = "",
+                   secrets: tuple[str, ...] = (),
+                   public: tuple[str, ...] = ()) -> str:
+    """The content address of one work item's result."""
+    payload = json.dumps(
+        {
+            "v": SCHEMA_VERSION,
+            "kind": kind,
+            "source": source_digest(source),
+            "function": function,
+            "engine": engine,
+            "config": config_key,
+            "secrets": sorted(secrets),
+            "public": sorted(public),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> str | None:
+    """``$REPRO_CACHE_DIR`` when set, else ``None`` (caching off for
+    library use; the CLI supplies a user-cache default)."""
+    path = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return path or None
+
+
+def user_cache_dir() -> str:
+    """The CLI's default cache location."""
+    base = os.environ.get("XDG_CACHE_HOME", "").strip() or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-clou")
+
+
+class ResultCache:
+    """A directory of ``<key[:2]>/<key>.json`` entries."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None``.  Corrupt or unreadable
+        entries count as misses (and are left for overwrite)."""
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("v") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically write ``payload`` (plus the schema version).  Cache
+        writes are best-effort: a read-only or full disk never fails the
+        analysis."""
+        payload = dict(payload, v=SCHEMA_VERSION)
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        count = 0
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return 0
+        for shard in shards:
+            try:
+                count += sum(
+                    name.endswith(".json")
+                    for name in os.listdir(os.path.join(self.root, shard))
+                )
+            except OSError:
+                continue
+        return count

@@ -1,0 +1,328 @@
+"""Fault-isolated parallel work-item scheduler.
+
+Fans independent work items out over a pool of worker *processes* (one
+long-lived process per job slot, fed over pipes), with:
+
+- **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  OOM-kill) produces an errored outcome for its item and a fresh worker
+  process; the batch always completes;
+- **wall-clock timeouts** — a hung item is hard-killed at its deadline
+  (``concurrent.futures.ProcessPoolExecutor`` cannot do this: a running
+  future is uncancellable, so the pool keeps its own slots);
+- **bounded retries** — crashed items and items raising
+  :class:`TransientError` are re-queued up to ``retries`` extra
+  attempts; deterministic failures (ordinary exceptions) and timeouts
+  are not retried;
+- **a deterministic serial fallback** — ``jobs <= 1``, an unavailable
+  ``multiprocessing``, or pickling-hostile payloads all run the same
+  items in-process, in order, with identical outcome structure.
+
+Results are returned in submission order regardless of completion
+order, so downstream output is byte-stable across ``--jobs`` settings.
+
+Worker processes persist across items, so worker-side memoization (the
+compiled-module and S-AEG caches in :mod:`repro.sched.worker`) pays off
+when many items share a translation unit.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ItemOutcome", "TransientError", "run_items", "default_jobs"]
+
+JOBS_ENV = "REPRO_JOBS"
+
+# Parent-loop tick: bounds how late a deadline kill or crash detection
+# can fire.  Small enough to be unnoticeable, large enough to be free.
+_TICK_SECONDS = 0.05
+
+
+class TransientError(Exception):
+    """Raised by a worker to request a retry (e.g. a flaky external
+    resource).  Ordinary exceptions are deterministic failures and are
+    not retried."""
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` when set and valid, else 1 (serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+@dataclass
+class ItemOutcome:
+    """What happened to one work item."""
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    timed_out: bool = False
+    crashed: bool = False
+    attempts: int = 0
+    elapsed: float = 0.0       # wall seconds across all attempts
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_items(worker: Callable[[Any], Any], payloads: list,
+              *, jobs: int = 1, timeout: float | None = None,
+              retries: int = 1) -> list[ItemOutcome]:
+    """Run ``worker(payload)`` for every payload; never raises for
+    per-item failures.  ``timeout`` is a per-item wall-clock limit
+    (parallel mode only — a serial run cannot kill itself; the engines'
+    cooperative ``ClouConfig.timeout_seconds`` budget covers that path).
+    """
+    if not payloads:
+        return []
+    if jobs > 1:
+        pool_or_reason = _try_parallel(worker, payloads, jobs)
+        if isinstance(pool_or_reason, _Pool):
+            with pool_or_reason as pool:
+                return pool.run(payloads, timeout=timeout, retries=retries)
+    return _run_serial(worker, payloads, retries=retries)
+
+
+def _run_serial(worker, payloads, *, retries: int) -> list[ItemOutcome]:
+    outcomes = []
+    for index, payload in enumerate(payloads):
+        outcome = ItemOutcome(index=index)
+        started = time.monotonic()
+        while True:
+            outcome.attempts += 1
+            try:
+                outcome.value = worker(payload)
+                outcome.error = None
+                break
+            except TransientError as error:
+                outcome.error = f"{type(error).__name__}: {error}"
+                if outcome.attempts > retries:
+                    break
+            except Exception as error:
+                outcome.error = f"{type(error).__name__}: {error}"
+                break
+        outcome.elapsed = time.monotonic() - started
+        outcomes.append(outcome)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Parallel pool
+# ----------------------------------------------------------------------
+
+
+def _try_parallel(worker, payloads, jobs) -> "_Pool | str":
+    """A ready pool, or a reason string for falling back to serial."""
+    try:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        method = "fork" if "fork" in methods else methods[0]
+        ctx = mp.get_context(method)
+    except (ImportError, ValueError, OSError) as error:
+        return f"multiprocessing unavailable: {error}"
+    try:
+        # Payloads cross a pipe in both modes; the worker itself only
+        # needs to pickle under spawn/forkserver.
+        pickle.dumps(payloads)
+        if method != "fork":
+            pickle.dumps(worker)
+    except Exception as error:
+        return f"pickling-hostile workload: {type(error).__name__}"
+    return _Pool(ctx, worker, jobs=min(jobs, len(payloads)))
+
+
+def _worker_loop(worker, conn):
+    """Runs in the child: receive ``(index, payload)``, send
+    ``(index, status, value)``.  Exits on the ``None`` sentinel or a
+    closed pipe."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, payload = message
+        try:
+            value = worker(payload)
+            status = "ok"
+        except TransientError as error:
+            value, status = f"{type(error).__name__}: {error}", "transient"
+        except Exception as error:
+            value, status = f"{type(error).__name__}: {error}", "error"
+        try:
+            conn.send((index, status, value))
+        except Exception as error:
+            # The *result* failed to pickle; report that instead of dying.
+            conn.send((index, "error",
+                       f"unpicklable result: {type(error).__name__}: {error}"))
+
+
+@dataclass
+class _Slot:
+    proc: Any
+    conn: Any
+    item: int | None = None      # index of the in-flight item
+    started: float = 0.0
+
+
+@dataclass
+class _Pending:
+    index: int
+    attempts: int = 0
+    elapsed: float = 0.0
+    last_error: str | None = None
+    crashed: bool = False
+
+
+class _Pool:
+    def __init__(self, ctx, worker, jobs: int):
+        self._ctx = ctx
+        self._worker = worker
+        self.jobs = jobs
+        self._slots: list[_Slot] = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._shutdown()
+        return False
+
+    def _spawn(self) -> _Slot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_loop, args=(self._worker, child_conn), daemon=True)
+        proc.start()
+        child_conn.close()
+        slot = _Slot(proc=proc, conn=parent_conn)
+        self._slots.append(slot)
+        return slot
+
+    def _retire(self, slot: _Slot) -> None:
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.proc.is_alive():
+            slot.proc.kill()
+        slot.proc.join()
+        self._slots.remove(slot)
+
+    def _shutdown(self) -> None:
+        for slot in list(self._slots):
+            try:
+                slot.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for slot in list(self._slots):
+            slot.proc.join(timeout=0.5)
+            self._retire(slot)
+
+    def run(self, payloads, *, timeout: float | None,
+            retries: int) -> list[ItemOutcome]:
+        from multiprocessing.connection import wait as conn_wait
+
+        states = {i: _Pending(index=i) for i in range(len(payloads))}
+        queue = deque(range(len(payloads)))
+        outcomes: dict[int, ItemOutcome] = {}
+
+        def finish(index: int, **kwargs) -> None:
+            state = states[index]
+            outcomes[index] = ItemOutcome(
+                index=index, attempts=state.attempts,
+                elapsed=state.elapsed, **kwargs)
+
+        def requeue_or_fail(index: int, error: str, crashed: bool) -> None:
+            state = states[index]
+            state.last_error, state.crashed = error, crashed
+            if state.attempts <= retries:
+                queue.append(index)
+            else:
+                finish(index, error=error, crashed=crashed)
+
+        while len(outcomes) < len(payloads):
+            # Feed idle slots, spawning up to the job budget.
+            while queue:
+                slot = next((s for s in self._slots if s.item is None), None)
+                if slot is None and len(self._slots) < self.jobs:
+                    slot = self._spawn()
+                if slot is None:
+                    break
+                index = queue.popleft()
+                states[index].attempts += 1
+                states[index].crashed = False
+                try:
+                    slot.conn.send((index, payloads[index]))
+                except pickle.PicklingError as error:
+                    states[index].attempts -= 1
+                    finish(index, error=f"unpicklable payload: {error}")
+                    continue
+                except (OSError, ValueError):
+                    # The worker died while idle; replace it and retry
+                    # the send without charging the item an attempt.
+                    states[index].attempts -= 1
+                    queue.appendleft(index)
+                    self._retire(slot)
+                    continue
+                slot.item = index
+                slot.started = time.monotonic()
+
+            busy = [slot for slot in self._slots if slot.item is not None]
+            if not busy:
+                if queue:
+                    continue
+                break  # defensive: nothing running, nothing queued
+            ready = conn_wait([slot.conn for slot in busy],
+                              timeout=_TICK_SECONDS)
+            now = time.monotonic()
+            for slot in busy:
+                index = slot.item
+                if index is None:
+                    continue
+                state = states[index]
+                if slot.conn in ready:
+                    try:
+                        message = slot.conn.recv()
+                    except (EOFError, OSError):
+                        # Died mid-send (or between recv and send).
+                        state.elapsed += now - slot.started
+                        requeue_or_fail(index, "worker process died",
+                                        crashed=True)
+                        slot.item = None
+                        self._retire(slot)
+                        continue
+                    _, status, value = message
+                    state.elapsed += now - slot.started
+                    slot.item = None
+                    if status == "ok":
+                        finish(index, value=value)
+                    elif status == "transient":
+                        requeue_or_fail(index, value, crashed=False)
+                    else:
+                        finish(index, error=value)
+                elif not slot.proc.is_alive() and not slot.conn.poll():
+                    state.elapsed += now - slot.started
+                    requeue_or_fail(index, "worker process died",
+                                    crashed=True)
+                    slot.item = None
+                    self._retire(slot)
+                elif timeout is not None and now - slot.started > timeout:
+                    state.elapsed += now - slot.started
+                    finish(index,
+                           error=f"wall-clock timeout after {timeout:g}s",
+                           timed_out=True)
+                    slot.item = None
+                    self._retire(slot)  # the only way to stop a hung item
+        return [outcomes[i] for i in range(len(payloads))]

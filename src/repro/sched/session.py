@@ -1,0 +1,383 @@
+"""The unified Clou analysis API: :class:`ClouSession`.
+
+A session owns the knobs that used to be sprinkled across the
+``analyze_*`` / ``repair_*`` / lint free functions — the
+:class:`ClouConfig`, the job count, the per-item wall-clock timeout, the
+retry budget, and the on-disk result cache — and exposes one batch
+entrypoint, :meth:`ClouSession.run`, over :class:`AnalysisRequest`
+values::
+
+    from repro.sched import AnalysisRequest, ClouSession
+
+    session = ClouSession(jobs=4)
+    [result] = session.run([AnalysisRequest(source=open("victim.c").read(),
+                                            engine="pht")])
+    print(result.report.summary())
+
+Convenience wrappers (:meth:`analyze`, :meth:`repair`, :meth:`lint`)
+cover the one-request case; the deprecated module-level functions in
+:mod:`repro.clou.driver` are thin shims over them.
+
+Each request expands into independent ``(function, engine)`` work items
+that the scheduler fans out with crash isolation, timeouts, retries, and
+content-addressed caching (see :mod:`repro.sched.scheduler` and
+:mod:`repro.sched.cache`).  Item results are reassembled in request
+order, so output is byte-identical across ``jobs`` settings and across
+cached/uncached runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.lint import LintReport, lint_report_dict, \
+    lint_report_from_dict
+from repro.clou.engine import CLOU_DEFAULT_CONFIG, ClouConfig, ENGINES
+from repro.clou.repair import RepairResult
+from repro.clou.report import FunctionReport, ModuleReport
+from repro.clou.serialize import function_report_dict, \
+    function_report_from_dict
+from repro.errors import AnalysisError, ReproError
+from repro.sched import worker
+from repro.sched.cache import ResultCache, default_cache_dir, item_cache_key
+from repro.sched.scheduler import default_jobs, run_items
+from repro.sched.stats import ItemStats, SessionStats
+
+__all__ = ["AnalysisRequest", "AnalysisResult", "ClouSession"]
+
+_KINDS = ("analyze", "repair", "lint")
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One unit of user intent: analyze, repair, or lint one source."""
+
+    source: str
+    kind: str = "analyze"               # 'analyze' | 'repair' | 'lint'
+    engine: str = "pht"                 # detection engine (analyze/repair)
+    name: str = ""                      # module name (e.g. the file path)
+    functions: tuple[str, ...] = ()     # () = every public function
+    config: ClouConfig | None = None    # None = the session's config
+    secrets: tuple[str, ...] = ()       # lint: secret symbol names
+    public: tuple[str, ...] = ()        # lint: exemptions from the default
+    strategy: str = "lfence"            # repair: 'lfence' | 'protect'
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of one request.  Exactly one of ``report`` /
+    ``repairs`` / ``lint`` is populated on success (matching the request
+    kind); ``error``/``exception`` capture request-level failures such
+    as parse errors, leaving sibling requests unaffected."""
+
+    request: AnalysisRequest
+    report: ModuleReport | None = None
+    repairs: list[RepairResult] | None = None
+    lint: LintReport | None = None
+    error: str | None = None
+    exception: Exception | None = None
+    stats: SessionStats = field(default_factory=SessionStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Item:
+    """One scheduled unit of work, bookkeeping-side."""
+
+    request_index: int
+    function: str                  # "" for lint (whole-module) items
+    payload: dict
+    label: str
+    cache_key: str | None = None   # None = uncacheable (repair)
+    cached_value: object = None
+    outcome_value: object = None
+    stats: ItemStats | None = None
+
+
+class ClouSession:
+    """Configuration + executor + cache for a batch of Clou analyses.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`ClouConfig` for requests that do not carry one.
+    jobs:
+        Worker process count; ``None`` reads ``$REPRO_JOBS`` (default 1,
+        the deterministic serial path).
+    timeout:
+        Per-item wall-clock limit in seconds.  In parallel mode a hung
+        item is hard-killed at the deadline; the serial path relies on
+        the engines' cooperative ``ClouConfig.timeout_seconds`` budget.
+    retries:
+        Extra attempts for crashed workers / transient failures.
+    cache / cache_dir:
+        On-disk result cache.  ``cache_dir=None`` falls back to
+        ``$REPRO_CACHE_DIR``; caching is off when neither is set or when
+        ``cache=False``.
+    """
+
+    def __init__(self, config: ClouConfig | None = None, *,
+                 jobs: int | None = None, timeout: float | None = None,
+                 retries: int = 1, cache: bool = True,
+                 cache_dir: str | None = None):
+        self.config = config if config is not None else CLOU_DEFAULT_CONFIG
+        self.jobs = max(1, jobs) if jobs is not None else default_jobs()
+        self.timeout = timeout
+        self.retries = retries
+        directory = cache_dir if cache_dir is not None else default_cache_dir()
+        self.cache = ResultCache(directory) if (cache and directory) else None
+        self.stats = SessionStats(jobs=self.jobs)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, requests: list[AnalysisRequest]) -> list[AnalysisResult]:
+        """Run a batch of requests; per-request failures are captured in
+        the corresponding :class:`AnalysisResult`, never raised."""
+        started = time.monotonic()
+        results = [AnalysisResult(request=req) for req in requests]
+        items: list[_Item] = []
+        for index, request in enumerate(requests):
+            try:
+                items.extend(self._expand(index, request))
+            except ReproError as error:
+                results[index].error = str(error)
+                results[index].exception = error
+        self._execute(items)
+        batch = SessionStats(jobs=self.jobs)
+        for index, result in enumerate(results):
+            own = [item for item in items if item.request_index == index]
+            self._assemble(result, own)
+            result.stats.jobs = self.jobs
+            result.stats.wall_seconds = time.monotonic() - started
+            batch.merge(result.stats)
+        batch.wall_seconds = time.monotonic() - started
+        self.stats.merge(batch)
+        return results
+
+    def analyze(self, source: str, *, engine: str = "pht", name: str = "",
+                config: ClouConfig | None = None,
+                functions: tuple[str, ...] = ()) -> ModuleReport:
+        """Analyze every public function (or ``functions``) of ``source``
+        with one engine.  Raises on parse errors, like the historical
+        ``analyze_source``."""
+        [result] = self.run([AnalysisRequest(
+            source=source, kind="analyze", engine=engine, name=name,
+            functions=tuple(functions), config=config)])
+        if result.exception is not None:
+            raise result.exception
+        return result.report
+
+    def repair(self, source: str, *, engine: str = "pht", name: str = "",
+               config: ClouConfig | None = None,
+               strategy: str = "lfence",
+               functions: tuple[str, ...] = ()) -> list[RepairResult]:
+        [result] = self.run([AnalysisRequest(
+            source=source, kind="repair", engine=engine, name=name,
+            functions=tuple(functions), config=config, strategy=strategy)])
+        if result.exception is not None:
+            raise result.exception
+        return result.repairs
+
+    def lint(self, source: str, *, name: str = "",
+             secrets: tuple[str, ...] = (),
+             public: tuple[str, ...] = ()) -> LintReport:
+        [result] = self.run([AnalysisRequest(
+            source=source, kind="lint", name=name,
+            secrets=tuple(secrets), public=tuple(public))])
+        if result.exception is not None:
+            raise result.exception
+        if result.error is not None:
+            raise AnalysisError(result.error)
+        return result.lint
+
+    def analyze_module(self, module, *, engine: str = "pht",
+                       config: ClouConfig | None = None,
+                       functions: tuple[str, ...] = ()) -> ModuleReport:
+        """Analyze a pre-compiled :class:`repro.ir.Module` in-process
+        (serial; no cache — there is no source text to key on).  Backs
+        the deprecated ``analyze_module``/``analyze_function`` shims."""
+        from repro.clou.acfg import build_acfg
+        from repro.clou.aeg import SAEG
+
+        config = config if config is not None else self.config
+        if engine not in ENGINES:
+            raise AnalysisError(f"unknown engine {engine!r}; choose from "
+                                f"{sorted(ENGINES)}")
+        names = tuple(functions) or tuple(
+            f.name for f in module.public_functions())
+        report = ModuleReport(name=module.name or "<module>", engine=engine,
+                              config=config)
+        stats = SessionStats(jobs=1)
+        for function_name in names:
+            item_started = time.monotonic()
+            try:
+                aeg = SAEG(build_acfg(module, function_name).function)
+                function_report = ENGINES[engine](aeg, config).run()
+            except ReproError as error:
+                function_report = FunctionReport(
+                    function=function_name, engine=engine, error=str(error))
+            report.functions.append(function_report)
+            stats.record(ItemStats(
+                label=f"{function_name}/{engine}", kind="analyze",
+                elapsed=time.monotonic() - item_started,
+                errored=function_report.error is not None))
+        stats.candidates = report.candidates
+        stats.pruned = report.pruned
+        stats.wall_seconds = stats.work_seconds
+        report.stats = stats
+        self.stats.merge(stats)
+        return report
+
+    # -- request expansion -------------------------------------------------
+
+    def _config_for(self, request: AnalysisRequest) -> ClouConfig:
+        return request.config if request.config is not None else self.config
+
+    def _expand(self, index: int, request: AnalysisRequest) -> list[_Item]:
+        if request.kind not in _KINDS:
+            raise AnalysisError(f"unknown request kind {request.kind!r}; "
+                                f"choose from {_KINDS}")
+        config = self._config_for(request)
+        if request.kind == "lint":
+            worker.module_for(request.source, request.name)  # parse errors
+            key = item_cache_key(
+                kind="lint", source=request.source,
+                secrets=request.secrets, public=request.public)
+            payload = {
+                "kind": "lint", "source": request.source,
+                "name": request.name, "config": None,
+                "secrets": request.secrets, "public": request.public,
+            }
+            label = f"lint:{request.name or '<module>'}"
+            return [_Item(request_index=index, function="",
+                          payload=payload, label=label, cache_key=key)]
+        if request.engine not in ENGINES:
+            raise AnalysisError(
+                f"unknown engine {request.engine!r}; choose from "
+                f"{sorted(ENGINES)}")
+        module = worker.module_for(request.source, request.name)
+        names = request.functions or tuple(
+            f.name for f in module.public_functions())
+        items = []
+        for function_name in names:
+            payload = {
+                "kind": request.kind, "source": request.source,
+                "name": request.name, "function": function_name,
+                "engine": request.engine, "config": config.to_dict(),
+            }
+            key = None
+            if request.kind == "analyze":
+                key = item_cache_key(
+                    kind="analyze", source=request.source,
+                    function=function_name, engine=request.engine,
+                    config_key=config.cache_key())
+            else:
+                payload["strategy"] = request.strategy
+            items.append(_Item(
+                request_index=index, function=function_name,
+                payload=payload, cache_key=key,
+                label=f"{function_name}/{request.engine}"))
+        return items
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, items: list[_Item]) -> None:
+        misses: list[_Item] = []
+        for item in items:
+            cached = self._probe_cache(item)
+            if cached is not None:
+                item.cached_value = cached
+                item.stats = ItemStats(label=item.label,
+                                       kind=item.payload["kind"],
+                                       cache="hit")
+            else:
+                misses.append(item)
+        outcomes = run_items(
+            worker.execute_item, [item.payload for item in misses],
+            jobs=self.jobs, timeout=self.timeout, retries=self.retries)
+        for item, outcome in zip(misses, outcomes):
+            kind = item.payload["kind"]
+            cache_state = "miss" if (self.cache is not None
+                                     and item.cache_key) else "off"
+            item.stats = ItemStats(
+                label=item.label, kind=kind, elapsed=outcome.elapsed,
+                attempts=outcome.attempts, cache=cache_state,
+                timed_out=outcome.timed_out, crashed=outcome.crashed,
+                errored=not outcome.ok)
+            if outcome.ok:
+                item.outcome_value = outcome.value
+                self._store_cache(item)
+            else:
+                item.outcome_value = self._errored_value(item, outcome)
+
+    def _errored_value(self, item: _Item, outcome):
+        kind = item.payload["kind"]
+        if kind == "analyze":
+            return FunctionReport(
+                function=item.function, engine=item.payload["engine"],
+                error=outcome.error, timed_out=outcome.timed_out,
+                elapsed=outcome.elapsed)
+        if kind == "repair":
+            return RepairResult(
+                function=item.function, engine=item.payload["engine"],
+                fences=[], before=None, after=None, error=outcome.error)
+        return outcome.error  # lint: request-level error string
+
+    def _probe_cache(self, item: _Item):
+        if self.cache is None or item.cache_key is None:
+            return None
+        payload = self.cache.get(item.cache_key)
+        if payload is None:
+            return None
+        try:
+            if item.payload["kind"] == "analyze":
+                return function_report_from_dict(payload["report"])
+            return lint_report_from_dict(payload["report"])
+        except (KeyError, ValueError, TypeError):
+            return None  # schema drift: treat as a miss
+
+    def _store_cache(self, item: _Item) -> None:
+        if self.cache is None or item.cache_key is None:
+            return
+        value = item.outcome_value
+        if isinstance(value, FunctionReport):
+            if value.error is not None or value.timed_out:
+                return  # never cache failures
+            payload = {"report": function_report_dict(value, stable=False)}
+        elif isinstance(value, LintReport):
+            payload = {"report": lint_report_dict(value)}
+        else:
+            return
+        self.cache.put(item.cache_key, payload)
+
+    # -- assembly ----------------------------------------------------------
+
+    def _assemble(self, result: AnalysisResult, items: list[_Item]) -> None:
+        request = result.request
+        for item in items:
+            if item.stats is not None:
+                result.stats.record(item.stats)
+        if result.error is not None:
+            return
+        values = [item.cached_value if item.cached_value is not None
+                  else item.outcome_value for item in items]
+        if request.kind == "analyze":
+            report = ModuleReport(
+                name=request.name or "<module>", engine=request.engine,
+                functions=list(values), config=self._config_for(request))
+            result.stats.candidates = report.candidates
+            result.stats.pruned = report.pruned
+            report.stats = result.stats
+            result.report = report
+        elif request.kind == "repair":
+            result.repairs = list(values)
+        else:
+            [value] = values
+            if isinstance(value, LintReport):
+                result.lint = value
+            else:
+                result.error = value or "lint failed"

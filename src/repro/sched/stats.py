@@ -1,0 +1,120 @@
+"""Observability for the analysis scheduler.
+
+Every scheduled work item records an :class:`ItemStats`; a
+:class:`SessionStats` aggregates them (cache hits/misses, retries,
+timeouts, crashes, candidate/pruned counters from the engines, wall and
+CPU-work seconds).  ``clou analyze --stats`` prints the summary; the
+counters also land on :attr:`repro.clou.report.ModuleReport.stats`.
+
+Wall-clock data never enters the byte-stable ``--json`` output — stats
+are printed separately (to stderr under ``--json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ItemStats:
+    """One scheduled (function, engine) work item."""
+
+    label: str = ""            # e.g. "victim/pht" or "lint:victim.c"
+    kind: str = "analyze"      # 'analyze' | 'repair' | 'lint'
+    elapsed: float = 0.0       # worker-side wall seconds (0 for cache hits)
+    attempts: int = 1
+    cache: str = "off"         # 'hit' | 'miss' | 'off'
+    timed_out: bool = False
+    crashed: bool = False
+    errored: bool = False
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+@dataclass
+class SessionStats:
+    """Aggregated scheduler counters for a session (or one request)."""
+
+    jobs: int = 1
+    items: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    errors: int = 0
+    candidates: int = 0
+    pruned: int = 0
+    work_seconds: float = 0.0  # sum of per-item worker time
+    wall_seconds: float = 0.0  # parent-side elapsed for the batch
+    per_item: list[ItemStats] = field(default_factory=list)
+
+    def record(self, item: ItemStats) -> None:
+        self.items += 1
+        if item.cache == "hit":
+            self.cache_hits += 1
+        elif item.cache == "miss":
+            self.cache_misses += 1
+        self.retries += item.retries
+        self.timeouts += int(item.timed_out)
+        self.crashes += int(item.crashed)
+        self.errors += int(item.errored)
+        self.work_seconds += item.elapsed
+        self.per_item.append(item)
+
+    def merge(self, other: "SessionStats") -> None:
+        """Fold another batch's counters into this one (the session keeps
+        a running total across every ``run()`` call)."""
+        self.items += other.items
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.crashes += other.crashes
+        self.errors += other.errors
+        self.candidates += other.candidates
+        self.pruned += other.pruned
+        self.work_seconds += other.work_seconds
+        self.wall_seconds += other.wall_seconds
+        self.per_item.extend(other.per_item)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probed = self.cache_hits + self.cache_misses
+        return self.cache_hits / probed if probed else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "items": self.items,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "errors": self.errors,
+            "candidates": self.candidates,
+            "pruned": self.pruned,
+            "work_seconds": round(self.work_seconds, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+    def summary(self) -> str:
+        """The ``--stats`` line."""
+        probed = self.cache_hits + self.cache_misses
+        if probed:
+            cache = (f"cache {self.cache_hits} hits / "
+                     f"{self.cache_misses} misses "
+                     f"({100.0 * self.cache_hit_rate:.1f}% hit rate)")
+        else:
+            cache = "cache off"
+        return (
+            f"stats: {self.items} items, jobs={self.jobs} | {cache} | "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"crashes={self.crashes} errors={self.errors} | "
+            f"candidates={self.candidates} pruned={self.pruned} | "
+            f"work {self.work_seconds:.2f}s, wall {self.wall_seconds:.2f}s"
+        )

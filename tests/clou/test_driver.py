@@ -1,11 +1,14 @@
 """Driver-level behaviour: error handling, multi-function modules,
-engine dispatch."""
+engine dispatch — now exercised through the deprecated free-function
+shims, which must keep working (with a :class:`DeprecationWarning`)
+and agree with the :class:`ClouSession` API they forward to."""
 
 import pytest
 
 from repro.clou import ClouConfig, analyze_function, analyze_module, analyze_source
 from repro.errors import ParseError
 from repro.minic import compile_c
+from repro.sched import ClouSession
 
 MULTI = """
 uint8_t A[16];
@@ -27,41 +30,65 @@ void clean(uint64_t y) {
 
 class TestDriver:
     def test_each_public_function_analyzed(self):
-        report = analyze_source(MULTI, engine="pht", name="multi")
+        with pytest.deprecated_call():
+            report = analyze_source(MULTI, engine="pht", name="multi")
         names = {f.function for f in report.functions}
         assert names == {"leaky", "clean"}  # helper is static (private)
 
     def test_per_function_verdicts(self):
-        report = analyze_source(MULTI, engine="pht", name="multi")
+        with pytest.deprecated_call():
+            report = analyze_source(MULTI, engine="pht", name="multi")
         by_name = {f.function: f for f in report.functions}
         assert by_name["leaky"].leaky
         assert not by_name["clean"].leaky
 
     def test_parse_errors_propagate(self):
-        with pytest.raises(ParseError):
+        with pytest.deprecated_call(), pytest.raises(ParseError):
             analyze_source("void f( {", engine="pht")
 
     def test_analysis_error_captured_per_function(self):
         # Unknown function: surfaced as a report error, not an exception.
         module = compile_c(MULTI)
-        report = analyze_function(module, "nonexistent", engine="pht")
+        with pytest.deprecated_call():
+            report = analyze_function(module, "nonexistent", engine="pht")
         assert report.error
 
     def test_module_report_aggregation(self):
         module = compile_c(MULTI)
-        report = analyze_module(module, engine="pht")
+        with pytest.deprecated_call():
+            report = analyze_module(module, engine="pht")
         assert report.leaky
         assert report.elapsed >= 0
         assert "functions" in report.summary()
 
     def test_config_threading(self):
         config = ClouConfig(classes=("udt",), rob_size=100)
-        report = analyze_source(MULTI, engine="pht", config=config)
+        with pytest.deprecated_call():
+            report = analyze_source(MULTI, engine="pht", config=config)
         from repro.lcm.taxonomy import TransmitterClass as TC
 
         assert report.total(TC.CONTROL) == 0  # CT search disabled
 
     def test_empty_module(self):
-        report = analyze_module(compile_c("uint8_t g;"), engine="pht")
+        with pytest.deprecated_call():
+            report = analyze_module(compile_c("uint8_t g;"), engine="pht")
         assert not report.functions
         assert not report.leaky
+
+
+class TestShimSessionAgreement:
+    def test_shim_matches_session(self):
+        """The deprecated path and the session path must produce
+        byte-identical stable JSON."""
+        from repro.clou.serialize import to_json
+
+        with pytest.deprecated_call():
+            via_shim = analyze_source(MULTI, engine="pht", name="multi")
+        session = ClouSession(jobs=1, cache=False)
+        via_session = session.analyze(MULTI, engine="pht", name="multi")
+        assert to_json(via_shim, stable=True) == \
+            to_json(via_session, stable=True)
+
+    def test_shim_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning, match="ClouSession"):
+            analyze_source(MULTI, engine="pht")

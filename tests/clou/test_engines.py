@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.clou import ClouConfig, analyze_source, repair_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
 
 SPECTRE_V1 = """
@@ -53,10 +54,12 @@ uint8_t tmp;
 void f(uint64_t y) { tmp &= A[y & 15]; }
 """
 
+_SESSION = ClouSession(jobs=1, cache=False)
+
 
 def _analyze(source, engine, **config_kwargs):
     config = ClouConfig(**config_kwargs) if config_kwargs else ClouConfig()
-    return analyze_source(source, engine=engine, config=config)
+    return _SESSION.analyze(source, engine=engine, config=config)
 
 
 class TestClouPHT:
@@ -198,31 +201,31 @@ void f(uint64_t y) {
 
     def test_timeout_flag(self):
         config = ClouConfig(timeout_seconds=0.000001)
-        report = analyze_source(SPECTRE_V1, engine="pht", config=config)
+        report = _SESSION.analyze(SPECTRE_V1, engine="pht", config=config)
         assert report.functions[0].timed_out or report.functions[0].elapsed < 1
 
 
 class TestRepair:
     def test_v1_repaired_with_one_fence(self):
-        results = repair_source(SPECTRE_V1, engine="pht")
+        results = _SESSION.repair(SPECTRE_V1, engine="pht")
         (result,) = results
         assert result.fully_repaired
         assert len(result.fences) == 1  # the paper: 1 fence per PHT program
 
     def test_stl_repaired(self):
-        results = repair_source(STL01, engine="stl")
+        results = _SESSION.repair(STL01, engine="stl")
         (result,) = results
         assert result.fully_repaired
         assert result.fences
 
     def test_clean_function_needs_no_fences(self):
-        results = repair_source(NO_BRANCH, engine="pht")
+        results = _SESSION.repair(NO_BRANCH, engine="pht")
         (result,) = results
         assert result.fully_repaired
         assert result.fences == []
 
     def test_repair_summary(self):
-        (result,) = repair_source(SPECTRE_V1, engine="pht")
+        (result,) = _SESSION.repair(SPECTRE_V1, engine="pht")
         assert "repaired" in result.summary()
 
 
@@ -245,11 +248,10 @@ class TestReports:
         assert "primitive" in text and "transmit" in text
 
     def test_unknown_engine(self):
-        from repro.clou import analyze_function
+        from repro.errors import AnalysisError
         from repro.minic import compile_c
 
         module = compile_c(SPECTRE_V1)
-        from repro.errors import AnalysisError
-
         with pytest.raises(AnalysisError, match="unknown engine"):
-            analyze_function(module, "victim", engine="nope")
+            _SESSION.analyze_module(module, engine="nope",
+                                    functions=("victim",))

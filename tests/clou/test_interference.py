@@ -3,8 +3,11 @@
 import pytest
 
 from repro.bench.suites import litmus_pht
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 
 def _interference_witnesses(report):
@@ -25,13 +28,13 @@ class TestInterferenceVariant:
         cache line for a non-transient tfo-prior instruction.'"""
         config = ClouConfig(detect_interference_variant=True)
         for case in litmus_pht():
-            report = analyze_source(case.source, engine="pht",
+            report = _SESSION.analyze(case.source, engine="pht",
                                     config=config, name=case.name)
             assert _interference_witnesses(report), case.name
 
     def test_off_by_default(self):
         case = litmus_pht()[0]
-        report = analyze_source(case.source, engine="pht",
+        report = _SESSION.analyze(case.source, engine="pht",
                                 config=ClouConfig(), name=case.name)
         assert not _interference_witnesses(report)
 
@@ -42,5 +45,5 @@ uint8_t tmp;
 void f(uint64_t y) { tmp &= A[y & 15]; }
 """
         config = ClouConfig(detect_interference_variant=True)
-        report = analyze_source(source, engine="pht", config=config)
+        report = _SESSION.analyze(source, engine="pht", config=config)
         assert not _interference_witnesses(report)

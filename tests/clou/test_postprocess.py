@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.clou import ClouConfig, analyze_source
+from repro.clou import ClouConfig
+from repro.sched import ClouSession
 from repro.clou.postprocess import postprocess
 from repro.lcm.taxonomy import TransmitterClass as TC
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 SIGALGS_LIKE = """
 uint64_t table_len = 16;
@@ -22,7 +25,7 @@ void lookup(uint64_t idx) {
 
 @pytest.fixture(scope="module")
 def report():
-    module_report = analyze_source(SIGALGS_LIKE, engine="pht")
+    module_report = _SESSION.analyze(SIGALGS_LIKE, engine="pht")
     return module_report.functions[0]
 
 
@@ -51,7 +54,7 @@ void f(uint64_t y) {
     }
 }
 """
-        module_report = analyze_source(source, engine="pht")
+        module_report = _SESSION.analyze(source, engine="pht")
         function_report = module_report.functions[0]
         hopped = [w for w in function_report.transmitters()
                   if w.store_hops >= 1]

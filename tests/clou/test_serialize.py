@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.clou import analyze_source
+from repro.sched import ClouSession
 from repro.clou.serialize import module_report_dict, to_json
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 SOURCE = """
 uint8_t A[16];
@@ -21,7 +23,7 @@ void victim(uint64_t y) {
 
 @pytest.fixture(scope="module")
 def report():
-    return analyze_source(SOURCE, engine="pht", name="victim")
+    return _SESSION.analyze(SOURCE, engine="pht", name="victim")
 
 
 class TestJson:
@@ -89,9 +91,9 @@ void f(uint8_t v) {
     tmp &= table[slot_b * 16];
 }
 """
-        plain = analyze_source(source, engine="stl",
+        plain = _SESSION.analyze(source, engine="stl",
                                config=ClouConfig())
-        psf = analyze_source(source, engine="stl",
+        psf = _SESSION.analyze(source, engine="stl",
                              config=ClouConfig(assume_alias_prediction=True))
         plain_count = sum(len(f.witnesses) for f in plain.functions)
         psf_count = sum(len(f.witnesses) for f in psf.functions)
@@ -101,9 +103,9 @@ void f(uint8_t v) {
 
 class TestStableJson:
     def test_stable_json_is_byte_identical_across_runs(self):
-        one = to_json(analyze_source(SOURCE, engine="pht", name="victim"),
+        one = to_json(_SESSION.analyze(SOURCE, engine="pht", name="victim"),
                       stable=True)
-        two = to_json(analyze_source(SOURCE, engine="pht", name="victim"),
+        two = to_json(_SESSION.analyze(SOURCE, engine="pht", name="victim"),
                       stable=True)
         assert one == two
 

@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.clou import analyze_source
+from repro.sched import ClouSession
 from repro.lcm.attacks import spectre_v1
 from repro.viz import execution_to_dot, witness_to_dot
+
+_SESSION = ClouSession(jobs=1, cache=False)
 
 
 @pytest.fixture(scope="module")
@@ -57,7 +59,7 @@ void f(uint64_t y) {
     if (y < n) { t &= B[A[y] * 16]; }
 }
 """
-        report = analyze_source(source, engine="pht")
+        report = _SESSION.analyze(source, engine="pht")
         witness = report.transmitters[0]
         dot = witness_to_dot(witness)
         assert "digraph" in dot

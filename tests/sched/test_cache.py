@@ -1,0 +1,81 @@
+"""The content-addressed on-disk result cache."""
+
+import json
+import os
+
+from repro.sched import ResultCache, item_cache_key, source_digest
+from repro.sched.cache import CACHE_DIR_ENV, default_cache_dir, user_cache_dir
+
+SOURCE = "uint8_t A[16];\nvoid f(uint64_t y) { A[y & 15] = 0; }\n"
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        a = item_cache_key(kind="analyze", source=SOURCE, function="f",
+                           engine="pht", config_key="{}")
+        b = item_cache_key(kind="analyze", source=SOURCE, function="f",
+                           engine="pht", config_key="{}")
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = dict(kind="analyze", source=SOURCE, function="f",
+                    engine="pht", config_key="{}")
+        key = item_cache_key(**base)
+        for change in (dict(source=SOURCE + "\n"), dict(function="g"),
+                       dict(engine="stl"), dict(config_key='{"rob":1}'),
+                       dict(kind="lint")):
+            assert item_cache_key(**{**base, **change}) != key
+
+    def test_lint_key_covers_secrecy_policy(self):
+        base = item_cache_key(kind="lint", source=SOURCE)
+        assert item_cache_key(kind="lint", source=SOURCE,
+                              secrets=("k",)) != base
+        assert item_cache_key(kind="lint", source=SOURCE,
+                              public=("n",)) != base
+
+    def test_source_digest_stable(self):
+        assert source_digest(SOURCE) == source_digest(SOURCE)
+        assert source_digest(SOURCE) != source_digest(SOURCE + " ")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = item_cache_key(kind="analyze", source=SOURCE, function="f",
+                             engine="pht", config_key="{}")
+        assert cache.get(key) is None
+        cache.put(key, {"report": {"function": "f"}})
+        entry = cache.get(key)
+        assert entry["report"] == {"function": "f"}
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = item_cache_key(kind="analyze", source=SOURCE, function="f",
+                             engine="pht", config_key="{}")
+        cache.put(key, {"report": {}})
+        (path,) = list(tmp_path.rglob(f"{key}.json"))
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = item_cache_key(kind="analyze", source=SOURCE, function="f",
+                             engine="pht", config_key="{}")
+        cache.put(key, {"report": {}})
+        (path,) = list(tmp_path.rglob(f"{key}.json"))
+        entry = json.loads(path.read_text())
+        entry["v"] = -1
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_default_dir_reads_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir() is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+
+    def test_user_cache_dir_honours_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert user_cache_dir() == os.path.join(str(tmp_path), "repro-clou")
