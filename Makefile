@@ -1,16 +1,42 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-all lint bench bench-sched table2 fig8 repair gallery all
+.PHONY: install test test-all lint bench bench-sched table2 fig8 \
+	repair gallery fuzz fuzz-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
 
 # Fast suite for day-to-day work; `make test-all` runs everything.
+# The differential fuzz smoke run rides along so every `make test`
+# also cross-checks the semantic layer pairs on fresh random inputs.
 test:
 	pytest tests/ -q -m "not slow"
+	$(MAKE) fuzz-smoke
 
 test-all:
 	pytest tests/ -q
+	$(MAKE) fuzz-smoke
+
+# Differential fuzzing (see src/repro/fuzz/).  `fuzz-smoke` is the
+# ~30s CI budget: a fixed seed plus a wall-clock cap so it never
+# stalls the suite; `fuzz` is an open-ended local run.
+fuzz-smoke:
+	python -m repro.cli fuzz --seed 0 --iterations 120 \
+		--time-budget 25 --corpus fuzz-corpus
+
+fuzz:
+	python -m repro.cli fuzz --seed $${SEED:-0} \
+		--iterations $${ITERATIONS:-2000} --corpus fuzz-corpus
+
+# Branch/line coverage with a floor on src/repro/.  Gated: pytest-cov
+# is not vendored, so this degrades to a clear message instead of a
+# cryptic pytest usage error when the plugin is missing.
+coverage:
+	@python -c "import pytest_cov" 2>/dev/null \
+		|| { echo "coverage: pytest-cov is not installed; \
+run 'pip install pytest-cov' first"; exit 1; }
+	pytest tests/ -q -m "not slow" --cov=src/repro \
+		--cov-report=term-missing --cov-fail-under=80
 
 # Constant-time lint gate over the corpus's constant-time crypto
 # implementations (message lengths are declared public; see §7).

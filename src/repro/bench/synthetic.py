@@ -12,6 +12,17 @@ Generation is deterministic per (name, size, seed).
 from __future__ import annotations
 
 import random
+import zlib
+
+
+def _stable_seed(*parts) -> int:
+    """A PYTHONHASHSEED-independent seed for :class:`random.Random`.
+
+    ``tuple.__hash__`` over strings is randomized per process, which
+    made "deterministic" corpora differ between runs (and made the
+    gadget-count assertions in the scale benchmarks flaky).
+    """
+    return zlib.crc32(repr(parts).encode())
 
 _HEADER = """
 uint8_t sbox_{name}[256];
@@ -28,12 +39,15 @@ def generate_function(name: str, rounds: int, seed: int = 7,
                       multipliers: tuple[int, ...] = (64, 256, 512)) -> str:
     """One public function with ~``rounds`` round bodies.
 
-    ``multipliers`` scales the table-lookup index ``sbox[x1 & 255] * m``:
-    with the 65536-entry table, ``m <= 256`` keeps every lookup provably
-    in bounds (``255 * 256 < 65536``) while ``m = 512`` overflows it, so
-    the default mix yields both provable and unprovable accesses.
+    ``multipliers`` scales the table-lookup index: with the 65536-entry
+    table, ``m <= 256`` keeps the masked lookup ``sbox[x1 & 255] * m``
+    provably in bounds (``255 * 256 < 65536``), so range pruning may
+    skip it.  ``m = 512`` instead emits the genuine Spectre v1 shape
+    ``table[sbox[x1] * 512]`` guarded only by the bounds check — the
+    access is transiently unbounded, so the UDT survives pruning.  The
+    default mix yields both prunable and genuine gadgets.
     """
-    rng = random.Random((seed, name, rounds).__hash__())
+    rng = random.Random(_stable_seed(seed, name, rounds))
     lines = [_HEADER.format(name=name)]
     lines.append(
         f"uint64_t {name}(uint64_t x0, uint64_t x1, uint8_t *msg, "
@@ -57,10 +71,12 @@ def generate_function(name: str, rounds: int, seed: int = 7,
         if round_index % max(1, 5 // lookups_per_round) == 0:
             # A bounds-checked, data-dependent table lookup: the Spectre
             # v1 shape that makes these functions interesting to Clou.
+            multiplier = rng.choice(multipliers)
+            index = "x1 & 255" if multiplier <= 256 else "x1"
             lines.append(f"    if (x1 < limit_{name}) {{")
             lines.append(
                 f"        state[{a}] ^= "
-                f"table_{name}[sbox_{name}[x1 & 255] * {rng.choice(multipliers)}];"
+                f"table_{name}[sbox_{name}[{index}] * {multiplier}];"
             )
             lines.append("    }")
     lines.append("    uint64_t acc = 0;")

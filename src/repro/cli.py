@@ -115,6 +115,37 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="lfence: minimal full-pipeline fences; "
                              "protect: Blade-style value-flow breaks (§7)")
     _add_scheduler_flags(repair)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs checked against "
+             "the cross-layer oracle matrix")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; the whole run is a pure "
+                           "function of it (default 0)")
+    fuzz.add_argument("--iterations", type=int, default=100, metavar="N",
+                      help="generated inputs to try (default 100)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECS",
+                      help="wall-clock cap; truncates the run without "
+                           "changing which input each iteration fuzzes")
+    fuzz.add_argument("--oracle", action="append", default=None,
+                      metavar="NAME",
+                      help="restrict to an oracle (repeatable or "
+                           "comma-separated; default: all). See "
+                           "--list-oracles")
+    fuzz.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                      help="directory for shrunk reproducers "
+                           "(default: fuzz-corpus/)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="record failing inputs without minimizing")
+    fuzz.add_argument("--max-failures", type=int, default=5, metavar="N",
+                      help="stop after N violations (default 5)")
+    fuzz.add_argument("--list-oracles", action="store_true",
+                      help="print the oracle matrix and exit")
+    fuzz.add_argument("--replay", metavar="REPRODUCER.json",
+                      help="re-run one corpus reproducer instead of "
+                           "fuzzing; exits non-zero while it still fails")
     return parser
 
 
@@ -270,6 +301,41 @@ def _run_repair(args) -> int:
     return 0 if ok else 1
 
 
+def _run_fuzz(args) -> int:
+    from repro.fuzz import ORACLES, load_reproducer, replay, run_fuzz
+
+    if args.list_oracles:
+        width = max(len(name) for name in ORACLES)
+        for oracle in ORACLES.values():
+            every = f" (every {oracle.period}th)" if oracle.period > 1 else ""
+            print(f"{oracle.name:<{width}}  [{oracle.kind:<6}] "
+                  f"{oracle.description}{every}")
+        return 0
+    if args.replay:
+        reproducer = load_reproducer(args.replay)
+        message = replay(reproducer)
+        if message is None:
+            print(f"replay {reproducer.stem}: PASS "
+                  f"(originally: {reproducer.message})")
+            return 0
+        print(f"replay {reproducer.stem}: STILL FAILING: {message}")
+        return 1
+    oracle_names = None
+    if args.oracle:
+        oracle_names = tuple(
+            name for part in args.oracle for name in part.split(",") if name)
+    try:
+        report = run_fuzz(
+            seed=args.seed, iterations=args.iterations,
+            time_budget=args.time_budget, oracle_names=oracle_names,
+            corpus_dir=args.corpus, shrink=not args.no_shrink,
+            max_failures=args.max_failures, log=print)
+    except ValueError as error:  # unknown oracle name
+        raise SystemExit(str(error))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "analyze":
@@ -278,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_lint(args)
     if args.command == "repair":
         return _run_repair(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     return 2
 
 

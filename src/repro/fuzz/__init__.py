@@ -1,0 +1,52 @@
+"""Differential fuzzing of the reproduction's semantic layer pairs.
+
+The paper's claims rest on *agreement between independent semantics*:
+axiomatic candidate enumeration vs. the operational TSO machine,
+architectural interpretation vs. static dataflow facts, and the Clou
+pipeline's serialized reports vs. themselves across schedulers and
+round-trips.  Hand-written litmus tests spot-check those agreements;
+this package checks them continuously on randomly generated inputs.
+
+Pieces:
+
+- :mod:`repro.fuzz.gen_c` — a seeded mini-C program generator (bounded
+  loops, arrays, branches, secrecy-labeled params);
+- :mod:`repro.fuzz.gen_litmus` — a seeded litmus-program generator over
+  the :mod:`repro.litmus.ast` vocabulary;
+- :mod:`repro.fuzz.oracles` — the differential oracles (the "oracle
+  matrix" in README/DESIGN);
+- :mod:`repro.fuzz.shrink` — greedy delta-debugging line minimizer;
+- :mod:`repro.fuzz.corpus` — reproducer files (seed + shrunk source)
+  and replay;
+- :mod:`repro.fuzz.runner` — the seeded fuzz loop behind ``clou fuzz``.
+"""
+
+from repro.fuzz.corpus import Reproducer, load_reproducer, replay, \
+    write_reproducer
+from repro.fuzz.gen_c import GeneratedC, generate_c
+from repro.fuzz.gen_litmus import GeneratedLitmus, generate_litmus, \
+    render_program
+from repro.fuzz.oracles import ORACLES, Oracle, OracleSkip, oracles_for
+from repro.fuzz.runner import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.shrink import ddmin, shrink_source
+
+__all__ = [
+    "GeneratedC",
+    "GeneratedLitmus",
+    "FuzzFailure",
+    "FuzzReport",
+    "ORACLES",
+    "Oracle",
+    "OracleSkip",
+    "Reproducer",
+    "ddmin",
+    "generate_c",
+    "generate_litmus",
+    "load_reproducer",
+    "oracles_for",
+    "render_program",
+    "replay",
+    "run_fuzz",
+    "shrink_source",
+    "write_reproducer",
+]

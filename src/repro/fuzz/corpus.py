@@ -1,0 +1,106 @@
+"""Reproducer corpus: failing fuzz inputs on disk, and their replay.
+
+Every oracle violation the runner shrinks is written as a pair of
+files in the corpus directory::
+
+    <oracle>-seed<seed>-it<iteration>.c        (or .litmus)
+    <oracle>-seed<seed>-it<iteration>.json
+
+The source file is the *shrunk* input; the JSON sidecar records the
+oracle, the generator seed and iteration (enough to regenerate the
+original unshrunk input), the failure message, and the metadata needed
+to re-run the oracle on the stored source.  Replaying is::
+
+    from repro.fuzz import load_reproducer, replay
+    replay(load_reproducer("corpus/mcm-diff-seed7-it12.json"))
+
+or ``clou fuzz --replay corpus/mcm-diff-seed7-it12.json`` from the CLI.
+JSON is written with sorted keys, so corpus files are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+from repro.fuzz.gen_c import GeneratedC
+from repro.fuzz.gen_litmus import GeneratedLitmus
+from repro.fuzz.oracles import ORACLES, OracleSkip
+
+__all__ = ["Reproducer", "load_reproducer", "replay", "write_reproducer"]
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One shrunk failing input plus everything needed to re-run it."""
+
+    oracle: str
+    kind: str                      # 'c' | 'litmus'
+    seed: int
+    iteration: int
+    message: str
+    source: str                    # the shrunk source text
+    original_lines: int
+    shrunk_lines: int
+    entry: str = ""                # C only
+    params: tuple[str, ...] = ()   # C only
+    secrets: tuple[str, ...] = ()  # C only
+    interpretable: bool = True     # C only
+
+    @property
+    def stem(self) -> str:
+        return f"{self.oracle}-seed{self.seed}-it{self.iteration}"
+
+    def to_input(self) -> GeneratedC | GeneratedLitmus:
+        """Rebuild the oracle input from the stored (shrunk) source."""
+        if self.kind == "c":
+            return GeneratedC(
+                seed=self.seed, source=self.source, entry=self.entry,
+                params=self.params, secrets=self.secrets,
+                interpretable=self.interpretable)
+        from repro.litmus import parse_program
+
+        program = parse_program(self.source, name=self.stem)
+        return GeneratedLitmus(seed=self.seed, program=program,
+                               source=self.source)
+
+
+def write_reproducer(directory: str, reproducer: Reproducer) -> str:
+    """Write the source + JSON sidecar; returns the sidecar path."""
+    os.makedirs(directory, exist_ok=True)
+    extension = "c" if reproducer.kind == "c" else "litmus"
+    source_path = os.path.join(directory, f"{reproducer.stem}.{extension}")
+    sidecar_path = os.path.join(directory, f"{reproducer.stem}.json")
+    with open(source_path, "w") as handle:
+        handle.write(reproducer.source)
+    payload = asdict(reproducer)
+    payload["source_file"] = os.path.basename(source_path)
+    with open(sidecar_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return sidecar_path
+
+
+def load_reproducer(sidecar_path: str) -> Reproducer:
+    """Load a reproducer from its JSON sidecar (the source text is read
+    from the sidecar itself, so the pair stays consistent)."""
+    with open(sidecar_path) as handle:
+        payload = json.load(handle)
+    payload.pop("source_file", None)
+    payload["params"] = tuple(payload.get("params", ()))
+    payload["secrets"] = tuple(payload.get("secrets", ()))
+    return Reproducer(**payload)
+
+
+def replay(reproducer: Reproducer) -> str | None:
+    """Re-run the reproducer's oracle on its shrunk source.
+
+    Returns the current failure message, or ``None`` when the input no
+    longer fails (i.e. the underlying bug has been fixed).
+    """
+    oracle = ORACLES[reproducer.oracle]
+    try:
+        return oracle.check(reproducer.to_input())
+    except OracleSkip:
+        return None

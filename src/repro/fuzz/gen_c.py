@@ -1,0 +1,201 @@
+"""Seeded random mini-C program generator.
+
+Programs are generated *structurally valid by construction*: every
+emitted source compiles through :func:`repro.minic.compile_c`, and in
+the ``interpretable`` profile every program also executes cleanly under
+:class:`repro.ir.interp.Interpreter` for any argument vector — loops
+have constant bounds, there is no division, and every array index is
+masked to the array extent.  The ``analysis`` profile relaxes the
+masking to additionally emit genuine Spectre-v1 shapes (a bounds check
+guarding an unmasked data-dependent lookup), which makes the Clou-facing
+oracles exercise non-trivial reports.
+
+Generation is a pure function of the seed: the same seed always yields
+the same source text (the generator never touches global RNG state or
+``hash()``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+_ASSIGN_OPS = ("=", "^=", "+=", "&=", "|=")
+
+
+@dataclass(frozen=True)
+class GeneratedC:
+    """One generated translation unit plus the metadata oracles need."""
+
+    seed: int
+    source: str
+    entry: str                     # the public entry function
+    params: tuple[str, ...]        # entry parameter names, in order
+    secrets: tuple[str, ...]       # secrecy-labeled parameter names
+    interpretable: bool            # safe to run under the interpreter
+
+    @property
+    def kind(self) -> str:
+        return "c"
+
+
+class _CGen:
+    def __init__(self, rng: random.Random, interpretable: bool):
+        self.rng = rng
+        self.interpretable = interpretable
+        self.scalars = ["a0", "a1", "secret"]
+        self.loop_vars: list[str] = []
+        self.has_helper = rng.random() < 0.5
+        self.in_helper = False  # helper scope: only p0/p1 + globals
+        self.counter = 0
+
+    # -- expressions -------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def expr(self, depth: int = 0) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth >= 3 or roll < 0.35:
+            return self._atom()
+        if roll < 0.70:
+            op = rng.choice(_BINOPS)
+            return f"({self.expr(depth + 1)} {op} {self.expr(depth + 1)})"
+        if roll < 0.80:
+            shift = rng.randrange(1, 32)
+            op = rng.choice((">>", "<<"))
+            return f"({self.expr(depth + 1)} {op} {shift})"
+        if roll < 0.86:
+            return f"(~{self.expr(depth + 1)})"
+        if roll < 0.92 and self.has_helper and not self.in_helper:
+            return (f"mix_fz({self.expr(depth + 1)}, "
+                    f"{self.expr(depth + 1)})")
+        if roll < 0.96:
+            return (f"({self.expr(depth + 1)} < {self.expr(depth + 1)} "
+                    f"? {self.expr(depth + 1)} : {self.expr(depth + 1)})")
+        return f"(uint64_t)(uint8_t)({self.expr(depth + 1)})"
+
+    def _atom(self) -> str:
+        rng = self.rng
+        roll = rng.random()
+        candidates = self.scalars + self.loop_vars
+        if roll < 0.40:
+            return rng.choice(candidates)
+        if roll < 0.60 or self.in_helper and roll < 0.75:
+            return str(rng.randrange(0, 256))
+        if roll < 0.75:
+            return f"buf[{rng.choice(candidates)} & 7]"
+        if roll < 0.90:
+            return f"tab_fz[{rng.choice(candidates)} & 255]"
+        return "g0_fz"
+
+    # -- statements --------------------------------------------------------
+
+    def statements(self, depth: int, budget: int) -> list[str]:
+        lines: list[str] = []
+        for _ in range(budget):
+            lines.extend(self.statement(depth))
+        return lines
+
+    def statement(self, depth: int) -> list[str]:
+        rng = self.rng
+        pad = "    " * (depth + 1)
+        roll = rng.random()
+        if roll < 0.35:
+            target = rng.choice(self.scalars)
+            op = rng.choice(_ASSIGN_OPS)
+            return [f"{pad}{target} {op} {self.expr()};"]
+        if roll < 0.50:
+            return [f"{pad}buf[{self.expr()} & 7] = {self.expr()};"]
+        if roll < 0.60:
+            return [f"{pad}tab_fz[{self.expr()} & 255] = "
+                    f"(uint8_t)({self.expr()} & 0xff);"]
+        if roll < 0.80 and depth < 2:
+            cond = (f"{self.expr()} < {self.expr()}"
+                    if rng.random() < 0.7 else f"({self.expr()} & 1)")
+            body = self.statements(depth + 1, rng.randrange(1, 3))
+            lines = [f"{pad}if ({cond}) {{", *body]
+            if rng.random() < 0.4:
+                lines += [f"{pad}}} else {{",
+                          *self.statements(depth + 1, 1)]
+            lines.append(f"{pad}}}")
+            return lines
+        if roll < 0.95 and depth < 2:
+            var = self._fresh("i")
+            bound = rng.randrange(2, 9)
+            self.loop_vars.append(var)
+            body = self.statements(depth + 1, rng.randrange(1, 3))
+            self.loop_vars.remove(var)
+            return [f"{pad}for (int {var} = 0; {var} < {bound}; "
+                    f"{var}++) {{", *body, f"{pad}}}"]
+        if not self.interpretable:
+            # The genuine Spectre v1 shape: a bounds check guarding an
+            # unmasked, data-dependent table walk.
+            return [f"{pad}if (a0 < g0_fz) {{",
+                    f"{pad}    sink_fz ^= big_fz[tab_fz[a0] * 256];",
+                    f"{pad}}}"]
+        return [f"{pad}sink_fz ^= (uint8_t)({self.expr()} & 0xff);"]
+
+    # -- the translation unit ----------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        lines = [
+            "uint8_t tab_fz[256];",
+            f"uint64_t g0_fz = {rng.randrange(1, 64)};",
+            "uint8_t sink_fz;",
+        ]
+        if not self.interpretable:
+            lines.append("uint8_t big_fz[65536];")
+        if self.has_helper:
+            self.in_helper = True
+            saved, self.scalars = self.scalars, ["p0", "p1"]
+            body = self.expr(2)
+            self.scalars = saved
+            self.in_helper = False
+            lines += [
+                "",
+                "static uint64_t mix_fz(uint64_t p0, uint64_t p1) {",
+                f"    return ({body}) ^ (p0 {rng.choice(_BINOPS)} p1);",
+                "}",
+            ]
+        lines += [
+            "",
+            "/* secrecy labels: `secret` is secret; a0/a1 are "
+            "attacker-controlled public inputs */",
+            "uint64_t fuzz_target(uint64_t a0, uint64_t a1, "
+            "uint64_t secret) {",
+            "    uint64_t buf[8];",
+            "    for (int i0 = 0; i0 < 8; i0++) { buf[i0] = a0 + i0; }",
+        ]
+        for index in range(rng.randrange(1, 4)):
+            name = f"v{index}"
+            lines.append(f"    uint64_t {name} = {self.expr()};")
+            self.scalars.append(name)
+        lines += self.statements(0, rng.randrange(2, 6))
+        lines += [
+            "    uint64_t acc = " + " ^ ".join(self.scalars) + ";",
+            "    for (int i0 = 0; i0 < 8; i0++) { acc ^= buf[i0]; }",
+            "    sink_fz = (uint8_t)(acc & 0xff);",
+            "    return acc;",
+            "}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def generate_c(seed: int, *, interpretable: bool = True) -> GeneratedC:
+    """Generate one deterministic translation unit for ``seed``."""
+    # Seeding Random with a string is PYTHONHASHSEED-independent.
+    rng = random.Random(repr(("fuzz-c", seed, interpretable)))
+    source = _CGen(rng, interpretable).generate()
+    return GeneratedC(
+        seed=seed,
+        source=source,
+        entry="fuzz_target",
+        params=("a0", "a1", "secret"),
+        secrets=("secret",),
+        interpretable=interpretable,
+    )

@@ -1,0 +1,145 @@
+"""Seeded random litmus-program generator over :mod:`repro.litmus.ast`.
+
+The vocabulary is deliberately the *agreement subset* of the axiomatic
+and operational models — the shapes for which the two sides report
+comparable outcome strings:
+
+- stores write **immediates only** (a store of a register value carries
+  symbolic data like ``M[x]`` on the axiomatic side but a concrete
+  integer on the operational side, so outcome strings differ even when
+  the models agree — see ``tests/mcm/test_operational.py``);
+- addresses are plain symbolic locations (no computed indices);
+- branches test **raw loaded registers** only and jump forward to a
+  trailing labeled ``nop`` (the only shape for which the axiomatic
+  enumeration constrains branch outcomes, cf.
+  :func:`repro.mcm.enumerate.branch_value_consistent`);
+- fences are ``mfence`` (the one fence both models order identically);
+- ALU results are never consumed (dead computational noise).
+
+Sizes are kept litmus-scale on purpose: the axiomatic enumeration is
+``|writers|^|reads| x Π|writes_at(loc)|!`` and the operational machine
+explores every interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.litmus.ast import (
+    Alu,
+    Address,
+    CondBranch,
+    FenceInstr,
+    Instruction,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Program,
+    Thread,
+)
+from repro.litmus.ast import Store as LitmusStore
+
+_LOCATIONS = ("x", "y")
+_ALU_OPS = ("add", "xor", "and", "or")
+
+
+@dataclass(frozen=True)
+class GeneratedLitmus:
+    """One generated litmus program plus its canonical source text."""
+
+    seed: int
+    program: Program
+    source: str
+
+    @property
+    def kind(self) -> str:
+        return "litmus"
+
+
+def render_program(program: Program) -> str:
+    """Canonical source text, parseable by
+    :func:`repro.litmus.parse_program` (unlike ``str(Program)``, which
+    prepends a ``program`` banner line)."""
+    lines = []
+    for thread in program.threads:
+        lines.append(f"thread {thread.tid}:")
+        for ins in thread.instructions:
+            prefix = f"{ins.label}: " if ins.label else ""
+            lines.append(f"  {prefix}{ins.mnemonic()}")
+    return "\n".join(lines) + "\n"
+
+
+def _thread(rng: random.Random, tid: int, store_budget: list[int],
+            read_budget: list[int]) -> Thread:
+    instructions: list[Instruction] = []
+    loaded: list[str] = []   # registers holding raw loaded values
+    register = 0
+    length = rng.randrange(2, 5)
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.40 and store_budget[0] > 0:
+            store_budget[0] -= 1
+            instructions.append(LitmusStore(
+                address=Address(rng.choice(_LOCATIONS)),
+                src=Operand.imm(rng.randrange(1, 3))))
+        elif roll < 0.80 and read_budget[0] > 0:
+            read_budget[0] -= 1
+            register += 1
+            name = f"r{register}"
+            instructions.append(Load(
+                dest=name, address=Address(rng.choice(_LOCATIONS))))
+            loaded.append(name)
+        elif roll < 0.88:
+            instructions.append(FenceInstr(kind="mfence"))
+        elif roll < 0.94:
+            register += 1
+            instructions.append(Mov(dest=f"r{register}",
+                                    src=Operand.imm(rng.randrange(0, 3))))
+        else:
+            register += 1
+            instructions.append(Alu(
+                dest=f"r{register}", op=rng.choice(_ALU_OPS),
+                lhs=Operand.imm(rng.randrange(0, 4)),
+                rhs=Operand.imm(rng.randrange(0, 4))))
+    if loaded and rng.random() < 0.30:
+        # A forward conditional over a raw loaded value, WRC-style: the
+        # guarded suffix runs only when the load observed (non)zero.
+        condition = rng.choice(loaded)
+        negated = rng.random() < 0.5
+        target = f"END{tid}"
+        guarded: list[Instruction] = []
+        if store_budget[0] > 0 and rng.random() < 0.7:
+            store_budget[0] -= 1
+            guarded.append(LitmusStore(
+                address=Address(rng.choice(_LOCATIONS)),
+                src=Operand.imm(rng.randrange(1, 3))))
+        elif read_budget[0] > 0:
+            read_budget[0] -= 1
+            register += 1
+            guarded.append(Load(dest=f"r{register}",
+                                address=Address(rng.choice(_LOCATIONS))))
+        if guarded:
+            instructions.append(CondBranch(
+                cond=condition, target=target, negated=negated))
+            instructions.extend(guarded)
+            instructions.append(Nop(label=target))
+    return Thread(tid, tuple(instructions))
+
+
+def generate_litmus(seed: int) -> GeneratedLitmus:
+    """Generate one deterministic litmus program for ``seed``."""
+    rng = random.Random(repr(("fuzz-litmus", seed)))
+    n_threads = 2 if rng.random() < 0.85 else 1
+    # Global budgets keep the axiomatic enumeration tractable: at most
+    # three committed stores and four reads across the whole program.
+    store_budget = [3]
+    read_budget = [4]
+    threads = tuple(_thread(rng, tid, store_budget, read_budget)
+                    for tid in range(n_threads))
+    if not any(t.instructions for t in threads):
+        threads = (Thread(0, (Load(dest="r1", address=Address("x")),)),)
+    program = Program(threads, name=f"fuzz-{seed}")
+    return GeneratedLitmus(seed=seed, program=program,
+                           source=render_program(program))

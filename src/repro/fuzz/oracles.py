@@ -1,0 +1,256 @@
+"""The differential oracle matrix.
+
+Each oracle checks one *agreement between independent semantics* on a
+generated input, and returns ``None`` (pass) or a human-readable failure
+message.  Raising :class:`OracleSkip` means the input fell outside the
+oracle's tractable/meaningful domain (e.g. the operational state space
+blew up) — the runner counts skips separately from passes.
+
+==================  =======  ==============================================
+oracle              input    agreement checked
+==================  =======  ==============================================
+litmus-roundtrip    litmus   render -> parse -> render is the identity
+mcm-diff            litmus   axiomatic TSO outcome set == operational TSO
+sc-tso              litmus   SC outcomes are a subset of TSO outcomes
+interp-interval     C        every concrete temp value the interpreter
+                             computes lies in the interval analysis' range
+serialize-roundtrip C        stable report JSON -> from_dict -> JSON is
+                             byte-identical
+jobs-invariance     C        --jobs 2 and serial sessions emit identical
+                             stable JSON
+==================  =======  ==============================================
+
+The Clou-facing oracles run their analyses through
+:class:`repro.sched.ClouSession`, so they also exercise the scheduler
+and the report assembly path end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.fuzz.gen_c import GeneratedC
+from repro.fuzz.gen_litmus import GeneratedLitmus, render_program
+
+__all__ = ["ORACLES", "Oracle", "OracleSkip", "oracles_for"]
+
+
+class OracleSkip(Exception):
+    """The input is outside this oracle's domain; not a pass, not a fail."""
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One differential check.
+
+    ``period`` rate-limits expensive oracles: the runner only applies
+    the oracle to every ``period``-th matching input (deterministic in
+    the iteration number, so runs are reproducible).
+    """
+
+    name: str
+    kind: str                                    # 'c' | 'litmus'
+    check: Callable[[object], str | None]
+    period: int = 1
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Litmus-side oracles
+# ----------------------------------------------------------------------
+
+
+def _litmus_roundtrip(generated: GeneratedLitmus) -> str | None:
+    from repro.litmus import parse_program
+
+    reparsed = parse_program(generated.source, name=generated.program.name)
+    if reparsed != generated.program:
+        return "parse(render(program)) is not the original program"
+    rerendered = render_program(reparsed)
+    if rerendered != generated.source:
+        return "render is not stable under a parse round-trip"
+    return None
+
+
+def _mcm_diff(generated: GeneratedLitmus) -> str | None:
+    from repro.errors import ModelError
+    from repro.mcm import TSO
+    from repro.mcm.operational import operational_outcomes
+    from repro.mcm.outcomes import outcomes
+
+    try:
+        axiomatic = outcomes(generated.program, TSO)
+        operational = operational_outcomes(generated.program)
+    except ModelError as error:
+        raise OracleSkip(str(error))
+    if axiomatic == operational:
+        return None
+    only_axiomatic = sorted(map(sorted, axiomatic - operational))
+    only_operational = sorted(map(sorted, operational - axiomatic))
+    return ("axiomatic and operational TSO disagree: "
+            f"axiomatic-only={only_axiomatic!r} "
+            f"operational-only={only_operational!r}")
+
+
+def _sc_subset_tso(generated: GeneratedLitmus) -> str | None:
+    from repro.errors import ModelError
+    from repro.mcm import SC, TSO
+    from repro.mcm.outcomes import outcomes
+
+    try:
+        sc = outcomes(generated.program, SC)
+        tso = outcomes(generated.program, TSO)
+    except ModelError as error:
+        raise OracleSkip(str(error))
+    extra = sc - tso
+    if extra:
+        return (f"SC allows {len(extra)} outcome(s) TSO forbids: "
+                f"{sorted(map(sorted, extra))!r}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# C-side oracles
+# ----------------------------------------------------------------------
+
+
+def _arg_vectors(generated: GeneratedC, count: int = 3) -> list[list[int]]:
+    rng = random.Random(repr(("fuzz-args", generated.seed)))
+    vectors = [[0] * len(generated.params),
+               [(1 << 64) - 1] * len(generated.params)]
+    while len(vectors) < count + 2:
+        vectors.append([rng.randrange(1 << 64)
+                        for _ in generated.params])
+    return vectors
+
+
+def _interp_interval(generated: GeneratedC) -> str | None:
+    from repro.analysis.interval import IntervalAnalysis
+    from repro.ir.interp import InterpError, Interpreter
+    from repro.ir.types import IntType
+    from repro.minic import compile_c
+
+    if not generated.interpretable:
+        raise OracleSkip("analysis-profile program (not interpretable)")
+    try:
+        module = compile_c(generated.source, name="fuzz")
+    except ReproError as error:
+        return f"generated program does not compile: {error}"
+    entry = module.functions.get(generated.entry)
+    if entry is None or not entry.blocks:
+        # Only reachable on shrunk candidates that dropped the entry.
+        raise OracleSkip(f"entry function {generated.entry!r} missing")
+
+    analyses: dict[int, IntervalAnalysis] = {}
+    for function in module.functions.values():
+        if not function.blocks:
+            continue
+        analysis = IntervalAnalysis(function)
+        for block in function.blocks:
+            for ins in block.instructions:
+                analyses[id(ins)] = analysis
+
+    violations: list[str] = []
+
+    def trace(ins, value) -> None:
+        if len(violations) >= 5:
+            return
+        analysis = analyses.get(id(ins))
+        if analysis is None or not isinstance(ins.result.type, IntType):
+            return
+        interval = analysis.range_of(ins.result)
+        low_ok = interval.lo is None or value >= interval.lo
+        high_ok = interval.hi is None or value <= interval.hi
+        if not (low_ok and high_ok):
+            violations.append(
+                f"%{ins.result.name} = {value} outside inferred "
+                f"{interval} (instruction: {ins!r})")
+
+    for args in _arg_vectors(generated):
+        try:
+            Interpreter(module, trace=trace).call(generated.entry, args)
+        except InterpError as error:
+            return (f"interpreter fault on args {args!r}: {error} "
+                    "(generated programs must execute cleanly)")
+        if violations:
+            return (f"concrete execution escapes inferred ranges on args "
+                    f"{args!r}: " + "; ".join(violations))
+    return None
+
+
+def _analysis_session(jobs: int = 1):
+    from repro.clou import ClouConfig
+    from repro.sched import ClouSession
+
+    config = ClouConfig(timeout_seconds=10.0)
+    return ClouSession(config=config, jobs=jobs, cache=False)
+
+
+def _serialize_roundtrip(generated: GeneratedC) -> str | None:
+    from repro.clou.serialize import module_report_from_dict, to_json
+
+    try:
+        report = _analysis_session().analyze(
+            generated.source, engine="pht", name="fuzz")
+    except ReproError as error:
+        return f"generated program does not analyze: {error}"
+    first = to_json(report, stable=True)
+    restored = module_report_from_dict(json.loads(first))
+    second = to_json(restored, stable=True)
+    if first != second:
+        return ("stable JSON is not a fixpoint of "
+                "module_report_from_dict ∘ json.loads")
+    return None
+
+
+def _jobs_invariance(generated: GeneratedC) -> str | None:
+    from repro.clou.serialize import to_json
+
+    try:
+        serial = _analysis_session(jobs=1).analyze(
+            generated.source, engine="pht", name="fuzz")
+        parallel = _analysis_session(jobs=2).analyze(
+            generated.source, engine="pht", name="fuzz")
+    except ReproError as error:
+        return f"generated program does not analyze: {error}"
+    serial_json = to_json(serial, stable=True)
+    parallel_json = to_json(parallel, stable=True)
+    if serial_json != parallel_json:
+        return "--jobs 2 report differs from the serial report"
+    return None
+
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in [
+        Oracle("litmus-roundtrip", "litmus", _litmus_roundtrip,
+               description="litmus render/parse round-trip identity"),
+        Oracle("mcm-diff", "litmus", _mcm_diff,
+               description="axiomatic vs. operational TSO outcome sets"),
+        Oracle("sc-tso", "litmus", _sc_subset_tso,
+               description="SC outcomes are a subset of TSO outcomes"),
+        Oracle("interp-interval", "c", _interp_interval,
+               description="concrete interpreter values stay within "
+                           "interval-analysis ranges"),
+        Oracle("serialize-roundtrip", "c", _serialize_roundtrip, period=2,
+               description="stable report JSON round-trips byte-exactly"),
+        Oracle("jobs-invariance", "c", _jobs_invariance, period=40,
+               description="--jobs 2 and serial reports are identical"),
+    ]
+}
+
+
+def oracles_for(names: tuple[str, ...] | None = None) -> list[Oracle]:
+    """The selected oracles (all of them by default); unknown names
+    raise ``ValueError`` with the available choices."""
+    if not names:
+        return list(ORACLES.values())
+    missing = [name for name in names if name not in ORACLES]
+    if missing:
+        raise ValueError(f"unknown oracle(s) {missing!r}; choose from "
+                         f"{sorted(ORACLES)}")
+    return [ORACLES[name] for name in names]

@@ -1,0 +1,99 @@
+"""Greedy delta-debugging minimizer for failing fuzz inputs.
+
+Classic ddmin over source *lines*: try dropping complements of
+ever-finer chunks, keeping any candidate on which the failure predicate
+still holds.  Structural validity is the predicate's concern (the
+runner's predicate compiles/parses the candidate before re-running the
+oracle, so syntactically broken candidates are simply rejected); the
+shrinker itself is representation-agnostic.
+
+A final single-line elimination pass runs to a fixpoint, so the result
+is 1-minimal: removing any single remaining line no longer reproduces
+the failure.  ``max_attempts`` bounds the total number of predicate
+evaluations, since each one may re-run a full differential analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = ["ddmin", "shrink_source"]
+
+
+def _chunks(items: Sequence, n: int) -> list[list]:
+    size = max(1, len(items) // n)
+    out = [list(items[i:i + size]) for i in range(0, len(items), size)]
+    # Merge a tiny trailing chunk so we have at most n chunks.
+    while len(out) > n:
+        out[-2].extend(out[-1])
+        del out[-1]
+    return out
+
+
+class _Budget:
+    def __init__(self, attempts: int):
+        self.remaining = attempts
+
+    def spend(self) -> bool:
+        self.remaining -= 1
+        return self.remaining >= 0
+
+
+def ddmin(items: list, failing: Callable[[list], bool],
+          max_attempts: int = 400) -> list:
+    """Minimize ``items`` while ``failing`` holds (greedy ddmin).
+
+    ``failing(items)`` must be True on entry; the return value is a
+    subsequence on which it still holds.
+    """
+    budget = _Budget(max_attempts)
+    granularity = 2
+    while len(items) >= 2 and budget.remaining > 0:
+        chunks = _chunks(items, granularity)
+        reduced = False
+        for index in range(len(chunks)):
+            candidate = [item for i, chunk in enumerate(chunks)
+                         for item in chunk if i != index]
+            if not candidate or not budget.spend():
+                continue
+            if failing(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    # 1-minimality: single-line elimination to a fixpoint.
+    changed = True
+    while changed and budget.remaining > 0:
+        changed = False
+        for index in range(len(items)):
+            candidate = items[:index] + items[index + 1:]
+            if not candidate or not budget.spend():
+                continue
+            if failing(candidate):
+                items = candidate
+                changed = True
+                break
+    return items
+
+
+def shrink_source(source: str, still_fails: Callable[[str], bool],
+                  max_attempts: int = 400) -> str:
+    """Line-level ddmin over source text.
+
+    ``still_fails`` receives candidate source text and must return True
+    only when the candidate is valid *and* reproduces the original
+    failure (the runner wraps compile/parse checks around the oracle).
+    """
+    lines = source.splitlines()
+    if not still_fails(source):
+        return source
+
+    def failing(candidate_lines: list) -> bool:
+        return still_fails("\n".join(candidate_lines) + "\n")
+
+    shrunk = ddmin(lines, failing, max_attempts=max_attempts)
+    return "\n".join(shrunk) + "\n"

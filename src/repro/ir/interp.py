@@ -104,10 +104,15 @@ class Interpreter:
     """Executes functions of a module on a :class:`Machine`."""
 
     def __init__(self, module: Module, machine: Machine | None = None,
-                 max_steps: int = 2_000_000):
+                 max_steps: int = 2_000_000, trace=None):
         self.module = module
         self.machine = machine or Machine()
         self.max_steps = max_steps
+        #: Optional ``trace(instruction, value)`` callback, fired after
+        #: every instruction that defines a temp.  Differential testing
+        #: hooks this to compare concrete values against static facts
+        #: (e.g. the interval analysis' inferred ranges).
+        self.trace = trace
         self._initialize_globals()
 
     # -- setup -----------------------------------------------------------
@@ -293,6 +298,10 @@ class Interpreter:
                     return evaluate(ins.value)
                 else:
                     raise InterpError(f"cannot interpret {ins!r}")
+                if self.trace is not None:
+                    result = getattr(ins, "result", None)
+                    if result is not None and result.name in env:
+                        self.trace(ins, env[result.name])
             else:
                 raise InterpError(f"block {label} fell through")
 

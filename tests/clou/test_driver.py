@@ -92,3 +92,37 @@ class TestShimSessionAgreement:
     def test_shim_warning_names_the_replacement(self):
         with pytest.warns(DeprecationWarning, match="ClouSession"):
             analyze_source(MULTI, engine="pht")
+
+
+class TestRepairShims:
+    """The deprecated repair free functions: still working, still
+    warning, and in agreement with ``ClouSession.repair``."""
+
+    def test_repair_source_warns(self):
+        from repro.clou.driver import repair_source
+
+        with pytest.warns(DeprecationWarning, match="ClouSession"):
+            results = repair_source(MULTI, engine="pht", name="multi")
+        assert {r.function for r in results} == {"leaky", "clean"}
+
+    def test_repair_source_matches_session(self):
+        from repro.clou.driver import repair_source
+
+        with pytest.deprecated_call():
+            via_shim = repair_source(MULTI, engine="pht", name="multi")
+        session = ClouSession(jobs=1, cache=False)
+        via_session = session.repair(MULTI, engine="pht", name="multi")
+        assert [(r.function, r.fences, r.fully_repaired)
+                for r in via_shim] == \
+            [(r.function, r.fences, r.fully_repaired)
+             for r in via_session]
+
+    def test_repair_function_warns_and_repairs(self):
+        from repro.clou.driver import repair_function
+
+        module = compile_c(MULTI)
+        with pytest.warns(DeprecationWarning, match="ClouSession"):
+            result = repair_function(module, "leaky", engine="pht")
+        assert result.function == "leaky"
+        assert result.fences          # the v1 gadget needs a fence
+        assert result.fully_repaired

@@ -1,0 +1,27 @@
+"""Shared test configuration: deterministic randomized testing.
+
+Every explicit ``random.Random`` in the suite is constructed with a
+fixed integer (or :func:`repro.bench.synthetic._stable_seed`) so
+failures replay exactly.  Hypothesis is the one remaining source of
+run-to-run variation — its example generation is randomized by
+default — so we pin it here: the ``deterministic`` profile derives all
+examples from the test function itself (``derandomize=True``), making
+``pytest`` runs byte-for-byte repeatable in CI.
+
+Set ``HYPOTHESIS_PROFILE=random`` locally to restore randomized
+exploration when hunting for new counterexamples.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    settings = None
+
+if settings is not None:
+    settings.register_profile("deterministic", derandomize=True,
+                              deadline=None)
+    settings.register_profile("random", deadline=None)
+    settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

@@ -1,0 +1,100 @@
+"""``clou fuzz`` CLI surface: flag parsing, exit codes, replay."""
+
+import pytest
+
+import repro.mcm.operational as operational_mod
+from repro.cli import main
+from repro.fuzz import ORACLES
+
+
+class TestListOracles:
+    def test_prints_the_matrix(self, capsys):
+        assert main(["fuzz", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        for name in ORACLES:
+            assert name in out
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        code = main(["fuzz", "--seed", "1", "--iterations", "8",
+                     "--corpus", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations=0" in out
+
+    def test_oracle_flag_accepts_comma_lists(self, capsys, tmp_path):
+        code = main(["fuzz", "--seed", "1", "--iterations", "8",
+                     "--oracle", "litmus-roundtrip,sc-tso",
+                     "--corpus", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "litmus-roundtrip" in out
+        assert "mcm-diff" not in out
+
+    def test_unknown_oracle_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no-such-oracle"):
+            main(["fuzz", "--oracle", "no-such-oracle",
+                  "--corpus", str(tmp_path)])
+
+    def test_violation_exits_nonzero(self, capsys, tmp_path, monkeypatch):
+        real = operational_mod.operational_outcomes
+
+        def buggy(program):
+            outcomes = real(program)
+            if len(outcomes) > 1:
+                return outcomes - {min(outcomes, key=sorted)}
+            return outcomes
+
+        monkeypatch.setattr(operational_mod, "operational_outcomes", buggy)
+        code = main(["fuzz", "--seed", "0", "--iterations", "20",
+                     "--oracle", "mcm-diff", "--max-failures", "1",
+                     "--corpus", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL mcm-diff" in out
+        assert "reproducer" in out
+
+
+class TestReplayCommand:
+    def _make_reproducer(self, tmp_path, monkeypatch):
+        real = operational_mod.operational_outcomes
+
+        def buggy(program):
+            outcomes = real(program)
+            if len(outcomes) > 1:
+                return outcomes - {min(outcomes, key=sorted)}
+            return outcomes
+
+        with monkeypatch.context() as patch:
+            patch.setattr(operational_mod, "operational_outcomes", buggy)
+            from repro.fuzz import run_fuzz
+
+            report = run_fuzz(seed=0, iterations=20,
+                              oracle_names=("mcm-diff",),
+                              corpus_dir=str(tmp_path), max_failures=1)
+        assert not report.ok
+        return report.failures[0].reproducer_path
+
+    def test_replay_passes_after_the_fix(self, capsys, tmp_path,
+                                         monkeypatch):
+        sidecar = self._make_reproducer(tmp_path, monkeypatch)
+        # The monkeypatch context has exited: the layers agree again,
+        # so the reproducer replays clean.
+        assert main(["fuzz", "--replay", sidecar]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_replay_fails_while_the_bug_lives(self, capsys, tmp_path,
+                                              monkeypatch):
+        sidecar = self._make_reproducer(tmp_path, monkeypatch)
+        real = operational_mod.operational_outcomes
+
+        def buggy(program):
+            outcomes = real(program)
+            if len(outcomes) > 1:
+                return outcomes - {min(outcomes, key=sorted)}
+            return outcomes
+
+        monkeypatch.setattr(operational_mod, "operational_outcomes", buggy)
+        assert main(["fuzz", "--replay", sidecar]) == 1
+        assert "STILL FAILING" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Oracle semantics on healthy layers: everything agrees, so every
+oracle passes (or skips) on generated inputs.  Injected-bug detection
+lives in ``test_runner.py``."""
+
+import pytest
+
+from repro.fuzz import ORACLES, OracleSkip, generate_c, generate_litmus
+from repro.fuzz.oracles import oracles_for
+
+
+class TestSelection:
+    def test_default_is_every_oracle(self):
+        assert [o.name for o in oracles_for(None)] == list(ORACLES)
+
+    def test_named_subset(self):
+        names = ("mcm-diff", "interp-interval")
+        assert [o.name for o in oracles_for(names)] == list(names)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="mcm-diff"):
+            oracles_for(("mcm-diff", "no-such-oracle"))
+
+    def test_kinds_partition(self):
+        kinds = {o.kind for o in ORACLES.values()}
+        assert kinds == {"c", "litmus"}
+
+
+class TestLitmusOracles:
+    @pytest.mark.parametrize("name",
+                             ["litmus-roundtrip", "mcm-diff", "sc-tso"])
+    def test_passes_on_generated_programs(self, name):
+        oracle = ORACLES[name]
+        for seed in range(12):
+            assert oracle.check(generate_litmus(seed)) is None
+
+
+class TestInterpInterval:
+    def test_passes_on_interpretable_programs(self):
+        oracle = ORACLES["interp-interval"]
+        for seed in range(12):
+            generated = generate_c(seed, interpretable=True)
+            assert oracle.check(generated) is None
+
+    def test_skips_analysis_profile_programs(self):
+        generated = generate_c(0, interpretable=False)
+        with pytest.raises(OracleSkip):
+            ORACLES["interp-interval"].check(generated)
+
+
+class TestReportOracles:
+    def test_serialize_roundtrip_passes(self):
+        oracle = ORACLES["serialize-roundtrip"]
+        for seed in range(3):
+            assert oracle.check(generate_c(seed)) is None
+
+    def test_jobs_invariance_passes(self):
+        assert ORACLES["jobs-invariance"].check(generate_c(1)) is None

@@ -1,0 +1,140 @@
+"""The fuzz loop end to end: green runs, determinism, and — the point
+of the whole subsystem — injected bugs being caught, shrunk to tiny
+reproducers, and replayable from the corpus."""
+
+import pytest
+
+import repro.analysis.interval as interval_mod
+import repro.mcm.operational as operational_mod
+from repro.fuzz import load_reproducer, replay, run_fuzz
+from repro.fuzz.runner import _input_for
+
+
+class TestGreenRun:
+    def test_clean_layers_produce_zero_violations(self):
+        report = run_fuzz(seed=0, iterations=30)
+        assert report.ok
+        assert report.iterations_run == 30
+        assert report.checks["mcm-diff"] > 0
+        assert report.checks["interp-interval"] > 0
+        assert "violations=0" in report.summary()
+
+    def test_runs_are_deterministic(self):
+        first = run_fuzz(seed=9, iterations=16)
+        second = run_fuzz(seed=9, iterations=16)
+        assert first.checks == second.checks
+        assert first.skips == second.skips
+        assert first.failures == second.failures == []
+
+    def test_schedule_is_a_function_of_seed_and_iteration(self):
+        assert _input_for(4, 10) == _input_for(4, 10)
+        assert _input_for(4, 10).source != _input_for(5, 10).source
+
+    def test_time_budget_truncates(self):
+        report = run_fuzz(seed=0, iterations=10_000, time_budget=0.5)
+        assert report.iterations_run < 10_000
+        assert report.ok
+
+    @pytest.mark.slow
+    def test_acceptance_run(self):
+        # The ISSUE acceptance criterion: 200 iterations, seed 0, zero
+        # oracle violations.
+        report = run_fuzz(seed=0, iterations=200)
+        assert report.ok
+        assert report.iterations_run == 200
+
+
+class TestInjectedIntervalBug:
+    def test_caught_shrunk_and_replayable(self, monkeypatch, tmp_path):
+        # Make the 'and' transfer function unsound: claim the result
+        # fits in half its true range.  The concrete interpreter then
+        # escapes the inferred interval and interp-interval must fire.
+        real = interval_mod._binop_range
+
+        def buggy(op, a, b, out):
+            result = real(op, a, b, out)
+            if op == "and" and result.hi is not None and result.hi > 1:
+                return interval_mod.Interval(result.lo, result.hi // 2)
+            return result
+
+        monkeypatch.setattr(interval_mod, "_binop_range", buggy)
+        report = run_fuzz(seed=0, iterations=40,
+                          oracle_names=("interp-interval",),
+                          corpus_dir=str(tmp_path), max_failures=1)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.oracle == "interp-interval"
+        assert failure.shrunk_lines <= 10
+        assert failure.shrunk_lines <= failure.original_lines
+        assert "outside inferred" in failure.message
+
+        reproducer = load_reproducer(failure.reproducer_path)
+        assert reproducer.source == failure.source
+        assert replay(reproducer) is not None  # bug still injected
+
+        monkeypatch.setattr(interval_mod, "_binop_range", real)
+        assert replay(reproducer) is None      # bug fixed -> replay passes
+
+
+class TestInjectedOperationalBug:
+    def test_caught_shrunk_and_replayable(self, monkeypatch, tmp_path):
+        # Drop one outcome from the operational model's set; the
+        # axiomatic enumeration still produces it, so mcm-diff fires on
+        # any program with more than one allowed outcome.
+        real = operational_mod.operational_outcomes
+
+        def buggy(program):
+            outcomes = real(program)
+            if len(outcomes) > 1:
+                dropped = min(outcomes, key=sorted)
+                return outcomes - {dropped}
+            return outcomes
+
+        monkeypatch.setattr(operational_mod, "operational_outcomes", buggy)
+        report = run_fuzz(seed=0, iterations=40,
+                          oracle_names=("mcm-diff",),
+                          corpus_dir=str(tmp_path), max_failures=1)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.oracle == "mcm-diff"
+        assert failure.kind == "litmus"
+        assert failure.shrunk_lines <= 10
+        assert "disagree" in failure.message
+
+        reproducer = load_reproducer(failure.reproducer_path)
+        assert replay(reproducer) is not None
+
+        monkeypatch.setattr(operational_mod, "operational_outcomes", real)
+        assert replay(reproducer) is None
+
+
+class TestCorpus:
+    def test_reproducer_files_round_trip(self, monkeypatch, tmp_path):
+        real = operational_mod.operational_outcomes
+        monkeypatch.setattr(
+            operational_mod, "operational_outcomes",
+            lambda program: set(list(real(program))[:1]))
+        report = run_fuzz(seed=3, iterations=20,
+                          oracle_names=("mcm-diff",),
+                          corpus_dir=str(tmp_path), max_failures=1)
+        assert not report.ok
+        failure = report.failures[0]
+        sidecar = failure.reproducer_path
+        assert sidecar.endswith(".json")
+        reproducer = load_reproducer(sidecar)
+        assert reproducer.oracle == "mcm-diff"
+        assert reproducer.message == failure.message
+        source_file = sidecar[:-len(".json")] + ".litmus"
+        with open(source_file) as handle:
+            assert handle.read() == failure.source
+
+    def test_no_corpus_dir_still_records_failures(self, monkeypatch):
+        real = operational_mod.operational_outcomes
+        monkeypatch.setattr(
+            operational_mod, "operational_outcomes",
+            lambda program: set(list(real(program))[:1]))
+        report = run_fuzz(seed=3, iterations=20,
+                          oracle_names=("mcm-diff",), max_failures=1)
+        assert not report.ok
+        assert report.failures[0].reproducer_path == ""
+        assert "(no corpus dir)" in report.summary()

@@ -1,0 +1,68 @@
+"""Unit tests for the greedy ddmin shrinker (no oracles involved)."""
+
+from repro.fuzz import ddmin, shrink_source
+
+
+class TestDdmin:
+    def test_reduces_to_the_interesting_subset(self):
+        items = list(range(20))
+
+        def failing(candidate):
+            return 3 in candidate and 17 in candidate
+
+        assert sorted(ddmin(items, failing)) == [3, 17]
+
+    def test_single_interesting_item(self):
+        items = list(range(50))
+        assert ddmin(items, lambda c: 42 in c) == [42]
+
+    def test_one_minimality(self):
+        # Failure needs any 2 of the 3 marked items; a 1-minimal result
+        # is exactly 2 of them (dropping either one un-fails it).
+        marked = {2, 11, 29}
+
+        def failing(candidate):
+            return len(marked.intersection(candidate)) >= 2
+
+        result = ddmin(list(range(30)), failing)
+        assert len(result) == 2
+        assert set(result) < marked
+
+    def test_respects_the_attempt_budget(self):
+        calls = []
+
+        def failing(candidate):
+            calls.append(1)
+            return 0 in candidate
+
+        ddmin(list(range(64)), failing, max_attempts=10)
+        assert len(calls) <= 10
+
+    def test_order_is_preserved(self):
+        def failing(candidate):
+            return 5 in candidate and 1 in candidate
+
+        assert ddmin(list(range(10)), failing) == [1, 5]
+
+
+class TestShrinkSource:
+    def test_shrinks_to_the_failing_line(self):
+        source = "\n".join(f"line {i}" for i in range(12)) + "\nBUG\n"
+        shrunk = shrink_source(source, lambda text: "BUG" in text)
+        assert shrunk == "BUG\n"
+
+    def test_returns_original_when_predicate_rejects_it(self):
+        # A predicate that never holds (e.g. flaky failure vanished):
+        # the shrinker must not return an arbitrary reduction.
+        source = "a\nb\nc\n"
+        assert shrink_source(source, lambda text: False) == source
+
+    def test_result_still_fails(self):
+        source = "\n".join(["x = 0", "keep: alpha", "y = 1", "keep: beta"])
+
+        def still_fails(text):
+            return "keep: alpha" in text and "keep: beta" in text
+
+        shrunk = shrink_source(source, still_fails)
+        assert still_fails(shrunk)
+        assert len(shrunk.splitlines()) == 2
