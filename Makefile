@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-all lint bench bench-sched table2 fig8 \
-	repair gallery fuzz fuzz-smoke coverage all
+.PHONY: install test test-all lint bench bench-sched bench-solver \
+	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,7 @@ install:
 test:
 	pytest tests/ -q -m "not slow"
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-smoke
 
 test-all:
 	pytest tests/ -q
@@ -59,6 +60,16 @@ bench:
 # numbers land in EXPERIMENTS.md.
 bench-sched:
 	python benchmarks/bench_scheduler.py
+
+# Incremental-vs-fresh SAT ablation (persistent assumption-based
+# solving vs a fresh solver per query); writes BENCH_solver.json.
+bench-solver:
+	python benchmarks/bench_solver.py
+
+# Fast CI assertion that a real analysis exercises the incremental
+# path: >0 assumption queries, zero Fig. 7 re-encodes per S-AEG.
+bench-smoke:
+	python benchmarks/bench_solver.py --smoke
 
 table2:
 	python -m repro.bench.table2

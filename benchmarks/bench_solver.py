@@ -1,7 +1,21 @@
 """SAT solver benchmarks: the Z3-substitute must stay fast enough for
-the S-AEG realizability queries and subrosa encodings."""
+the S-AEG realizability queries and subrosa encodings.
 
+Besides the pytest-benchmark micro-benchmarks, this module carries the
+incremental-vs-fresh ablation (``solver_ablation``): the same query
+stream answered by the persistent assumption-based layer (PathOracle /
+XWitnessEncoder's long-lived solver) and by the fresh-solver-per-query
+reference paths.  ``python benchmarks/bench_solver.py`` (or
+``make bench-solver``) prints the table and writes the machine-readable
+baseline to ``benchmarks/BENCH_solver.json``; ``--smoke`` runs the fast
+CI assertion that the incremental path is actually in use.
+"""
+
+import json
+import os
 import random
+import sys
+import time
 
 import pytest
 
@@ -85,3 +99,151 @@ def test_aeg_realizability_queries(benchmark):
 
     results = benchmark(run)
     assert all(isinstance(r, bool) for r in results)
+
+
+# ----------------------------------------------------------------------
+# Incremental-vs-fresh ablation
+# ----------------------------------------------------------------------
+
+REPEATS = 3
+
+
+def _aeg_for(case_name, function_name):
+    from repro.bench.suites import by_name
+    from repro.clou import SAEG, build_acfg
+    from repro.minic import compile_c
+
+    module = compile_c(by_name(case_name).source)
+    return SAEG(build_acfg(module, function_name).function)
+
+
+def _realizable_workload(case_name, function_name):
+    """The engines' query shape: many small block-footprint queries with
+    heavy repetition (candidate chains share footprints)."""
+    incremental_aeg = _aeg_for(case_name, function_name)
+    fresh_aeg = _aeg_for(case_name, function_name)
+    nodes = incremental_aeg.memory_nodes() + incremental_aeg.branches()
+    pairs = [[a, b] for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+    stream = ([[n] for n in nodes] + pairs) * REPEATS
+
+    started = time.perf_counter()
+    fresh = [fresh_aeg.realizable_fresh(nodes) for nodes in stream]
+    t_fresh = time.perf_counter() - started
+
+    started = time.perf_counter()
+    incremental = [incremental_aeg.realizable(nodes) for nodes in stream]
+    t_incremental = time.perf_counter() - started
+
+    assert incremental == fresh
+    assert incremental_aeg.path_oracle.encodes == 1
+    return {"name": f"realizable/{case_name}", "queries": len(stream),
+            "fresh_seconds": t_fresh, "incremental_seconds": t_incremental}
+
+
+def _subrosa_workload():
+    """subrosa's shape: partial-instance require/forbid queries plus
+    repeated full enumerations over one litmus execution."""
+    from repro.lcm.xstate import DirectMappedPolicy
+    from repro.litmus import elaborate, parse_program
+    from repro.mcm import TSO, consistent_executions
+    from repro.subrosa.encoding import XWitnessEncoder
+
+    source = "store x, 1\nstore x, 2\nr1 = load x\nr2 = load x"
+    (structure,) = elaborate(parse_program(source, name="bench"))
+    execution = consistent_executions(structure, TSO)[0]
+
+    def run(encoder, solve, enumerate_models):
+        verdicts = []
+        for _ in range(REPEATS):
+            for edge in encoder.candidate_edges():
+                verdicts.append(solve(require=[edge]) is None)
+                verdicts.append(solve(forbid=[edge]) is None)
+            verdicts.append(sum(1 for _ in enumerate_models()))
+        return verdicts
+
+    fresh_encoder = XWitnessEncoder(execution, DirectMappedPolicy())
+    started = time.perf_counter()
+    fresh = run(fresh_encoder, fresh_encoder.solve_fresh,
+                fresh_encoder.enumerate_fresh)
+    t_fresh = time.perf_counter() - started
+
+    encoder = XWitnessEncoder(execution, DirectMappedPolicy())
+    started = time.perf_counter()
+    incremental = run(encoder, encoder.solve, encoder.enumerate)
+    t_incremental = time.perf_counter() - started
+
+    assert incremental == fresh
+    return {"name": "subrosa/enumerate+queries", "queries": len(fresh),
+            "fresh_seconds": t_fresh, "incremental_seconds": t_incremental}
+
+
+def solver_ablation():
+    """All ablation rows; each row's speedup = fresh / incremental."""
+    rows = [
+        _realizable_workload("pht03", "victim_function_v03"),
+        _realizable_workload("pht13", "victim_function_v13"),
+        _subrosa_workload(),
+    ]
+    for row in rows:
+        row["speedup"] = row["fresh_seconds"] / row["incremental_seconds"]
+    return rows
+
+
+def test_incremental_vs_fresh_ablation(benchmark):
+    """The ISSUE's acceptance bar: >= 2x on every repeated-query stream
+    (verdict agreement is asserted inside the workloads)."""
+    rows = benchmark.pedantic(solver_ablation, rounds=1, iterations=1)
+    for row in rows:
+        assert row["speedup"] >= 2.0, (
+            f"{row['name']}: only {row['speedup']:.2f}x over "
+            f"{row['queries']} queries")
+
+
+def smoke():
+    """Fast CI check: a real analysis must use the incremental path —
+    assumption queries > 0 and at most one Fig. 7 encoding per S-AEG
+    (i.e. zero re-encodes), so a refactor can't silently regress to
+    fresh-solver-per-call."""
+    from repro.bench.suites import by_name
+    from repro.sched import ClouSession
+
+    session = ClouSession(jobs=1, cache=False)
+    report = session.analyze(by_name("pht03").source, engine="pht",
+                             name="smoke")
+    stats = report.stats
+    assert stats.sat_queries > 0, "no assumption queries issued"
+    saegs = len(report.functions)
+    assert stats.sat_encodes <= saegs, (
+        f"{stats.sat_encodes} encodings for {saegs} S-AEGs: "
+        "the path constraints were re-encoded")
+    print(f"bench-smoke: ok — {stats.sat_queries} assumption queries, "
+          f"{stats.sat_memo_hits} memo hits, {stats.sat_encodes} "
+          f"encodings for {saegs} S-AEGs (0 re-encodes)")
+    return 0
+
+
+def main():
+    if "--smoke" in sys.argv[1:]:
+        return smoke()
+    rows = solver_ablation()
+    print("incremental vs fresh-per-query — same streams, both modes")
+    print(f"{'workload':28s} {'queries':>7s} {'fresh':>9s} "
+          f"{'incr':>9s} {'speedup':>8s}")
+    print("-" * 65)
+    for row in rows:
+        print(f"{row['name']:28s} {row['queries']:7d} "
+              f"{row['fresh_seconds']:8.3f}s "
+              f"{row['incremental_seconds']:8.3f}s "
+              f"{row['speedup']:7.1f}x")
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "BENCH_solver.json")
+    with open(out, "w") as handle:
+        json.dump({"benchmark": "solver_incremental_ablation",
+                   "repeats": REPEATS, "workloads": rows}, handle, indent=2)
+        handle.write("\n")
+    print(f"baseline written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

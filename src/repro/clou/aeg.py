@@ -118,6 +118,7 @@ class SAEG:
         self.rf: list[tuple[AEGNode, AEGNode]] = []
         self._build_rf()
         self._extend_through_memory()
+        self._path_oracle: "PathOracle | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -608,9 +609,28 @@ class SAEG:
                 encoder.assert_expr(~executed)
         return encoder
 
+    @property
+    def path_oracle(self) -> "PathOracle":
+        """The per-S-AEG incremental realizability oracle.  Lazily
+        constructed (encoding Fig. 7 exactly once) and kept for the
+        graph's lifetime, so every realizability query over this
+        function shares one solver and its learned clauses."""
+        if self._path_oracle is None:
+            self._path_oracle = PathOracle(self)
+        return self._path_oracle
+
     def realizable(self, nodes: list[AEGNode]) -> bool:
-        """Can all given nodes execute in ONE architectural path?  Solved
-        with the CDCL SAT solver over the path constraints (Fig. 7)."""
+        """Can all given nodes execute in ONE architectural path?
+        Answered by the persistent :class:`PathOracle` as an assumption
+        query over the x_<block> literals (Fig. 7)."""
+        return self.path_oracle.realizable(nodes)
+
+    def realizable_fresh(self, nodes: list[AEGNode]) -> bool:
+        """Reference implementation of :meth:`realizable`: re-encode the
+        path constraints and build a throwaway solver for this single
+        query.  Kept for differential testing (the incremental-vs-fresh
+        fuzz oracle) and the bench_solver ablation; engines use the
+        oracle path."""
         from repro.solver import SatSolver, var
 
         encoder = self.path_constraints()
@@ -618,6 +638,79 @@ class SAEG:
             encoder.assert_expr(var(f"x_{node.block}"))
         solver = SatSolver.from_cnf(encoder.cnf)
         return solver.solve() is not None
+
+
+class PathOracle:
+    """Incremental Fig. 7 path-feasibility oracle for one :class:`SAEG`.
+
+    The path constraints are Tseitin-encoded exactly once
+    (``encodes == 1`` for the oracle's lifetime); a single persistent
+    :class:`~repro.solver.SatSolver` then answers every
+    ``realizable(nodes)`` call as a solve under assumptions of the
+    nodes' ``x_<block>`` literals.  Learned clauses and saved phases
+    carry over between queries, and verdicts are memoized keyed by the
+    frozen block-set — many candidate (access, transmit) patterns share
+    the same block footprint, so the memo absorbs most of the stream.
+
+    Memoization is sound because the query is a pure function of the
+    block-set: the root formula never changes (assumption literals are
+    retracted by the solver after each call, never asserted), and
+    node order within a query is irrelevant to conjunction.
+    """
+
+    __slots__ = ("_solver", "_lit", "_memo", "_footprints", "encodes",
+                 "hits", "misses")
+
+    MAX_FOOTPRINTS = 64
+
+    def __init__(self, saeg: SAEG):
+        from repro.solver import SatSolver
+
+        cnf = saeg.path_constraints().cnf
+        self._solver = SatSolver.from_cnf(cnf)
+        self._lit = {block.label: cnf.index_of[f"x_{block.label}"]
+                     for block in saeg.function.blocks}
+        self._memo: dict[frozenset[str], bool] = {}
+        # Satisfying-path footprints: each is the executed-block set of a
+        # model the solver produced.  key ⊆ footprint proves SAT without
+        # a solver call (that model already executes every queried
+        # block); a handful of full paths subsumes most of the engines'
+        # pair/triple query stream.
+        self._footprints: list[frozenset[str]] = []
+        self.encodes = 1
+        self.hits = 0
+        self.misses = 0
+
+    def realizable(self, nodes: list[AEGNode]) -> bool:
+        key = frozenset(node.block for node in nodes)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        for footprint in self._footprints:
+            if key <= footprint:
+                self.hits += 1
+                self._memo[key] = True
+                return True
+        self.misses += 1
+        model = self._solver.solve(
+            [self._lit[label] for label in sorted(key)])
+        verdict = model is not None
+        if verdict and len(self._footprints) < self.MAX_FOOTPRINTS:
+            footprint = frozenset(label for label, literal in self._lit.items()
+                                  if model[literal])
+            if footprint not in self._footprints:
+                self._footprints.append(footprint)
+        self._memo[key] = verdict
+        return verdict
+
+    @property
+    def statistics(self) -> dict[str, int]:
+        """Oracle + underlying solver counters (see SessionStats)."""
+        stats = dict(self._solver.statistics)
+        stats.update(encodes=self.encodes, memo_hits=self.hits,
+                     memo_misses=self.misses)
+        return stats
 
 
 class WindowView:

@@ -137,10 +137,13 @@ class AliasAnalysis:
             return self.value_provenance(ins.value)
         if isinstance(ins, Load):
             if ins.result.type.is_pointer:
-                return Provenance("unknown", f"load:{id(ins)}")
+                # The result temp is unique per instruction and, unlike
+                # id(), stable across processes — this string reaches the
+                # byte-stable --json output via NodeRef.provenance.
+                return Provenance("unknown", f"load:{ins.result.name}")
             return UNKNOWN
         if isinstance(ins, Call):
-            return Provenance("unknown", f"call:{id(ins)}")
+            return Provenance("unknown", f"call:{ins.result.name}")
         return UNKNOWN
 
     def value_provenance(self, value: Value) -> Provenance:

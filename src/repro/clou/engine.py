@@ -169,11 +169,21 @@ class DetectionEngine:
             engine=self.name,
             aeg_size=self.aeg.size,
         )
+        # The S-AEG (and hence its PathOracle) may be shared with other
+        # engine runs, so attribute only this run's counter deltas.
+        oracle = self.aeg._path_oracle
+        before = oracle.statistics if oracle is not None else {}
         try:
             self._search(report, budget)
         finally:
             report.elapsed = time.monotonic() - started
             report.timed_out = budget.expired
+            oracle = self.aeg._path_oracle
+            if oracle is not None:
+                report.sat_stats = {
+                    key: value - before.get(key, 0)
+                    for key, value in oracle.statistics.items()
+                }
         return report
 
     def _search(self, report: FunctionReport, budget: _Budget) -> None:
@@ -233,6 +243,12 @@ class DetectionEngine:
                         primitives: list[tuple[AEGNode, AEGNode | None]],
                         view: WindowView, want: set[str],
                         report: FunctionReport) -> None:
+        # Fig. 7 σ-compatibility: the chain endpoints must co-execute on
+        # one architectural path (an assumption query on the PathOracle;
+        # the window BFS already walks real CFG edges, so this can only
+        # reject patterns the pairwise checks over-approximated).
+        if not self.aeg.realizable([access, transmit]):
+            return
         for primitive, window_start in primitives:
             access_transient = self._is_transient(access, primitive,
                                                   window_start, view)
@@ -258,6 +274,9 @@ class DetectionEngine:
                     if not self.aeg.before(index, access):
                         continue
                     if not view.contains(index):
+                        continue
+                    # Joint σ-compatibility of the full universal chain.
+                    if not self.aeg.realizable([index, access, transmit]):
                         continue
                     if not self._index_attacker_controlled(index):
                         continue
@@ -305,6 +324,9 @@ class DetectionEngine:
                 return
             cond_deps = self.aeg.branch_cond_deps(branch)
             if not cond_deps:
+                continue
+            # σ-compatibility of branch and transmitter (Fig. 7).
+            if not self.aeg.realizable([branch, transmit]):
                 continue
             for primitive, window_start in primitives:
                 transmit_transient = self._is_transient(

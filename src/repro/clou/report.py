@@ -87,6 +87,13 @@ class FunctionReport:
     pruned: int = 0
     """Universal-classification hops skipped by range pruning — accesses
     the interval analysis proved in-bounds on every A-CFG path."""
+    sat_stats: dict = field(default_factory=dict, compare=False)
+    """PathOracle/SatSolver counter deltas attributable to this engine
+    run (queries, memo hits/misses, encodes, learned/deleted clauses,
+    propagations).  Observability only: aggregated into
+    :class:`repro.sched.SessionStats`, never serialized into the
+    byte-stable ``--json`` output, and legitimately empty for reports
+    that did no solver work (e.g. cache hits)."""
 
     def transmitters(self) -> list[ClouWitness]:
         """One witness per distinct (transmit node, class), ordered by

@@ -18,6 +18,10 @@ serialize-roundtrip C        stable report JSON -> from_dict -> JSON is
                              byte-identical
 jobs-invariance     C        --jobs 2 and serial sessions emit identical
                              stable JSON
+incremental-vs-     any      the persistent assumption-based solver
+fresh                        (PathOracle / XWitnessEncoder) agrees with a
+                             fresh-solver-per-query reference on verdicts
+                             and projected witness sets
 ==================  =======  ==============================================
 
 The Clou-facing oracles run their analyses through
@@ -53,7 +57,7 @@ class Oracle:
     """
 
     name: str
-    kind: str                                    # 'c' | 'litmus'
+    kind: str                                    # 'c' | 'litmus' | 'any'
     check: Callable[[object], str | None]
     period: int = 1
     description: str = ""
@@ -224,6 +228,113 @@ def _jobs_invariance(generated: GeneratedC) -> str | None:
     return None
 
 
+# ----------------------------------------------------------------------
+# Cross-cutting oracles (kind 'any')
+# ----------------------------------------------------------------------
+
+
+def _ivf_c(generated: GeneratedC) -> str | None:
+    from repro.clou import SAEG, build_acfg
+    from repro.minic import compile_c
+
+    try:
+        module = compile_c(generated.source, name="fuzz")
+    except ReproError as error:
+        return f"generated program does not compile: {error}"
+    for function in module.public_functions():
+        if not function.blocks:
+            continue
+        try:
+            aeg = SAEG(build_acfg(module, function.name).function)
+        except ReproError as error:
+            raise OracleSkip(str(error))
+        interesting = (aeg.memory_nodes() + aeg.branches())[:8]
+        queries = [[node] for node in interesting]
+        queries += [[a, b]
+                    for i, a in enumerate(interesting)
+                    for b in interesting[i + 1:]]
+        queries = queries[:40]
+        # Two passes: the second is answered from the memo and must not
+        # change any verdict.
+        for nodes in queries + queries:
+            incremental = aeg.realizable(nodes)
+            fresh = aeg.realizable_fresh(nodes)
+            if incremental != fresh:
+                blocks = sorted({n.block for n in nodes})
+                return (f"{function.name}: realizable({blocks}) = "
+                        f"{incremental} incrementally but {fresh} on a "
+                        "fresh solver")
+        if queries and aeg.path_oracle.encodes != 1:
+            return (f"{function.name}: PathOracle encoded the path "
+                    f"constraints {aeg.path_oracle.encodes} times")
+    return None
+
+
+def _ivf_litmus(generated: GeneratedLitmus) -> str | None:
+    from repro.errors import ModelError
+    from repro.lcm.xstate import DirectMappedPolicy
+    from repro.litmus import elaborate
+    from repro.mcm import TSO, consistent_executions
+    from repro.subrosa.encoding import XWitnessEncoder
+
+    def signature(execution):
+        xw = execution.xwitness
+        return tuple(sorted(
+            [("rfx", a.label, b.label) for a, b in xw.rfx]
+            + [("kind", e.label, k.value) for e, k in xw.kinds.items()]
+        ))
+
+    try:
+        structures = elaborate(generated.program)
+        executions = [e for s in structures
+                      for e in consistent_executions(s, TSO)[:2]]
+    except ModelError as error:
+        raise OracleSkip(str(error))
+    for execution in executions[:3]:
+        try:
+            encoder = XWitnessEncoder(execution, DirectMappedPolicy())
+        except ModelError as error:
+            raise OracleSkip(str(error))
+        limit = 120  # bounds the quadratic fresh-per-query reference
+        baseline = sorted(signature(c) for c in encoder.enumerate(limit))
+        # A truncated enumeration is order-dependent, so witness-set
+        # comparisons only apply when the space was exhausted; the
+        # per-edge verdict checks below always apply.
+        complete = len(baseline) < limit
+        if complete:
+            reference = sorted(signature(c)
+                               for c in encoder.enumerate_fresh(limit))
+            if baseline != reference:
+                return (f"persistent enumerate found {len(baseline)} witness "
+                        f"projections, fresh reference {len(reference)}")
+        for edge in encoder.candidate_edges()[:6]:
+            for constraint in ("require", "forbid"):
+                query = {constraint: [edge]}
+                incremental = encoder.solve(**query) is None
+                fresh = encoder.solve_fresh(**query) is None
+                if incremental != fresh:
+                    writer, reader = edge
+                    return (f"solve({constraint}=[{writer.label}->"
+                            f"{reader.label}]) verdicts disagree: "
+                            f"UNSAT={incremental} incrementally, "
+                            f"UNSAT={fresh} on a fresh solver")
+        # The query stream above must not pollute the witness space
+        # (the historical assert-into-the-encoder bug).
+        if complete:
+            after = sorted(signature(c) for c in encoder.enumerate(limit))
+            if after != baseline:
+                return ("witness set changed after partial-instance "
+                        f"queries: {len(baseline)} -> {len(after)} "
+                        "projections")
+    return None
+
+
+def _incremental_vs_fresh(generated) -> str | None:
+    if isinstance(generated, GeneratedC):
+        return _ivf_c(generated)
+    return _ivf_litmus(generated)
+
+
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in [
@@ -240,6 +351,13 @@ ORACLES: dict[str, Oracle] = {
                description="stable report JSON round-trips byte-exactly"),
         Oracle("jobs-invariance", "c", _jobs_invariance, period=40,
                description="--jobs 2 and serial reports are identical"),
+        # period must be odd: the runner alternates C (even iteration)
+        # and litmus (odd) inputs, and an "any" oracle with an even
+        # period would only ever see one kind.
+        Oracle("incremental-vs-fresh", "any", _incremental_vs_fresh,
+               period=3,
+               description="persistent assumption-based solving agrees "
+                           "with fresh-solver-per-query references"),
     ]
 }
 

@@ -152,7 +152,7 @@ def run_fuzz(seed: int = 0, iterations: int = 100,
             break
         generated = _input_for(seed, iteration)
         for oracle in oracles:
-            if oracle.kind != generated.kind:
+            if oracle.kind not in ("any", generated.kind):
                 continue
             matches[oracle.name] += 1
             if (matches[oracle.name] - 1) % oracle.period:

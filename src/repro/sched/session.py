@@ -227,6 +227,8 @@ class ClouSession:
                 errored=function_report.error is not None))
         stats.candidates = report.candidates
         stats.pruned = report.pruned
+        for function_report in report.functions:
+            stats.absorb_sat(function_report.sat_stats)
         stats.wall_seconds = stats.work_seconds
         report.stats = stats
         self.stats.merge(stats)
@@ -371,6 +373,8 @@ class ClouSession:
                 functions=list(values), config=self._config_for(request))
             result.stats.candidates = report.candidates
             result.stats.pruned = report.pruned
+            for function_report in report.functions:
+                result.stats.absorb_sat(function_report.sat_stats)
             report.stats = result.stats
             result.report = report
         elif request.kind == "repair":

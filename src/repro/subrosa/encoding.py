@@ -61,6 +61,7 @@ class XWitnessEncoder:
         self._readers: list[Event] = []
         self._rfx_candidates: dict[Event, list[Event]] = {}
         self._encode()
+        self._sat: SatSolver | None = None
 
     # -- encoding ----------------------------------------------------------
 
@@ -112,15 +113,38 @@ class XWitnessEncoder:
                     continue
                 self.encoder.assert_expr(edge >> self._writes(w))
 
-    # -- solving -------------------------------------------------------------
+    def candidate_edges(self) -> list[tuple[Event, Event]]:
+        """Every candidate rfx (writer, reader) edge, in deterministic
+        reader-major order — the domain of partial-instance queries."""
+        return [(writer, reader)
+                for reader in self._readers
+                for writer in self._rfx_candidates[reader]]
 
-    def _solver(self, require=(), forbid=()) -> SatSolver:
-        encoder = self.encoder
-        for writer, reader in require:
-            encoder.assert_expr(_rfx_var(writer, reader))
-        for writer, reader in forbid:
-            encoder.assert_expr(~_rfx_var(writer, reader))
-        return SatSolver.from_cnf(encoder.cnf)
+    # -- solving -------------------------------------------------------------
+    #
+    # One persistent solver serves every query against this encoding.
+    # ``require``/``forbid`` edges become solver *assumptions* (retracted
+    # after each call), never root assertions — asserting them into
+    # ``self.encoder`` was a bug that contaminated every later solve and
+    # enumerate with stale partial-instance constraints.  Learned clauses
+    # and saved phases survive across the whole query stream, including
+    # the blocking-clause iterations of :meth:`enumerate`.
+
+    @property
+    def solver(self) -> SatSolver:
+        """The encoding's long-lived incremental solver."""
+        if self._sat is None:
+            self._sat = SatSolver.from_cnf(self.encoder.cnf)
+        return self._sat
+
+    def _assumptions(self, require, forbid) -> list[int]:
+        # lookup (not index_of[]) keeps the historical permissiveness:
+        # a non-candidate edge maps to a fresh unconstrained variable,
+        # so requiring it is trivially satisfiable rather than an error.
+        cnf = self.encoder.cnf
+        literals = [cnf.lookup(f"rfx_{w.eid}_{r.eid}") for w, r in require]
+        literals += [-cnf.lookup(f"rfx_{w.eid}_{r.eid}") for w, r in forbid]
+        return literals
 
     def decode(self, named_model: dict[str, bool]) -> CandidateExecution:
         kinds: dict[Event, AccessKind] = {}
@@ -155,23 +179,102 @@ class XWitnessEncoder:
 
     def solve(self, require=(), forbid=()) -> CandidateExecution | None:
         """Find one xstate witness with the given rfx edges present /
-        absent (an Alloy-style partial instance query)."""
-        solver = self._solver(require, forbid)
+        absent (an Alloy-style partial instance query).  Answered as an
+        assumption query on the persistent solver, so the constraints
+        vanish once the call returns."""
+        model = self.solver.solve(self._assumptions(require, forbid))
+        if model is None:
+            return None
+        named = self.encoder.cnf.decode(model)
+        return self.decode(named)
+
+    def _projection(self) -> list[str]:
+        names = sorted(self.encoder.cnf.index_of)
+        return [n for n in names if n.startswith(("kind_", "rfx_"))]
+
+    def enumerate(self, limit: int = 10_000) -> Iterator[CandidateExecution]:
+        """Yield every xstate witness (projected on kind/rfx variables).
+
+        Runs on the persistent solver: each found projection is blocked
+        by a clause guarded by a per-call activation literal, so the
+        blocking clauses are (a) live only while this enumeration's
+        assumption holds and (b) retired with one root unit afterwards —
+        later solves and enumerations see the unblocked space again,
+        with all learned clauses retained.
+        """
+        cnf = self.encoder.cnf
+        projection = self._projection()
+        indices = [cnf.index_of[name] for name in projection]
+        solver = self.solver
+        activation = cnf.new_var()
+        produced = 0
+        try:
+            while produced < limit:
+                model = solver.solve([activation])
+                if model is None:
+                    return
+                named = {name: model[index]
+                         for name, index in zip(projection, indices)}
+                yield self.decode(named)
+                produced += 1
+                if not indices:
+                    return
+                solver.add_clause([-activation] + [
+                    -index if model[index] else index for index in indices
+                ])
+        finally:
+            solver.add_clause([-activation])
+
+    def count(self, limit: int = 10_000) -> int:
+        return sum(1 for _ in self.enumerate(limit))
+
+    @property
+    def statistics(self) -> dict[str, int]:
+        """Lifetime counters of the persistent solver (zeros before the
+        first query)."""
+        if self._sat is None:
+            return dict(SatSolver().statistics)
+        return dict(self._sat.statistics)
+
+    # -- fresh-solver reference paths ----------------------------------------
+    #
+    # Differential references for the incremental-vs-fresh fuzz oracle
+    # and the bench_solver ablation: same verdicts/witness projections,
+    # but a throwaway solver per query and no state carried over.
+
+    def solve_fresh(self, require=(), forbid=()) -> CandidateExecution | None:
+        """Reference for :meth:`solve`: fresh solver, constraints added
+        as clauses of that solver only (``self.encoder`` untouched)."""
+        solver = SatSolver.from_cnf(self.encoder.cnf)
+        for literal in self._assumptions(require, forbid):
+            solver.add_clause([literal])
         model = solver.solve()
         if model is None:
             return None
         named = self.encoder.cnf.decode(model)
         return self.decode(named)
 
-    def enumerate(self, limit: int = 10_000) -> Iterator[CandidateExecution]:
-        """Yield every xstate witness (projected on kind/rfx variables)."""
-        from repro.solver import enumerate_models
-
-        names = sorted(self.encoder.cnf.index_of)
-        projection = [n for n in names if n.startswith(("kind_", "rfx_"))]
-        for named in enumerate_models(self.encoder.cnf, over=projection,
-                                      limit=limit):
+    def enumerate_fresh(self, limit: int = 10_000
+                        ) -> Iterator[CandidateExecution]:
+        """Reference for :meth:`enumerate`: a brand-new solver per model
+        query (re-watching every clause and re-learning everything each
+        iteration) — the fresh-per-query discipline the persistent
+        solver replaces."""
+        cnf = self.encoder.cnf
+        projection = self._projection()
+        indices = [cnf.index_of[name] for name in projection]
+        blocking: list[list[int]] = []
+        while len(blocking) < limit:
+            solver = SatSolver.from_cnf(cnf)
+            for clause in blocking:
+                solver.add_clause(clause)
+            model = solver.solve()
+            if model is None:
+                return
+            named = {name: model[index]
+                     for name, index in zip(projection, indices)}
             yield self.decode(named)
-
-    def count(self, limit: int = 10_000) -> int:
-        return sum(1 for _ in self.enumerate(limit))
+            if not indices:
+                return
+            blocking.append([-index if model[index] else index
+                             for index in indices])

@@ -1,0 +1,145 @@
+"""The incremental Fig. 7 path-feasibility oracle: one encoding per
+S-AEG, assumption queries, memoization, and the engine-level statistics
+that prove the incremental path is in use."""
+
+import pytest
+
+from repro.bench.suites import by_name
+from repro.clou import SAEG, PathOracle, build_acfg
+from repro.clou.serialize import to_json
+from repro.minic import compile_c
+
+BRANCHY = """
+uint8_t A[16];
+uint8_t B[4096];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y, uint64_t z) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        if (z < 2) {
+            tmp &= B[x * 512];
+        } else {
+            tmp |= B[x * 64];
+        }
+    }
+}
+"""
+
+
+def _aeg(source=BRANCHY, function="victim"):
+    module = compile_c(source)
+    return SAEG(build_acfg(module, function).function)
+
+
+@pytest.fixture()
+def aeg():
+    return _aeg()
+
+
+class TestOracleLifecycle:
+    def test_lazy_single_encoding(self, aeg):
+        assert aeg._path_oracle is None
+        oracle = aeg.path_oracle
+        assert isinstance(oracle, PathOracle)
+        assert aeg.path_oracle is oracle  # cached, not rebuilt
+        nodes = aeg.memory_nodes() + aeg.branches()
+        for i in range(len(nodes)):
+            for j in range(i, len(nodes)):
+                aeg.realizable([nodes[i], nodes[j]])
+        assert oracle.encodes == 1
+
+    def test_statistics_shape(self, aeg):
+        aeg.realizable(aeg.memory_nodes()[:2])
+        stats = aeg.path_oracle.statistics
+        for key in ("queries", "memo_hits", "memo_misses", "encodes"):
+            assert key in stats
+        assert stats["encodes"] == 1
+
+    def test_empty_query_is_realizable(self, aeg):
+        assert aeg.realizable([])
+
+
+class TestMemoization:
+    def test_exact_repeat_is_a_hit(self, aeg):
+        oracle = aeg.path_oracle
+        nodes = aeg.memory_nodes()[:2]
+        first = aeg.realizable(nodes)
+        misses = oracle.misses
+        assert aeg.realizable(nodes) == first
+        assert aeg.realizable(list(reversed(nodes))) == first  # order-free
+        assert oracle.misses == misses
+        assert oracle.hits >= 2
+
+    def test_footprint_subsumption_counts_as_hit(self, aeg):
+        """A SAT model's executed-block set answers every subset query
+        without touching the solver."""
+        oracle = aeg.path_oracle
+        nodes = aeg.memory_nodes()
+        pair = [nodes[0], nodes[1]]
+        assert aeg.realizable(pair)  # miss: solver call, footprint stored
+        assert oracle.misses == 1
+        misses = oracle.misses
+        # Each single node is a strict subset of the pair's footprint.
+        assert aeg.realizable([nodes[0]])
+        assert aeg.realizable([nodes[1]])
+        assert oracle.misses == misses
+        assert oracle.hits == 2
+
+    def test_footprint_cap(self, aeg):
+        assert len(aeg.path_oracle._footprints) <= PathOracle.MAX_FOOTPRINTS
+
+
+class TestAgreementWithFresh:
+    @pytest.mark.parametrize("case,function", [
+        ("pht01", "victim_function_v01"),
+        ("stl01", "case_1"),
+    ])
+    def test_pairs_and_triples_match_fresh(self, case, function):
+        incremental = _aeg(by_name(case).source, function)
+        fresh = _aeg(by_name(case).source, function)
+        nodes = incremental.memory_nodes() + incremental.branches()
+        streams = [[n] for n in nodes]
+        streams += [[a, b] for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+        streams += [nodes[i:i + 3] for i in range(len(nodes) - 2)]
+        for query in streams:
+            assert incremental.realizable(query) == \
+                fresh.realizable_fresh(query), [n.block for n in query]
+        assert incremental.path_oracle.encodes == 1
+
+
+class TestEngineIntegration:
+    def test_session_stats_prove_incremental_path(self):
+        from repro.sched import ClouSession
+
+        session = ClouSession(jobs=1, cache=False)
+        report = session.analyze(by_name("pht01").source, engine="pht",
+                                 name="oracle-test")
+        assert report.stats.sat_queries > 0
+        assert report.stats.sat_encodes <= len(report.functions)
+
+    def test_sat_stats_never_serialized(self):
+        from repro.sched import ClouSession
+
+        session = ClouSession(jobs=1, cache=False)
+        report = session.analyze(by_name("pht01").source, engine="pht",
+                                 name="oracle-test")
+        assert any(f.sat_stats for f in report.functions)
+        assert "sat_stats" not in to_json(report, stable=True)
+
+    def test_output_identical_with_fresh_oracle(self, monkeypatch):
+        """The realizability checks are consistency checks, never
+        filters: swapping the incremental oracle for the fresh-per-query
+        reference must leave the analysis output byte-identical."""
+        from repro.sched import ClouSession
+
+        source = by_name("pht03").source
+
+        def fresh_report():
+            session = ClouSession(jobs=1, cache=False)
+            return session.analyze(source, engine="pht", name="diff")
+
+        baseline = to_json(fresh_report(), stable=True)
+        monkeypatch.setattr(SAEG, "realizable", SAEG.realizable_fresh)
+        assert to_json(fresh_report(), stable=True) == baseline

@@ -22,7 +22,7 @@ class TestSelection:
 
     def test_kinds_partition(self):
         kinds = {o.kind for o in ORACLES.values()}
-        assert kinds == {"c", "litmus"}
+        assert kinds == {"c", "litmus", "any"}
 
 
 class TestLitmusOracles:
@@ -55,3 +55,42 @@ class TestReportOracles:
 
     def test_jobs_invariance_passes(self):
         assert ORACLES["jobs-invariance"].check(generate_c(1)) is None
+
+
+class TestIncrementalVsFresh:
+    def test_registered_and_listed(self, capsys):
+        from repro.cli import main
+
+        oracle = ORACLES["incremental-vs-fresh"]
+        assert oracle.kind == "any"
+        assert main(["fuzz", "--list-oracles"]) == 0
+        assert "incremental-vs-fresh" in capsys.readouterr().out
+
+    def test_passes_on_generated_c(self):
+        oracle = ORACLES["incremental-vs-fresh"]
+        for seed in range(6):
+            assert oracle.check(generate_c(seed)) is None
+
+    def test_passes_on_generated_litmus(self):
+        oracle = ORACLES["incremental-vs-fresh"]
+        for seed in range(6):
+            assert oracle.check(generate_litmus(seed)) is None
+
+    def test_detects_polluting_solve(self, monkeypatch):
+        """The oracle's reason to exist: a solve() that asserts its
+        partial-instance constraints into the shared encoder (the old
+        bug) is flagged as an incremental-vs-fresh divergence."""
+        from repro.subrosa.encoding import XWitnessEncoder
+
+        def polluting_solve(self, require=(), forbid=()):
+            for literal in self._assumptions(require, forbid):
+                self.solver.add_clause([literal])  # permanent assertion
+            model = self.solver.solve()
+            if model is None:
+                return None
+            return self.decode(self.encoder.cnf.decode(model))
+
+        monkeypatch.setattr(XWitnessEncoder, "solve", polluting_solve)
+        oracle = ORACLES["incremental-vs-fresh"]
+        messages = [oracle.check(generate_litmus(seed)) for seed in range(12)]
+        assert any(message is not None for message in messages)

@@ -257,3 +257,195 @@ class TestEnumeration:
     def test_enumerate_unsat(self):
         cnf = encode(var("a") & ~var("a"))
         assert list(enumerate_models(cnf)) == []
+
+
+class TestIncrementalSolving:
+    """The persistent-solver features: assumptions, phase saving,
+    DB maintenance, and the statistics they expose."""
+
+    def test_statistics_keys(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        solver.solve()
+        for key in ("decisions", "conflicts", "propagations", "restarts",
+                    "learned", "deleted", "simplified", "queries"):
+            assert key in solver.statistics
+        assert solver.statistics["queries"] == 1
+
+    def test_assumption_unsat_vs_root_unsat(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        # (x1 -> x2) and (x1 or x2): UNSAT only under the assumptions.
+        assert solver.solve([-2]) is None
+        assert solver.assumption_failed
+        # The formula itself is still satisfiable afterwards.
+        assert solver.solve() is not None
+        assert not solver.assumption_failed
+        # Root-level UNSAT is not an assumption failure.
+        solver.add_clause([-2])
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve([2]) is None
+        assert not solver.assumption_failed
+
+    def test_assumptions_are_retracted_between_queries(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2, 3])
+        assert solver.solve([1, -2]) is not None
+        model = solver.solve([-1, 2])
+        assert model is not None and not model[1] and model[2]
+        model = solver.solve()
+        assert model is not None  # no stale constraint survives
+
+    def test_phase_saving_determinism(self):
+        """Identical query streams on identical solvers produce
+        identical models: the saved phases make repeat queries replay
+        the previous assignment."""
+        def stream(solver):
+            models = []
+            for assumptions in ([], [3], [-3], [], []):
+                models.append(solver.solve(assumptions))
+            return models
+
+        def fresh():
+            solver = SatSolver(4)
+            solver.add_clause([1, 2])
+            solver.add_clause([-2, 3, 4])
+            solver.add_clause([-1, -4])
+            return solver
+
+        first, second = stream(fresh()), stream(fresh())
+        assert first == second
+        # A repeated unconstrained query returns the same model again.
+        solver = fresh()
+        assert solver.solve() == solver.solve()
+
+    def test_incremental_agrees_with_fresh_on_random_streams(self):
+        import random
+
+        rng = random.Random(99)
+        for _ in range(20):
+            num_vars = rng.randrange(4, 9)
+            clauses = [
+                [v if rng.random() < 0.5 else -v
+                 for v in rng.sample(range(1, num_vars + 1), 3)]
+                for _ in range(rng.randrange(5, 25))
+            ]
+            persistent = SatSolver(num_vars)
+            for clause in clauses:
+                persistent.add_clause(clause)
+            for _ in range(10):
+                assumptions = [
+                    v if rng.random() < 0.5 else -v
+                    for v in rng.sample(range(1, num_vars + 1),
+                                        rng.randrange(0, num_vars))
+                ]
+                reference = SatSolver(num_vars)
+                for clause in clauses:
+                    reference.add_clause(clause)
+                for literal in assumptions:
+                    reference.add_clause([literal])
+                incremental = persistent.solve(assumptions)
+                assert (incremental is None) == (reference.solve() is None)
+                if incremental is not None:
+                    for clause in clauses:
+                        assert any((lit > 0) == incremental[abs(lit)]
+                                   for lit in clause)
+                    for literal in assumptions:
+                        assert (literal > 0) == incremental[abs(literal)]
+
+    def test_learned_units_persist_across_queries(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([1, -2])
+        # Any solve forces x1 via learning/propagation; later queries
+        # assuming -1 must fail as assumption-UNSAT.
+        assert solver.solve() is not None
+        assert solver.solve([-1]) is None
+        assert solver.assumption_failed
+
+
+class TestDbReduction:
+    def _loaded_solver(self, seed=7, num_vars=30, num_clauses=120):
+        import random
+
+        rng = random.Random(seed)
+        solver = SatSolver(num_vars, reduce_base=5)
+        clauses = [
+            [v if rng.random() < 0.5 else -v
+             for v in rng.sample(range(1, num_vars + 1), 3)]
+            for _ in range(num_clauses)
+        ]
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver, clauses
+
+    def test_reduction_preserves_correctness(self):
+        """A tiny reduce_base forces many DB reductions mid-stream; the
+        verdicts must keep matching a fresh reference solver."""
+        import random
+
+        rng = random.Random(11)
+        solver, clauses = self._loaded_solver()
+        for _ in range(40):
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 31), rng.randrange(0, 6))
+            ]
+            reference = SatSolver(30)
+            for clause in clauses:
+                reference.add_clause(clause)
+            for literal in assumptions:
+                reference.add_clause([literal])
+            assert (solver.solve(assumptions) is None) == \
+                (reference.solve() is None)
+
+    def test_reduction_deletes_but_keeps_root_units(self):
+        solver, _ = self._loaded_solver(seed=19, num_vars=40, num_clauses=180)
+        for _ in range(30):
+            solver.solve()
+            solver.solve([1])
+            solver.solve([-1])
+        assert solver.statistics["deleted"] > 0
+        # Root units are kept outside the clause DB and must all still
+        # propagate: the unconstrained model satisfies each of them.
+        model = solver.solve()
+        if model is not None:
+            for literal in solver._root_units:
+                assert (literal > 0) == model[abs(literal)]
+
+    def test_reduction_never_drops_reason_clauses(self):
+        """After any reduction, every recorded reason index must point
+        at a clause containing the implied literal (the watch/reason
+        remap invariant)."""
+        solver, _ = self._loaded_solver(seed=7)
+        for _ in range(25):
+            solver.solve()
+            solver.solve([2, -3])
+        assert solver.statistics["deleted"] > 0
+        for literal in solver._trail:
+            reason = solver._reason[abs(literal)]
+            if reason is not None:
+                assert literal in solver.clauses[reason]
+
+
+class TestRootSimplification:
+    def test_root_satisfied_clauses_are_purged(self):
+        solver = SatSolver(4)
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([1, -2, 4])
+        assert solver.solve() is not None
+        solver.add_clause([1])  # root unit satisfies both clauses
+        assert solver.solve() is not None
+        assert solver.statistics["simplified"] == 2
+        assert solver.clauses == []
+
+    def test_purge_keeps_verdicts(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([2, 3])
+        solver.add_clause([2])
+        assert solver.solve([-1, -3]) is not None
+        assert solver.solve([-2]) is None
+        assert solver.assumption_failed

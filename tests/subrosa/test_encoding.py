@@ -100,3 +100,77 @@ class TestPartialInstanceQueries:
         with pytest.raises(ModelError, match="alias-prediction"):
             XWitnessEncoder(execution,
                             DirectMappedPolicy(alias_prediction=True))
+
+
+class TestIncrementalSolverHygiene:
+    """Partial-instance constraints are solver assumptions, never root
+    assertions — the regression suite for the bug where ``require``/
+    ``forbid`` edges were asserted into ``self.encoder`` and polluted
+    every later query on the same encoder."""
+
+    SOURCE = "store x, 1\nstore x, 2\nr1 = load x\nr2 = load x"
+
+    def _encoder(self):
+        return XWitnessEncoder(_execution(self.SOURCE), DirectMappedPolicy())
+
+    def test_solve_leaves_no_stale_constraints(self):
+        encoder = self._encoder()
+        baseline = {_signature(c) for c in encoder.enumerate()}
+        for writer, reader in encoder.candidate_edges():
+            encoder.solve(require=[(writer, reader)])
+            encoder.solve(forbid=[(writer, reader)])
+        # The same encoder, after the query barrage: the witness space
+        # is untouched and an unconstrained solve still succeeds.
+        assert encoder.solve() is not None
+        assert {_signature(c) for c in encoder.enumerate()} == baseline
+
+    def test_query_verdicts_match_fresh_encoders(self):
+        polluted = self._encoder()
+        for writer, reader in polluted.candidate_edges()[:8]:
+            fresh = self._encoder()
+            assert (polluted.solve(require=[(writer, reader)]) is None) == \
+                (fresh.solve(require=[(writer, reader)]) is None)
+            assert (polluted.solve(forbid=[(writer, reader)]) is None) == \
+                (fresh.solve(forbid=[(writer, reader)]) is None)
+
+    def test_repeated_enumeration_is_stable(self):
+        encoder = self._encoder()
+        first = {_signature(c) for c in encoder.enumerate()}
+        for _ in range(3):
+            assert {_signature(c) for c in encoder.enumerate()} == first
+
+    def test_enumerate_matches_fresh_reference(self):
+        # A smaller space: enumerate_fresh rebuilds a solver per model.
+        encoder = XWitnessEncoder(
+            _execution("store x, 1\nstore x, 2\nr1 = load x"),
+            DirectMappedPolicy())
+        incremental = {_signature(c) for c in encoder.enumerate()}
+        fresh = {_signature(c) for c in encoder.enumerate_fresh()}
+        assert incremental == fresh
+
+    def test_enumerate_limit_then_full(self):
+        """A truncated enumeration retires its blocking clauses, so a
+        later full enumeration is not missing the unseen models."""
+        encoder = self._encoder()
+        total = {_signature(c) for c in encoder.enumerate()}
+        partial = [_signature(c) for c in encoder.enumerate(limit=2)]
+        assert len(partial) == 2
+        assert {_signature(c) for c in encoder.enumerate()} == total
+
+    def test_one_solver_serves_all_queries(self):
+        encoder = self._encoder()
+        solver = encoder.solver
+        encoder.solve()
+        list(encoder.enumerate(limit=3))
+        encoder.solve(forbid=encoder.candidate_edges()[:1])
+        assert encoder.solver is solver
+        assert encoder.statistics["queries"] >= 5
+
+    def test_statistics_before_first_query_are_zero(self):
+        encoder = self._encoder()
+        assert encoder.statistics["queries"] == 0
+
+    def test_candidate_edges_deterministic(self):
+        edges = self._encoder().candidate_edges()
+        assert edges == self._encoder().candidate_edges()
+        assert len(edges) == len(set(edges))
