@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test test-all lint bench bench-sched bench-solver \
-	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke coverage all
+	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke \
+	fault-smoke fault-sweep coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +14,7 @@ test:
 	pytest tests/ -q -m "not slow"
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) fault-smoke
 
 test-all:
 	pytest tests/ -q
@@ -28,6 +30,16 @@ fuzz-smoke:
 fuzz:
 	python -m repro.cli fuzz --seed $${SEED:-0} \
 		--iterations $${ITERATIONS:-2000} --corpus fuzz-corpus
+
+# Degradation-monotonicity sweep (see benchmarks/fault_sweep.py): a
+# seeded fault injector kills/starves the analysis at every declared
+# injection point and asserts no LEAK<->SAFE verdict flip against the
+# fault-free baseline.  `fault-smoke` is the ~3s CI subset.
+fault-smoke:
+	python benchmarks/fault_sweep.py --smoke
+
+fault-sweep:
+	python benchmarks/fault_sweep.py
 
 # Branch/line coverage with a floor on src/repro/.  Gated: pytest-cov
 # is not vendored, so this degrades to a clear message instead of a

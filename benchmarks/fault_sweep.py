@@ -1,0 +1,159 @@
+"""Deterministic fault-injection sweep: degradation must be monotone.
+
+For each corpus source this sweeps seeded fault plans over every
+injection site (``worker.item``, ``engine.candidate``, ``oracle.query``)
+and every action (crash / hang / memory / budget), runs the analysis
+under each plan, and checks the three-valued verdict lattice against the
+fault-free baseline:
+
+- no function's verdict flips between ``leak`` and ``safe`` — a faulted
+  run may only degrade toward ``unknown``;
+- every witness the faulted run still *confirms* also exists in the
+  fault-free run;
+- a faulted run that reports ``safe`` must also report full coverage.
+
+Crash/hang/memory plans run under ``--jobs 2`` (they kill the worker;
+the scheduler's retry + checkpoint-resume machinery is the recovery
+under test); budget plans run serially.  Exit status is non-zero on any
+lattice violation.
+
+Usage::
+
+    python benchmarks/fault_sweep.py            # full sweep
+    python benchmarks/fault_sweep.py --smoke    # the `make fault-smoke` subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.clou import ClouConfig  # noqa: E402
+from repro.clou.serialize import witness_dict  # noqa: E402
+from repro.sched import ClouSession  # noqa: E402
+
+CORPUS = os.path.join(os.path.dirname(__file__), "..", "src", "repro",
+                      "bench", "corpus", "crypto")
+
+#: (spec, parallel) sweep plans.  Parallel plans kill workers, so they
+#: need the process pool (and its retry/resume machinery) to recover;
+#: serial plans are cooperative.
+PLANS = [
+    ("seed=0;budget@oracle.query%0.5", False),
+    ("seed=1;budget@oracle.query%0.5", False),
+    ("seed=2;budget@oracle.query#1", False),
+    ("crash@engine.candidate#2", True),
+    ("hang@engine.candidate#2", True),
+    ("memory@engine.candidate#2", True),
+    ("crash@worker.item#1", True),     # re-fires every respawn: permanent
+    ("crash@worker.item#2", True),     # one crash, then recovery
+    ("memory@oracle.query#2", True),
+    ("crash@oracle.query#3", True),
+]
+
+SMOKE_PLANS = [
+    ("seed=0;budget@oracle.query%0.5", False),
+    ("crash@engine.candidate#2", True),
+    ("hang@engine.candidate#2", True),
+]
+
+
+def _analyze(source: str, name: str, spec: str | None, parallel: bool):
+    config = ClouConfig(fault_spec=spec,
+                        solver_conflict_budget=64 if spec else None)
+    if parallel:
+        session = ClouSession(config, cache=False, jobs=2, timeout=20,
+                              stall_timeout=2.0, retries=2)
+    else:
+        session = ClouSession(config, cache=False, jobs=1)
+    return session.analyze(source, engine="pht", name=name)
+
+
+def _witness_key(witness) -> str:
+    data = {k: v for k, v in witness_dict(witness).items()
+            if k != "confirmed"}
+    return json.dumps(data, sort_keys=True)
+
+
+def check_lattice(baseline, faulted) -> list[str]:
+    """Lattice violations of ``faulted`` against the fault-free
+    ``baseline`` (empty = the degradation was monotone)."""
+    violations = []
+    reference = {r.function: r for r in baseline.functions}
+    for report in faulted.functions:
+        clean = reference.get(report.function)
+        if clean is None:
+            violations.append(f"{report.function}: missing from baseline")
+            continue
+        pair = (clean.verdict, report.verdict)
+        if pair in (("leak", "safe"), ("safe", "leak")):
+            violations.append(
+                f"{report.function}: verdict flipped "
+                f"{clean.verdict} -> {report.verdict}")
+        if report.verdict == "safe" and not report.complete:
+            violations.append(
+                f"{report.function}: SAFE with degraded coverage")
+        allowed = {_witness_key(w) for w in clean.transmitters()}
+        for witness in report.transmitters():
+            if witness.confirmed and _witness_key(witness) not in allowed:
+                violations.append(
+                    f"{report.function}: confirmed "
+                    f"{witness.klass.value} witness absent from the "
+                    "fault-free run")
+    return violations
+
+
+def sweep(sources: list[str], plans) -> int:
+    failures = 0
+    for path in sources:
+        name = os.path.basename(path)
+        with open(path) as handle:
+            source = handle.read()
+        baseline = _analyze(source, name, None, parallel=False)
+        print(f"{name}: baseline verdict={baseline.verdict} "
+              f"functions={len(baseline.functions)}")
+        for spec, parallel in plans:
+            started = time.monotonic()
+            faulted = _analyze(source, name, spec, parallel)
+            elapsed = time.monotonic() - started
+            violations = check_lattice(baseline, faulted)
+            mode = "jobs=2" if parallel else "serial"
+            status = "ok" if not violations else "LATTICE VIOLATION"
+            print(f"  [{mode:<6}] {spec:<34} verdict={faulted.verdict:<7} "
+                  f"{elapsed:5.1f}s  {status}")
+            for violation in violations:
+                print(f"    !! {violation}")
+            failures += len(violations)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="the fast CI subset (one source, three plans)")
+    parser.add_argument("--sources", nargs="*", default=None,
+                        help="corpus files to sweep (default: tea.c hmac.c)")
+    args = parser.parse_args(argv)
+    if args.sources:
+        sources = args.sources
+    elif args.smoke:
+        sources = [os.path.join(CORPUS, "tea.c")]
+    else:
+        sources = [os.path.join(CORPUS, "tea.c"),
+                   os.path.join(CORPUS, "hmac.c")]
+    plans = SMOKE_PLANS if args.smoke else PLANS
+    failures = sweep(sources, plans)
+    if failures:
+        print(f"fault sweep: {failures} lattice violation(s)")
+        return 1
+    print("fault sweep: no LEAK<->SAFE flips under any injected fault")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

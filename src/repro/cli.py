@@ -20,10 +20,19 @@ import argparse
 import sys
 
 from repro.lcm.taxonomy import TransmitterClass
-from repro.sched import AnalysisRequest, ClouSession, user_cache_dir
+from repro.sched import AnalysisRequest, ClouSession, SchedulerInterrupt, \
+    user_cache_dir
 from repro.sched.cache import default_cache_dir
 
 _SEVERITY_CHOICES = ("AT", "CT", "DT", "UCT", "UDT")
+
+# Exit codes (documented in README.md).  LEAK outranks INCOMPLETE: a
+# run that both found a leak and skipped work exits EXIT_LEAK.
+EXIT_CLEAN = 0        # analysis complete, nothing at/above the gate
+EXIT_LEAK = 1         # a detection at/above --fail-on-severity
+EXIT_USAGE = 2        # bad arguments (argparse's convention)
+EXIT_INCOMPLETE = 3   # --fail-on-incomplete and coverage was degraded
+EXIT_INTERRUPTED = 130  # SIGINT/SIGTERM (128 + SIGINT)
 
 
 def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +50,16 @@ def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print scheduler stats (timings, cache "
                              "hits/misses, retries)")
+    parser.add_argument("--memory-limit", type=int, default=None,
+                        metavar="MB",
+                        help="per-worker address-space ceiling in MiB "
+                             "(RLIMIT_AS; parallel mode only). Items that "
+                             "hit it resume from their last checkpoint")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="kill a worker that streams no checkpoint "
+                             "for this long (hung, as opposed to slow; "
+                             "parallel mode only)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +105,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero when any detection is at or "
                               "above this Table 1 class (CI gate); "
                               "choices: %(choices)s")
+    analyze.add_argument("--fail-on-incomplete", action="store_true",
+                         help=f"exit {EXIT_INCOMPLETE} when any function's "
+                              "coverage was degraded (skipped or undecided "
+                              "candidates, timeouts, errors) — a SAFE "
+                              "verdict then certifies full coverage")
+    analyze.add_argument("--solver-budget", type=int, default=None,
+                         metavar="CONFLICTS",
+                         help="per-query SAT conflict budget; queries that "
+                              "exceed it degrade to UNKNOWN (counted as "
+                              "undecided) instead of running unbounded")
+    analyze.add_argument("--faults", default=None, metavar="SPEC",
+                         help="arm the deterministic fault injector, e.g. "
+                              "'seed=1;crash@worker.item#2' (degradation "
+                              "testing; see repro.sched.faults)")
     _add_scheduler_flags(analyze)
 
     lint = sub.add_parser(
@@ -161,6 +194,8 @@ def _config_from_args(args) -> "ClouConfig":
         enable_range_pruning=not args.no_range_pruning,
         timeout_seconds=args.timeout,
         assume_alias_prediction=args.alias_prediction,
+        solver_conflict_budget=args.solver_budget,
+        fault_spec=args.faults,
     )
 
 
@@ -173,7 +208,9 @@ def _session_from_args(args, config=None) -> ClouSession:
     # wall-clock kill (2x grace) only reaps workers hung outside it.
     hard_timeout = args.timeout * 2 if args.timeout else None
     return ClouSession(config=config, jobs=args.jobs, timeout=hard_timeout,
-                       cache=not args.no_cache, cache_dir=cache_dir)
+                       cache=not args.no_cache, cache_dir=cache_dir,
+                       memory_limit_mb=args.memory_limit,
+                       stall_timeout=args.stall_timeout)
 
 
 def _print_stats(args, stats) -> None:
@@ -189,11 +226,19 @@ def _severity_threshold(name: str | None) -> int | None:
     return TransmitterClass(name).severity
 
 
-def _analyze_exit_code(report, threshold: int | None) -> int:
+def _analyze_exit_code(report, threshold: int | None,
+                       fail_on_incomplete: bool = False) -> int:
     if threshold is None:
-        return 1 if report.leaky else 0
-    worst = max((w.klass.severity for w in report.transmitters), default=-1)
-    return 1 if worst >= threshold else 0
+        leaky = report.leaky
+    else:
+        worst = max((w.klass.severity for w in report.transmitters),
+                    default=-1)
+        leaky = worst >= threshold
+    if leaky:
+        return EXIT_LEAK
+    if fail_on_incomplete and not report.complete:
+        return EXIT_INCOMPLETE
+    return EXIT_CLEAN
 
 
 def _run_analyze(args) -> int:
@@ -206,7 +251,8 @@ def _run_analyze(args) -> int:
 
         print(to_json(report, stable=True))
         _print_stats(args, report.stats)
-        return _analyze_exit_code(report, threshold)
+        return _analyze_exit_code(report, threshold,
+                                  args.fail_on_incomplete)
     if args.dot:
         import os
 
@@ -240,8 +286,13 @@ def _run_analyze(args) -> int:
                 print()
                 for line in witness.describe().splitlines():
                     print("    " + line)
+    coverage = report.coverage()
+    print(f"verdict: {report.verdict} "
+          f"(examined={coverage['examined']} pruned={coverage['pruned']} "
+          f"skipped={coverage['skipped_by_budget']} "
+          f"undecided={coverage['undecided']})")
     _print_stats(args, report.stats)
-    return _analyze_exit_code(report, threshold)
+    return _analyze_exit_code(report, threshold, args.fail_on_incomplete)
 
 
 def _run_lint(args) -> int:
@@ -338,15 +389,19 @@ def _run_fuzz(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "analyze":
-        return _run_analyze(args)
-    if args.command == "lint":
-        return _run_lint(args)
-    if args.command == "repair":
-        return _run_repair(args)
-    if args.command == "fuzz":
-        return _run_fuzz(args)
-    return 2
+    try:
+        if args.command == "analyze":
+            return _run_analyze(args)
+        if args.command == "lint":
+            return _run_lint(args)
+        if args.command == "repair":
+            return _run_repair(args)
+        if args.command == "fuzz":
+            return _run_fuzz(args)
+    except (KeyboardInterrupt, SchedulerInterrupt):
+        print("interrupted; worker pool shut down cleanly", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return EXIT_USAGE
 
 
 if __name__ == "__main__":

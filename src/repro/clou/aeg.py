@@ -44,6 +44,18 @@ from repro.ir import (
     Value,
 )
 
+_fault_point_impl = None
+
+
+def _fault_point(site: str) -> str | None:
+    """repro.sched.faults.fault_point, bound lazily: importing it at
+    module scope would cycle (sched → session → engine → aeg)."""
+    global _fault_point_impl
+    if _fault_point_impl is None:
+        from repro.sched.faults import fault_point
+        _fault_point_impl = fault_point
+    return _fault_point_impl(site)
+
 
 @dataclass(frozen=True)
 class Dep:
@@ -625,6 +637,14 @@ class SAEG:
         query over the x_<block> literals (Fig. 7)."""
         return self.path_oracle.realizable(nodes)
 
+    def realizable3(self, nodes: list[AEGNode], *,
+                    deadline: float | None = None,
+                    conflict_budget: int | None = None):
+        """Three-valued :meth:`realizable`: True / False / UNKNOWN, where
+        UNKNOWN means the budgeted solve gave up without deciding."""
+        return self.path_oracle.realizable3(
+            nodes, deadline=deadline, conflict_budget=conflict_budget)
+
     def realizable_fresh(self, nodes: list[AEGNode]) -> bool:
         """Reference implementation of :meth:`realizable`: re-encode the
         path constraints and build a throwaway solver for this single
@@ -656,10 +676,16 @@ class PathOracle:
     block-set: the root formula never changes (assumption literals are
     retracted by the solver after each call, never asserted), and
     node order within a query is irrelevant to conjunction.
+
+    Budgeted queries go through :meth:`realizable3`, which can return
+    :data:`~repro.solver.UNKNOWN` when a conflict budget or deadline
+    runs out mid-solve.  UNKNOWN verdicts are never memoized (a later,
+    better-funded query may still decide the same key) and are counted
+    in ``unknowns``.
     """
 
     __slots__ = ("_solver", "_lit", "_memo", "_footprints", "encodes",
-                 "hits", "misses")
+                 "hits", "misses", "unknowns")
 
     MAX_FOOTPRINTS = 64
 
@@ -680,8 +706,19 @@ class PathOracle:
         self.encodes = 1
         self.hits = 0
         self.misses = 0
+        self.unknowns = 0
 
     def realizable(self, nodes: list[AEGNode]) -> bool:
+        """Two-valued wrapper over :meth:`realizable3` that treats
+        UNKNOWN as conservatively realizable: an undecided pattern is
+        never dropped, it can only survive as an unconfirmed witness."""
+        return self.realizable3(nodes) is not False
+
+    def realizable3(self, nodes: list[AEGNode], *,
+                    deadline: float | None = None,
+                    conflict_budget: int | None = None):
+        from repro.solver import UNKNOWN
+
         key = frozenset(node.block for node in nodes)
         cached = self._memo.get(key)
         if cached is not None:
@@ -693,8 +730,16 @@ class PathOracle:
                 self._memo[key] = True
                 return True
         self.misses += 1
+        if _fault_point("oracle.query") == "budget":
+            self.unknowns += 1
+            return UNKNOWN
         model = self._solver.solve(
-            [self._lit[label] for label in sorted(key)])
+            [self._lit[label] for label in sorted(key)],
+            conflict_budget=conflict_budget, deadline=deadline)
+        if model is UNKNOWN:
+            # Not memoized: a later query with more budget may decide it.
+            self.unknowns += 1
+            return UNKNOWN
         verdict = model is not None
         if verdict and len(self._footprints) < self.MAX_FOOTPRINTS:
             footprint = frozenset(label for label, literal in self._lit.items()
@@ -709,7 +754,7 @@ class PathOracle:
         """Oracle + underlying solver counters (see SessionStats)."""
         stats = dict(self._solver.statistics)
         stats.update(encodes=self.encodes, memo_hits=self.hits,
-                     memo_misses=self.misses)
+                     memo_misses=self.misses, unknowns=self.unknowns)
         return stats
 
 

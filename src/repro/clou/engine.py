@@ -69,6 +69,17 @@ class ClouConfig:
     bypassed store invalidates the slot-range reasoning.  Sound because
     the intervals never trust branch conditions, so a mispredicted
     bounds check proves nothing (the Spectre v1 gadget stays flagged)."""
+    solver_conflict_budget: int | None = None
+    """Per-query conflict cap for σ-compatibility SAT queries.  A query
+    that exhausts it returns UNKNOWN; the pattern is kept conservatively
+    as an unconfirmed witness and the report counts it ``undecided``.
+    None (the default) leaves queries unbounded (the wall-clock deadline
+    from ``timeout_seconds`` still applies to each query)."""
+    fault_spec: str | None = None
+    """A :mod:`repro.sched.faults` injection spec armed for this
+    analysis (e.g. ``"seed=1;budget@oracle.query%0.5"``).  Testing knob:
+    off by default, travels with the config into worker processes so
+    degradation tests are deterministic regardless of scheduling."""
 
     def to_dict(self) -> dict:
         """A JSON-ready dict with every field (tuples become lists)."""
@@ -116,6 +127,64 @@ class _Budget:
         return self.expired
 
 
+class _SearchState:
+    """Checkpoint bookkeeping for one engine run.
+
+    ``cursor``/``icursor`` count memory nodes fully processed by the
+    main/interference search loops; a resumed run replays the node
+    enumeration (which is deterministic) and skips the prefix.  The
+    snapshot payload is self-contained — serialized witnesses plus the
+    coverage counters — so a fresh process can seed
+    :meth:`DetectionEngine.run` with it and produce a report equal to an
+    uninterrupted run: the suffix is recomputed identically, and the
+    counters resume from their checkpointed values.  Witness dicts are
+    cached incrementally so each snapshot serializes only new ones.
+    """
+
+    def __init__(self, resume: dict | None, emit) -> None:
+        self.cursor = 0
+        self.icursor = 0
+        self.total = 0
+        self._emit = emit
+        self._witness_dicts: list[dict] = []
+        if resume:
+            self.cursor = resume.get("cursor", 0)
+            self.icursor = resume.get("icursor", 0)
+            self._witness_dicts = list(resume.get("witnesses", []))
+
+    def seed(self, report: FunctionReport, resume: dict | None) -> None:
+        """Restore a report's witnesses and counters from a checkpoint."""
+        if not resume:
+            return
+        from repro.clou.serialize import witness_from_dict
+
+        report.witnesses.extend(
+            witness_from_dict(w) for w in resume.get("witnesses", []))
+        report.candidates = resume.get("candidates", 0)
+        report.pruned = resume.get("pruned", 0)
+        report.undecided = resume.get("undecided", 0)
+        report.skipped = resume.get("skipped", 0)
+
+    def snapshot(self, report: FunctionReport) -> None:
+        if self._emit is None:
+            return
+        from repro.clou.serialize import witness_dict
+
+        while len(self._witness_dicts) < len(report.witnesses):
+            self._witness_dicts.append(
+                witness_dict(report.witnesses[len(self._witness_dicts)]))
+        self._emit({
+            "cursor": self.cursor,
+            "icursor": self.icursor,
+            "total": self.total,
+            "candidates": report.candidates,
+            "pruned": report.pruned,
+            "undecided": report.undecided,
+            "skipped": report.skipped,
+            "witnesses": list(self._witness_dicts),
+        })
+
+
 def _ref(node: AEGNode | None, aeg=None) -> NodeRef | None:
     return NodeRef.of(node, aeg) if node is not None else None
 
@@ -161,7 +230,13 @@ class DetectionEngine:
 
     # -- shared search -------------------------------------------------------
 
-    def run(self) -> FunctionReport:
+    def run(self, *, resume: dict | None = None,
+            checkpoint=None) -> FunctionReport:
+        """Run the search.  ``resume`` is a checkpoint payload from an
+        earlier interrupted run of the same (function, engine, config);
+        ``checkpoint`` is a callable receiving snapshot dicts after each
+        fully-processed candidate.  The final report is identical
+        whether or not the run was interrupted and resumed."""
         started = time.monotonic()
         budget = _Budget(self.config.timeout_seconds)
         report = FunctionReport(
@@ -169,12 +244,14 @@ class DetectionEngine:
             engine=self.name,
             aeg_size=self.aeg.size,
         )
+        state = _SearchState(resume, checkpoint)
+        state.seed(report, resume)
         # The S-AEG (and hence its PathOracle) may be shared with other
         # engine runs, so attribute only this run's counter deltas.
         oracle = self.aeg._path_oracle
         before = oracle.statistics if oracle is not None else {}
         try:
-            self._search(report, budget)
+            self._search(report, budget, state)
         finally:
             report.elapsed = time.monotonic() - started
             report.timed_out = budget.expired
@@ -186,17 +263,27 @@ class DetectionEngine:
                 }
         return report
 
-    def _search(self, report: FunctionReport, budget: _Budget) -> None:
+    def _search(self, report: FunctionReport, budget: _Budget,
+                state: _SearchState) -> None:
+        from repro.sched.faults import fault_point
+
         want = set(self.config.classes)
         bound = max(self.config.rob_size, self.config.window_size)
-        for transmit in self.aeg.memory_nodes():
-            if budget.check():
-                return
-            if len(report.witnesses) >= self.config.max_witnesses_per_function:
+        nodes = self.aeg.memory_nodes()
+        state.total = len(nodes)
+        for pos, transmit in enumerate(nodes):
+            if pos < state.cursor:
+                continue  # already covered by the resumed checkpoint
+            if budget.check() or \
+                    len(report.witnesses) >= \
+                    self.config.max_witnesses_per_function:
+                report.skipped += len(nodes) - pos
                 return
             address_deps = self.aeg.address_deps(transmit)
             has_control_work = "ct" in want or "uct" in want
             if not address_deps and not has_control_work:
+                state.cursor = pos + 1
+                fault_point("engine.candidate", hit=pos + 1)
                 continue
             if self.prunes_ranges() and "dt" not in want:
                 # Without DT work an address dep matters only as the head
@@ -211,11 +298,23 @@ class DetectionEngine:
                 report.pruned += len(address_deps) - len(kept)
                 address_deps = kept
                 if not address_deps and not has_control_work:
+                    state.cursor = pos + 1
+                    fault_point("engine.candidate", hit=pos + 1)
                     continue
             report.candidates += 1
             view = self.aeg.window(transmit, bound)
             self._search_transmit(transmit, view, address_deps, want,
                                   report, budget)
+            if budget.expired:
+                # The candidate was cut short mid-search: counted as
+                # examined, but the cursor stays put so a resume redoes
+                # it in full (witness dedup keeps the output stable).
+                continue
+            state.cursor = pos + 1
+            state.snapshot(report)
+            # Positional injection point: fires after this candidate is
+            # checkpointed, so a resumed attempt starts past the fault.
+            fault_point("engine.candidate", hit=pos + 1)
 
     def _search_transmit(self, transmit: AEGNode, view: WindowView,
                          address_deps: tuple[Dep, ...], want: set[str],
@@ -234,21 +333,39 @@ class DetectionEngine:
             if not view.contains(access):
                 continue  # outside the sliding window
             self._classify_chain(transmit, access, dep, primitives,
-                                 view, want, report)
+                                 view, want, report, budget)
         if "ct" in want or "uct" in want:
             self._search_control(transmit, view, primitives, want,
                                  report, budget)
 
+    def _sigma_compatible(self, nodes: list[AEGNode],
+                          report: FunctionReport, budget: _Budget):
+        """Three-valued Fig. 7 σ-compatibility with this run's budgets
+        threaded into the solver.  UNKNOWN (budget/deadline exhausted)
+        is counted in ``report.undecided``; callers keep the pattern
+        conservatively but mark its witnesses unconfirmed."""
+        verdict = self.aeg.realizable3(
+            nodes,
+            deadline=budget.deadline,
+            conflict_budget=self.config.solver_conflict_budget,
+        )
+        if verdict is True or verdict is False:
+            return verdict
+        report.undecided += 1
+        return verdict  # UNKNOWN
+
     def _classify_chain(self, transmit: AEGNode, access: AEGNode, dep: Dep,
                         primitives: list[tuple[AEGNode, AEGNode | None]],
                         view: WindowView, want: set[str],
-                        report: FunctionReport) -> None:
+                        report: FunctionReport, budget: _Budget) -> None:
         # Fig. 7 σ-compatibility: the chain endpoints must co-execute on
         # one architectural path (an assumption query on the PathOracle;
         # the window BFS already walks real CFG edges, so this can only
         # reject patterns the pairwise checks over-approximated).
-        if not self.aeg.realizable([access, transmit]):
+        pair = self._sigma_compatible([access, transmit], report, budget)
+        if pair is False:
             return
+        pair_confirmed = pair is True
         for primitive, window_start in primitives:
             access_transient = self._is_transient(access, primitive,
                                                   window_start, view)
@@ -276,7 +393,9 @@ class DetectionEngine:
                     if not view.contains(index):
                         continue
                     # Joint σ-compatibility of the full universal chain.
-                    if not self.aeg.realizable([index, access, transmit]):
+                    triple = self._sigma_compatible(
+                        [index, access, transmit], report, budget)
+                    if triple is False:
                         continue
                     if not self._index_attacker_controlled(index):
                         continue
@@ -296,6 +415,7 @@ class DetectionEngine:
                         transient_transmit=transmit_transient,
                         transient_access=access_transient,
                         store_hops=dep.store_hops + index_dep.store_hops,
+                        confirmed=pair_confirmed and triple is True,
                     ))
                     reported_universal = True
                     break
@@ -310,6 +430,7 @@ class DetectionEngine:
                     transient_transmit=transmit_transient,
                     transient_access=access_transient,
                     store_hops=dep.store_hops,
+                    confirmed=pair_confirmed,
                 ))
             return  # one primitive witness per chain suffices
 
@@ -326,8 +447,11 @@ class DetectionEngine:
             if not cond_deps:
                 continue
             # σ-compatibility of branch and transmitter (Fig. 7).
-            if not self.aeg.realizable([branch, transmit]):
+            branch_ok = self._sigma_compatible([branch, transmit],
+                                               report, budget)
+            if branch_ok is False:
                 continue
+            branch_confirmed = branch_ok is True
             for primitive, window_start in primitives:
                 transmit_transient = self._is_transient(
                     transmit, primitive, window_start, view)
@@ -369,6 +493,7 @@ class DetectionEngine:
                                 transient_transmit=transmit_transient,
                                 transient_access=access_transient,
                                 store_hops=dep.store_hops + index_dep.store_hops,
+                                confirmed=branch_confirmed,
                             ))
                             reported = True
                             break
@@ -385,6 +510,7 @@ class DetectionEngine:
                             transient_transmit=transmit_transient,
                             transient_access=access_transient,
                             store_hops=dep.store_hops,
+                            confirmed=branch_confirmed,
                         ))
                         break
                 break
@@ -442,64 +568,74 @@ class ClouPHT(DetectionEngine):
     def prunes_ranges(self) -> bool:
         return self.config.enable_range_pruning
 
-    def _search(self, report: FunctionReport, budget: _Budget) -> None:
-        super()._search(report, budget)
+    def _search(self, report: FunctionReport, budget: _Budget,
+                state: _SearchState) -> None:
+        super()._search(report, budget, state)
         if self.config.detect_interference_variant:
-            self._search_interference(report, budget)
+            self._search_interference(report, budget, state)
 
-    def _search_interference(self, report: FunctionReport,
-                             budget: _Budget) -> None:
+    def _search_interference(self, report: FunctionReport, budget: _Budget,
+                             state: _SearchState) -> None:
         """The §6.1 variant: a transient load T warms the cache line of
         a committed, tfo-prior load C that is still in flight — T's
         address modulates C's latency, a data transmitter through
         interference (cf. speculative interference attacks)."""
-        committed_loads = self.aeg.loads()
-        for transient_load in self.aeg.loads():
+        loads = self.aeg.loads()
+        for ipos, transient_load in enumerate(loads):
+            if ipos < state.icursor:
+                continue
             if budget.check():
+                report.skipped += len(loads) - ipos
                 return
-            view = self.aeg.window(transient_load, self.config.rob_size)
-            primitives = self.speculation_sources(transient_load, view)
-            if not primitives:
+            self._interference_for_load(transient_load, loads, report)
+            state.icursor = ipos + 1
+            state.snapshot(report)
+
+    def _interference_for_load(self, transient_load: AEGNode,
+                               committed_loads: list[AEGNode],
+                               report: FunctionReport) -> None:
+        view = self.aeg.window(transient_load, self.config.rob_size)
+        primitives = self.speculation_sources(transient_load, view)
+        if not primitives:
+            return
+        primitive, window_start = primitives[0]
+        if not self._is_transient(transient_load, primitive,
+                                  window_start, view):
+            return
+        deps = self.aeg.address_deps(transient_load)
+        if not deps:
+            return  # a constant-address prefetch transmits nothing
+        for committed in committed_loads:
+            if committed.nid == transient_load.nid:
                 continue
-            primitive, window_start = primitives[0]
-            if not self._is_transient(transient_load, primitive,
-                                      window_start, view):
+            # The committed access is tfo-prior, still within the
+            # same in-flight window, and not itself transient.
+            if not self.aeg.before(committed, transient_load):
                 continue
-            deps = self.aeg.address_deps(transient_load)
-            if not deps:
-                continue  # a constant-address prefetch transmits nothing
-            for committed in committed_loads:
-                if committed.nid == transient_load.nid:
-                    continue
-                # The committed access is tfo-prior, still within the
-                # same in-flight window, and not itself transient.
-                if not self.aeg.before(committed, transient_load):
-                    continue
-                if self._is_transient(committed, primitive, window_start,
-                                      view):
-                    continue
-                distance = view.distance(committed)
-                if distance is None or distance > self.config.rob_size:
-                    continue
-                if not self.aeg.alias.may_alias(
-                    committed.instruction.pointer,
-                    transient_load.instruction.pointer,
-                    transient=True,
-                ):
-                    continue
-                access = self.aeg.node_of(deps[0].source)
-                report.witnesses.append(ClouWitness(
-                    engine=self.name,
-                    klass=TransmitterClass.DATA,
-                    transmit=NodeRef.of(transient_load, self.aeg),
-                    primitive=NodeRef.of(primitive, self.aeg),
-                    access=NodeRef.of(access, self.aeg),
-                    window_start=NodeRef.of(committed, self.aeg),
-                    transient_transmit=True,
-                    transient_access=False,
-                    store_hops=deps[0].store_hops,
-                ))
-                break  # one interference witness per transient load
+            if self._is_transient(committed, primitive, window_start, view):
+                continue
+            distance = view.distance(committed)
+            if distance is None or distance > self.config.rob_size:
+                continue
+            if not self.aeg.alias.may_alias(
+                committed.instruction.pointer,
+                transient_load.instruction.pointer,
+                transient=True,
+            ):
+                continue
+            access = self.aeg.node_of(deps[0].source)
+            report.witnesses.append(ClouWitness(
+                engine=self.name,
+                klass=TransmitterClass.DATA,
+                transmit=NodeRef.of(transient_load, self.aeg),
+                primitive=NodeRef.of(primitive, self.aeg),
+                access=NodeRef.of(access, self.aeg),
+                window_start=NodeRef.of(committed, self.aeg),
+                transient_transmit=True,
+                transient_access=False,
+                store_hops=deps[0].store_hops,
+            ))
+            break  # one interference witness per transient load
 
     def speculation_sources(self, transmit: AEGNode, view: WindowView
                             ) -> list[tuple[AEGNode, AEGNode | None]]:

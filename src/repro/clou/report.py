@@ -57,9 +57,17 @@ class ClouWitness:
     """Total (data.rf) memory hops in the chain — 0 means a pure
     addr_gep/addr pattern, the high-confidence class of §6.2.2's
     worst-case-alias counts (the parenthesized numbers in Table 2)."""
+    confirmed: bool = True
+    """False when some σ-compatibility query in this chain came back
+    UNKNOWN (solver budget or deadline exhausted) and the pattern was
+    kept conservatively.  Unconfirmed witnesses never count toward a
+    ``leak`` verdict on their own — they degrade the function to
+    ``unknown`` instead."""
 
     def describe(self) -> str:
         parts = [f"{self.klass.value} via {self.engine.upper()}"]
+        if not self.confirmed:
+            parts[0] += " (unconfirmed: solver budget exhausted)"
         parts.append(f"  primitive: {self.primitive}")
         if self.index is not None:
             parts.append(f"  index:     {self.index}")
@@ -87,6 +95,14 @@ class FunctionReport:
     pruned: int = 0
     """Universal-classification hops skipped by range pruning — accesses
     the interval analysis proved in-bounds on every A-CFG path."""
+    skipped: int = 0
+    """Candidate transmitters never examined because the cooperative
+    budget expired or the witness cap was hit first.  Non-zero skipped
+    means a SAFE-looking report only covers part of the function."""
+    undecided: int = 0
+    """σ-compatibility queries that returned UNKNOWN (solver conflict
+    budget or deadline exhausted).  The affected patterns are kept
+    conservatively as unconfirmed witnesses, never dropped."""
     sat_stats: dict = field(default_factory=dict, compare=False)
     """PathOracle/SatSolver counter deltas attributable to this engine
     run (queries, memo hits/misses, encodes, learned/deleted clauses,
@@ -101,7 +117,12 @@ class FunctionReport:
         seen: dict[tuple[str, int, TransmitterClass], ClouWitness] = {}
         for witness in self.witnesses:
             key = (witness.transmit.block, witness.transmit.index, witness.klass)
-            seen.setdefault(key, witness)
+            held = seen.get(key)
+            # Prefer a confirmed witness over an unconfirmed duplicate so
+            # serialization (which stores only transmitters) preserves
+            # the verdict; otherwise first wins, keeping output stable.
+            if held is None or (witness.confirmed and not held.confirmed):
+                seen[key] = witness
         return sorted(
             seen.values(),
             key=lambda w: (w.transmit.block, w.transmit.index,
@@ -118,6 +139,36 @@ class FunctionReport:
     def leaky(self) -> bool:
         return bool(self.witnesses)
 
+    @property
+    def complete(self) -> bool:
+        """Did the search cover the whole function with every query
+        decided?  Only complete, error-free runs may claim SAFE (and
+        only those are cached on disk)."""
+        return (not self.timed_out and self.error is None
+                and self.skipped == 0 and self.undecided == 0)
+
+    @property
+    def verdict(self) -> str:
+        """The three-valued verdict lattice: ``leak`` ⊐ ``unknown`` ⊐
+        ``safe``.  ``leak`` needs a *confirmed* witness; an incomplete or
+        undecided search without one can only say ``unknown`` — a
+        degraded run never silently reports safety it did not prove."""
+        if any(w.confirmed for w in self.witnesses):
+            return "leak"
+        if self.witnesses or not self.complete:
+            return "unknown"
+        return "safe"
+
+    def coverage(self) -> dict[str, int]:
+        """The candidate accounting behind the verdict (serialized as
+        the ``coverage`` section of ``--json``)."""
+        return {
+            "examined": self.candidates,
+            "pruned": self.pruned,
+            "skipped_by_budget": self.skipped,
+            "undecided": self.undecided,
+        }
+
     def summary(self) -> str:
         counts = self.counts()
         rendered = "/".join(
@@ -127,9 +178,12 @@ class FunctionReport:
                       TransmitterClass.UNIVERSAL_CONTROL)
         )
         status = " TIMEOUT" if self.timed_out else ""
+        if not self.complete:
+            status += (f" INCOMPLETE(skipped={self.skipped}"
+                       f" undecided={self.undecided})")
         return (f"{self.function} [{self.engine}] "
                 f"{rendered} in {self.elapsed:.2f}s "
-                f"(aeg={self.aeg_size}){status}")
+                f"(aeg={self.aeg_size}, verdict={self.verdict}){status}")
 
 
 @dataclass
@@ -180,8 +234,42 @@ class ModuleReport:
         return sum(report.pruned for report in self.functions)
 
     @property
+    def skipped(self) -> int:
+        return sum(report.skipped for report in self.functions)
+
+    @property
+    def undecided(self) -> int:
+        return sum(report.undecided for report in self.functions)
+
+    @property
+    def complete(self) -> bool:
+        return all(report.complete for report in self.functions)
+
+    @property
+    def verdict(self) -> str:
+        """Module-level verdict: ``leak`` if any function leaks, else
+        ``unknown`` if any function is undecided/incomplete, else
+        ``safe``."""
+        verdicts = {report.verdict for report in self.functions}
+        if "leak" in verdicts:
+            return "leak"
+        if "unknown" in verdicts:
+            return "unknown"
+        return "safe"
+
+    @property
     def leaky(self) -> bool:
         return any(report.leaky for report in self.functions)
+
+    def coverage(self) -> dict[str, int]:
+        """Module-level coverage accounting (sums the per-function
+        :meth:`FunctionReport.coverage` sections)."""
+        return {
+            "examined": self.candidates,
+            "pruned": self.pruned,
+            "skipped_by_budget": self.skipped,
+            "undecided": self.undecided,
+        }
 
     def summary(self) -> str:
         totals = self.totals()

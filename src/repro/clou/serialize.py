@@ -48,6 +48,7 @@ def witness_dict(witness: ClouWitness) -> dict[str, Any]:
         "transient_transmit": witness.transient_transmit,
         "transient_access": witness.transient_access,
         "store_hops": witness.store_hops,
+        "confirmed": witness.confirmed,
     }
 
 
@@ -59,8 +60,10 @@ def function_report_dict(report: FunctionReport,
         "aeg_size": report.aeg_size,
         "timed_out": report.timed_out,
         "error": report.error,
+        "verdict": report.verdict,
         "candidates": report.candidates,
         "pruned": report.pruned,
+        "coverage": report.coverage(),
         "counts": {
             klass.value: count for klass, count in report.counts().items()
         },
@@ -78,11 +81,14 @@ def module_report_dict(report: ModuleReport,
         "name": report.name,
         "engine": report.engine,
         "leaky": report.leaky,
+        "verdict": report.verdict,
+        "complete": report.complete,
         "totals": {
             klass.value: count for klass, count in report.totals().items()
         },
         "candidates": report.candidates,
         "pruned": report.pruned,
+        "coverage": report.coverage(),
         "functions": [function_report_dict(f, stable=stable)
                       for f in functions],
     }
@@ -127,10 +133,12 @@ def witness_from_dict(data: dict[str, Any]) -> ClouWitness:
         transient_transmit=data.get("transient_transmit", True),
         transient_access=data.get("transient_access", False),
         store_hops=data.get("store_hops", 0),
+        confirmed=data.get("confirmed", True),
     )
 
 
 def function_report_from_dict(data: dict[str, Any]) -> FunctionReport:
+    coverage = data.get("coverage", {})
     return FunctionReport(
         function=data["function"],
         engine=data["engine"],
@@ -141,6 +149,8 @@ def function_report_from_dict(data: dict[str, Any]) -> FunctionReport:
         error=data.get("error"),
         candidates=data.get("candidates", 0),
         pruned=data.get("pruned", 0),
+        skipped=coverage.get("skipped_by_budget", 0),
+        undecided=coverage.get("undecided", 0),
     )
 
 

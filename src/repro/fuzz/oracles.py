@@ -22,6 +22,9 @@ incremental-vs-     any      the persistent assumption-based solver
 fresh                        (PathOracle / XWitnessEncoder) agrees with a
                              fresh-solver-per-query reference on verdicts
                              and projected witness sets
+degradation         C        a budget-faulted run only degrades verdicts
+                             toward unknown (never flips leak<->safe) and
+                             confirms no witness the fault-free run lacks
 ==================  =======  ==============================================
 
 The Clou-facing oracles run their analyses through
@@ -228,6 +231,60 @@ def _jobs_invariance(generated: GeneratedC) -> str | None:
     return None
 
 
+def _degradation(generated: GeneratedC) -> str | None:
+    """Three-valued soundness under injected solver-budget faults.
+
+    The fault-free verdict lattice is leak ⊐ unknown ⊐ safe; a degraded
+    run may move any function's verdict *toward* unknown but must never
+    flip leak<->safe, and every witness it still *confirms* must also
+    exist in the fault-free run.  Only cooperative ``budget`` faults are
+    injected — crash/hang faults are suicidal in a serial session (the
+    scheduler-level recovery for those is exercised by
+    ``benchmarks/fault_sweep.py`` and the tests/sched suite).
+    """
+    from repro.clou import ClouConfig
+    from repro.clou.serialize import witness_dict
+    from repro.sched import ClouSession
+
+    def analyze(config):
+        return ClouSession(config=config, jobs=1, cache=False).analyze(
+            generated.source, engine="pht", name="fuzz")
+
+    try:
+        baseline = analyze(ClouConfig(timeout_seconds=10.0))
+        spec = (f"seed={generated.seed & 0xFFFF};"
+                "budget@oracle.query%0.4")
+        faulted = analyze(ClouConfig(timeout_seconds=10.0,
+                                     solver_conflict_budget=64,
+                                     fault_spec=spec))
+    except ReproError as error:
+        return f"generated program does not analyze: {error}"
+
+    def key(witness) -> str:
+        data = {k: v for k, v in witness_dict(witness).items()
+                if k != "confirmed"}
+        return json.dumps(data, sort_keys=True)
+
+    reference = {report.function: report for report in baseline.functions}
+    for report in faulted.functions:
+        clean = reference.get(report.function)
+        if clean is None:
+            return f"{report.function}: missing from the fault-free run"
+        if clean.verdict == "leak" and report.verdict == "safe":
+            return (f"{report.function}: fault-free verdict is leak but "
+                    "the budget-faulted run reports safe")
+        if clean.verdict == "safe" and report.verdict == "leak":
+            return (f"{report.function}: fault-free verdict is safe but "
+                    "the budget-faulted run reports leak")
+        allowed = {key(witness) for witness in clean.transmitters()}
+        for witness in report.transmitters():
+            if witness.confirmed and key(witness) not in allowed:
+                return (f"{report.function}: the budget-faulted run "
+                        f"confirmed a {witness.klass.value} witness the "
+                        "fault-free run never found")
+    return None
+
+
 # ----------------------------------------------------------------------
 # Cross-cutting oracles (kind 'any')
 # ----------------------------------------------------------------------
@@ -351,6 +408,9 @@ ORACLES: dict[str, Oracle] = {
                description="stable report JSON round-trips byte-exactly"),
         Oracle("jobs-invariance", "c", _jobs_invariance, period=40,
                description="--jobs 2 and serial reports are identical"),
+        Oracle("degradation", "c", _degradation, period=3,
+               description="budget-faulted runs only degrade verdicts "
+                           "toward unknown, never flip leak<->safe"),
         # period must be odd: the runner alternates C (even iteration)
         # and litmus (odd) inputs, and an "any" oracle with an even
         # period would only ever see one kind.

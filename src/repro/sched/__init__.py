@@ -7,14 +7,19 @@ Public surface:
 - :class:`AnalysisRequest` / :class:`AnalysisResult` — the batch I/O;
 - :class:`SessionStats` / :class:`ItemStats` — observability counters;
 - :class:`ResultCache` — the content-addressed on-disk result cache;
-- :func:`run_items` / :class:`ItemOutcome` / :class:`TransientError` —
-  the generic work-item scheduler underneath.
+- :func:`run_items` / :class:`ItemOutcome` / :class:`TransientError` /
+  :class:`SchedulerInterrupt` — the generic work-item scheduler
+  underneath;
+- :class:`FaultPlan` / :func:`fault_point` — the deterministic fault
+  injector behind degradation testing.
 """
 
 from repro.sched.cache import (CACHE_DIR_ENV, ResultCache, default_cache_dir,
                                item_cache_key, source_digest, user_cache_dir)
-from repro.sched.scheduler import (ItemOutcome, JOBS_ENV, TransientError,
-                                   default_jobs, run_items)
+from repro.sched.faults import FAULTS_ENV, FaultPlan, FaultSpecError, \
+    fault_point, parse_spec
+from repro.sched.scheduler import (ItemOutcome, JOBS_ENV, SchedulerInterrupt,
+                                   TransientError, default_jobs, run_items)
 from repro.sched.session import AnalysisRequest, AnalysisResult, ClouSession
 from repro.sched.stats import ItemStats, SessionStats
 
@@ -23,15 +28,21 @@ __all__ = [
     "AnalysisResult",
     "CACHE_DIR_ENV",
     "ClouSession",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpecError",
     "ItemOutcome",
     "ItemStats",
     "JOBS_ENV",
     "ResultCache",
+    "SchedulerInterrupt",
     "SessionStats",
     "TransientError",
     "default_cache_dir",
     "default_jobs",
+    "fault_point",
     "item_cache_key",
+    "parse_spec",
     "run_items",
     "source_digest",
     "user_cache_dir",

@@ -23,18 +23,38 @@ order, so downstream output is byte-stable across ``--jobs`` settings.
 Worker processes persist across items, so worker-side memoization (the
 compiled-module and S-AEG caches in :mod:`repro.sched.worker`) pays off
 when many items share a translation unit.
+
+Degradation support (workers opting in via a ``supports_checkpoints``
+attribute):
+
+- **checkpoint/resume** — workers stream progress snapshots up the
+  pipe; a wall-clock kill, crash, or memory kill re-queues the item
+  *with its last checkpoint*, so the retry resumes instead of
+  restarting, and the merged result is identical to an uninterrupted
+  run;
+- **heartbeats** — checkpoint messages double as liveness beats:
+  ``stall_timeout`` kills items whose worker went silent (hung) long
+  before the full ``timeout``, distinguishing hung from merely slow;
+- **memory ceilings** — ``memory_limit_mb`` applies
+  ``resource.setrlimit(RLIMIT_AS)`` in each worker, converting runaway
+  allocation into a recoverable ``MemoryError`` instead of an OOM kill;
+- **clean interrupts** — SIGINT/SIGTERM in the parent terminates and
+  joins every worker slot, discards partial checkpoints, and raises
+  :class:`SchedulerInterrupt` for the CLI to turn into exit code 130.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import signal
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["ItemOutcome", "TransientError", "run_items", "default_jobs"]
+__all__ = ["ItemOutcome", "SchedulerInterrupt", "TransientError",
+           "run_items", "default_jobs"]
 
 JOBS_ENV = "REPRO_JOBS"
 
@@ -47,6 +67,12 @@ class TransientError(Exception):
     """Raised by a worker to request a retry (e.g. a flaky external
     resource).  Ordinary exceptions are deterministic failures and are
     not retried."""
+
+
+class SchedulerInterrupt(Exception):
+    """The batch was interrupted (SIGINT/SIGTERM) after a clean
+    shutdown: workers terminated and joined, partial checkpoints
+    discarded.  The CLI maps this to exit code 130."""
 
 
 def default_jobs() -> int:
@@ -69,6 +95,10 @@ class ItemOutcome:
     crashed: bool = False
     attempts: int = 0
     elapsed: float = 0.0       # wall seconds across all attempts
+    resumed: int = 0           # attempts that resumed from a checkpoint
+    memory_killed: bool = False  # some attempt died of MemoryError
+    hung: bool = False         # killed by the heartbeat stall detector
+    partial: Any = None        # last checkpoint when the item failed
 
     @property
     def ok(self) -> bool:
@@ -77,33 +107,59 @@ class ItemOutcome:
 
 def run_items(worker: Callable[[Any], Any], payloads: list,
               *, jobs: int = 1, timeout: float | None = None,
-              retries: int = 1) -> list[ItemOutcome]:
+              retries: int = 1, memory_limit_mb: int | None = None,
+              stall_timeout: float | None = None) -> list[ItemOutcome]:
     """Run ``worker(payload)`` for every payload; never raises for
-    per-item failures.  ``timeout`` is a per-item wall-clock limit
-    (parallel mode only — a serial run cannot kill itself; the engines'
-    cooperative ``ClouConfig.timeout_seconds`` budget covers that path).
+    per-item failures (an interrupt raises :class:`SchedulerInterrupt`
+    after clean shutdown).  ``timeout`` is a per-item wall-clock limit
+    and ``stall_timeout`` a per-item heartbeat limit (both parallel mode
+    only — a serial run cannot kill itself; the engines' cooperative
+    ``ClouConfig.timeout_seconds`` budget covers that path).
+    ``memory_limit_mb`` caps each worker's address space.
     """
     if not payloads:
         return []
     if jobs > 1:
-        pool_or_reason = _try_parallel(worker, payloads, jobs)
+        pool_or_reason = _try_parallel(worker, payloads, jobs,
+                                       memory_limit_mb)
         if isinstance(pool_or_reason, _Pool):
             with pool_or_reason as pool:
-                return pool.run(payloads, timeout=timeout, retries=retries)
+                return pool.run(payloads, timeout=timeout, retries=retries,
+                                stall_timeout=stall_timeout)
     return _run_serial(worker, payloads, retries=retries)
 
 
 def _run_serial(worker, payloads, *, retries: int) -> list[ItemOutcome]:
     outcomes = []
+    checkpoints = getattr(worker, "supports_checkpoints", False)
     for index, payload in enumerate(payloads):
         outcome = ItemOutcome(index=index)
         started = time.monotonic()
+        state = {"checkpoint": None}
         while True:
             outcome.attempts += 1
             try:
-                outcome.value = worker(payload)
+                if checkpoints:
+                    resume = state["checkpoint"]
+                    if resume is not None:
+                        outcome.resumed += 1
+                    outcome.value = worker(
+                        payload, resume=resume,
+                        checkpoint=lambda snap: state.__setitem__(
+                            "checkpoint", snap))
+                else:
+                    outcome.value = worker(payload)
                 outcome.error = None
                 break
+            except KeyboardInterrupt:
+                raise SchedulerInterrupt("interrupted") from None
+            except MemoryError as error:
+                # Recoverable: the checkpoint (if any) lets the retry
+                # resume past the allocation spike's prefix.
+                outcome.error = f"MemoryError: {error}"
+                outcome.memory_killed = True
+                if outcome.attempts > retries:
+                    break
             except TransientError as error:
                 outcome.error = f"{type(error).__name__}: {error}"
                 if outcome.attempts > retries:
@@ -111,6 +167,8 @@ def _run_serial(worker, payloads, *, retries: int) -> list[ItemOutcome]:
             except Exception as error:
                 outcome.error = f"{type(error).__name__}: {error}"
                 break
+        if outcome.error is not None:
+            outcome.partial = state["checkpoint"]
         outcome.elapsed = time.monotonic() - started
         outcomes.append(outcome)
     return outcomes
@@ -121,7 +179,8 @@ def _run_serial(worker, payloads, *, retries: int) -> list[ItemOutcome]:
 # ----------------------------------------------------------------------
 
 
-def _try_parallel(worker, payloads, jobs) -> "_Pool | str":
+def _try_parallel(worker, payloads, jobs,
+                  memory_limit_mb=None) -> "_Pool | str":
     """A ready pool, or a reason string for falling back to serial."""
     try:
         import multiprocessing as mp
@@ -139,13 +198,34 @@ def _try_parallel(worker, payloads, jobs) -> "_Pool | str":
             pickle.dumps(worker)
     except Exception as error:
         return f"pickling-hostile workload: {type(error).__name__}"
-    return _Pool(ctx, worker, jobs=min(jobs, len(payloads)))
+    return _Pool(ctx, worker, jobs=min(jobs, len(payloads)),
+                 memory_limit_mb=memory_limit_mb)
 
 
-def _worker_loop(worker, conn):
-    """Runs in the child: receive ``(index, payload)``, send
-    ``(index, status, value)``.  Exits on the ``None`` sentinel or a
-    closed pipe."""
+def _apply_memory_limit(limit_mb: int | None) -> None:
+    """Cap the worker's address space so runaway allocation raises a
+    recoverable MemoryError instead of drawing the kernel OOM killer."""
+    if not limit_mb:
+        return
+    try:
+        import resource
+
+        ceiling = int(limit_mb) * 1024 * 1024
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            ceiling = min(ceiling, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (ceiling, hard))
+    except (ImportError, ValueError, OSError):
+        pass  # platform without RLIMIT_AS: ceiling is best-effort
+
+
+def _worker_loop(worker, conn, memory_limit_mb=None):
+    """Runs in the child: receive ``(index, payload, resume)``, send
+    ``(index, status, value)`` — plus interim ``"checkpoint"`` messages
+    when the worker supports them (these double as heartbeats).  Exits
+    on the ``None`` sentinel or a closed pipe."""
+    _apply_memory_limit(memory_limit_mb)
+    checkpoints = getattr(worker, "supports_checkpoints", False)
     while True:
         try:
             message = conn.recv()
@@ -153,10 +233,20 @@ def _worker_loop(worker, conn):
             return
         if message is None:
             return
-        index, payload = message
+        index, payload, resume = message
         try:
-            value = worker(payload)
+            if checkpoints:
+                def emit(snapshot, _index=index):
+                    try:
+                        conn.send((_index, "checkpoint", snapshot))
+                    except (OSError, ValueError):
+                        pass  # parent gone; the terminal send will fail too
+                value = worker(payload, resume=resume, checkpoint=emit)
+            else:
+                value = worker(payload)
             status = "ok"
+        except MemoryError as error:
+            value, status = f"MemoryError: {error}", "memory"
         except TransientError as error:
             value, status = f"{type(error).__name__}: {error}", "transient"
         except Exception as error:
@@ -184,13 +274,20 @@ class _Pending:
     elapsed: float = 0.0
     last_error: str | None = None
     crashed: bool = False
+    checkpoint: Any = None     # last snapshot streamed up the pipe
+    last_beat: float = 0.0     # when that snapshot (or the send) happened
+    resumed: int = 0
+    memory_killed: bool = False
+    hung: bool = False
 
 
 class _Pool:
-    def __init__(self, ctx, worker, jobs: int):
+    def __init__(self, ctx, worker, jobs: int,
+                 memory_limit_mb: int | None = None):
         self._ctx = ctx
         self._worker = worker
         self.jobs = jobs
+        self.memory_limit_mb = memory_limit_mb
         self._slots: list[_Slot] = []
 
     def __enter__(self):
@@ -203,7 +300,9 @@ class _Pool:
     def _spawn(self) -> _Slot:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
-            target=_worker_loop, args=(self._worker, child_conn), daemon=True)
+            target=_worker_loop,
+            args=(self._worker, child_conn, self.memory_limit_mb),
+            daemon=True)
         proc.start()
         child_conn.close()
         slot = _Slot(proc=proc, conn=parent_conn)
@@ -230,19 +329,37 @@ class _Pool:
             slot.proc.join(timeout=0.5)
             self._retire(slot)
 
-    def run(self, payloads, *, timeout: float | None,
-            retries: int) -> list[ItemOutcome]:
+    def _abort(self) -> None:
+        """Interrupt path: hard-kill and join every worker, discarding
+        in-flight items and their (in-memory) partial checkpoints."""
+        for slot in list(self._slots):
+            self._retire(slot)
+
+    def run(self, payloads, *, timeout: float | None, retries: int,
+            stall_timeout: float | None = None) -> list[ItemOutcome]:
         from multiprocessing.connection import wait as conn_wait
 
         states = {i: _Pending(index=i) for i in range(len(payloads))}
         queue = deque(range(len(payloads)))
         outcomes: dict[int, ItemOutcome] = {}
+        heartbeats = getattr(self._worker, "supports_checkpoints", False)
+
+        # A SIGTERM (e.g. from a batch supervisor) should shut down as
+        # cleanly as Ctrl-C; only the main thread may install handlers.
+        def on_term(signum, frame):
+            raise KeyboardInterrupt
+        try:
+            previous_term = signal.signal(signal.SIGTERM, on_term)
+        except ValueError:
+            previous_term = None
 
         def finish(index: int, **kwargs) -> None:
             state = states[index]
             outcomes[index] = ItemOutcome(
                 index=index, attempts=state.attempts,
-                elapsed=state.elapsed, **kwargs)
+                elapsed=state.elapsed, resumed=state.resumed,
+                memory_killed=state.memory_killed, hung=state.hung,
+                **kwargs)
 
         def requeue_or_fail(index: int, error: str, crashed: bool) -> None:
             state = states[index]
@@ -250,79 +367,145 @@ class _Pool:
             if state.attempts <= retries:
                 queue.append(index)
             else:
-                finish(index, error=error, crashed=crashed)
+                finish(index, error=error, crashed=crashed,
+                       partial=state.checkpoint)
 
-        while len(outcomes) < len(payloads):
-            # Feed idle slots, spawning up to the job budget.
-            while queue:
-                slot = next((s for s in self._slots if s.item is None), None)
-                if slot is None and len(self._slots) < self.jobs:
-                    slot = self._spawn()
-                if slot is None:
-                    break
-                index = queue.popleft()
-                states[index].attempts += 1
-                states[index].crashed = False
-                try:
-                    slot.conn.send((index, payloads[index]))
-                except pickle.PicklingError as error:
-                    states[index].attempts -= 1
-                    finish(index, error=f"unpicklable payload: {error}")
-                    continue
-                except (OSError, ValueError):
-                    # The worker died while idle; replace it and retry
-                    # the send without charging the item an attempt.
-                    states[index].attempts -= 1
-                    queue.appendleft(index)
-                    self._retire(slot)
-                    continue
-                slot.item = index
-                slot.started = time.monotonic()
+        def reap(slot: _Slot, index: int, error: str, *,
+                 now: float) -> None:
+            """Kill a slot whose item ran past a deadline.  With a
+            checkpoint in hand the retry resumes from it; without one
+            the item fails as before (re-running from scratch would
+            just hit the same deadline again)."""
+            state = states[index]
+            state.elapsed += now - slot.started
+            if state.checkpoint is not None and state.attempts <= retries:
+                state.last_error = error
+                queue.append(index)
+            else:
+                finish(index, error=error, timed_out=True,
+                       partial=state.checkpoint)
+            slot.item = None
+            self._retire(slot)  # the only way to stop a hung item
 
-            busy = [slot for slot in self._slots if slot.item is not None]
-            if not busy:
-                if queue:
-                    continue
-                break  # defensive: nothing running, nothing queued
-            ready = conn_wait([slot.conn for slot in busy],
-                              timeout=_TICK_SECONDS)
-            now = time.monotonic()
-            for slot in busy:
-                index = slot.item
-                if index is None:
-                    continue
-                state = states[index]
-                if slot.conn in ready:
+        try:
+            while len(outcomes) < len(payloads):
+                # Feed idle slots, spawning up to the job budget.
+                while queue:
+                    slot = next((s for s in self._slots if s.item is None),
+                                None)
+                    if slot is None and len(self._slots) < self.jobs:
+                        slot = self._spawn()
+                    if slot is None:
+                        break
+                    index = queue.popleft()
+                    state = states[index]
+                    state.attempts += 1
+                    state.crashed = False
+                    if state.checkpoint is not None:
+                        state.resumed += 1
                     try:
-                        message = slot.conn.recv()
-                    except (EOFError, OSError):
-                        # Died mid-send (or between recv and send).
+                        slot.conn.send((index, payloads[index],
+                                        state.checkpoint))
+                    except pickle.PicklingError as error:
+                        state.attempts -= 1
+                        finish(index, error=f"unpicklable payload: {error}")
+                        continue
+                    except (OSError, ValueError):
+                        # The worker died while idle; replace it and retry
+                        # the send without charging the item an attempt.
+                        state.attempts -= 1
+                        if state.checkpoint is not None:
+                            state.resumed -= 1
+                        queue.appendleft(index)
+                        self._retire(slot)
+                        continue
+                    slot.item = index
+                    slot.started = time.monotonic()
+                    state.last_beat = slot.started
+
+                busy = [slot for slot in self._slots if slot.item is not None]
+                if not busy:
+                    if queue:
+                        continue
+                    break  # defensive: nothing running, nothing queued
+                ready = conn_wait([slot.conn for slot in busy],
+                                  timeout=_TICK_SECONDS)
+                now = time.monotonic()
+                for slot in busy:
+                    index = slot.item
+                    if index is None:
+                        continue
+                    state = states[index]
+                    if slot.conn in ready:
+                        try:
+                            terminal = None
+                            # Drain the pipe: checkpoint heartbeats
+                            # stream ahead of the terminal result.
+                            while terminal is None:
+                                _, status, value = slot.conn.recv()
+                                if status == "checkpoint":
+                                    state.checkpoint = value
+                                    state.last_beat = time.monotonic()
+                                    if not slot.conn.poll():
+                                        break
+                                else:
+                                    terminal = (status, value)
+                        except (EOFError, OSError):
+                            # Died mid-send (or between recv and send).
+                            state.elapsed += now - slot.started
+                            requeue_or_fail(index, "worker process died",
+                                            crashed=True)
+                            slot.item = None
+                            self._retire(slot)
+                            continue
+                        if terminal is None:
+                            continue  # only heartbeats so far
+                        status, value = terminal
+                        state.elapsed += now - slot.started
+                        slot.item = None
+                        if status == "ok":
+                            finish(index, value=value)
+                        elif status == "transient":
+                            requeue_or_fail(index, value, crashed=False)
+                        elif status == "memory":
+                            # The worker's heap is suspect after a
+                            # MemoryError (RLIMIT_AS ceiling): replace
+                            # the process; the retry resumes from the
+                            # last checkpoint.
+                            state.memory_killed = True
+                            requeue_or_fail(index, value, crashed=False)
+                            self._retire(slot)
+                        else:
+                            finish(index, error=value)
+                    elif not slot.proc.is_alive() and not slot.conn.poll():
                         state.elapsed += now - slot.started
                         requeue_or_fail(index, "worker process died",
                                         crashed=True)
                         slot.item = None
                         self._retire(slot)
-                        continue
-                    _, status, value = message
-                    state.elapsed += now - slot.started
-                    slot.item = None
-                    if status == "ok":
-                        finish(index, value=value)
-                    elif status == "transient":
-                        requeue_or_fail(index, value, crashed=False)
-                    else:
-                        finish(index, error=value)
-                elif not slot.proc.is_alive() and not slot.conn.poll():
-                    state.elapsed += now - slot.started
-                    requeue_or_fail(index, "worker process died",
-                                    crashed=True)
-                    slot.item = None
-                    self._retire(slot)
-                elif timeout is not None and now - slot.started > timeout:
-                    state.elapsed += now - slot.started
-                    finish(index,
-                           error=f"wall-clock timeout after {timeout:g}s",
-                           timed_out=True)
-                    slot.item = None
-                    self._retire(slot)  # the only way to stop a hung item
+                    elif timeout is not None and now - slot.started > timeout:
+                        reap(slot, index,
+                             f"wall-clock timeout after {timeout:g}s",
+                             now=now)
+                    elif heartbeats and stall_timeout is not None and \
+                            state.last_beat and \
+                            now - state.last_beat > stall_timeout:
+                        # No heartbeat for a full stall window: hung, not
+                        # slow (a live checkpoint-capable worker beats on
+                        # every processed candidate).
+                        state.hung = True
+                        reap(slot, index,
+                             f"no heartbeat for {stall_timeout:g}s (hung)",
+                             now=now)
+        except KeyboardInterrupt:
+            self._abort()
+            raise SchedulerInterrupt(
+                f"interrupted with {len(outcomes)}/{len(payloads)} items "
+                "done") from None
+        finally:
+            if previous_term is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous_term)
+                except ValueError:
+                    pass
         return [outcomes[i] for i in range(len(payloads))]

@@ -114,20 +114,37 @@ class ClouSession:
         the engines' cooperative ``ClouConfig.timeout_seconds`` budget.
     retries:
         Extra attempts for crashed workers / transient failures.
+        Wall-clock and stall kills also retry when the dead attempt
+        left a checkpoint to resume from.
     cache / cache_dir:
         On-disk result cache.  ``cache_dir=None`` falls back to
         ``$REPRO_CACHE_DIR``; caching is off when neither is set or when
-        ``cache=False``.
+        ``cache=False``.  Only clean, *complete* results are stored:
+        errored, timed-out, skipped, or undecided reports never enter
+        the cache.
+    memory_limit_mb:
+        Per-worker address-space ceiling (``RLIMIT_AS``); a worker
+        exceeding it dies with a recoverable MemoryError and the item
+        resumes from its last checkpoint.  Parallel mode only.
+    stall_timeout:
+        Heartbeat limit in seconds: a worker that streams no checkpoint
+        for this long is presumed hung and killed (distinct from
+        ``timeout``, which bounds total item time — a slow-but-beating
+        item survives the stall check).  Parallel mode only.
     """
 
     def __init__(self, config: ClouConfig | None = None, *,
                  jobs: int | None = None, timeout: float | None = None,
                  retries: int = 1, cache: bool = True,
-                 cache_dir: str | None = None):
+                 cache_dir: str | None = None,
+                 memory_limit_mb: int | None = None,
+                 stall_timeout: float | None = None):
         self.config = config if config is not None else CLOU_DEFAULT_CONFIG
         self.jobs = max(1, jobs) if jobs is not None else default_jobs()
         self.timeout = timeout
         self.retries = retries
+        self.memory_limit_mb = memory_limit_mb
+        self.stall_timeout = stall_timeout
         directory = cache_dir if cache_dir is not None else default_cache_dir()
         self.cache = ResultCache(directory) if (cache and directory) else None
         self.stats = SessionStats(jobs=self.jobs)
@@ -227,6 +244,8 @@ class ClouSession:
                 errored=function_report.error is not None))
         stats.candidates = report.candidates
         stats.pruned = report.pruned
+        stats.skipped = report.skipped
+        stats.undecided = report.undecided
         for function_report in report.functions:
             stats.absorb_sat(function_report.sat_stats)
         stats.wall_seconds = stats.work_seconds
@@ -300,7 +319,9 @@ class ClouSession:
                 misses.append(item)
         outcomes = run_items(
             worker.execute_item, [item.payload for item in misses],
-            jobs=self.jobs, timeout=self.timeout, retries=self.retries)
+            jobs=self.jobs, timeout=self.timeout, retries=self.retries,
+            memory_limit_mb=self.memory_limit_mb,
+            stall_timeout=self.stall_timeout)
         for item, outcome in zip(misses, outcomes):
             kind = item.payload["kind"]
             cache_state = "miss" if (self.cache is not None
@@ -309,7 +330,8 @@ class ClouSession:
                 label=item.label, kind=kind, elapsed=outcome.elapsed,
                 attempts=outcome.attempts, cache=cache_state,
                 timed_out=outcome.timed_out, crashed=outcome.crashed,
-                errored=not outcome.ok)
+                errored=not outcome.ok, resumed=outcome.resumed,
+                memory_killed=outcome.memory_killed)
             if outcome.ok:
                 item.outcome_value = outcome.value
                 self._store_cache(item)
@@ -319,6 +341,14 @@ class ClouSession:
     def _errored_value(self, item: _Item, outcome):
         kind = item.payload["kind"]
         if kind == "analyze":
+            # A permanently-failed item may still carry a checkpoint:
+            # salvage the witnesses found so far as a partial report
+            # (verdict degrades to unknown, never cached).
+            salvaged = worker.report_from_checkpoint(
+                item.payload, outcome.partial, outcome.error)
+            if salvaged is not None:
+                salvaged.elapsed = outcome.elapsed
+                return salvaged
             return FunctionReport(
                 function=item.function, engine=item.payload["engine"],
                 error=outcome.error, timed_out=outcome.timed_out,
@@ -347,8 +377,10 @@ class ClouSession:
             return
         value = item.outcome_value
         if isinstance(value, FunctionReport):
-            if value.error is not None or value.timed_out:
-                return  # never cache failures
+            if not value.complete:
+                # Never cache failures or degraded coverage: a cached
+                # entry must be byte-identical to a clean fresh run.
+                return
             payload = {"report": function_report_dict(value, stable=False)}
         elif isinstance(value, LintReport):
             payload = {"report": lint_report_dict(value)}
@@ -373,6 +405,8 @@ class ClouSession:
                 functions=list(values), config=self._config_for(request))
             result.stats.candidates = report.candidates
             result.stats.pruned = report.pruned
+            result.stats.skipped = report.skipped
+            result.stats.undecided = report.undecided
             for function_report in report.functions:
                 result.stats.absorb_sat(function_report.sat_stats)
             report.stats = result.stats

@@ -27,6 +27,8 @@ class ItemStats:
     timed_out: bool = False
     crashed: bool = False
     errored: bool = False
+    resumed: int = 0           # attempts that resumed from a checkpoint
+    memory_killed: bool = False  # some attempt hit the RLIMIT_AS ceiling
 
     @property
     def retries(self) -> int:
@@ -45,8 +47,13 @@ class SessionStats:
     timeouts: int = 0
     crashes: int = 0
     errors: int = 0
+    resumed: int = 0           # checkpoint-resumed attempts
+    memory_killed: int = 0     # items killed by the memory ceiling
+    budget_exhausted: int = 0  # solver queries that returned UNKNOWN
     candidates: int = 0
     pruned: int = 0
+    skipped: int = 0           # candidates never examined (budget/cap)
+    undecided: int = 0         # σ-queries degraded to UNKNOWN
     sat_queries: int = 0       # PathOracle assumption queries (memo misses)
     sat_memo_hits: int = 0     # realizability verdicts served from the memo
     sat_encodes: int = 0       # Fig. 7 encodings built (one per S-AEG)
@@ -68,6 +75,7 @@ class SessionStats:
         self.sat_learned += sat_stats.get("learned", 0)
         self.sat_deleted += sat_stats.get("deleted", 0)
         self.sat_propagations += sat_stats.get("propagations", 0)
+        self.budget_exhausted += sat_stats.get("unknowns", 0)
 
     def record(self, item: ItemStats) -> None:
         self.items += 1
@@ -79,6 +87,8 @@ class SessionStats:
         self.timeouts += int(item.timed_out)
         self.crashes += int(item.crashed)
         self.errors += int(item.errored)
+        self.resumed += item.resumed
+        self.memory_killed += int(item.memory_killed)
         self.work_seconds += item.elapsed
         self.per_item.append(item)
 
@@ -92,8 +102,13 @@ class SessionStats:
         self.timeouts += other.timeouts
         self.crashes += other.crashes
         self.errors += other.errors
+        self.resumed += other.resumed
+        self.memory_killed += other.memory_killed
+        self.budget_exhausted += other.budget_exhausted
         self.candidates += other.candidates
         self.pruned += other.pruned
+        self.skipped += other.skipped
+        self.undecided += other.undecided
         self.sat_queries += other.sat_queries
         self.sat_memo_hits += other.sat_memo_hits
         self.sat_encodes += other.sat_encodes
@@ -120,8 +135,13 @@ class SessionStats:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "errors": self.errors,
+            "resumed": self.resumed,
+            "memory_killed": self.memory_killed,
+            "budget_exhausted": self.budget_exhausted,
             "candidates": self.candidates,
             "pruned": self.pruned,
+            "skipped": self.skipped,
+            "undecided": self.undecided,
             "sat_queries": self.sat_queries,
             "sat_memo_hits": self.sat_memo_hits,
             "sat_encodes": self.sat_encodes,
@@ -145,7 +165,10 @@ class SessionStats:
             f"stats: {self.items} items, jobs={self.jobs} | {cache} | "
             f"retries={self.retries} timeouts={self.timeouts} "
             f"crashes={self.crashes} errors={self.errors} | "
-            f"candidates={self.candidates} pruned={self.pruned} | "
+            f"resumed={self.resumed} memory_killed={self.memory_killed} "
+            f"budget_exhausted={self.budget_exhausted} | "
+            f"candidates={self.candidates} pruned={self.pruned} "
+            f"skipped={self.skipped} undecided={self.undecided} | "
             f"sat {self.sat_queries} queries / {self.sat_memo_hits} memo "
             f"hits, {self.sat_encodes} encodes, "
             f"{self.sat_learned} learned (-{self.sat_deleted}) | "

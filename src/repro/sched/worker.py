@@ -92,15 +92,19 @@ def saeg_for(source: str, name: str, function: str) -> SAEG:
 
 
 def analyze_item(source: str, name: str, function: str, engine: str,
-                 config: ClouConfig) -> FunctionReport:
+                 config: ClouConfig, *, resume: dict | None = None,
+                 checkpoint=None) -> FunctionReport:
     """One (function, engine) detection run; errors become report
-    fields, mirroring the historical ``analyze_function`` contract."""
+    fields, mirroring the historical ``analyze_function`` contract.
+    ``resume``/``checkpoint`` thread the scheduler's partial-progress
+    protocol into :meth:`DetectionEngine.run`."""
     if engine not in ENGINES:
         raise AnalysisError(f"unknown engine {engine!r}; choose from "
                             f"{sorted(ENGINES)}")
     try:
         aeg = saeg_for(source, name, function)
-        return ENGINES[engine](aeg, config).run()
+        return ENGINES[engine](aeg, config).run(resume=resume,
+                                                checkpoint=checkpoint)
     except ReproError as error:
         return FunctionReport(function=function, engine=engine,
                               error=str(error))
@@ -128,26 +132,64 @@ def lint_item(source: str, name: str, secrets: tuple[str, ...],
     return lint_module(module, secrets=secrets, public=public)
 
 
-def execute_item(payload: dict):
+def report_from_checkpoint(payload: dict, partial: dict,
+                           error: str) -> FunctionReport | None:
+    """Salvage a partial :class:`FunctionReport` from the last
+    checkpoint of a permanently-failed analyze item.  The unexamined
+    suffix counts as skipped, so the verdict degrades to ``unknown``
+    (never to ``safe``) and the report is barred from the clean-results
+    cache."""
+    if payload.get("kind") != "analyze" or not partial:
+        return None
+    from repro.clou.serialize import witness_from_dict
+
+    total = partial.get("total", 0)
+    cursor = partial.get("cursor", 0)
+    report = FunctionReport(
+        function=payload["function"],
+        engine=payload["engine"],
+        witnesses=[witness_from_dict(w)
+                   for w in partial.get("witnesses", [])],
+        timed_out=True,
+        error=error,
+        candidates=partial.get("candidates", 0),
+        pruned=partial.get("pruned", 0),
+        undecided=partial.get("undecided", 0),
+        skipped=partial.get("skipped", 0) + max(0, total - cursor),
+    )
+    return report
+
+
+def execute_item(payload: dict, *, resume: dict | None = None,
+                 checkpoint=None):
     """Scheduler entry point: dispatch one work-item dict.
 
     Must stay a module-level function so it pickles under spawn-style
     ``multiprocessing`` start methods.
     """
+    from repro.sched.faults import activate, fault_point
+
     kind = payload["kind"]
     source = payload["source"]
     name = payload.get("name", "")
     config = ClouConfig.from_dict(payload["config"]) \
         if payload.get("config") is not None else CLOU_DEFAULT_CONFIG
-    if kind == "analyze":
-        return analyze_item(source, name, payload["function"],
-                            payload["engine"], config)
-    if kind == "repair":
-        return repair_item(source, name, payload["function"],
-                           payload["engine"], config,
-                           payload.get("strategy", "lfence"))
-    if kind == "lint":
-        return lint_item(source, name,
-                         tuple(payload.get("secrets", ())),
-                         tuple(payload.get("public", ())))
+    with activate(getattr(config, "fault_spec", None)):
+        fault_point("worker.item")
+        if kind == "analyze":
+            return analyze_item(source, name, payload["function"],
+                                payload["engine"], config,
+                                resume=resume, checkpoint=checkpoint)
+        if kind == "repair":
+            return repair_item(source, name, payload["function"],
+                               payload["engine"], config,
+                               payload.get("strategy", "lfence"))
+        if kind == "lint":
+            return lint_item(source, name,
+                             tuple(payload.get("secrets", ())),
+                             tuple(payload.get("public", ())))
     raise AnalysisError(f"unknown work-item kind {kind!r}")
+
+
+# Opt in to the scheduler's checkpoint/resume + heartbeat protocol.
+execute_item.supports_checkpoints = True

@@ -1,0 +1,114 @@
+"""Tests for the deterministic fault injector (repro.sched.faults)."""
+
+import pytest
+
+from repro.sched import FaultSpecError, fault_point, parse_spec
+from repro.sched.faults import SITES, activate, active_plan
+
+
+class TestParseSpec:
+    def test_nth_rule(self):
+        plan = parse_spec("crash@worker.item#3")
+        [rule] = plan.rules
+        assert rule.action == "crash"
+        assert rule.site == "worker.item"
+        assert rule.nth == 3
+
+    def test_probability_rule_with_seed(self):
+        plan = parse_spec("seed=7;budget@oracle.query%0.25")
+        assert plan.seed == 7
+        [rule] = plan.rules
+        assert rule.probability == 0.25
+
+    def test_multiple_rules(self):
+        plan = parse_spec("seed=1;hang@engine.candidate#2;"
+                          "budget@oracle.query%0.5")
+        assert len(plan.rules) == 2
+
+    def test_round_trip(self):
+        spec = "seed=9;memory@engine.candidate#4;budget@oracle.query%0.125"
+        assert parse_spec(spec).render() == spec
+        assert parse_spec(parse_spec(spec).render()).render() == spec
+
+    @pytest.mark.parametrize("bad", [
+        "explode@worker.item#1",       # unknown action
+        "crash@nowhere#1",             # unknown site
+        "crash@worker.item",           # missing trigger
+        "crash@worker.item#0",         # hits are 1-based
+        "crash@worker.item#x",         # non-integer hit
+        "budget@oracle.query%1.5",     # probability out of range
+        "seed=abc",                    # bad seed
+        "no-at-sign",                  # malformed rule
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+
+class TestDeterminism:
+    def test_nth_fires_exactly_once(self):
+        plan = parse_spec("budget@oracle.query#2")
+        hits = [plan.fire("oracle.query") for _ in range(5)]
+        assert hits == [None, "budget", None, None, None]
+
+    def test_probabilistic_fires_identically_across_plans(self):
+        spec = "seed=11;budget@oracle.query%0.5"
+        first = [parse_spec(spec).fire("oracle.query") for _ in range(1)]
+        trace_a = []
+        trace_b = []
+        plan_a, plan_b = parse_spec(spec), parse_spec(spec)
+        for _ in range(64):
+            trace_a.append(plan_a.fire("oracle.query"))
+            trace_b.append(plan_b.fire("oracle.query"))
+        assert trace_a == trace_b
+        assert "budget" in trace_a      # p=0.5 over 64 draws
+        assert None in trace_a
+        assert first == trace_a[:1]
+
+    def test_seed_changes_the_trace(self):
+        def trace(seed):
+            plan = parse_spec(f"seed={seed};budget@oracle.query%0.5")
+            return [plan.fire("oracle.query") for _ in range(64)]
+
+        assert trace(0) != trace(1)
+
+    def test_caller_supplied_hit_overrides_arrival_counter(self):
+        # Positional sites (engine.candidate) pass the cursor position,
+        # so a resumed attempt starting past the fault never re-fires it.
+        plan = parse_spec("budget@engine.candidate#3")
+        assert plan.fire("engine.candidate", hit=5) is None
+        assert plan.fire("engine.candidate", hit=3) == "budget"
+        assert plan.fire("engine.candidate", hit=3) == "budget"
+
+    def test_sites_documented(self):
+        for site in ("worker.item", "engine.candidate", "oracle.query"):
+            assert site in SITES
+
+
+class TestActivation:
+    def test_fault_point_is_noop_without_a_plan(self):
+        assert active_plan() is None
+        assert fault_point("worker.item") is None
+
+    def test_activate_scopes_a_plan(self):
+        with activate("budget@oracle.query#1"):
+            assert fault_point("oracle.query") == "budget"
+        assert active_plan() is None
+
+    def test_activate_none_keeps_current_plan(self):
+        with activate("budget@oracle.query#1"):
+            outer = active_plan()
+            with activate(None):
+                assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_memory_action_raises(self):
+        with activate("memory@worker.item#1"):
+            with pytest.raises(MemoryError):
+                fault_point("worker.item")
+
+    def test_fired_accounting(self):
+        with activate("budget@oracle.query%1.0") as plan:
+            fault_point("oracle.query")
+            fault_point("oracle.query")
+        assert plan.fired == {"budget@oracle.query": 2}

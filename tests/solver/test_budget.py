@@ -1,0 +1,95 @@
+"""Three-valued budgeted solving: UNKNOWN, conflict budgets, deadlines."""
+
+import time
+
+import pytest
+
+from repro.solver import (
+    SatSolver,
+    UNKNOWN,
+    Unknown,
+    at_most_one,
+    conj,
+    encode,
+    exactly_one,
+    var,
+)
+
+
+def _pigeonhole(pigeons: int):
+    """PHP(pigeons, pigeons-1): small but conflict-rich and UNSAT."""
+    holes = pigeons - 1
+    constraints = []
+    for p in range(pigeons):
+        constraints.append(
+            exactly_one([var(f"p{p}h{h}") for h in range(holes)]))
+    for h in range(holes):
+        constraints.append(
+            at_most_one([var(f"p{p}h{h}") for p in range(pigeons)]))
+    return encode(conj(*constraints))
+
+
+class TestUnknownSentinel:
+    def test_singleton_and_repr(self):
+        assert isinstance(UNKNOWN, Unknown)
+        assert repr(UNKNOWN) == "UNKNOWN"
+
+    def test_has_no_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(UNKNOWN)
+
+    def test_identity_checks_work(self):
+        assert (UNKNOWN is UNKNOWN) is True
+        assert UNKNOWN is not None
+
+
+class TestConflictBudget:
+    def test_exhaustion_returns_unknown(self):
+        solver = SatSolver.from_cnf(_pigeonhole(5))
+        result = solver.solve(conflict_budget=1)
+        assert result is UNKNOWN
+        assert solver.statistics["budget_exhausted"] == 1
+
+    def test_solver_usable_after_giving_up(self):
+        solver = SatSolver.from_cnf(_pigeonhole(5))
+        assert solver.solve(conflict_budget=1) is UNKNOWN
+        # An unbudgeted call on the same solver still gets the exact
+        # answer (PHP is UNSAT).
+        assert solver.solve() is None
+
+    def test_generous_budget_solves_sat_instance(self):
+        a, b, c = var("a"), var("b"), var("c")
+        cnf = encode((a | b) & (~a | c) & (b | ~c))
+        model = SatSolver.from_cnf(cnf).solve(conflict_budget=10_000)
+        assert isinstance(model, dict)
+        named = cnf.decode(model)
+        assert named["a"] or named["b"]
+
+    def test_budget_is_per_call_not_cumulative(self):
+        solver = SatSolver.from_cnf(_pigeonhole(5))
+        first = solver.solve(conflict_budget=1)
+        assert first is UNKNOWN
+        # Each call gets its own budget; clauses learned by the aborted
+        # call persist and only help.
+        second = solver.solve(conflict_budget=10_000_000)
+        assert second is None
+
+
+class TestDeadline:
+    def test_expired_deadline_returns_unknown(self):
+        solver = SatSolver.from_cnf(_pigeonhole(5))
+        result = solver.solve(deadline=time.monotonic() - 1.0)
+        assert result is UNKNOWN
+
+    def test_latched_unsat_beats_deadline(self):
+        # Once root-level UNSAT is derived, the verdict is permanent:
+        # a later budgeted call reports it instead of degrading.
+        solver = SatSolver.from_cnf(_pigeonhole(4))
+        assert solver.solve() is None
+        assert solver.solve(deadline=time.monotonic() - 1.0) is None
+
+    def test_future_deadline_solves_normally(self):
+        a, b = var("a"), var("b")
+        cnf = encode(a & ~b)
+        model = SatSolver.from_cnf(cnf).solve(deadline=time.monotonic() + 60.0)
+        assert cnf.decode(model) == {"a": True, "b": False}
