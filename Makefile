@@ -2,7 +2,7 @@
 
 .PHONY: install test test-all lint bench bench-sched bench-solver \
 	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke \
-	fault-smoke fault-sweep coverage all
+	fault-smoke fault-sweep engines-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,7 @@ test:
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) engines-smoke
 
 test-all:
 	pytest tests/ -q
@@ -40,6 +41,11 @@ fault-smoke:
 
 fault-sweep:
 	python benchmarks/fault_sweep.py
+
+# Engine-matrix smoke: every registered engine over one litmus program,
+# asserting a LEAK exit and byte-identical --json across --jobs 1 vs 2.
+engines-smoke:
+	python benchmarks/engines_smoke.py
 
 # Branch/line coverage with a floor on src/repro/.  Gated: pytest-cov
 # is not vendored, so this degrades to a clear message instead of a

@@ -38,7 +38,25 @@ from repro.clou.serialize import witness_dict  # noqa: E402
 from repro.sched import ClouSession  # noqa: E402
 
 CORPUS = os.path.join(os.path.dirname(__file__), "..", "src", "repro",
-                      "bench", "corpus", "crypto")
+                      "bench", "corpus")
+
+#: (engine, corpus-relative source) pairs the full sweep covers: the two
+#: classic engines on crypto workloads, the FWD/PSF engines on the litmus
+#: programs where they actually find leaks worth protecting.
+FULL_SWEEPS = [
+    ("pht", "crypto/tea.c"),
+    ("pht", "crypto/hmac.c"),
+    ("fwd", "fwd/fwd05.c"),
+    ("fwd", "new/new01.c"),
+    ("psf", "fwd/fwd02.c"),
+    ("psf", "stl/stl01.c"),
+]
+
+SMOKE_SWEEPS = [
+    ("pht", "crypto/tea.c"),
+    ("fwd", "fwd/fwd01.c"),
+    ("psf", "fwd/fwd02.c"),
+]
 
 #: (spec, parallel) sweep plans.  Parallel plans kill workers, so they
 #: need the process pool (and its retry/resume machinery) to recover;
@@ -63,7 +81,8 @@ SMOKE_PLANS = [
 ]
 
 
-def _analyze(source: str, name: str, spec: str | None, parallel: bool):
+def _analyze(source: str, name: str, engine: str, spec: str | None,
+             parallel: bool):
     config = ClouConfig(fault_spec=spec,
                         solver_conflict_budget=64 if spec else None)
     if parallel:
@@ -71,7 +90,7 @@ def _analyze(source: str, name: str, spec: str | None, parallel: bool):
                               stall_timeout=2.0, retries=2)
     else:
         session = ClouSession(config, cache=False, jobs=1)
-    return session.analyze(source, engine="pht", name=name)
+    return session.analyze(source, engine=engine, name=name)
 
 
 def _witness_key(witness) -> str:
@@ -108,18 +127,18 @@ def check_lattice(baseline, faulted) -> list[str]:
     return violations
 
 
-def sweep(sources: list[str], plans) -> int:
+def sweep(sweeps: list[tuple[str, str]], plans) -> int:
     failures = 0
-    for path in sources:
+    for engine, path in sweeps:
         name = os.path.basename(path)
         with open(path) as handle:
             source = handle.read()
-        baseline = _analyze(source, name, None, parallel=False)
-        print(f"{name}: baseline verdict={baseline.verdict} "
+        baseline = _analyze(source, name, engine, None, parallel=False)
+        print(f"{name} [{engine}]: baseline verdict={baseline.verdict} "
               f"functions={len(baseline.functions)}")
         for spec, parallel in plans:
             started = time.monotonic()
-            faulted = _analyze(source, name, spec, parallel)
+            faulted = _analyze(source, name, engine, spec, parallel)
             elapsed = time.monotonic() - started
             violations = check_lattice(baseline, faulted)
             mode = "jobs=2" if parallel else "serial"
@@ -135,19 +154,24 @@ def sweep(sources: list[str], plans) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="the fast CI subset (one source, three plans)")
+                        help="the fast CI subset (three engine/source "
+                             "pairs, three plans)")
     parser.add_argument("--sources", nargs="*", default=None,
-                        help="corpus files to sweep (default: tea.c hmac.c)")
+                        help="corpus files to sweep (default: the "
+                             "engine/source matrix)")
+    parser.add_argument("--engine", default="pht",
+                        help="engine for --sources sweeps (default: pht)")
     args = parser.parse_args(argv)
     if args.sources:
-        sources = args.sources
+        sweeps = [(args.engine, path) for path in args.sources]
     elif args.smoke:
-        sources = [os.path.join(CORPUS, "tea.c")]
+        sweeps = [(engine, os.path.join(CORPUS, rel))
+                  for engine, rel in SMOKE_SWEEPS]
     else:
-        sources = [os.path.join(CORPUS, "tea.c"),
-                   os.path.join(CORPUS, "hmac.c")]
+        sweeps = [(engine, os.path.join(CORPUS, rel))
+                  for engine, rel in FULL_SWEEPS]
     plans = SMOKE_PLANS if args.smoke else PLANS
-    failures = sweep(sources, plans)
+    failures = sweep(sweeps, plans)
     if failures:
         print(f"fault sweep: {failures} lattice violation(s)")
         return 1

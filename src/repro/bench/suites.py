@@ -82,21 +82,42 @@ def litmus_stl() -> list[BenchCase]:
 
 
 def litmus_fwd() -> list[BenchCase]:
-    """5 Spectre v1.1 benchmarks (both engines run, as in Table 2)."""
+    """5 Spectre v1.1 benchmarks (all three engines run, as in Table 2)."""
+    specs = {
+        "fwd01": (frozenset({"udt"}),
+                  "Listing FWD01 (§6.1): guarded OOB store forwarded to a "
+                  "dependent pointer load"),
+        "fwd02": (frozenset({"udt"}),
+                  "Listing FWD02 (§6.1): same-block OOB store feeding a "
+                  "table-indexed transmit"),
+        "fwd03": (frozenset({"udt"}),
+                  "Listing FWD03 (§6.1): corrupted index table chained "
+                  "through a second lookup"),
+        "fwd04": (frozenset({"uct"}),
+                  "Listing FWD04 (§6.1): corrupted flag controls a branch "
+                  "(control transmitter)"),
+        "fwd05": (frozenset({"udt", "uct"}),
+                  "Listing FWD05 (§6.1): length-field overwrite read by "
+                  "both the guard and the guarded access"),
+    }
     return [
-        _case("fwd", f"fwd{i:02d}", ("pht", "stl"),
-              classes=frozenset({"dt", "udt"}))
-        for i in range(1, 6)
+        _case("fwd", stem, ("pht", "stl", "fwd"),
+              classes=classes, notes=notes)
+        for stem, (classes, notes) in sorted(specs.items())
     ]
 
 
 def litmus_new() -> list[BenchCase]:
     """The paper's 2 NEW Spectre v1.1-style benchmarks (§6.1)."""
     return [
-        _case("new", "new01", ("pht", "stl"), classes=frozenset({"dt", "udt"}),
-              notes="Listing NEW01: speculative write of a secret to a "
-                    "pointer slot; Pitchfork misses it"),
-        _case("new", "new02", ("pht", "stl"), classes=frozenset({"dt", "udt"})),
+        _case("new", "new01", ("pht", "stl", "fwd"),
+              classes=frozenset({"udt"}),
+              notes="Listing NEW01 (§6.1): speculative write of a secret to "
+                    "a pointer slot; Pitchfork misses it"),
+        _case("new", "new02", ("pht", "stl", "fwd"),
+              classes=frozenset({"dt"}),
+              notes="Listing NEW02 (§6.1): in-bounds store forwards a "
+                    "transiently computed secret to the transmit"),
     ]
 
 

@@ -36,7 +36,8 @@ _OPS = ["+", "^", "*", "|", "&"]
 
 def generate_function(name: str, rounds: int, seed: int = 7,
                       lookups_per_round: int = 1,
-                      multipliers: tuple[int, ...] = (64, 256, 512)) -> str:
+                      multipliers: tuple[int, ...] = (64, 256, 512),
+                      fwd_gadget_period: int = 0) -> str:
     """One public function with ~``rounds`` round bodies.
 
     ``multipliers`` scales the table-lookup index: with the 65536-entry
@@ -46,6 +47,13 @@ def generate_function(name: str, rounds: int, seed: int = 7,
     ``table[sbox[x1] * 512]`` guarded only by the bounds check — the
     access is transiently unbounded, so the UDT survives pruning.  The
     default mix yields both prunable and genuine gadgets.
+
+    ``fwd_gadget_period = n > 0`` additionally emits, every ``n``-th
+    round, the Spectre v1.1 shape: a bounds-checked store through an
+    attacker-controlled index followed by a load that forwards the
+    (transiently OOB) stored value into a transmit — the gadget Clou-FWD
+    targets.  The default ``0`` emits none and draws nothing from the
+    RNG, so pre-existing corpora stay byte-identical.
     """
     rng = random.Random(_stable_seed(seed, name, rounds))
     lines = [_HEADER.format(name=name)]
@@ -79,6 +87,19 @@ def generate_function(name: str, rounds: int, seed: int = 7,
                 f"table_{name}[sbox_{name}[{index}] * {multiplier}];"
             )
             lines.append("    }")
+        if fwd_gadget_period and round_index % fwd_gadget_period == 0:
+            # The Spectre v1.1 shape: the guarded store's index is
+            # attacker-controlled, so the store transiently lands OOB and
+            # the fixed-slot load forwards the corrupted value.
+            slot = rng.randrange(0, 8)
+            lines.append(f"    if (x0 < limit_{name}) {{")
+            lines.append(
+                f"        sbox_{name}[x0] = (uint8_t)state[{slot}];")
+            lines.append("    }")
+            lines.append(
+                f"    state[{slot}] ^= "
+                f"table_{name}[sbox_{name}[0] * 512];"
+            )
     lines.append("    uint64_t acc = 0;")
     lines.append("    for (int i = 0; i < 8; i++) { acc ^= state[i]; }")
     lines.append(f"    out_{name} = (uint8_t)(acc & 0xff);")
@@ -121,7 +142,26 @@ def bounded_corpus(sizes: list[int] | None = None,
     return corpus
 
 
-def openssl_like_source(n_functions: int = 48, seed: int = 23) -> str:
+def fwd_corpus(sizes: list[int] | None = None,
+               seed: int = 7) -> list[tuple[str, str]]:
+    """(name, source) pairs seeded with Spectre v1.1 forward gadgets.
+
+    Every fourth round carries the guarded-OOB-store / forwarding-load
+    pair, so Clou-FWD finds library-scale work beyond the 7 litmus
+    programs.  Kept separate from :func:`scaling_corpus` so the Fig. 8
+    corpus stays byte-identical.
+    """
+    sizes = sizes or [4, 10, 24]
+    corpus = []
+    for size in sizes:
+        name = f"fwdsynth_{size}"
+        corpus.append((name, generate_function(
+            name, rounds=size, seed=seed, fwd_gadget_period=4)))
+    return corpus
+
+
+def openssl_like_source(n_functions: int = 48, seed: int = 23,
+                        fwd_gadget_period: int = 0) -> str:
     """One large translation unit with many public functions of mixed
     sizes — the per-file shape of the OpenSSL row in Table 2 (Clou
     analyzes each public function under a per-file time budget; the
@@ -143,5 +183,6 @@ def openssl_like_source(n_functions: int = 48, seed: int = 23) -> str:
         else:
             rounds = rng.randrange(60, 220)
         parts.append(generate_function(f"ossl_fn_{index:03d}", rounds,
-                                       seed=seed + index))
+                                       seed=seed + index,
+                                       fwd_gadget_period=fwd_gadget_period))
     return "\n\n".join(parts)

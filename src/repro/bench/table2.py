@@ -38,6 +38,16 @@ CLOU_TABLE2_CONFIG = ClouConfig(rob_size=250, lsq_size=50, window_size=250,
                                 timeout_seconds=120.0)
 BH_TIMEOUT_SECONDS = 20.0
 
+# BH only models the two classic engines (§6): no FWD/PSF baseline rows.
+BH_ENGINES = frozenset({"pht", "stl"})
+
+
+def _suite_engines(cases: list[BenchCase]) -> tuple[str, ...]:
+    """Engines to run for a suite: the union of its cases' engine lists,
+    in first-appearance order."""
+    return tuple(dict.fromkeys(
+        engine for case in cases for engine in case.engines))
+
 
 @dataclass
 class ToolRow:
@@ -138,13 +148,14 @@ def litmus_rows(config: ClouConfig = CLOU_TABLE2_CONFIG,
                 include_bh: bool = True) -> list[Table2Row]:
     """The four litmus suite rows of Table 2."""
     suites = {
-        "litmus-pht": (litmus_pht(), ("pht",)),
-        "litmus-stl": (litmus_stl(), ("stl",)),
-        "litmus-fwd": (litmus_fwd(), ("pht", "stl")),
-        "litmus-new": (litmus_new(), ("pht", "stl")),
+        "litmus-pht": litmus_pht(),
+        "litmus-stl": litmus_stl(),
+        "litmus-fwd": litmus_fwd(),
+        "litmus-new": litmus_new(),
     }
     rows = []
-    for suite_name, (cases, engines) in suites.items():
+    for suite_name, cases in suites.items():
+        engines = _suite_engines(cases)
         row = Table2Row(
             suite=suite_name,
             cases=len(cases),
@@ -155,7 +166,8 @@ def litmus_rows(config: ClouConfig = CLOU_TABLE2_CONFIG,
             row.tools.append(_clou_tool_row(cases, engine, config))
         if include_bh:
             for engine in engines:
-                row.tools.append(_bh_tool_row(cases, engine))
+                if engine in BH_ENGINES:
+                    row.tools.append(_bh_tool_row(cases, engine))
         rows.append(row)
     return rows
 
@@ -175,7 +187,8 @@ def crypto_rows(config: ClouConfig = CLOU_TABLE2_CONFIG,
             row.tools.append(_clou_tool_row([case], engine, config))
         if include_bh:
             for engine in case.engines:
-                row.tools.append(_bh_tool_row([case], engine))
+                if engine in BH_ENGINES:
+                    row.tools.append(_bh_tool_row([case], engine))
         rows.append(row)
     return rows
 

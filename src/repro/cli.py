@@ -19,12 +19,17 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.clou.engine import ENGINES, engine_names
 from repro.lcm.taxonomy import TransmitterClass
 from repro.sched import AnalysisRequest, ClouSession, SchedulerInterrupt, \
     user_cache_dir
 from repro.sched.cache import default_cache_dir
 
 _SEVERITY_CHOICES = ("AT", "CT", "DT", "UCT", "UDT")
+
+# Derived from the engine registry, never hand-listed: a newly
+# registered engine appears in analyze and repair automatically.
+_ENGINE_CHOICES = (*engine_names(), "all")
 
 # Exit codes (documented in README.md).  LEAK outranks INCOMPLETE: a
 # run that both found a leak and skipped work exits EXIT_LEAK.
@@ -71,8 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="detect transmitters")
-    analyze.add_argument("source", help="C source file")
-    analyze.add_argument("--engine", choices=["pht", "stl"], default="pht")
+    analyze.add_argument("source", nargs="?", default=None,
+                         help="C source file")
+    analyze.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
+                         help="detection engine, or 'all' to run every "
+                              "registered engine (default: pht)")
+    analyze.add_argument("--list-engines", action="store_true",
+                         help="print the engine matrix (attack class, "
+                              "speculation primitive, pruning, repair) "
+                              "and exit")
     analyze.add_argument("--classes", default="udt,uct,dt,ct",
                          help="comma-separated transmitter classes")
     analyze.add_argument("--rob", type=int, default=250, help="ROB capacity")
@@ -142,7 +154,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     repair = sub.add_parser("repair", help="insert minimal lfences")
     repair.add_argument("source", help="C source file")
-    repair.add_argument("--engine", choices=["pht", "stl"], default="pht")
+    repair.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
+                        help="detection engine to repair against, or "
+                             "'all' for every registered engine "
+                             "(default: pht)")
     repair.add_argument("--strategy", choices=["lfence", "protect"],
                         default="lfence",
                         help="lfence: minimal full-pipeline fences; "
@@ -241,31 +256,82 @@ def _analyze_exit_code(report, threshold: int | None,
     return EXIT_CLEAN
 
 
+def _list_engines() -> int:
+    width = max(len(name) for name in ENGINES)
+    for name in engine_names():
+        cls = ENGINES[name]
+        print(f"{name:<{width}}  {cls.attack}")
+        pad = " " * width
+        print(f"{pad}    primitive: {cls.primitive}")
+        print(f"{pad}    pruning:   {cls.range_pruning}")
+        print(f"{pad}    repair:    {cls.repair_note}")
+    return EXIT_CLEAN
+
+
+def _combine_exit_codes(codes: list[int]) -> int:
+    # LEAK outranks INCOMPLETE outranks CLEAN, as for a single engine.
+    if EXIT_LEAK in codes:
+        return EXIT_LEAK
+    if EXIT_INCOMPLETE in codes:
+        return EXIT_INCOMPLETE
+    return EXIT_CLEAN
+
+
 def _run_analyze(args) -> int:
+    if args.list_engines:
+        return _list_engines()
+    if args.source is None:
+        print("clou analyze: a C source file is required "
+              "(or --list-engines)", file=sys.stderr)
+        return EXIT_USAGE
     source = _read(args.source)
     session = _session_from_args(args, config=_config_from_args(args))
-    report = session.analyze(source, engine=args.engine, name=args.source)
+    engines = engine_names() if args.engine == "all" else (args.engine,)
     threshold = _severity_threshold(args.fail_on_severity)
+    reports = [session.analyze(source, engine=engine, name=args.source)
+               for engine in engines]
+    codes = [_analyze_exit_code(report, threshold, args.fail_on_incomplete)
+             for report in reports]
     if args.json:
-        from repro.clou.serialize import to_json
+        from repro.clou.serialize import module_report_dict, to_json
 
-        print(to_json(report, stable=True))
-        _print_stats(args, report.stats)
-        return _analyze_exit_code(report, threshold,
-                                  args.fail_on_incomplete)
+        if len(reports) == 1:
+            print(to_json(reports[0], stable=True))
+        else:
+            import json
+
+            # One entry per engine, in engine_names() order: stable and
+            # byte-identical across --jobs and cached/fresh runs.
+            print(json.dumps(
+                [module_report_dict(report, stable=True)
+                 for report in reports],
+                indent=2, ensure_ascii=False, sort_keys=True))
+        _print_stats(args, session.stats)
+        return _combine_exit_codes(codes)
+    for report in reports:
+        _print_analyze_report(args, report, engines)
+    _print_stats(args, session.stats)
+    return _combine_exit_codes(codes)
+
+
+def _print_analyze_report(args, report, engines) -> None:
     if args.dot:
         import os
 
         from repro.viz import witness_to_dot
 
         os.makedirs(args.dot, exist_ok=True)
+        prefix = f"{report.engine}_" if len(engines) > 1 else ""
         for i, witness in enumerate(report.transmitters):
             path = os.path.join(
-                args.dot, f"witness_{i:03d}_{witness.klass.value}.dot")
+                args.dot,
+                f"{prefix}witness_{i:03d}_{witness.klass.value}.dot")
             with open(path, "w") as handle:
                 handle.write(witness_to_dot(witness, name=f"w{i}"))
         print(f"wrote {len(report.transmitters)} witness graphs to "
               f"{args.dot}/")
+    if len(engines) > 1:
+        print(f"== engine {report.engine} ==")
     print(report.summary())
     for function_report in report.functions:
         if function_report.error:
@@ -291,8 +357,6 @@ def _run_analyze(args) -> int:
           f"(examined={coverage['examined']} pruned={coverage['pruned']} "
           f"skipped={coverage['skipped_by_budget']} "
           f"undecided={coverage['undecided']})")
-    _print_stats(args, report.stats)
-    return _analyze_exit_code(report, threshold, args.fail_on_incomplete)
 
 
 def _run_lint(args) -> int:
@@ -340,14 +404,17 @@ def _run_repair(args) -> int:
 
     config = ClouConfig(timeout_seconds=args.timeout)
     session = _session_from_args(args, config=config)
-    results = session.repair(_read(args.source), engine=args.engine,
-                             name=args.source, strategy=args.strategy)
+    engines = engine_names() if args.engine == "all" else (args.engine,)
+    source = _read(args.source)
     ok = True
-    for result in results:
-        print(result.summary())
-        for block, index in result.fences:
-            print(f"  lfence at {block}#{index}")
-        ok &= result.fully_repaired
+    for engine in engines:
+        results = session.repair(source, engine=engine,
+                                 name=args.source, strategy=args.strategy)
+        for result in results:
+            print(result.summary())
+            for block, index in result.fences:
+                print(f"  lfence at {block}#{index}")
+            ok &= result.fully_repaired
     _print_stats(args, session.stats)
     return 0 if ok else 1
 

@@ -12,7 +12,15 @@ from repro.clou.driver import (
     repair_function,
     repair_source,
 )
-from repro.clou.engine import ClouPHT, ClouSTL, ENGINES
+from repro.clou.engine import (
+    ClouFWD,
+    ClouPHT,
+    ClouPSF,
+    ClouSTL,
+    ENGINES,
+    engine_names,
+    register_engine,
+)
 from repro.clou.postprocess import (
     GadgetClass,
     PostProcessResult,
@@ -30,7 +38,9 @@ __all__ = [
     "AliasResult",
     "CLOU_DEFAULT_CONFIG",
     "ClouConfig",
+    "ClouFWD",
     "ClouPHT",
+    "ClouPSF",
     "ClouSTL",
     "ClouWitness",
     "Dep",
@@ -48,12 +58,14 @@ __all__ = [
     "analyze_module",
     "analyze_source",
     "build_acfg",
+    "engine_names",
     "inline_calls",
     "insert_fences",
     "minimum_hitting_set",
     "group_witnesses",
     "postprocess",
     "ranges_for",
+    "register_engine",
     "repair",
     "repair_function",
     "repair_source",

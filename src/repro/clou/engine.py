@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, fields
 
 from repro.clou.aeg import AEGNode, Dep, SAEG, WindowView
+from repro.clou.alias import AliasResult
 from repro.clou.report import ClouWitness, FunctionReport, NodeRef
 from repro.lcm.taxonomy import TransmitterClass
 
@@ -189,10 +190,47 @@ def _ref(node: AEGNode | None, aeg=None) -> NodeRef | None:
     return NodeRef.of(node, aeg) if node is not None else None
 
 
+ENGINES: dict[str, type["DetectionEngine"]] = {}
+"""The engine registry: name -> DetectionEngine subclass.
+
+Populated by :func:`register_engine`.  Every consumer — CLI ``--engine``
+choices, scheduler/session validation, cache keying, the bench harness
+engine columns, the fuzz oracle matrix, and the fault sweep — derives
+its engine list from this dict, so registering a new engine once makes
+it reachable everywhere.
+"""
+
+
+def register_engine(cls: type["DetectionEngine"]) -> type["DetectionEngine"]:
+    """Class decorator adding a :class:`DetectionEngine` subclass to
+    :data:`ENGINES` under its ``name``.  Names must be unique and not
+    the abstract base's placeholder."""
+    name = getattr(cls, "name", "")
+    if not name or name == "base":
+        raise ValueError(f"engine class {cls.__name__} needs a "
+                         "non-default 'name' attribute to register")
+    if name in ENGINES:
+        raise ValueError(f"duplicate engine name {name!r} "
+                         f"({ENGINES[name].__name__} vs {cls.__name__})")
+    ENGINES[name] = cls
+    return cls
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, sorted (the CLI's choice list)."""
+    return tuple(sorted(ENGINES))
+
+
 class DetectionEngine:
-    """Shared machinery for the PHT and STL engines."""
+    """Shared machinery for the detection engines."""
 
     name = "base"
+    # Metadata for ``clou analyze --list-engines`` and the DESIGN.md
+    # engine matrix; subclasses override all four.
+    attack = ""          # attack class the engine hunts
+    primitive = ""       # speculation primitive
+    range_pruning = ""   # interval range-pruning capability
+    repair_note = ""     # fence placement the repair stage uses
 
     def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
         self.aeg = aeg
@@ -560,10 +598,15 @@ class DetectionEngine:
         return self.ranges.access_in_bounds(access.instruction)
 
 
+@register_engine
 class ClouPHT(DetectionEngine):
-    """Spectre v1/v1.1: control-flow speculation (§5.3)."""
+    """Spectre v1: control-flow speculation (§5.3)."""
 
     name = "pht"
+    attack = "Spectre v1 (bounds check bypass)"
+    primitive = "mispredicted conditional branch"
+    range_pruning = "first hop (branch-independent intervals)"
+    repair_note = "lfence in the transmit window (1/program in §6.1)"
 
     def prunes_ranges(self) -> bool:
         return self.config.enable_range_pruning
@@ -657,10 +700,15 @@ class ClouPHT(DetectionEngine):
         return True
 
 
+@register_engine
 class ClouSTL(DetectionEngine):
     """Spectre v4: store-to-load forwarding bypass (§5.3)."""
 
     name = "stl"
+    attack = "Spectre v4 (speculative store bypass)"
+    primitive = "load bypassing an unresolved same-address store"
+    range_pruning = "none (the bypassed store invalidates slot ranges)"
+    repair_note = "lfence between bypassed store and bypassing load"
 
     def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
         super().__init__(aeg, config)
@@ -727,4 +775,301 @@ class ClouSTL(DetectionEngine):
         return super()._index_attacker_controlled(index)
 
 
-ENGINES = {"pht": ClouPHT, "stl": ClouSTL}
+@register_engine
+class ClouFWD(DetectionEngine):
+    """Spectre v1.1 (FWD/NEW, §6.1): a *transient store* — executed in
+    the shadow of a mispredicted branch — forwards wrong data to a
+    later load, and a transmitter leaks the forwarded value.
+
+    Two corruption modes, matched per (store, load) pair:
+
+    - ``oob``: the store's address is attacker-controlled (the classic
+      v1.1 bounds-check-bypassed write), so within the forward window
+      it can hit *any* slot a later load reads — the forwarded value is
+      attacker-chosen and the chain is universal (UDT/UCT);
+    - ``forward``: the store's address is fixed but its *data* is
+      tainted and it may alias the load architecturally — the load
+      transiently observes a secret value that never commits (the NEW
+      pattern, §6.1), a DT.
+
+    Range pruning is sound here on the *store* side only (opt-in via
+    ``enable_range_pruning``): a store that provably stays inside its
+    object on every A-CFG path — including mispredicted ones — cannot go
+    out of bounds, so it loses the ``oob`` mode (it keeps ``forward``).
+    The load side must not prune, for the same reason as STL: a
+    provably in-bounds load can still consume a corrupted value.
+    """
+
+    name = "fwd"
+    attack = "Spectre v1.1 / NEW (transient store forwards wrong data)"
+    primitive = "mispredicted branch shadowing a store"
+    range_pruning = "store side only (provably bounded stores lose oob)"
+    repair_note = "lfence per forward window (2/program in §6.1)"
+
+    def __init__(self, aeg: SAEG, config: ClouConfig = CLOU_DEFAULT_CONFIG):
+        super().__init__(aeg, config)
+        self._corruptors, self._pruned_oob = self._compute_corruptors()
+
+    def _compute_corruptors(self):
+        """(store, guard branches, oob) triples: transient stores whose
+        forward can corrupt a later load, plus the count of stores whose
+        oob mode the interval analysis pruned away."""
+        ranges = None
+        if self.config.enable_range_pruning:
+            from repro.analysis.interval import IntervalAnalysis
+
+            ranges = IntervalAnalysis(self.aeg.function)
+        corruptors = []
+        pruned = 0
+        branches = self.aeg.branches()
+        for store in self.aeg.stores():
+            guards = tuple(
+                branch for branch in branches
+                if self.aeg.before(branch, store)
+                and (distance := self.aeg.min_distance(branch, store))
+                is not None
+                and distance <= self.config.rob_size
+                and self.aeg.fence_free_between(branch, store)
+            )
+            if not guards:
+                continue  # never executes transiently
+            oob = self.aeg.value_tainted(store.instruction.pointer)
+            if oob and ranges is not None and \
+                    ranges.access_in_bounds(store.instruction):
+                oob = False
+                pruned += 1
+            data_tainted = store.instruction.value is not None and \
+                self.aeg.value_tainted(store.instruction.value)
+            if not oob and not data_tainted:
+                continue  # forwards neither a wrong slot nor a secret
+            corruptors.append((store, guards, oob))
+        return corruptors, pruned
+
+    def prunes_ranges(self) -> bool:
+        # The base engine's load-side pruning is unsound for FWD (an
+        # in-bounds load can still read a corrupted slot); the sound
+        # store-side pruning happens in _compute_corruptors instead.
+        return False
+
+    def speculation_sources(self, transmit: AEGNode, view: WindowView
+                            ) -> list[tuple[AEGNode, AEGNode | None]]:
+        """(guard branch, corrupting store) pairs visible from the
+        transmitter.  API parity only: the FWD search overrides
+        :meth:`_search_transmit` and matches stores per corrupted
+        access instead."""
+        sources = [
+            (guards[0], store)
+            for store, guards, _oob in self._corruptors
+            if view.contains(store)
+        ]
+        sources.sort(key=lambda pair: pair[1].position)
+        return sources
+
+    def universal_first_hop_ok(self, dep: Dep) -> bool:
+        # Like STL: a forwarded value can be a base pointer, so the
+        # addr_gep filter does not apply.
+        return True
+
+    def _search(self, report: FunctionReport, budget: _Budget,
+                state: _SearchState) -> None:
+        if state.cursor == 0:
+            # Store-side pruning happens once at corruptor construction;
+            # attribute it to fresh runs only (a resumed checkpoint
+            # already carries the count — checkpoints are only emitted
+            # with cursor >= 1).
+            report.pruned += self._pruned_oob
+        super()._search(report, budget, state)
+
+    def _search_transmit(self, transmit: AEGNode, view: WindowView,
+                         address_deps: tuple[Dep, ...], want: set[str],
+                         report: FunctionReport, budget: _Budget) -> None:
+        for dep in address_deps:
+            if budget.check():
+                return
+            if dep.store_hops > self.config.max_store_hops:
+                continue
+            access = self.aeg.node_of(dep.source)
+            if access.nid == transmit.nid or not access.is_load:
+                continue
+            if not view.contains(access):
+                continue  # outside the sliding window
+            self._classify_forward(transmit, access, dep, view, want,
+                                   report, budget)
+        if "ct" in want or "uct" in want:
+            self._search_forward_control(transmit, view, want,
+                                         report, budget)
+
+    def _forward_pairs(self, access: AEGNode):
+        """Corrupting (store, guards, oob) triples whose forward window
+        covers ``access``: the store is earlier, still in the store
+        queue (within ``lsq_size``), not fenced off, and — in forward
+        mode — architecturally possibly same-address."""
+        pairs = []
+        for store, guards, oob in self._corruptors:
+            if store.nid == access.nid:
+                continue
+            if not self.aeg.before(store, access):
+                continue
+            distance = self.aeg.min_distance(store, access)
+            if distance is None or distance > self.config.lsq_size:
+                continue
+            if not self.aeg.fence_free_between(store, access):
+                continue
+            if not oob and not self.aeg.alias.may_alias(
+                store.instruction.pointer, access.instruction.pointer,
+            ):
+                continue
+            pairs.append((store, guards, oob))
+        return pairs
+
+    def _transient_pair(self, store: AEGNode, guards, access: AEGNode,
+                        transmit: AEGNode, view: WindowView):
+        """The first guard under which both the corrupted access and the
+        transmitter are transient, or None."""
+        for guard in guards:
+            if self._is_transient(access, guard, store, view) and \
+                    self._is_transient(transmit, guard, store, view):
+                return guard
+        return None
+
+    def _classify_forward(self, transmit: AEGNode, access: AEGNode,
+                          dep: Dep, view: WindowView, want: set[str],
+                          report: FunctionReport, budget: _Budget) -> None:
+        pair = self._sigma_compatible([access, transmit], report, budget)
+        if pair is False:
+            return
+        for store, guards, oob in self._forward_pairs(access):
+            primitive = self._transient_pair(store, guards, access,
+                                             transmit, view)
+            if primitive is None:
+                continue
+            triple = self._sigma_compatible([store, access, transmit],
+                                            report, budget)
+            if triple is False:
+                continue
+            if oob and "udt" in want:
+                klass = TransmitterClass.UNIVERSAL_DATA
+            elif "dt" in want:
+                klass = TransmitterClass.DATA
+            else:
+                continue
+            report.witnesses.append(ClouWitness(
+                engine=self.name,
+                klass=klass,
+                transmit=NodeRef.of(transmit, self.aeg),
+                primitive=NodeRef.of(primitive, self.aeg),
+                access=NodeRef.of(access, self.aeg),
+                window_start=NodeRef.of(store, self.aeg),
+                transient_transmit=True,
+                transient_access=True,
+                store_hops=dep.store_hops,
+                confirmed=pair is True and triple is True,
+            ))
+            return  # one corrupting store per chain suffices
+
+    def _search_forward_control(self, transmit: AEGNode, view: WindowView,
+                                want: set[str], report: FunctionReport,
+                                budget: _Budget) -> None:
+        """Control-flow leakage of forwarded data (FWD04/FWD05's second
+        window): a branch condition reads a corruptible load, and the
+        transmitter in its shadow leaks the outcome."""
+        for branch in self._branches_in(view):
+            if budget.check():
+                return
+            cond_deps = self.aeg.branch_cond_deps(branch)
+            if not cond_deps:
+                continue
+            branch_ok = self._sigma_compatible([branch, transmit],
+                                               report, budget)
+            if branch_ok is False:
+                continue
+            reported = False
+            for dep in cond_deps:
+                if dep.store_hops > self.config.max_store_hops:
+                    continue
+                access = self.aeg.node_of(dep.source)
+                if not access.is_load or not view.contains(access):
+                    continue
+                for store, guards, oob in self._forward_pairs(access):
+                    primitive = self._transient_pair(store, guards, access,
+                                                     transmit, view)
+                    if primitive is None:
+                        continue
+                    triple = self._sigma_compatible([store, access, branch],
+                                                    report, budget)
+                    if triple is False:
+                        continue
+                    if oob and "uct" in want:
+                        klass = TransmitterClass.UNIVERSAL_CONTROL
+                    elif "ct" in want:
+                        klass = TransmitterClass.CONTROL
+                    else:
+                        continue
+                    report.witnesses.append(ClouWitness(
+                        engine=self.name,
+                        klass=klass,
+                        transmit=NodeRef.of(transmit, self.aeg),
+                        primitive=NodeRef.of(primitive, self.aeg),
+                        access=NodeRef.of(access, self.aeg),
+                        window_start=NodeRef.of(store, self.aeg),
+                        transient_transmit=True,
+                        transient_access=True,
+                        store_hops=dep.store_hops,
+                        confirmed=branch_ok is True and triple is True,
+                    ))
+                    reported = True
+                    break
+                if reported:
+                    break
+            # one control witness per (branch, transmit) suffices
+
+
+@register_engine
+class ClouPSF(ClouSTL):
+    """Predictive store forwarding: the §5.2 alias-predicting hardware
+    parameterization as its own engine.
+
+    The STL dual: instead of a load *bypassing* a same-address store
+    (reading stale memory), the load is *wrongly paired* with an
+    earlier in-flight store by the forwarding predictor and transiently
+    consumes a value destined for a different address (the Fig. 4b
+    SPECTRE-PSF shape in :mod:`repro.lcm.attacks`).
+
+    Pairing model: within the store-queue window any fence-free earlier
+    store may be predicted to forward to the load — the predictor does
+    not consult addresses, so the architectural alias result is
+    irrelevant — *except* MUST-alias pairs, whose forward delivers the
+    architecturally-correct value (that is STL's stale-read territory,
+    not a misprediction).  Range pruning stays off for the same reason
+    as STL: the forwarded value is unconstrained by the load's slot.
+    """
+
+    name = "psf"
+    attack = "PSF (wrong-store forwarding via alias prediction)"
+    primitive = "load wrongly paired with an in-flight store"
+    range_pruning = "none (same reasoning as STL)"
+    repair_note = "lfence between wrong store and forwarding load"
+
+    def _compute_bypassable(self) -> dict[int, AEGNode]:
+        """load nid -> the latest earlier store the predictor can
+        wrongly forward from."""
+        pairs: dict[int, AEGNode] = {}
+        if self.config.lsq_size <= 0:
+            return pairs  # no store can be in flight
+        for load in self.aeg.loads():
+            view = self.aeg.window(load, self.config.lsq_size)
+            best: AEGNode | None = None
+            for node in view.nodes_within(self.aeg, self.config.lsq_size):
+                if not node.is_store:
+                    continue
+                if not view.fence_free(node):
+                    continue
+                if self.aeg.alias.alias(
+                    node.instruction.pointer, load.instruction.pointer,
+                ) is AliasResult.MUST:
+                    continue  # a correct forward: STL's case, not PSF's
+                if best is None or node.position > best.position:
+                    best = node
+            if best is not None:
+                pairs[load.nid] = best
+        return pairs

@@ -6,13 +6,18 @@ program points:
 - PHT: a fence between the mispredicting branch and the transmitter —
   we use "immediately before the access instruction", which kills every
   pattern routed through that access;
-- STL: a fence between the bypassed store and the bypassing load —
-  "immediately before the load".
+- STL/PSF: a fence between the (bypassed or wrongly-forwarding) store
+  and the load — "immediately before the load";
+- FWD: a fence between the corrupting transient store and the corrupted
+  load — the repair must break the *stale forward itself*, not merely
+  delay the transmit (see :func:`forward_break_positions`).  A program
+  whose forwards land in two different windows therefore needs two
+  fences, which is why the paper reports 2 fences for FWD/NEW programs
+  versus 1 for PHT/STL.
 
 Choosing fences is then a minimum hitting set problem over the
 witnesses' candidate sets: exact search for small instances, greedy
-otherwise.  The paper reports 1 fence per vulnerable PHT/STL program and
-2 for FWD/NEW; the benchmarks check we match.
+otherwise.
 """
 
 from __future__ import annotations
@@ -82,6 +87,36 @@ def candidate_positions(witness: ClouWitness) -> set[Position]:
             primitive.block, primitive.index,
         )
     return positions
+
+
+def forward_break_positions(witness: ClouWitness) -> set[Position]:
+    """FWD placement (§6.1): positions between the corrupting store
+    (``window_start``) and the corrupted access.
+
+    A transmit-window fence only delays this transmitter; the corrupted
+    value remains forwardable to every other load in the window, so the
+    repair targets the root cause — the stale forward.  One fence per
+    *forward window* results: FWD programs whose corrupting store feeds
+    accesses in two different windows (e.g. FWD05's length-field
+    overwrite, read by both the guarding branch and the guarded access)
+    need two fences, the paper's 2-fence FWD/NEW pattern.  Falls back to
+    the generic placement when the witness lacks the store/access
+    references.
+    """
+    if witness.window_start is not None and witness.access is not None:
+        positions = _block_positions(
+            witness.access.block, witness.access.index,
+            witness.window_start.block, witness.window_start.index,
+        )
+        if positions:
+            return positions
+    return candidate_positions(witness)
+
+
+def _lfence_positions(witness: ClouWitness) -> set[Position]:
+    if witness.engine == "fwd":
+        return forward_break_positions(witness)
+    return candidate_positions(witness)
 
 
 def minimum_hitting_set(sets: list[set[Position]],
@@ -164,7 +199,7 @@ def repair(acfg_function: Function, engine_name: str,
     config = config or ClouConfig()
     if strategy not in ("lfence", "protect"):
         raise ValueError(f"unknown repair strategy {strategy!r}")
-    positions_of = (candidate_positions if strategy == "lfence"
+    positions_of = (_lfence_positions if strategy == "lfence"
                     else protect_positions)
     engine_cls = ENGINES[engine_name]
     before = engine_cls(SAEG(acfg_function), config).run()

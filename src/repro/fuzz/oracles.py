@@ -197,12 +197,25 @@ def _analysis_session(jobs: int = 1):
     return ClouSession(config=config, jobs=jobs, cache=False)
 
 
+def _fuzz_engine(generated: GeneratedC) -> str:
+    """The engine this iteration's analysis oracles run.
+
+    Cycles deterministically through the registry by seed, so one fuzz
+    campaign exercises the whole engine matrix (and each reproducer
+    replays against the same engine that failed).
+    """
+    from repro.clou.engine import engine_names
+
+    names = engine_names()
+    return names[generated.seed % len(names)]
+
+
 def _serialize_roundtrip(generated: GeneratedC) -> str | None:
     from repro.clou.serialize import module_report_from_dict, to_json
 
     try:
         report = _analysis_session().analyze(
-            generated.source, engine="pht", name="fuzz")
+            generated.source, engine=_fuzz_engine(generated), name="fuzz")
     except ReproError as error:
         return f"generated program does not analyze: {error}"
     first = to_json(report, stable=True)
@@ -217,11 +230,12 @@ def _serialize_roundtrip(generated: GeneratedC) -> str | None:
 def _jobs_invariance(generated: GeneratedC) -> str | None:
     from repro.clou.serialize import to_json
 
+    engine = _fuzz_engine(generated)
     try:
         serial = _analysis_session(jobs=1).analyze(
-            generated.source, engine="pht", name="fuzz")
+            generated.source, engine=engine, name="fuzz")
         parallel = _analysis_session(jobs=2).analyze(
-            generated.source, engine="pht", name="fuzz")
+            generated.source, engine=engine, name="fuzz")
     except ReproError as error:
         return f"generated program does not analyze: {error}"
     serial_json = to_json(serial, stable=True)
@@ -246,9 +260,11 @@ def _degradation(generated: GeneratedC) -> str | None:
     from repro.clou.serialize import witness_dict
     from repro.sched import ClouSession
 
+    engine = _fuzz_engine(generated)
+
     def analyze(config):
         return ClouSession(config=config, jobs=1, cache=False).analyze(
-            generated.source, engine="pht", name="fuzz")
+            generated.source, engine=engine, name="fuzz")
 
     try:
         baseline = analyze(ClouConfig(timeout_seconds=10.0))

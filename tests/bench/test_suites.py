@@ -48,7 +48,9 @@ class TestCorpusShape:
         for case in litmus_pht():
             assert case.engines == ("pht",)
         for case in litmus_fwd():
-            assert set(case.engines) == {"pht", "stl"}
+            assert set(case.engines) == {"pht", "stl", "fwd"}
+        for case in litmus_new():
+            assert set(case.engines) == {"pht", "stl", "fwd"}
 
     def test_mislabeled_cases_annotated(self):
         assert "§6.1" in by_name("stl13").notes

@@ -1,0 +1,123 @@
+"""The engine registry and its CLI derivation.
+
+The registry replaced the hardcoded ENGINES dict and the duplicated
+``choices=["pht", "stl"]`` argparse literals: the CLI's choice lists are
+derived from it, so adding an engine is one decorated class, not a
+multi-file scavenger hunt.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.clou.engine import (
+    ClouFWD,
+    ClouPHT,
+    ClouPSF,
+    ClouSTL,
+    DetectionEngine,
+    ENGINES,
+    engine_names,
+    register_engine,
+)
+
+
+class TestRegistry:
+    def test_all_four_engines_registered(self):
+        assert ENGINES == {"pht": ClouPHT, "stl": ClouSTL,
+                           "fwd": ClouFWD, "psf": ClouPSF}
+
+    def test_engine_names_sorted(self):
+        assert engine_names() == ("fwd", "pht", "psf", "stl")
+
+    def test_registered_names_match_class_attribute(self):
+        for name, cls in ENGINES.items():
+            assert cls.name == name
+
+    def test_every_engine_documents_its_matrix_row(self):
+        for cls in ENGINES.values():
+            assert cls.attack
+            assert cls.primitive
+            assert cls.range_pruning
+            assert cls.repair_note
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(DetectionEngine):
+            name = "pht"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_engine(Dup)
+
+    def test_unnamed_registration_rejected(self):
+        class Anon(DetectionEngine):
+            pass
+
+        with pytest.raises(ValueError, match="name"):
+            register_engine(Anon)
+
+    def test_package_reexports(self):
+        import repro.clou as clou
+
+        assert clou.ENGINES is ENGINES
+        assert clou.ClouFWD is ClouFWD
+        assert clou.ClouPSF is ClouPSF
+        assert clou.engine_names is engine_names
+
+
+@pytest.fixture
+def victim_file(tmp_path):
+    path = tmp_path / "victim.c"
+    path.write_text("""
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512];
+    }
+}
+""")
+    return str(path)
+
+
+class TestCliDerivation:
+    def test_choices_derived_from_registry(self):
+        from repro.cli import _ENGINE_CHOICES
+
+        assert _ENGINE_CHOICES == (*engine_names(), "all")
+
+    def test_list_engines_exits_clean(self, capsys):
+        assert main(["analyze", "--list-engines"]) == 0
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert name in out
+        assert "primitive:" in out and "repair:" in out
+
+    def test_analyze_without_source_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_unknown_engine_rejected(self, victim_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", victim_file, "--engine", "nope"])
+
+    def test_engine_all_runs_every_engine(self, victim_file, capsys):
+        assert main(["analyze", victim_file, "--engine", "all"]) == 1
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert f"== engine {name} ==" in out
+
+    def test_engine_all_json_is_one_report_per_engine(self, victim_file,
+                                                      capsys):
+        import json
+
+        main(["analyze", victim_file, "--engine", "all", "--json"])
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["engine"] for r in reports] == list(engine_names())
+
+    def test_repair_engine_all(self, victim_file, capsys):
+        assert main(["repair", victim_file, "--engine", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert f"[{name}]" in out

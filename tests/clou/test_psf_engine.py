@@ -1,0 +1,128 @@
+"""Clou-PSF: predictive-store-forwarding detection, tied to the gallery.
+
+PSF is the STL-dual: instead of a load *bypassing* a same-address store,
+alias prediction pairs the load with a *wrong* earlier store.  The
+differential tests here tie the static engine to the operational LCM
+gallery's Fig. 4b attack (`repro.lcm.attacks.spectre_psf`): the C
+rendering of `SPECTRE_PSF_SOURCE` must come back LEAK, and a
+silent-store-only variant (stores, no forwardable loads) must come back
+SAFE.
+"""
+
+import pytest
+
+from repro.clou import ClouConfig
+from repro.clou.engine import ClouPSF, ClouSTL
+from repro.lcm.attacks import spectre_psf
+from repro.sched import ClouSession
+
+#: The C rendering of attacks.SPECTRE_PSF_SOURCE (Fig. 4b):
+#: C[0] = 64; temp &= B[A[C[y] * y]]; — the load of C[y] may forward
+#: from the C[0] store even though y may differ from 0.
+PSF_VICTIM = """
+uint64_t A[64];
+uint8_t B[256 * 512];
+uint64_t C[16];
+uint64_t y;
+uint8_t tmp;
+
+void psf_victim(void) {
+    C[0] = 64;
+    tmp &= B[A[C[y] * y] * 512];
+}
+"""
+
+#: Fig. 5a's silent-store shape: stores only, nothing to forward into.
+SILENT_VICTIM = """
+uint64_t x;
+
+void silent(void) {
+    x = 1;
+    x = 1;
+}
+"""
+
+
+def _analyze(source, engine="psf", name="victim.c"):
+    session = ClouSession(ClouConfig(), jobs=1, cache=False)
+    return session.analyze(source, engine=engine, name=name)
+
+
+class TestGalleryAgreement:
+    def test_static_psf_flags_the_fig4b_attack(self):
+        report = _analyze(PSF_VICTIM)
+        assert report.leaky
+        for function in report.functions:
+            assert function.verdict == "leak"
+
+    def test_gallery_case_shape_matches(self):
+        # The operational case the static engine mirrors: Fig. 4b,
+        # alias prediction on, a transient access feeding a transmit.
+        case = spectre_psf()
+        assert case.figure == "Fig. 4b"
+        assert case.lcm.policy_factory().alias_prediction
+        assert case.expects_transient_access
+
+    def test_psf_witnesses_use_wrong_store_pairing(self):
+        report = _analyze(PSF_VICTIM)
+        witnesses = [w for f in report.functions for w in f.transmitters()]
+        assert witnesses
+        for witness in witnesses:
+            assert witness.engine == "psf"
+            # The primitive is the wrongly-paired store, a real store
+            # instruction in the program text.
+            assert "store" in witness.primitive.text
+
+    def test_silent_store_variant_is_safe(self):
+        report = _analyze(SILENT_VICTIM, name="silent.c")
+        assert not report.leaky
+        for function in report.functions:
+            assert function.verdict == "safe"
+            assert function.complete
+
+
+class TestPsfVsStl:
+    def test_psf_is_an_stl_subclass_sharing_the_machinery(self):
+        assert issubclass(ClouPSF, ClouSTL)
+        assert ClouPSF.name == "psf"
+
+    def test_psf_excludes_must_alias_pairs(self):
+        # A load that MUST alias its in-flight store is a *correct*
+        # forward — STL's bypass case, not PSF's wrong pairing.  The
+        # masking-store idiom (Fig. 4a) leaks under stl but its
+        # same-address pair must not be PSF's primitive.
+        source = """
+uint64_t A[64];
+uint8_t B[256 * 512];
+uint64_t y;
+uint64_t size;
+uint8_t tmp;
+
+void v4_victim(void) {
+    y = y & (size - 1);
+    tmp &= B[A[y] * 512];
+}
+"""
+        stl = _analyze(source, engine="stl", name="v4.c")
+        psf = _analyze(source, engine="psf", name="v4.c")
+
+        def pairings(report):
+            # (store, forwarding load): the primitive paired with the
+            # load whose window the chain lives in.
+            return {(w.primitive.text, w.window_start.text)
+                    for f in report.functions for w in f.transmitters()
+                    if w.window_start is not None}
+
+        assert stl.leaky  # the classic v4 masking-store bypass
+        # STL pairs the masking store with its *same-address* load; PSF
+        # may pair that store with other loads (a wrong forward) but
+        # must never repeat STL's must-alias pairing.
+        assert not (pairings(psf) & pairings(stl))
+
+    def test_repair_breaks_the_psf_forward(self):
+        session = ClouSession(ClouConfig(), jobs=1, cache=False)
+        results = session.repair(PSF_VICTIM, engine="psf", name="victim.c")
+        assert results
+        for result in results:
+            assert result.fully_repaired, result.summary()
+            assert len(result.fences) <= 2
