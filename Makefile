@@ -2,7 +2,7 @@
 
 .PHONY: install test test-all lint bench bench-sched bench-solver \
 	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke \
-	fault-smoke fault-sweep engines-smoke coverage all
+	fault-smoke fault-sweep engines-smoke serve-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,7 @@ test:
 	$(MAKE) bench-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) engines-smoke
+	$(MAKE) serve-smoke
 
 test-all:
 	pytest tests/ -q
@@ -46,6 +47,12 @@ fault-sweep:
 # asserting a LEAK exit and byte-identical --json across --jobs 1 vs 2.
 engines-smoke:
 	python benchmarks/engines_smoke.py
+
+# Daemon smoke: boots `clou serve` on a temp socket, runs cold / warm
+# / one-function-edit client analyses, asserts the exact cache-hit
+# ledger, the warm-vs-cold speedup floor, and a clean SIGTERM exit.
+serve-smoke:
+	python benchmarks/serve_smoke.py
 
 # Branch/line coverage with a floor on src/repro/.  Gated: pytest-cov
 # is not vendored, so this degrades to a clear message instead of a

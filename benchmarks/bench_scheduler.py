@@ -25,7 +25,7 @@ import pytest
 from repro.bench.synthetic import openssl_like_source
 from repro.clou import ClouConfig
 from repro.clou.serialize import to_json
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 CONFIG = ClouConfig(timeout_seconds=120.0)
 N_FUNCTIONS = 24
@@ -36,7 +36,7 @@ def _run(jobs, cache_dir=None):
                           cache=cache_dir is not None, cache_dir=cache_dir)
     source = openssl_like_source(n_functions=N_FUNCTIONS, seed=23)
     started = time.monotonic()
-    report = session.analyze(source, engine="pht", name="openssl_like")
+    report = session.analyze(AnalysisRequest.analyze(source, engine="pht", name="openssl_like"))
     return report, time.monotonic() - started, session.stats
 
 

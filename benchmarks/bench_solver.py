@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.solver import SatSolver, encode, exactly_one, var
+from repro.sched import AnalysisRequest
 
 
 def _pigeonhole(pigeons, holes):
@@ -208,8 +209,8 @@ def smoke():
     from repro.sched import ClouSession
 
     session = ClouSession(jobs=1, cache=False)
-    report = session.analyze(by_name("pht03").source, engine="pht",
-                             name="smoke")
+    report = session.analyze(AnalysisRequest.analyze(by_name("pht03").source, engine="pht",
+                             name="smoke"))
     stats = report.stats
     assert stats.sat_queries > 0, "no assumption queries issued"
     saegs = len(report.functions)

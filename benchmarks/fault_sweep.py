@@ -35,7 +35,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.clou import ClouConfig  # noqa: E402
 from repro.clou.serialize import witness_dict  # noqa: E402
-from repro.sched import ClouSession  # noqa: E402
+from repro.sched import AnalysisRequest, ClouSession  # noqa: E402
 
 CORPUS = os.path.join(os.path.dirname(__file__), "..", "src", "repro",
                       "bench", "corpus")
@@ -90,7 +90,7 @@ def _analyze(source: str, name: str, engine: str, spec: str | None,
                               stall_timeout=2.0, retries=2)
     else:
         session = ClouSession(config, cache=False, jobs=1)
-    return session.analyze(source, engine=engine, name=name)
+    return session.analyze(AnalysisRequest.analyze(source, engine=engine, name=name))
 
 
 def _witness_key(witness) -> str:

@@ -1,0 +1,147 @@
+"""Daemon smoke check: `clou serve` end to end, with the warm numbers.
+
+Boots a real daemon subprocess on a temp UNIX socket and runs three
+client analyses against it:
+
+1. **cold** — first sight of the module, every function a cache miss;
+2. **warm repeat** — identical source, every function a cache hit;
+3. **one-function edit** — only the edited function re-analyzed
+   (function-granular digests), the rest stay warm.
+
+Asserts the exact hit/miss ledger via the `status` op, asserts the
+warm edited re-analysis beats a cold `clou analyze` subprocess by the
+contract margin (>= 5x: the daemon amortizes interpreter start,
+imports, and the unchanged functions), and finally SIGTERMs the
+daemon and asserts a clean exit 0.  This is the `make serve-smoke`
+target, wired into `make test`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sched import AnalysisRequest  # noqa: E402
+from repro.serve import ClouClient, DaemonUnreachable  # noqa: E402
+
+SPEEDUP_FLOOR = 5.0
+
+SOURCE = """\
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        uint8_t x = A[y];
+        tmp &= B[x * 512];
+    }
+}
+
+uint64_t bystander(uint64_t y) {
+    return y * 2;
+}
+"""
+
+EDITED = SOURCE.replace("y * 2", "y * 3")
+
+
+def _wait_ready(client: ClouClient, deadline: float = 15.0) -> None:
+    start = time.monotonic()
+    while True:
+        try:
+            client.ping()
+            return
+        except DaemonUnreachable:
+            if time.monotonic() - start > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def _expect(label: str, actual, expected) -> None:
+    if actual != expected:
+        raise SystemExit(
+            f"serve-smoke: {label}: expected {expected}, got {actual}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="clou-serve-smoke-") as tmp:
+        sock = os.path.join(tmp, "clou.sock")
+        cache = os.path.join(tmp, "cache")
+        env = dict(os.environ, REPRO_CACHE_DIR=cache,
+                   PYTHONPATH=os.pathsep.join(
+                       [os.path.join(os.path.dirname(__file__), "..", "src"),
+                        os.environ.get("PYTHONPATH", "")]))
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--socket", sock],
+            env=env, stderr=subprocess.DEVNULL)
+        try:
+            client = ClouClient(socket_path=sock)
+            _wait_ready(client)
+
+            client.analyze(AnalysisRequest.analyze(SOURCE, name="smoke.c"))
+            stats = client.status()["stats"]
+            _expect("cold misses", stats["cache_misses"], 2)
+            _expect("cold hits", stats["cache_hits"], 0)
+
+            client.analyze(AnalysisRequest.analyze(SOURCE, name="smoke.c"))
+            stats = client.status()["stats"]
+            _expect("warm-repeat misses", stats["cache_misses"], 2)
+            _expect("warm-repeat hits", stats["cache_hits"], 2)
+
+            started = time.monotonic()
+            result = client.analyze(
+                AnalysisRequest.analyze(EDITED, name="smoke.c"))
+            warm_edit = time.monotonic() - started
+            stats = client.status()["stats"]
+            _expect("edit misses", stats["cache_misses"], 3)
+            _expect("edit hits", stats["cache_hits"], 3)
+            if not result.report.leaky:
+                raise SystemExit("serve-smoke: victim gadget not detected")
+            client.close()
+
+            # Cold baseline: a fresh CLI process, empty cache.
+            path = os.path.join(tmp, "smoke.c")
+            with open(path, "w") as handle:
+                handle.write(EDITED)
+            started = time.monotonic()
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "analyze", path,
+                 "--json", "--no-cache"],
+                env=env, stdout=subprocess.DEVNULL)
+            cold = time.monotonic() - started
+            _expect("cold CLI exit (leak)", proc.returncode, 1)
+
+            speedup = cold / warm_edit if warm_edit > 0 else float("inf")
+            print(f"serve-smoke: cold CLI {cold * 1000:.0f} ms, warm "
+                  f"one-function edit {warm_edit * 1000:.1f} ms "
+                  f"({speedup:.0f}x)")
+            if speedup < SPEEDUP_FLOOR:
+                raise SystemExit(
+                    f"serve-smoke: warm edit only {speedup:.1f}x faster "
+                    f"than a cold CLI run (contract: >= "
+                    f"{SPEEDUP_FLOOR:.0f}x)")
+
+            daemon.send_signal(signal.SIGTERM)
+            code = daemon.wait(timeout=15)
+            _expect("daemon exit after SIGTERM", code, 0)
+            if os.path.exists(sock):
+                raise SystemExit("serve-smoke: socket not unlinked on "
+                                 "shutdown")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+    print("serve-smoke: hit ledger exact, shutdown clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

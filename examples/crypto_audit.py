@@ -11,7 +11,7 @@ Run: ``python examples/crypto_audit.py``
 from repro.bench.suites import crypto_cases
 from repro.clou import ClouConfig
 from repro.lcm.taxonomy import TransmitterClass
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 
 def main() -> None:
@@ -23,8 +23,8 @@ def main() -> None:
     sigalgs_witnesses = []
     for case in crypto_cases():
         for engine in case.engines:
-            report = session.analyze(case.source, engine=engine,
-                                     name=case.name)
+            report = session.analyze(AnalysisRequest.analyze(case.source, engine=engine,
+                                     name=case.name))
             totals = report.totals()
             print(f"{case.name:14s} {engine:6s} {len(report.functions):9d} "
                   f"{totals[TransmitterClass.UNIVERSAL_DATA]:4d} "

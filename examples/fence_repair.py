@@ -10,7 +10,7 @@ Run: ``python examples/fence_repair.py``
 """
 
 from repro.bench.suites import all_litmus
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 
 def main() -> None:
@@ -20,8 +20,8 @@ def main() -> None:
     totals = {}
     for case in all_litmus():
         engine = case.engines[0]
-        for result in session.repair(case.source, engine=engine,
-                                     name=case.name):
+        for result in session.repair(AnalysisRequest.repair(case.source, engine=engine,
+                                     name=case.name)):
             status = "repaired" if result.fully_repaired else "RESIDUAL"
             print(f"{case.name:10s} {engine:6s} {len(result.fences):6d} "
                   f"{status:>10s}")

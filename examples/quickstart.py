@@ -11,6 +11,7 @@ Run: ``python examples/quickstart.py``
 
 from repro import ClouSession
 from repro.lcm.taxonomy import TransmitterClass
+from repro.sched import AnalysisRequest
 
 VICTIM = """
 uint8_t A[16];
@@ -30,7 +31,7 @@ void victim(uint64_t y) {
 def main() -> None:
     session = ClouSession(cache=False)
     print("=== 1. Detect (Clou-PHT) ===")
-    report = session.analyze(VICTIM, engine="pht", name="quickstart")
+    report = session.analyze(AnalysisRequest.analyze(VICTIM, engine="pht", name="quickstart"))
     print(report.summary())
     print()
     for witness in report.transmitters:
@@ -44,7 +45,7 @@ def main() -> None:
     print()
 
     print("=== 2. Repair (minimal lfence insertion) ===")
-    for result in session.repair(VICTIM, engine="pht", name="quickstart"):
+    for result in session.repair(AnalysisRequest.repair(VICTIM, engine="pht", name="quickstart")):
         print(result.summary())
         for block, index in result.fences:
             print(f"  inserted lfence at {block}#{index}")

@@ -31,7 +31,7 @@ from repro.bench.suites import (
 )
 from repro.clou import ClouConfig
 from repro.lcm.taxonomy import TransmitterClass as TC
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 # Table 2 configuration: Clou uses ROB/LSQ 250/50; BH 200/20 (§6).
 CLOU_TABLE2_CONFIG = ClouConfig(rob_size=250, lsq_size=50, window_size=250,
@@ -91,7 +91,7 @@ def _clou_tool_row(cases: list[BenchCase], engine: str,
     worst_case = {"UDT": 0, "UCT": 0}
     timed_out = False
     for case in cases:
-        report = session.analyze(case.source, engine=engine, name=case.name)
+        report = session.analyze(AnalysisRequest.analyze(case.source, engine=engine, name=case.name))
         totals = report.totals()
         counts["DT"] += totals[TC.DATA]
         counts["CT"] += totals[TC.CONTROL]

@@ -76,6 +76,127 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="detect transmitters")
+    _add_analyze_flags(analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="sequential constant-time lint (dataflow only, no solver)")
+    lint.add_argument("sources", nargs="+", help="C source file(s)")
+    lint.add_argument("--secrets", default="",
+                      help="comma-separated secret symbols (globals or "
+                           "parameter names); replaces the default "
+                           "all-public-inputs-are-secret policy")
+    lint.add_argument("--public", default="",
+                      help="comma-separated names to exempt from the "
+                           "default secret-input policy")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as byte-stable JSON")
+    lint.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
+                      default=None, metavar="CLASS",
+                      help="exit non-zero when any finding is at or above "
+                           "this Table 1 class; choices: %(choices)s")
+    _add_scheduler_flags(lint)
+
+    repair = sub.add_parser("repair", help="insert minimal lfences")
+    repair.add_argument("source", help="C source file")
+    repair.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
+                        help="detection engine to repair against, or "
+                             "'all' for every registered engine "
+                             "(default: pht)")
+    repair.add_argument("--strategy", choices=["lfence", "protect"],
+                        default="lfence",
+                        help="lfence: minimal full-pipeline fences; "
+                             "protect: Blade-style value-flow breaks (§7)")
+    _add_scheduler_flags(repair)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a persistent analysis daemon (warm caches, "
+             "function-granular incremental re-analysis)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="UNIX socket to listen on (default: "
+                            "$REPRO_SOCKET)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port to listen on instead of a UNIX "
+                            "socket (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port "
+                            "(default: 127.0.0.1)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="reject analyze requests beyond N queued or "
+                            "running (clients see a busy error and exit "
+                            f"{EXIT_INCOMPLETE}); default: unbounded")
+    _add_scheduler_flags(serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a clou serve daemon (falls back to in-process "
+             "analysis when none is reachable)")
+    csub = client.add_subparsers(dest="client_command", required=True)
+    canalyze = csub.add_parser(
+        "analyze",
+        help="analyze via the daemon; same flags and byte-identical "
+             "--json output as 'clou analyze'")
+    _add_analyze_flags(canalyze)
+    _add_daemon_flags(canalyze)
+    canalyze.add_argument("--priority", type=int, default=0, metavar="N",
+                          help="queue priority on the daemon (lower runs "
+                               "first; default 0)")
+    cstatus = csub.add_parser(
+        "status", help="print the daemon's queue depth and session stats")
+    _add_daemon_flags(cstatus)
+    cshutdown = csub.add_parser(
+        "shutdown", help="ask the daemon to exit cleanly")
+    _add_daemon_flags(cshutdown)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs checked against "
+             "the cross-layer oracle matrix")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; the whole run is a pure "
+                           "function of it (default 0)")
+    fuzz.add_argument("--iterations", type=int, default=100, metavar="N",
+                      help="generated inputs to try (default 100)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECS",
+                      help="wall-clock cap; truncates the run without "
+                           "changing which input each iteration fuzzes")
+    fuzz.add_argument("--oracle", action="append", default=None,
+                      metavar="NAME",
+                      help="restrict to an oracle (repeatable or "
+                           "comma-separated; default: all). See "
+                           "--list-oracles")
+    fuzz.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                      help="directory for shrunk reproducers "
+                           "(default: fuzz-corpus/)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="record failing inputs without minimizing")
+    fuzz.add_argument("--max-failures", type=int, default=5, metavar="N",
+                      help="stop after N violations (default 5)")
+    fuzz.add_argument("--list-oracles", action="store_true",
+                      help="print the oracle matrix and exit")
+    fuzz.add_argument("--replay", metavar="REPRODUCER.json",
+                      help="re-run one corpus reproducer instead of "
+                           "fuzzing; exits non-zero while it still fails")
+    return parser
+
+
+def _add_daemon_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon UNIX socket (default: $REPRO_SOCKET)")
+    parser.add_argument("--port", type=int, default=None, metavar="N",
+                        help="daemon TCP port (instead of a UNIX socket)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="daemon host for --port (default: 127.0.0.1)")
+
+
+def _add_analyze_flags(analyze: argparse.ArgumentParser) -> None:
+    """The full ``clou analyze`` surface — shared verbatim with
+    ``clou client analyze`` so the daemon path accepts exactly the
+    same flags (and so both build the identical request/config,
+    which is what makes ``--json`` byte-identical)."""
     analyze.add_argument("source", nargs="?", default=None,
                          help="C source file")
     analyze.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
@@ -132,69 +253,6 @@ def _build_parser() -> argparse.ArgumentParser:
                               "'seed=1;crash@worker.item#2' (degradation "
                               "testing; see repro.sched.faults)")
     _add_scheduler_flags(analyze)
-
-    lint = sub.add_parser(
-        "lint",
-        help="sequential constant-time lint (dataflow only, no solver)")
-    lint.add_argument("sources", nargs="+", help="C source file(s)")
-    lint.add_argument("--secrets", default="",
-                      help="comma-separated secret symbols (globals or "
-                           "parameter names); replaces the default "
-                           "all-public-inputs-are-secret policy")
-    lint.add_argument("--public", default="",
-                      help="comma-separated names to exempt from the "
-                           "default secret-input policy")
-    lint.add_argument("--json", action="store_true",
-                      help="emit findings as byte-stable JSON")
-    lint.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
-                      default=None, metavar="CLASS",
-                      help="exit non-zero when any finding is at or above "
-                           "this Table 1 class; choices: %(choices)s")
-    _add_scheduler_flags(lint)
-
-    repair = sub.add_parser("repair", help="insert minimal lfences")
-    repair.add_argument("source", help="C source file")
-    repair.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
-                        help="detection engine to repair against, or "
-                             "'all' for every registered engine "
-                             "(default: pht)")
-    repair.add_argument("--strategy", choices=["lfence", "protect"],
-                        default="lfence",
-                        help="lfence: minimal full-pipeline fences; "
-                             "protect: Blade-style value-flow breaks (§7)")
-    _add_scheduler_flags(repair)
-
-    fuzz = sub.add_parser(
-        "fuzz",
-        help="differential fuzzing: generated programs checked against "
-             "the cross-layer oracle matrix")
-    fuzz.add_argument("--seed", type=int, default=0,
-                      help="master seed; the whole run is a pure "
-                           "function of it (default 0)")
-    fuzz.add_argument("--iterations", type=int, default=100, metavar="N",
-                      help="generated inputs to try (default 100)")
-    fuzz.add_argument("--time-budget", type=float, default=None,
-                      metavar="SECS",
-                      help="wall-clock cap; truncates the run without "
-                           "changing which input each iteration fuzzes")
-    fuzz.add_argument("--oracle", action="append", default=None,
-                      metavar="NAME",
-                      help="restrict to an oracle (repeatable or "
-                           "comma-separated; default: all). See "
-                           "--list-oracles")
-    fuzz.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
-                      help="directory for shrunk reproducers "
-                           "(default: fuzz-corpus/)")
-    fuzz.add_argument("--no-shrink", action="store_true",
-                      help="record failing inputs without minimizing")
-    fuzz.add_argument("--max-failures", type=int, default=5, metavar="N",
-                      help="stop after N violations (default 5)")
-    fuzz.add_argument("--list-oracles", action="store_true",
-                      help="print the oracle matrix and exit")
-    fuzz.add_argument("--replay", metavar="REPRODUCER.json",
-                      help="re-run one corpus reproducer instead of "
-                           "fuzzing; exits non-zero while it still fails")
-    return parser
 
 
 def _config_from_args(args) -> "ClouConfig":
@@ -287,9 +345,18 @@ def _run_analyze(args) -> int:
     source = _read(args.source)
     session = _session_from_args(args, config=_config_from_args(args))
     engines = engine_names() if args.engine == "all" else (args.engine,)
-    threshold = _severity_threshold(args.fail_on_severity)
-    reports = [session.analyze(source, engine=engine, name=args.source)
+    reports = [session.analyze(AnalysisRequest.analyze(
+                   source, engine=engine, name=args.source))
                for engine in engines]
+    return _emit_analyze(args, reports, engines, session.stats)
+
+
+def _emit_analyze(args, reports, engines, stats) -> int:
+    """Shared back half of ``clou analyze`` and ``clou client
+    analyze``: identical printing (hence byte-identical ``--json``)
+    and identical exit-code mapping regardless of where the reports
+    were computed."""
+    threshold = _severity_threshold(args.fail_on_severity)
     codes = [_analyze_exit_code(report, threshold, args.fail_on_incomplete)
              for report in reports]
     if args.json:
@@ -306,11 +373,11 @@ def _run_analyze(args) -> int:
                 [module_report_dict(report, stable=True)
                  for report in reports],
                 indent=2, ensure_ascii=False, sort_keys=True))
-        _print_stats(args, session.stats)
+        _print_stats(args, stats)
         return _combine_exit_codes(codes)
     for report in reports:
         _print_analyze_report(args, report, engines)
-    _print_stats(args, session.stats)
+    _print_stats(args, stats)
     return _combine_exit_codes(codes)
 
 
@@ -408,8 +475,9 @@ def _run_repair(args) -> int:
     source = _read(args.source)
     ok = True
     for engine in engines:
-        results = session.repair(source, engine=engine,
-                                 name=args.source, strategy=args.strategy)
+        results = session.repair(AnalysisRequest.repair(
+            source, engine=engine, name=args.source,
+            strategy=args.strategy))
         for result in results:
             print(result.summary())
             for block, index in result.fences:
@@ -417,6 +485,109 @@ def _run_repair(args) -> int:
             ok &= result.fully_repaired
     _print_stats(args, session.stats)
     return 0 if ok else 1
+
+
+def _daemon_address(args) -> tuple[str | None, int | None]:
+    """Resolve (socket_path, port) from flags + ``$REPRO_SOCKET``."""
+    from repro.sched import env_socket
+
+    if args.port is not None:
+        return None, args.port
+    return args.socket or env_socket(), None
+
+
+def _run_serve(args) -> int:
+    import os
+    import signal
+
+    from repro.serve import ClouServer
+
+    socket_path, port = _daemon_address(args)
+    if socket_path is None and port is None:
+        print("clou serve: pass --socket PATH or --port N "
+              "(or set $REPRO_SOCKET)", file=sys.stderr)
+        return EXIT_USAGE
+    session = _session_from_args(args)
+    server = ClouServer(session, socket_path=socket_path, port=port,
+                        host=args.host, max_inflight=args.max_inflight)
+    server.start()
+
+    def _stop(signum, frame):
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"clou serve: listening on {server.address} "
+          f"(pid {os.getpid()})", file=sys.stderr, flush=True)
+    server.serve_forever()
+    print("clou serve: shut down cleanly", file=sys.stderr)
+    return EXIT_CLEAN
+
+
+def _run_client(args) -> int:
+    from repro.serve import ClouClient, DaemonBusy, DaemonUnreachable
+
+    socket_path, port = _daemon_address(args)
+    client = ClouClient(socket_path=socket_path, port=port, host=args.host)
+    if args.client_command == "status":
+        import json
+
+        try:
+            with client:
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+        except DaemonUnreachable as error:
+            print(f"clou client: {error}", file=sys.stderr)
+            return 1
+        return EXIT_CLEAN
+    if args.client_command == "shutdown":
+        try:
+            with client:
+                client.shutdown()
+        except DaemonUnreachable as error:
+            print(f"clou client: {error}", file=sys.stderr)
+            return 1
+        print(f"clou client: daemon at {client.address} shut down")
+        return EXIT_CLEAN
+    # client analyze: daemon-first, in-process fallback.
+    if args.list_engines:
+        return _list_engines()
+    if args.source is None:
+        print("clou client analyze: a C source file is required "
+              "(or --list-engines)", file=sys.stderr)
+        return EXIT_USAGE
+    source = _read(args.source)
+    engines = engine_names() if args.engine == "all" else (args.engine,)
+    config = _config_from_args(args)
+    try:
+        with client:
+            reports, stats = _client_reports(args, client, source, engines,
+                                             config)
+    except DaemonUnreachable:
+        # The daemon is an accelerator, not a dependency: run the
+        # identical analysis in-process (same request, same config,
+        # same cache keys — and the same bytes under --json).
+        return _run_analyze(args)
+    except DaemonBusy as error:
+        print(f"clou client: {error}", file=sys.stderr)
+        return EXIT_INCOMPLETE
+    return _emit_analyze(args, reports, engines, stats)
+
+
+def _client_reports(args, client, source, engines, config):
+    from repro.errors import AnalysisError
+    from repro.sched import SessionStats
+
+    reports, stats = [], SessionStats()
+    for engine in engines:
+        result = client.analyze(
+            AnalysisRequest.analyze(source, engine=engine,
+                                    name=args.source, config=config),
+            priority=args.priority)
+        if result.error is not None:
+            raise AnalysisError(result.error)
+        reports.append(result.report)
+        stats.merge(result.stats)
+    return reports, stats
 
 
 def _run_fuzz(args) -> int:
@@ -463,6 +634,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_lint(args)
         if args.command == "repair":
             return _run_repair(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "client":
+            return _run_client(args)
         if args.command == "fuzz":
             return _run_fuzz(args)
     except (KeyboardInterrupt, SchedulerInterrupt):

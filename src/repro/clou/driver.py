@@ -6,11 +6,12 @@
     config, the worker pool, the per-item timeout, and the result
     cache, and it shares one S-AEG per function across engines::
 
-        from repro.sched import ClouSession
+        from repro.sched import AnalysisRequest, ClouSession
 
         session = ClouSession(jobs=4)
-        report = session.analyze(source, engine="pht", name="victim.c")
-        repairs = session.repair(source, engine="pht")
+        report = session.analyze(
+            AnalysisRequest.analyze(source, engine="pht", name="victim.c"))
+        repairs = session.repair(AnalysisRequest.repair(source, engine="pht"))
 
     These shims forward to a private serial session and emit a
     :class:`DeprecationWarning`.  The repo's own test suite escalates
@@ -59,25 +60,33 @@ def analyze_function(module: Module, function_name: str,
                      config: ClouConfig = CLOU_DEFAULT_CONFIG
                      ) -> FunctionReport:
     """Deprecated: analyze one public function with one engine."""
-    _deprecated("analyze_function", "analyze_module")
-    report = _session(config).analyze_module(
-        module, engine=engine, functions=(function_name,))
+    from repro.sched import AnalysisRequest
+
+    _deprecated("analyze_function", "analyze")
+    report = _session(config).analyze(AnalysisRequest.for_module(
+        module, engine=engine, functions=(function_name,)))
     return report.functions[0]
 
 
 def analyze_module(module: Module, engine: str = "pht",
                    config: ClouConfig = CLOU_DEFAULT_CONFIG) -> ModuleReport:
     """Deprecated: analyze each defined public function one-by-one."""
-    _deprecated("analyze_module", "analyze_module")
-    return _session(config).analyze_module(module, engine=engine)
+    from repro.sched import AnalysisRequest
+
+    _deprecated("analyze_module", "analyze")
+    return _session(config).analyze(
+        AnalysisRequest.for_module(module, engine=engine))
 
 
 def analyze_source(source: str, engine: str = "pht",
                    config: ClouConfig = CLOU_DEFAULT_CONFIG,
                    name: str = "") -> ModuleReport:
     """Deprecated: the whole Fig. 6 pipeline from C source text."""
+    from repro.sched import AnalysisRequest
+
     _deprecated("analyze_source", "analyze")
-    return _session(config).analyze(source, engine=engine, name=name)
+    return _session(config).analyze(
+        AnalysisRequest.analyze(source, engine=engine, name=name))
 
 
 def repair_function(module: Module, function_name: str, engine: str = "pht",
@@ -95,5 +104,8 @@ def repair_source(source: str, engine: str = "pht",
                   config: ClouConfig = CLOU_DEFAULT_CONFIG,
                   name: str = "") -> list[RepairResult]:
     """Deprecated: detect and fence-repair every public function."""
+    from repro.sched import AnalysisRequest
+
     _deprecated("repair_source", "repair")
-    return _session(config).repair(source, engine=engine, name=name)
+    return _session(config).repair(
+        AnalysisRequest.repair(source, engine=engine, name=name))

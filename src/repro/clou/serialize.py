@@ -99,6 +99,36 @@ def module_report_dict(report: ModuleReport,
     return out
 
 
+def repair_result_dict(result, stable: bool = True) -> dict[str, Any]:
+    """Serialize a :class:`repro.clou.repair.RepairResult` — the repair
+    arm of the daemon wire protocol (``AnalysisResult.to_dict``)."""
+    return {
+        "function": result.function,
+        "engine": result.engine,
+        "fences": [[block, index] for block, index in result.fences],
+        "before": (function_report_dict(result.before, stable=stable)
+                   if result.before is not None else None),
+        "after": (function_report_dict(result.after, stable=stable)
+                  if result.after is not None else None),
+        "error": result.error,
+    }
+
+
+def repair_result_from_dict(data: dict[str, Any]):
+    from repro.clou.repair import RepairResult
+
+    return RepairResult(
+        function=data["function"],
+        engine=data["engine"],
+        fences=[(block, index) for block, index in data.get("fences", [])],
+        before=(function_report_from_dict(data["before"])
+                if data.get("before") is not None else None),
+        after=(function_report_from_dict(data["after"])
+               if data.get("after") is not None else None),
+        error=data.get("error"),
+    )
+
+
 def to_json(report: ModuleReport, indent: int = 2,
             stable: bool = False) -> str:
     return json.dumps(module_report_dict(report, stable=stable),

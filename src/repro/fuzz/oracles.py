@@ -42,6 +42,7 @@ from typing import Callable
 from repro.errors import ReproError
 from repro.fuzz.gen_c import GeneratedC
 from repro.fuzz.gen_litmus import GeneratedLitmus, render_program
+from repro.sched import AnalysisRequest
 
 __all__ = ["ORACLES", "Oracle", "OracleSkip", "oracles_for"]
 
@@ -214,8 +215,8 @@ def _serialize_roundtrip(generated: GeneratedC) -> str | None:
     from repro.clou.serialize import module_report_from_dict, to_json
 
     try:
-        report = _analysis_session().analyze(
-            generated.source, engine=_fuzz_engine(generated), name="fuzz")
+        report = _analysis_session().analyze(AnalysisRequest.analyze(
+            generated.source, engine=_fuzz_engine(generated), name="fuzz"))
     except ReproError as error:
         return f"generated program does not analyze: {error}"
     first = to_json(report, stable=True)
@@ -232,10 +233,10 @@ def _jobs_invariance(generated: GeneratedC) -> str | None:
 
     engine = _fuzz_engine(generated)
     try:
-        serial = _analysis_session(jobs=1).analyze(
-            generated.source, engine=engine, name="fuzz")
-        parallel = _analysis_session(jobs=2).analyze(
-            generated.source, engine=engine, name="fuzz")
+        serial = _analysis_session(jobs=1).analyze(AnalysisRequest.analyze(
+            generated.source, engine=engine, name="fuzz"))
+        parallel = _analysis_session(jobs=2).analyze(AnalysisRequest.analyze(
+            generated.source, engine=engine, name="fuzz"))
     except ReproError as error:
         return f"generated program does not analyze: {error}"
     serial_json = to_json(serial, stable=True)
@@ -263,8 +264,8 @@ def _degradation(generated: GeneratedC) -> str | None:
     engine = _fuzz_engine(generated)
 
     def analyze(config):
-        return ClouSession(config=config, jobs=1, cache=False).analyze(
-            generated.source, engine=engine, name="fuzz")
+        return ClouSession(config=config, jobs=1, cache=False).analyze(AnalysisRequest.analyze(
+            generated.source, engine=engine, name="fuzz"))
 
     try:
         baseline = analyze(ClouConfig(timeout_seconds=10.0))

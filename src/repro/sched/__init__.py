@@ -16,11 +16,15 @@ Public surface:
 
 from repro.sched.cache import (CACHE_DIR_ENV, ResultCache, default_cache_dir,
                                item_cache_key, source_digest, user_cache_dir)
+from repro.sched.digest import function_digests, normalized_digest
+from repro.sched.env import SOCKET_ENV, env_cache_dir, env_fault_spec, \
+    env_jobs, env_socket
 from repro.sched.faults import FAULTS_ENV, FaultPlan, FaultSpecError, \
     fault_point, parse_spec
 from repro.sched.scheduler import (ItemOutcome, JOBS_ENV, SchedulerInterrupt,
                                    TransientError, default_jobs, run_items)
-from repro.sched.session import AnalysisRequest, AnalysisResult, ClouSession
+from repro.sched.session import AnalysisRequest, AnalysisResult, \
+    ClouSession, REQUEST_SCHEMA_VERSION
 from repro.sched.stats import ItemStats, SessionStats
 
 __all__ = [
@@ -34,14 +38,22 @@ __all__ = [
     "ItemOutcome",
     "ItemStats",
     "JOBS_ENV",
+    "REQUEST_SCHEMA_VERSION",
     "ResultCache",
+    "SOCKET_ENV",
     "SchedulerInterrupt",
     "SessionStats",
     "TransientError",
     "default_cache_dir",
     "default_jobs",
+    "env_cache_dir",
+    "env_fault_spec",
+    "env_jobs",
+    "env_socket",
     "fault_point",
+    "function_digests",
     "item_cache_key",
+    "normalized_digest",
     "parse_spec",
     "run_items",
     "source_digest",

@@ -21,25 +21,36 @@ import tempfile
 
 # Bump when the serialized report schema or the analysis itself changes
 # incompatibly; old entries then miss instead of deserializing garbage.
-SCHEMA_VERSION = 1
+# v2: analyze items are keyed by the function-granular normalized
+# digest (repro.sched.digest) instead of the whole-module digest.
+SCHEMA_VERSION = 2
 
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+from repro.sched.env import CACHE_DIR_ENV, env_cache_dir  # noqa: F401
 
 
 def source_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
-def item_cache_key(*, kind: str, source: str, function: str = "",
-                   engine: str = "", config_key: str = "",
+def item_cache_key(*, kind: str, source: str = "", source_key: str = "",
+                   function: str = "", engine: str = "",
+                   config_key: str = "",
                    secrets: tuple[str, ...] = (),
                    public: tuple[str, ...] = ()) -> str:
-    """The content address of one work item's result."""
+    """The content address of one work item's result.
+
+    ``source_key`` names the source-content component of the key
+    directly — the session passes the *function-granular* digest from
+    :mod:`repro.sched.digest`, so an edit elsewhere in the module does
+    not move this item's address.  When empty (lint items, or sources
+    the splitter cannot tokenize) it falls back to the module-level
+    digest of ``source``.
+    """
     payload = json.dumps(
         {
             "v": SCHEMA_VERSION,
             "kind": kind,
-            "source": source_digest(source),
+            "source": source_key or source_digest(source),
             "function": function,
             "engine": engine,
             "config": config_key,
@@ -54,9 +65,9 @@ def item_cache_key(*, kind: str, source: str, function: str = "",
 
 def default_cache_dir() -> str | None:
     """``$REPRO_CACHE_DIR`` when set, else ``None`` (caching off for
-    library use; the CLI supplies a user-cache default)."""
-    path = os.environ.get(CACHE_DIR_ENV, "").strip()
-    return path or None
+    library use; the CLI and daemon supply a user-cache default).
+    Delegates to :func:`repro.sched.env.env_cache_dir`."""
+    return env_cache_dir()
 
 
 def user_cache_dir() -> str:

@@ -1,0 +1,177 @@
+"""Function-granular source digests for incremental re-analysis.
+
+The result cache (:mod:`repro.sched.cache`) keys every analyze item by
+the *content* of the work.  Keying on the whole-module digest makes any
+edit — even a comment — invalidate every function's entry.  This module
+computes a **normalized per-function digest** instead, so:
+
+- editing function ``A`` only moves ``A``'s key (and the keys of
+  functions that can *reach* ``A``, since the A-CFG inlines defined
+  callees — §5.1);
+- whitespace, comment, and preprocessor-line edits move no key at all
+  (the mini-C lexer discards all three, and the frontend never reads
+  them);
+- reordering or editing unrelated top-level declarations *does* move
+  every key (the preamble digest is order-sensitive), which is the
+  conservative direction.
+
+A function's digest covers, in order:
+
+1. the **preamble** — every top-level token outside function
+   definitions (globals, struct definitions, prototypes), which can
+   change the meaning of any body;
+2. its **own** normalized token stream (signature + body);
+3. the own-streams of every *transitively referenced* defined function
+   (an over-approximation of the call graph: any identifier occurrence
+   counts as a potential call — safe, never unsound).
+
+The splitter understands exactly the mini-C top-level grammar
+(declarations end at a depth-0 ``;``; a depth-0 ``{`` preceded by ``)``
+opens a function body).  Anything it cannot classify makes
+:func:`function_digests` return ``None`` and the caller falls back to
+the module-level digest — incremental reuse degrades, correctness does
+not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+from repro.errors import ParseError
+from repro.minic.lexer import Token, tokenize
+
+__all__ = ["DIGEST_VERSION", "function_digests", "normalized_digest"]
+
+# Bump when the normalization or closure rule changes: digests feed
+# cache keys, so a rule change must move every address.
+DIGEST_VERSION = 1
+
+
+def _hash(parts) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return digest.hexdigest()
+
+
+def _normalize(tokens: list[Token]) -> list[str]:
+    # kind:text pairs; line numbers are deliberately dropped (they never
+    # reach the IR), and so are whitespace/comments/preproc (the lexer
+    # already discarded them).
+    return [f"{token.kind}\x00{token.text}" for token in tokens]
+
+
+def normalized_digest(source: str) -> str | None:
+    """The whole-module *normalized* digest: stable under whitespace and
+    comment edits, unlike :func:`repro.sched.cache.source_digest`.
+    ``None`` when the source does not tokenize."""
+    try:
+        tokens = tokenize(source)
+    except ParseError:
+        return None
+    return _hash(["v%d" % DIGEST_VERSION] + _normalize(tokens[:-1]))
+
+
+def _segments(tokens: list[Token]):
+    """Split a top-level token stream into ``("function", name, toks)``
+    and ``("decl", None, toks)`` segments, or ``None`` if the stream
+    does not fit the mini-C top-level shape."""
+    segments = []
+    current: list[Token] = []
+    brace = 0
+    in_function_body = False
+    previous: Token | None = None
+    for token in tokens:
+        if token.kind == "eof":
+            break
+        current.append(token)
+        if token.kind == "op" and token.text == "{":
+            if brace == 0:
+                # In the mini-C grammar a depth-0 brace after `)` can
+                # only open a function body; every other depth-0 brace
+                # (struct body, initializer) belongs to a declaration
+                # that will end at its `;`.
+                in_function_body = (previous is not None
+                                    and previous.kind == "op"
+                                    and previous.text == ")")
+            brace += 1
+        elif token.kind == "op" and token.text == "}":
+            brace -= 1
+            if brace < 0:
+                return None
+            if brace == 0 and in_function_body:
+                name = _function_name(current)
+                if name is None:
+                    return None
+                segments.append(("function", name, current))
+                current = []
+                in_function_body = False
+        elif token.kind == "op" and token.text == ";" and brace == 0:
+            segments.append(("decl", None, current))
+            current = []
+        previous = token
+    if brace != 0:
+        return None
+    if current:
+        # Trailing tokens that close no construct: treat as preamble so
+        # they still affect every key.
+        segments.append(("decl", None, current))
+    return segments
+
+
+def _function_name(segment: list[Token]) -> str | None:
+    """The identifier immediately before the first ``(`` — the
+    declarator name in the mini-C grammar (params contain no parens)."""
+    for index, token in enumerate(segment):
+        if token.kind == "op" and token.text == "(":
+            if index and segment[index - 1].kind == "ident":
+                return segment[index - 1].text
+            return None
+    return None
+
+
+@lru_cache(maxsize=64)
+def function_digests(source: str) -> dict[str, str] | None:
+    """Map every defined function to its closure digest, or ``None``
+    when the source cannot be split (fall back to module granularity).
+
+    Memoized on the source text: the daemon hashes the same resident
+    sources once per edit, not once per request.
+    """
+    try:
+        tokens = tokenize(source)
+    except ParseError:
+        return None
+    segments = _segments(tokens)
+    if segments is None:
+        return None
+    own: dict[str, str] = {}
+    referenced: dict[str, set[str]] = {}
+    preamble_parts: list[str] = []
+    for kind, name, segment in segments:
+        if kind == "function":
+            if name in own:
+                return None  # duplicate definition: not valid mini-C
+            own[name] = _hash(_normalize(segment))
+            referenced[name] = {t.text for t in segment if t.kind == "ident"}
+        else:
+            preamble_parts.extend(_normalize(segment))
+    preamble = _hash(preamble_parts)
+    digests: dict[str, str] = {}
+    for name in own:
+        reachable: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            stack.extend(callee for callee in referenced[current]
+                         if callee in own and callee not in reachable)
+        dependencies = sorted(reachable - {name})
+        digests[name] = _hash(
+            ["v%d" % DIGEST_VERSION, "preamble", preamble, "self", own[name]]
+            + [part for dep in dependencies for part in (dep, own[dep])])
+    return digests

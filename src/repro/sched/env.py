@@ -1,0 +1,71 @@
+"""One home for every ``REPRO_*`` environment default.
+
+The CLI, the library :class:`~repro.sched.ClouSession`, and the
+``clou serve`` daemon must agree on what the environment means — a
+daemon that read ``$REPRO_JOBS`` differently from the CLI would give
+different answers depending on which front-end handled the request.
+Every accessor below is the *single* implementation; the historical
+entry points (``scheduler.default_jobs``, ``cache.default_cache_dir``,
+``faults._env_plan``) delegate here.
+
+All accessors are total: malformed values degrade to the documented
+default instead of raising, so a stray ``REPRO_JOBS=lots`` never takes
+down a daemon at import time.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "FAULTS_ENV",
+    "JOBS_ENV",
+    "SOCKET_ENV",
+    "env_cache_dir",
+    "env_fault_spec",
+    "env_jobs",
+    "env_socket",
+]
+
+#: Worker process count for :class:`ClouSession` (default 1 = serial).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Result-cache directory (unset = caching off for library use; the
+#: CLI and daemon fall back to the per-user cache directory).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Deterministic fault-injection spec (see :mod:`repro.sched.faults`).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Default UNIX socket path for ``clou serve`` / ``clou client``.
+SOCKET_ENV = "REPRO_SOCKET"
+
+
+def _text(name: str) -> str:
+    return os.environ.get(name, "").strip()
+
+
+def env_jobs(default: int = 1) -> int:
+    """``$REPRO_JOBS`` clamped to ``>= 1``; ``default`` when unset or
+    unparseable."""
+    raw = _text(JOBS_ENV)
+    try:
+        return max(1, int(raw)) if raw else max(1, default)
+    except ValueError:
+        return max(1, default)
+
+
+def env_cache_dir() -> str | None:
+    """``$REPRO_CACHE_DIR`` when set and non-empty, else ``None``."""
+    return _text(CACHE_DIR_ENV) or None
+
+
+def env_fault_spec() -> str | None:
+    """``$REPRO_FAULTS`` when set and non-empty, else ``None``."""
+    return _text(FAULTS_ENV) or None
+
+
+def env_socket() -> str | None:
+    """``$REPRO_SOCKET`` when set and non-empty, else ``None``."""
+    return _text(SOCKET_ENV) or None

@@ -52,10 +52,10 @@ import time
 import zlib
 from dataclasses import dataclass
 
+from repro.sched.env import FAULTS_ENV, env_fault_spec  # noqa: F401
+
 __all__ = ["ACTIONS", "FAULTS_ENV", "FaultPlan", "FaultSpecError", "SITES",
            "activate", "active_plan", "fault_point", "parse_spec"]
-
-FAULTS_ENV = "REPRO_FAULTS"
 
 ACTIONS = ("crash", "hang", "memory", "budget")
 
@@ -196,7 +196,7 @@ def parse_spec(spec: str) -> FaultPlan:
 # ----------------------------------------------------------------------
 
 def _env_plan() -> FaultPlan | None:
-    spec = os.environ.get(FAULTS_ENV, "").strip()
+    spec = env_fault_spec()
     return parse_spec(spec) if spec else None
 
 

@@ -53,10 +53,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["ItemOutcome", "SchedulerInterrupt", "TransientError",
-           "run_items", "default_jobs"]
+from repro.sched.env import JOBS_ENV, env_jobs  # noqa: F401  (re-export)
 
-JOBS_ENV = "REPRO_JOBS"
+__all__ = ["ItemOutcome", "JOBS_ENV", "SchedulerInterrupt",
+           "TransientError", "run_items", "default_jobs"]
 
 # Parent-loop tick: bounds how late a deadline kill or crash detection
 # can fire.  Small enough to be unnoticeable, large enough to be free.
@@ -76,12 +76,10 @@ class SchedulerInterrupt(Exception):
 
 
 def default_jobs() -> int:
-    """``$REPRO_JOBS`` when set and valid, else 1 (serial)."""
-    raw = os.environ.get(JOBS_ENV, "").strip()
-    try:
-        return max(1, int(raw)) if raw else 1
-    except ValueError:
-        return 1
+    """``$REPRO_JOBS`` when set and valid, else 1 (serial).  Delegates
+    to :func:`repro.sched.env.env_jobs` so the CLI, library sessions,
+    and the daemon cannot diverge on what the environment means."""
+    return env_jobs(default=1)
 
 
 @dataclass

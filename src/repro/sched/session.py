@@ -29,7 +29,8 @@ cached/uncached runs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace as dc_replace
 
 from repro.analysis.lint import LintReport, lint_report_dict, \
     lint_report_from_dict
@@ -37,21 +38,39 @@ from repro.clou.engine import CLOU_DEFAULT_CONFIG, ClouConfig, ENGINES
 from repro.clou.repair import RepairResult
 from repro.clou.report import FunctionReport, ModuleReport
 from repro.clou.serialize import function_report_dict, \
-    function_report_from_dict
+    function_report_from_dict, module_report_dict, module_report_from_dict, \
+    repair_result_dict, repair_result_from_dict
 from repro.errors import AnalysisError, ReproError
 from repro.sched import worker
 from repro.sched.cache import ResultCache, default_cache_dir, item_cache_key
+from repro.sched.digest import function_digests
 from repro.sched.scheduler import default_jobs, run_items
 from repro.sched.stats import ItemStats, SessionStats
 
-__all__ = ["AnalysisRequest", "AnalysisResult", "ClouSession"]
+__all__ = ["AnalysisRequest", "AnalysisResult", "ClouSession",
+           "REQUEST_SCHEMA_VERSION"]
 
 _KINDS = ("analyze", "repair", "lint")
+
+#: Version of the AnalysisRequest/AnalysisResult wire dicts (the daemon
+#: protocol rides on these).  Bump on incompatible field changes; both
+#: ``from_dict`` sides reject versions they do not know.
+REQUEST_SCHEMA_VERSION = 1
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
 class AnalysisRequest:
-    """One unit of user intent: analyze, repair, or lint one source."""
+    """One unit of user intent: analyze, repair, or lint one source.
+
+    This is the single currency of the session API *and* the daemon
+    wire protocol: build one with :meth:`analyze` / :meth:`repair` /
+    :meth:`lint` / :meth:`for_module`, pass it to
+    :meth:`ClouSession.run` (or the single-request convenience methods),
+    or ship it across a socket via :meth:`to_dict` /
+    :meth:`from_dict`.
+    """
 
     source: str
     kind: str = "analyze"               # 'analyze' | 'repair' | 'lint'
@@ -62,6 +81,97 @@ class AnalysisRequest:
     secrets: tuple[str, ...] = ()       # lint: secret symbol names
     public: tuple[str, ...] = ()        # lint: exemptions from the default
     strategy: str = "lfence"            # repair: 'lfence' | 'protect'
+    #: Pre-compiled :class:`repro.ir.Module` for in-process analysis —
+    #: never serialized, never cached (there is no source to key on).
+    module: object | None = field(default=None, compare=False, repr=False)
+
+    # -- constructors (the former kwarg soup of ClouSession.analyze) ---
+
+    @classmethod
+    def analyze(cls, source: str, *, engine: str = "pht", name: str = "",
+                functions: tuple[str, ...] = (),
+                config: ClouConfig | None = None) -> "AnalysisRequest":
+        """An analyze request over C source text."""
+        return cls(source=source, kind="analyze", engine=engine, name=name,
+                   functions=tuple(functions), config=config)
+
+    @classmethod
+    def repair(cls, source: str, *, engine: str = "pht", name: str = "",
+               functions: tuple[str, ...] = (),
+               config: ClouConfig | None = None,
+               strategy: str = "lfence") -> "AnalysisRequest":
+        """A fence-repair request over C source text."""
+        return cls(source=source, kind="repair", engine=engine, name=name,
+                   functions=tuple(functions), config=config,
+                   strategy=strategy)
+
+    @classmethod
+    def lint(cls, source: str, *, name: str = "",
+             secrets: tuple[str, ...] = (),
+             public: tuple[str, ...] = ()) -> "AnalysisRequest":
+        """A constant-time lint request over C source text."""
+        return cls(source=source, kind="lint", name=name,
+                   secrets=tuple(secrets), public=tuple(public))
+
+    @classmethod
+    def for_module(cls, module, *, engine: str = "pht",
+                   functions: tuple[str, ...] = (),
+                   config: ClouConfig | None = None) -> "AnalysisRequest":
+        """An analyze request over a pre-compiled IR module.  Runs
+        serial and in-process (no cache, no worker pool — the module
+        never crosses a process or wire boundary)."""
+        return cls(source="", kind="analyze", engine=engine,
+                   name=getattr(module, "name", "") or "<module>",
+                   functions=tuple(functions), config=config, module=module)
+
+    # -- wire form ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The versioned wire dict (byte-stable once JSON-encoded with
+        sorted keys).  Module-backed requests cannot cross the wire."""
+        if self.module is not None:
+            raise ValueError("module-backed AnalysisRequests are "
+                             "in-process only and cannot be serialized")
+        return {
+            "v": REQUEST_SCHEMA_VERSION,
+            "kind": self.kind,
+            "source": self.source,
+            "engine": self.engine,
+            "name": self.name,
+            "functions": list(self.functions),
+            "config": (self.config.to_dict()
+                       if self.config is not None else None),
+            "secrets": list(self.secrets),
+            "public": list(self.public),
+            "strategy": self.strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisRequest":
+        if not isinstance(data, dict):
+            raise ValueError("AnalysisRequest.from_dict needs a dict")
+        version = data.get("v")
+        if version != REQUEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported AnalysisRequest schema v{version!r} "
+                f"(this build speaks v{REQUEST_SCHEMA_VERSION})")
+        kind = data.get("kind", "analyze")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; "
+                             f"choose from {_KINDS}")
+        config = data.get("config")
+        return cls(
+            source=data.get("source", ""),
+            kind=kind,
+            engine=data.get("engine", "pht"),
+            name=data.get("name", ""),
+            functions=tuple(data.get("functions", ())),
+            config=(ClouConfig.from_dict(config)
+                    if config is not None else None),
+            secrets=tuple(data.get("secrets", ())),
+            public=tuple(data.get("public", ())),
+            strategy=data.get("strategy", "lfence"),
+        )
 
 
 @dataclass
@@ -83,6 +193,50 @@ class AnalysisResult:
     def ok(self) -> bool:
         return self.error is None
 
+    def to_dict(self) -> dict:
+        """The versioned wire dict.  Reports use their *stable* JSON
+        form (no wall-clock fields), so a daemon response serializes
+        byte-identically to a fresh CLI run; ``exception`` objects never
+        cross the wire (``error`` carries the message)."""
+        return {
+            "v": REQUEST_SCHEMA_VERSION,
+            "request": self.request.to_dict(),
+            "report": (module_report_dict(self.report, stable=True)
+                       if self.report is not None else None),
+            "repairs": ([repair_result_dict(r) for r in self.repairs]
+                        if self.repairs is not None else None),
+            "lint": (lint_report_dict(self.lint)
+                     if self.lint is not None else None),
+            "error": self.error,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisResult":
+        if not isinstance(data, dict):
+            raise ValueError("AnalysisResult.from_dict needs a dict")
+        version = data.get("v")
+        if version != REQUEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported AnalysisResult schema v{version!r} "
+                f"(this build speaks v{REQUEST_SCHEMA_VERSION})")
+        report = data.get("report")
+        repairs = data.get("repairs")
+        lint = data.get("lint")
+        stats = data.get("stats")
+        return cls(
+            request=AnalysisRequest.from_dict(data["request"]),
+            report=(module_report_from_dict(report)
+                    if report is not None else None),
+            repairs=([repair_result_from_dict(r) for r in repairs]
+                     if repairs is not None else None),
+            lint=(lint_report_from_dict(lint)
+                  if lint is not None else None),
+            error=data.get("error"),
+            stats=(SessionStats.from_dict(stats)
+                   if stats is not None else SessionStats()),
+        )
+
 
 @dataclass
 class _Item:
@@ -96,6 +250,7 @@ class _Item:
     cached_value: object = None
     outcome_value: object = None
     stats: ItemStats | None = None
+    local: bool = False            # module-backed: run in-process, serial
 
 
 class ClouSession:
@@ -175,36 +330,62 @@ class ClouSession:
         self.stats.merge(batch)
         return results
 
-    def analyze(self, source: str, *, engine: str = "pht", name: str = "",
-                config: ClouConfig | None = None,
-                functions: tuple[str, ...] = ()) -> ModuleReport:
-        """Analyze every public function (or ``functions``) of ``source``
-        with one engine.  Raises on parse errors, like the historical
-        ``analyze_source``."""
-        [result] = self.run([AnalysisRequest(
-            source=source, kind="analyze", engine=engine, name=name,
-            functions=tuple(functions), config=config)])
+    def _coerce(self, request, kind: str, kwargs: dict) -> AnalysisRequest:
+        """Accept the new currency (an :class:`AnalysisRequest`) or the
+        deprecated ``(source, **kwargs)`` soup, normalizing to a
+        request.  The legacy path warns — the repo's own suite escalates
+        that warning to an error (setup.cfg), the PR 2 precedent."""
+        if isinstance(request, AnalysisRequest):
+            extra = {k: v for k, v in kwargs.items() if v is not _UNSET}
+            if extra:
+                raise TypeError(
+                    f"ClouSession.{kind}(AnalysisRequest) takes no extra "
+                    f"keywords (got {sorted(extra)}); set the fields on "
+                    f"the request instead")
+            if request.kind != kind:
+                raise AnalysisError(
+                    f"ClouSession.{kind}() got a {request.kind!r} request")
+            return request
+        warnings.warn(
+            f"passing source text and keywords to ClouSession.{kind} is "
+            f"deprecated; build an AnalysisRequest.{kind}(...) instead",
+            DeprecationWarning, stacklevel=3)
+        build = getattr(AnalysisRequest, kind)
+        return build(request, **{key: value for key, value in kwargs.items()
+                                 if value is not _UNSET})
+
+    def analyze(self, request, *, engine=_UNSET, name=_UNSET,
+                config=_UNSET, functions=_UNSET) -> ModuleReport:
+        """Analyze one :class:`AnalysisRequest` (kind ``analyze``) and
+        return its :class:`ModuleReport`; raises on parse errors, like
+        the historical ``analyze_source``.
+
+        .. deprecated:: passing raw source text plus keywords — build
+           the request with :meth:`AnalysisRequest.analyze` instead.
+        """
+        request = self._coerce(request, "analyze", {
+            "engine": engine, "name": name, "config": config,
+            "functions": functions})
+        [result] = self.run([request])
         if result.exception is not None:
             raise result.exception
         return result.report
 
-    def repair(self, source: str, *, engine: str = "pht", name: str = "",
-               config: ClouConfig | None = None,
-               strategy: str = "lfence",
-               functions: tuple[str, ...] = ()) -> list[RepairResult]:
-        [result] = self.run([AnalysisRequest(
-            source=source, kind="repair", engine=engine, name=name,
-            functions=tuple(functions), config=config, strategy=strategy)])
+    def repair(self, request, *, engine=_UNSET, name=_UNSET, config=_UNSET,
+               strategy=_UNSET, functions=_UNSET) -> list[RepairResult]:
+        request = self._coerce(request, "repair", {
+            "engine": engine, "name": name, "config": config,
+            "strategy": strategy, "functions": functions})
+        [result] = self.run([request])
         if result.exception is not None:
             raise result.exception
         return result.repairs
 
-    def lint(self, source: str, *, name: str = "",
-             secrets: tuple[str, ...] = (),
-             public: tuple[str, ...] = ()) -> LintReport:
-        [result] = self.run([AnalysisRequest(
-            source=source, kind="lint", name=name,
-            secrets=tuple(secrets), public=tuple(public))])
+    def lint(self, request, *, name=_UNSET, secrets=_UNSET,
+             public=_UNSET) -> LintReport:
+        request = self._coerce(request, "lint", {
+            "name": name, "secrets": secrets, "public": public})
+        [result] = self.run([request])
         if result.exception is not None:
             raise result.exception
         if result.error is not None:
@@ -214,44 +395,19 @@ class ClouSession:
     def analyze_module(self, module, *, engine: str = "pht",
                        config: ClouConfig | None = None,
                        functions: tuple[str, ...] = ()) -> ModuleReport:
-        """Analyze a pre-compiled :class:`repro.ir.Module` in-process
-        (serial; no cache — there is no source text to key on).  Backs
-        the deprecated ``analyze_module``/``analyze_function`` shims."""
-        from repro.clou.acfg import build_acfg
-        from repro.clou.aeg import SAEG
-
-        config = config if config is not None else self.config
-        if engine not in ENGINES:
-            raise AnalysisError(f"unknown engine {engine!r}; choose from "
-                                f"{sorted(ENGINES)}")
-        names = tuple(functions) or tuple(
-            f.name for f in module.public_functions())
-        report = ModuleReport(name=module.name or "<module>", engine=engine,
-                              config=config)
-        stats = SessionStats(jobs=1)
-        for function_name in names:
-            item_started = time.monotonic()
-            try:
-                aeg = SAEG(build_acfg(module, function_name).function)
-                function_report = ENGINES[engine](aeg, config).run()
-            except ReproError as error:
-                function_report = FunctionReport(
-                    function=function_name, engine=engine, error=str(error))
-            report.functions.append(function_report)
-            stats.record(ItemStats(
-                label=f"{function_name}/{engine}", kind="analyze",
-                elapsed=time.monotonic() - item_started,
-                errored=function_report.error is not None))
-        stats.candidates = report.candidates
-        stats.pruned = report.pruned
-        stats.skipped = report.skipped
-        stats.undecided = report.undecided
-        for function_report in report.functions:
-            stats.absorb_sat(function_report.sat_stats)
-        stats.wall_seconds = stats.work_seconds
-        report.stats = stats
-        self.stats.merge(stats)
-        return report
+        """Deprecated: analyze a pre-compiled :class:`repro.ir.Module`.
+        Build :meth:`AnalysisRequest.for_module` and call
+        :meth:`analyze` (or :meth:`run`) instead — module-backed
+        requests share the same ``run()`` code path, executing serial
+        and in-process (no cache: there is no source text to key on)."""
+        warnings.warn(
+            "ClouSession.analyze_module is deprecated; pass "
+            "AnalysisRequest.for_module(module, ...) to "
+            "ClouSession.analyze instead",
+            DeprecationWarning, stacklevel=2)
+        return self.analyze(AnalysisRequest.for_module(
+            module, engine=engine, functions=tuple(functions),
+            config=config))
 
     # -- request expansion -------------------------------------------------
 
@@ -280,9 +436,17 @@ class ClouSession:
             raise AnalysisError(
                 f"unknown engine {request.engine!r}; choose from "
                 f"{sorted(ENGINES)}")
+        if request.module is not None:
+            return self._expand_module(index, request, config)
         module = worker.module_for(request.source, request.name)
         names = request.functions or tuple(
             f.name for f in module.public_functions())
+        # Function-granular keying (incremental re-analysis): an edit to
+        # one function only moves that function's cache address.  When
+        # the splitter cannot classify the source, fall back to the
+        # module-level digest — strictly more invalidation, never less.
+        digests = (function_digests(request.source)
+                   if request.kind == "analyze" else None) or {}
         items = []
         for function_name in names:
             payload = {
@@ -294,6 +458,7 @@ class ClouSession:
             if request.kind == "analyze":
                 key = item_cache_key(
                     kind="analyze", source=request.source,
+                    source_key=digests.get(function_name, ""),
                     function=function_name, engine=request.engine,
                     config_key=config.cache_key())
             else:
@@ -304,11 +469,32 @@ class ClouSession:
                 label=f"{function_name}/{request.engine}"))
         return items
 
+    def _expand_module(self, index: int, request: AnalysisRequest,
+                       config: ClouConfig) -> list[_Item]:
+        """Module-backed analyze requests: one in-process serial item
+        per function (uncached and unscheduled — a compiled module has
+        no source to key on and never crosses a process boundary)."""
+        module = request.module
+        names = request.functions or tuple(
+            f.name for f in module.public_functions())
+        return [
+            _Item(
+                request_index=index, function=function_name,
+                payload={"kind": "analyze", "module": module,
+                         "name": request.name, "function": function_name,
+                         "engine": request.engine, "config": config},
+                label=f"{function_name}/{request.engine}", local=True)
+            for function_name in names
+        ]
+
     # -- execution ---------------------------------------------------------
 
     def _execute(self, items: list[_Item]) -> None:
         misses: list[_Item] = []
         for item in items:
+            if item.local:
+                self._execute_local(item)
+                continue
             cached = self._probe_cache(item)
             if cached is not None:
                 item.cached_value = cached
@@ -337,6 +523,18 @@ class ClouSession:
                 self._store_cache(item)
             else:
                 item.outcome_value = self._errored_value(item, outcome)
+
+    def _execute_local(self, item: _Item) -> None:
+        """Run one module-backed item inline (serial, uncached)."""
+        started = time.monotonic()
+        value = worker.analyze_module_item(
+            item.payload["module"], item.payload["function"],
+            item.payload["engine"], item.payload["config"])
+        item.outcome_value = value
+        item.stats = ItemStats(
+            label=item.label, kind="analyze",
+            elapsed=time.monotonic() - started,
+            errored=value.error is not None)
 
     def _errored_value(self, item: _Item, outcome):
         kind = item.payload["kind"]

@@ -125,7 +125,11 @@ class SessionStats:
         return self.cache_hits / probed if probed else 0.0
 
     def to_dict(self) -> dict:
+        """The stable wire form (documented in DESIGN.md): plain JSON
+        scalars, one key per counter, ``cache_hit_rate`` derived.
+        ``per_item`` detail never crosses the wire."""
         return {
+            "v": 1,
             "jobs": self.jobs,
             "items": self.items,
             "cache_hits": self.cache_hits,
@@ -151,6 +155,32 @@ class SessionStats:
             "work_seconds": round(self.work_seconds, 4),
             "wall_seconds": round(self.wall_seconds, 4),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionStats":
+        """Invert :meth:`to_dict` (the ``clou client --stats`` read
+        path: per-request stats cross the daemon's process boundary as
+        JSON).  Unknown keys are ignored for forward compatibility;
+        ``cache_hit_rate`` is derived, never read; ``per_item`` comes
+        back empty."""
+        if not isinstance(data, dict):
+            raise ValueError("SessionStats.from_dict needs a dict")
+        version = data.get("v", 1)
+        if version != 1:
+            raise ValueError(f"unsupported SessionStats schema v{version}")
+        stats = cls()
+        for key in ("jobs", "items", "cache_hits", "cache_misses",
+                    "retries", "timeouts", "crashes", "errors", "resumed",
+                    "memory_killed", "budget_exhausted", "candidates",
+                    "pruned", "skipped", "undecided", "sat_queries",
+                    "sat_memo_hits", "sat_encodes", "sat_learned",
+                    "sat_deleted", "sat_propagations"):
+            if key in data:
+                setattr(stats, key, int(data[key]))
+        for key in ("work_seconds", "wall_seconds"):
+            if key in data:
+                setattr(stats, key, float(data[key]))
+        return stats
 
     def summary(self) -> str:
         """The ``--stats`` line."""

@@ -110,6 +110,20 @@ def analyze_item(source: str, name: str, function: str, engine: str,
                               error=str(error))
 
 
+def analyze_module_item(module, function: str, engine: str,
+                        config: ClouConfig) -> FunctionReport:
+    """One (function, engine) run over a pre-compiled module — the
+    in-process arm of :meth:`ClouSession.run` for
+    :meth:`AnalysisRequest.for_module` requests (no memo: the module
+    object is caller-owned and has no content key)."""
+    try:
+        aeg = SAEG(build_acfg(module, function).function)
+        return ENGINES[engine](aeg, config).run()
+    except ReproError as error:
+        return FunctionReport(function=function, engine=engine,
+                              error=str(error))
+
+
 def repair_item(source: str, name: str, function: str, engine: str,
                 config: ClouConfig, strategy: str) -> RepairResult:
     if engine not in ENGINES:

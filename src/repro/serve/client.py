@@ -1,0 +1,174 @@
+"""Client side of the ``clou serve`` protocol.
+
+:class:`ClouClient` holds one connection and speaks the NDJSON
+envelopes from :mod:`repro.serve.protocol` sequentially (send one,
+read the reply).  The payloads it sends and receives are the library
+wire forms — :meth:`AnalysisRequest.to_dict` out,
+:meth:`AnalysisResult.from_dict` back — so a daemon round-trip yields
+the same objects a local :meth:`ClouSession.run` would have.
+
+Failure taxonomy, because the CLI maps each differently:
+
+- :class:`DaemonUnreachable` — no daemon at the address (connection
+  refused, missing socket, no address configured).  The CLI falls
+  back to an in-process session: the daemon is an accelerator, not a
+  dependency.
+- :class:`DaemonBusy` — the daemon load-shed the request
+  (``--max-inflight`` full).  Maps to the degraded-coverage exit
+  code, not a crash.
+- :class:`AnalysisError` — the daemon processed the request and it
+  failed (parse error, unknown engine, ...): same exception the local
+  path would raise.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import AnalysisError
+from repro.sched import AnalysisRequest, AnalysisResult
+from repro.sched.env import env_socket
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ClouClient", "DaemonBusy", "DaemonUnreachable"]
+
+
+class DaemonUnreachable(ConnectionError):
+    """No daemon listening at the configured address."""
+
+
+class DaemonBusy(RuntimeError):
+    """The daemon rejected the request under its --max-inflight budget."""
+
+
+class ClouClient:
+    """One connection to a ``clou serve`` daemon.
+
+    Address resolution: an explicit ``socket_path`` or ``port`` wins;
+    with neither, ``$REPRO_SOCKET`` supplies the UNIX socket path.  No
+    address at all raises :class:`DaemonUnreachable` on first use, so
+    callers can treat "not configured" and "not running" uniformly.
+    """
+
+    def __init__(self, socket_path: str | None = None,
+                 port: int | None = None, host: str = "127.0.0.1",
+                 timeout: float | None = 60.0):
+        if socket_path is None and port is None:
+            socket_path = env_socket()
+        self.socket_path = socket_path
+        self.port = port
+        self.host = host
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lines = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ClouClient":
+        if self._sock is not None:
+            return self
+        if self.socket_path is None and self.port is None:
+            raise DaemonUnreachable(
+                "no daemon address: pass --socket/--port or set "
+                "$REPRO_SOCKET")
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+        except OSError as error:
+            raise DaemonUnreachable(
+                f"no daemon at {self.address}: {error}") from error
+        self._sock = sock
+        self._lines = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._lines.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._lines = None
+
+    def __enter__(self) -> "ClouClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def address(self) -> str:
+        return (self.socket_path if self.socket_path is not None
+                else f"{self.host}:{self.port}")
+
+    # -- ops ---------------------------------------------------------------
+
+    def analyze(self, request: AnalysisRequest,
+                priority: int = 0) -> AnalysisResult:
+        """Run one request on the daemon; returns the same
+        :class:`AnalysisResult` a local session would (request-level
+        errors inside the result, transport/overload errors raised).
+
+        Any request kind rides the ``analyze`` op — repair and lint
+        requests work too; the op names the dispatch path (queued,
+        prioritized, budgeted), not the analysis kind."""
+        response = self._call(protocol.make_request(
+            "analyze", id=self._id(), priority=priority,
+            request=request.to_dict()))
+        return AnalysisResult.from_dict(response["result"])
+
+    def status(self) -> dict:
+        return self._call(protocol.make_request("status", id=self._id()))[
+            "result"]
+
+    def ping(self) -> dict:
+        return self._call(protocol.make_request("ping", id=self._id()))[
+            "result"]
+
+    def shutdown(self) -> None:
+        self._call(protocol.make_request("shutdown", id=self._id()))
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _call(self, envelope: dict) -> dict:
+        self.connect()
+        try:
+            self._sock.sendall(protocol.encode(envelope))
+            line = self._lines.readline()
+        except OSError as error:
+            self.close()
+            raise DaemonUnreachable(
+                f"daemon at {self.address} dropped the connection: "
+                f"{error}") from error
+        if not line:
+            self.close()
+            raise DaemonUnreachable(
+                f"daemon at {self.address} closed the connection")
+        try:
+            response = protocol.parse_response(protocol.decode_line(line))
+        except ProtocolError as error:
+            self.close()
+            raise AnalysisError(f"bad daemon response: {error}") from error
+        if not response["ok"]:
+            message = response.get("error") or "daemon error"
+            if response.get("busy"):
+                raise DaemonBusy(message)
+            raise AnalysisError(message)
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self._sock is not None else "idle"
+        return f"ClouClient({self.address!r}, {state})"

@@ -1,0 +1,142 @@
+"""The ``clou serve`` wire protocol: newline-delimited JSON envelopes.
+
+One connection carries a sequence of *requests* (client → server) and
+*responses* (server → client), one JSON object per line, UTF-8, no
+framing beyond the newline.  Both directions are versioned with a
+``"v"`` field (:data:`PROTOCOL_VERSION`); a peer speaking a different
+version gets a structured error back, never a silent misparse.
+
+Request envelope::
+
+    {"v": 1, "op": "analyze", "id": 7, "priority": 0,
+     "request": {... AnalysisRequest.to_dict() ...}}
+
+``op`` is one of :data:`OPS`.  ``id`` is chosen by the client and
+echoed verbatim in the response so a pipelined client can match
+replies; ``priority`` orders queued ``analyze`` ops (lower runs first,
+ties FIFO).  ``status``/``ping``/``shutdown`` take no ``request``.
+
+Response envelope::
+
+    {"v": 1, "id": 7, "ok": true, "result": {...}, "error": null,
+     "busy": false}
+
+``result`` is an ``AnalysisResult.to_dict()`` for ``analyze``, a
+status dict for ``status``/``ping``, and ``null`` for ``shutdown``.
+``busy: true`` marks a load-shed rejection (the server's
+``--max-inflight`` budget was full); the client maps it to the CLI's
+degraded-coverage exit code rather than treating it as a failure.
+
+The payloads inside the envelope are exactly the library wire forms
+(:meth:`AnalysisRequest.to_dict` / :meth:`AnalysisResult.to_dict`):
+the protocol adds routing, not another serialization.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "error_response",
+    "make_request",
+    "make_response",
+    "parse_request",
+    "parse_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: The operations a server understands.
+OPS = ("analyze", "status", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed or version-incompatible protocol line."""
+
+
+def encode(envelope: dict) -> bytes:
+    """One wire line: compact JSON + newline.  Compact separators keep
+    the hot path small; byte-stability of *reports* lives in the stable
+    dict forms inside the envelope, not in the envelope itself."""
+    return (json.dumps(envelope, ensure_ascii=False,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one wire line into an envelope dict.
+
+    Raises :class:`ProtocolError` for non-JSON, non-object, or
+    version-mismatched lines — the server turns that into a structured
+    error response instead of dropping the connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"undecodable line: {error}") from error
+    try:
+        envelope = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad JSON: {error}") from error
+    if not isinstance(envelope, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(envelope).__name__}")
+    version = envelope.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol v{version!r} "
+            f"(this build speaks v{PROTOCOL_VERSION})")
+    return envelope
+
+
+def make_request(op: str, *, id: object = None, priority: int = 0,
+                 request: dict | None = None) -> dict:
+    """Build a client → server envelope (validated)."""
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
+    envelope = {"v": PROTOCOL_VERSION, "op": op, "id": id}
+    if op == "analyze":
+        if request is None:
+            raise ProtocolError("analyze needs a request payload")
+        envelope["priority"] = int(priority)
+        envelope["request"] = request
+    return envelope
+
+
+def parse_request(envelope: dict) -> tuple[str, object, int, dict | None]:
+    """Validate a decoded client envelope → ``(op, id, priority,
+    request-payload)``."""
+    op = envelope.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
+    request = envelope.get("request")
+    if op == "analyze" and not isinstance(request, dict):
+        raise ProtocolError("analyze needs a request payload")
+    priority = envelope.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(f"priority must be an int, got {priority!r}")
+    return op, envelope.get("id"), priority, request
+
+
+def make_response(id: object, *, result: object = None,
+                  error: str | None = None, busy: bool = False) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": id, "ok": error is None,
+            "result": result, "error": error, "busy": busy}
+
+
+def error_response(id: object, message: str, *,
+                   busy: bool = False) -> dict:
+    return make_response(id, error=message, busy=busy)
+
+
+def parse_response(envelope: dict) -> dict:
+    """Validate a decoded server envelope (shape only; the caller
+    interprets ``result`` by the op it sent)."""
+    if "ok" not in envelope or "id" not in envelope:
+        raise ProtocolError("response missing ok/id fields")
+    return envelope

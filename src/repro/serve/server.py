@@ -1,0 +1,300 @@
+"""The ``clou serve`` daemon: a socket front-end on a resident session.
+
+One :class:`ClouServer` owns one long-lived
+:class:`~repro.sched.ClouSession` — the warm asset.  Keeping the
+session resident means the per-process compile and S-AEG memo caches
+stay hot and the on-disk result cache needs no re-probing setup, so a
+re-analysis after a one-function edit re-runs only the changed
+function (function-granular cache keys, see
+:mod:`repro.sched.digest`) at warm-interpreter speed.
+
+Threading model (deliberately boring):
+
+- an **accept loop** thread takes connections;
+- a **reader** thread per connection parses NDJSON request envelopes
+  (:mod:`repro.serve.protocol`) and answers ``status``/``ping``
+  inline;
+- a single **dispatcher** thread drains the priority queue and runs
+  ``analyze`` ops one batch at a time — :class:`ClouSession` is not
+  thread-safe, and serializing here keeps its stats, cache, and worker
+  pool single-writer.  Parallelism lives *inside* the session
+  (``--jobs`` worker processes), not across protocol ops.
+
+Queued ``analyze`` ops are ordered by ``(priority, arrival)`` — lower
+priority value first, FIFO within a priority.  When ``max_inflight``
+is set and the queue (queued + running) is full, new ``analyze`` ops
+are rejected immediately with ``busy: true`` instead of queuing
+unboundedly; the client maps that to the CLI's degraded-coverage exit
+code (the PR 5 contract: overload is incompleteness, not failure).
+
+``shutdown`` (op or :meth:`shutdown` call, e.g. from a SIGTERM
+handler) stops accepting, fails queued work with a structured error,
+and joins the threads — a clean exit, never a mid-write kill.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import socket
+import threading
+import time
+
+from repro.sched import AnalysisRequest, ClouSession
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ClouServer"]
+
+
+class _Writer:
+    """A socket with a send lock: reader and dispatcher threads both
+    reply on the same connection."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._lock = threading.Lock()
+
+    def send(self, envelope: dict) -> None:
+        data = protocol.encode(envelope)
+        with self._lock:
+            try:
+                self._sock.sendall(data)
+            except OSError:
+                pass  # client went away; its loss, not the server's
+
+
+class ClouServer:
+    """A persistent analysis daemon over a UNIX socket or TCP port.
+
+    Parameters
+    ----------
+    session:
+        The resident :class:`ClouSession` (injectable for tests).
+        ``None`` builds a default session.
+    socket_path / port / host:
+        Exactly one transport: a UNIX socket path, or a TCP port on
+        ``host`` (``port=0`` binds an ephemeral port; read it back
+        from :attr:`port` after :meth:`start`).
+    max_inflight:
+        Load-shed budget: the maximum number of ``analyze`` ops queued
+        or running at once.  ``None`` = unbounded.
+    """
+
+    def __init__(self, session: ClouSession | None = None, *,
+                 socket_path: str | None = None, port: int | None = None,
+                 host: str = "127.0.0.1", max_inflight: int | None = None):
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path/port is required")
+        self.session = session if session is not None else ClouSession()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: list = []            # (priority, seq, writer, id, dict)
+        self._seq = itertools.count()
+        self._running = 0                 # analyze ops inside session.run
+        self._served = 0
+        self._rejected = 0
+        self._started = time.monotonic()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind and spin up the accept + dispatcher threads."""
+        self._listener = self._bind()
+        for target, name in ((self._accept_loop, "clou-serve-accept"),
+                             (self._dispatch_loop, "clou-serve-dispatch")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def serve_forever(self) -> None:
+        """:meth:`start` then block until :meth:`shutdown`."""
+        if self._listener is None:
+            self.start()
+        self._stop.wait()
+        self._join()
+
+    def shutdown(self) -> None:
+        """Stop accepting, fail queued work, release the socket.
+        Idempotent and callable from any thread (including a signal
+        handler)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._work:
+            pending, self._queue = self._queue, []
+            self._work.notify_all()
+        for _, _, writer, id, _ in pending:
+            writer.send(protocol.error_response(id, "server shutting down"))
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def _join(self) -> None:
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+
+    def _bind(self) -> socket.socket:
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                # Reclaim a stale socket (dead daemon); refuse a live one.
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.connect(self.socket_path)
+                except OSError:
+                    os.unlink(self.socket_path)
+                else:
+                    probe.close()
+                    raise OSError(
+                        f"another daemon is live on {self.socket_path}")
+                finally:
+                    probe.close()
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(16)
+        return listener
+
+    @property
+    def address(self) -> str:
+        return (self.socket_path if self.socket_path is not None
+                else f"{self.host}:{self.port}")
+
+    # -- threads -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed by shutdown()
+            thread = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name="clou-serve-conn", daemon=True)
+            thread.start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        writer = _Writer(conn)
+        try:
+            with conn, conn.makefile("rb") as lines:
+                for line in lines:
+                    if not line.strip():
+                        continue
+                    if not self._handle(line, writer):
+                        return
+        except OSError:
+            pass
+
+    def _handle(self, line: bytes, writer: _Writer) -> bool:
+        """One envelope; returns False to drop the connection."""
+        try:
+            op, id, priority, payload = protocol.parse_request(
+                protocol.decode_line(line))
+        except ProtocolError as error:
+            writer.send(protocol.error_response(None, str(error)))
+            return True
+        if op == "ping":
+            writer.send(protocol.make_response(id, result=self._pong()))
+        elif op == "status":
+            writer.send(protocol.make_response(id, result=self.status()))
+        elif op == "shutdown":
+            writer.send(protocol.make_response(id, result=None))
+            self.shutdown()
+            return False
+        elif op == "analyze":
+            self._enqueue(writer, id, priority, payload)
+        return True
+
+    def _enqueue(self, writer: _Writer, id: object, priority: int,
+                 payload: dict) -> None:
+        with self._work:
+            if self._stop.is_set():
+                busy = False
+                full = True
+                message = "server shutting down"
+            else:
+                inflight = len(self._queue) + self._running
+                full = (self.max_inflight is not None
+                        and inflight >= self.max_inflight)
+                busy = full
+                message = (f"server busy: {inflight} request(s) inflight "
+                           f"(--max-inflight {self.max_inflight})")
+            if not full:
+                heapq.heappush(self._queue, (priority, next(self._seq),
+                                             writer, id, payload))
+                self._work.notify()
+                return
+        self._rejected += busy
+        writer.send(protocol.error_response(id, message, busy=busy))
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._stop.is_set():
+                    self._work.wait()
+                if self._stop.is_set():
+                    return
+                _, _, writer, id, payload = heapq.heappop(self._queue)
+                self._running += 1
+            response = self._analyze(id, payload)
+            # Count before replying: a client that sends `status` right
+            # after its analyze reply must see itself served.
+            with self._work:
+                self._running -= 1
+                self._served += 1
+            writer.send(response)
+
+    def _analyze(self, id: object, payload: dict) -> dict:
+        # Total: a bad payload or a session bug must never kill the
+        # dispatcher thread, only this one request.
+        try:
+            request = AnalysisRequest.from_dict(payload)
+            [result] = self.session.run([request])
+            return protocol.make_response(id, result=result.to_dict())
+        except Exception as error:
+            return protocol.error_response(id, str(error))
+
+    # -- introspection -----------------------------------------------------
+
+    def _pong(self) -> dict:
+        return {"protocol": protocol.PROTOCOL_VERSION, "pid": os.getpid()}
+
+    def status(self) -> dict:
+        """The ``status`` op's result payload (also handy in-process)."""
+        with self._lock:
+            queued, running = len(self._queue), self._running
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "address": self.address,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "queued": queued,
+            "running": running,
+            "max_inflight": self.max_inflight,
+            "served": self._served,
+            "busy_rejected": self._rejected,
+            "stats": self.session.stats.to_dict(),
+        }

@@ -8,7 +8,7 @@ import pytest
 from repro.clou import ClouConfig, analyze_function, analyze_module, analyze_source
 from repro.errors import ParseError
 from repro.minic import compile_c
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 MULTI = """
 uint8_t A[16];
@@ -85,7 +85,7 @@ class TestShimSessionAgreement:
         with pytest.deprecated_call():
             via_shim = analyze_source(MULTI, engine="pht", name="multi")
         session = ClouSession(jobs=1, cache=False)
-        via_session = session.analyze(MULTI, engine="pht", name="multi")
+        via_session = session.analyze(AnalysisRequest.analyze(MULTI, engine="pht", name="multi"))
         assert to_json(via_shim, stable=True) == \
             to_json(via_session, stable=True)
 
@@ -111,7 +111,7 @@ class TestRepairShims:
         with pytest.deprecated_call():
             via_shim = repair_source(MULTI, engine="pht", name="multi")
         session = ClouSession(jobs=1, cache=False)
-        via_session = session.repair(MULTI, engine="pht", name="multi")
+        via_session = session.repair(AnalysisRequest.repair(MULTI, engine="pht", name="multi"))
         assert [(r.function, r.fences, r.fully_repaired)
                 for r in via_shim] == \
             [(r.function, r.fences, r.fully_repaired)

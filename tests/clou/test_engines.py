@@ -3,7 +3,7 @@
 import pytest
 
 from repro.clou import ClouConfig
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
 
 SPECTRE_V1 = """
@@ -59,7 +59,7 @@ _SESSION = ClouSession(jobs=1, cache=False)
 
 def _analyze(source, engine, **config_kwargs):
     config = ClouConfig(**config_kwargs) if config_kwargs else ClouConfig()
-    return _SESSION.analyze(source, engine=engine, config=config)
+    return _SESSION.analyze(AnalysisRequest.analyze(source, engine=engine, config=config))
 
 
 class TestClouPHT:
@@ -201,31 +201,31 @@ void f(uint64_t y) {
 
     def test_timeout_flag(self):
         config = ClouConfig(timeout_seconds=0.000001)
-        report = _SESSION.analyze(SPECTRE_V1, engine="pht", config=config)
+        report = _SESSION.analyze(AnalysisRequest.analyze(SPECTRE_V1, engine="pht", config=config))
         assert report.functions[0].timed_out or report.functions[0].elapsed < 1
 
 
 class TestRepair:
     def test_v1_repaired_with_one_fence(self):
-        results = _SESSION.repair(SPECTRE_V1, engine="pht")
+        results = _SESSION.repair(AnalysisRequest.repair(SPECTRE_V1, engine="pht"))
         (result,) = results
         assert result.fully_repaired
         assert len(result.fences) == 1  # the paper: 1 fence per PHT program
 
     def test_stl_repaired(self):
-        results = _SESSION.repair(STL01, engine="stl")
+        results = _SESSION.repair(AnalysisRequest.repair(STL01, engine="stl"))
         (result,) = results
         assert result.fully_repaired
         assert result.fences
 
     def test_clean_function_needs_no_fences(self):
-        results = _SESSION.repair(NO_BRANCH, engine="pht")
+        results = _SESSION.repair(AnalysisRequest.repair(NO_BRANCH, engine="pht"))
         (result,) = results
         assert result.fully_repaired
         assert result.fences == []
 
     def test_repair_summary(self):
-        (result,) = _SESSION.repair(SPECTRE_V1, engine="pht")
+        (result,) = _SESSION.repair(AnalysisRequest.repair(SPECTRE_V1, engine="pht"))
         assert "repaired" in result.summary()
 
 
@@ -253,5 +253,5 @@ class TestReports:
 
         module = compile_c(SPECTRE_V1)
         with pytest.raises(AnalysisError, match="unknown engine"):
-            _SESSION.analyze_module(module, engine="nope",
-                                    functions=("victim",))
+            _SESSION.analyze(AnalysisRequest.for_module(module, engine="nope",
+                                    functions=("victim",)))

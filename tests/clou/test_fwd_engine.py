@@ -16,7 +16,7 @@ from repro.clou.aeg import SAEG
 from repro.clou.engine import ENGINES
 from repro.clou.serialize import function_report_dict, to_json
 from repro.minic import compile_c
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 #: program -> transmitter classes the fwd engine finds (§6.1's table):
 #: fwd04 leaks only through a corrupted branch condition, fwd05 through
@@ -43,8 +43,8 @@ def _session(**kwargs):
 
 def _analyze(name, **kwargs):
     case = by_name(name)
-    return _session(**kwargs).analyze(case.source, engine="fwd",
-                                      name=case.name)
+    return _session(**kwargs).analyze(AnalysisRequest.analyze(case.source, engine="fwd",
+                                      name=case.name))
 
 
 class TestDetection:
@@ -82,8 +82,8 @@ class TestRepair:
     @pytest.mark.parametrize("name", ALL_PROGRAMS)
     def test_at_most_two_fences_and_safe_after(self, name):
         case = by_name(name)
-        results = _session().repair(case.source, engine="fwd",
-                                    name=case.name)
+        results = _session().repair(AnalysisRequest.repair(case.source, engine="fwd",
+                                    name=case.name))
         assert results
         for result in results:
             assert result.fully_repaired, result.summary()
@@ -97,8 +97,8 @@ class TestRepair:
         fence_counts = {}
         for name in ALL_PROGRAMS:
             case = by_name(name)
-            results = _session().repair(case.source, engine="fwd",
-                                        name=case.name)
+            results = _session().repair(AnalysisRequest.repair(case.source, engine="fwd",
+                                        name=case.name))
             fence_counts[name] = sum(len(r.fences) for r in results)
         assert fence_counts["fwd01"] == 1
         assert fence_counts["fwd05"] == 2
@@ -111,8 +111,8 @@ class TestRepair:
         # chained program where a naive transmit-window fence would
         # leave the second forward alive.
         case = by_name("fwd03")
-        (result,) = _session().repair(case.source, engine="fwd",
-                                      name=case.name)
+        (result,) = _session().repair(AnalysisRequest.repair(case.source, engine="fwd",
+                                      name=case.name))
         assert result.before.leaky
         assert not result.after.leaky
 
@@ -121,10 +121,10 @@ class TestDeterminism:
     @pytest.mark.parametrize("name", ["fwd03", "fwd05", "new01"])
     def test_json_byte_identical_across_jobs(self, name):
         case = by_name(name)
-        serial = _session(jobs=1).analyze(case.source, engine="fwd",
-                                          name=case.name)
-        parallel = _session(jobs=2).analyze(case.source, engine="fwd",
-                                            name=case.name)
+        serial = _session(jobs=1).analyze(AnalysisRequest.analyze(case.source, engine="fwd",
+                                          name=case.name))
+        parallel = _session(jobs=2).analyze(AnalysisRequest.analyze(case.source, engine="fwd",
+                                            name=case.name))
         assert to_json(serial, stable=True) == to_json(parallel, stable=True)
 
     def test_json_byte_identical_cached_vs_fresh(self, tmp_path):
@@ -134,8 +134,8 @@ class TestDeterminism:
         def run():
             session = ClouSession(ClouConfig(), jobs=1, cache=True,
                                   cache_dir=cache_dir)
-            report = session.analyze(case.source, engine="fwd",
-                                     name=case.name)
+            report = session.analyze(AnalysisRequest.analyze(case.source, engine="fwd",
+                                     name=case.name))
             return to_json(report, stable=True), session.stats
 
         fresh, fresh_stats = run()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.clou import group_witnesses
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 _SESSION = ClouSession(jobs=1, cache=False)
 
@@ -29,7 +29,7 @@ class TestGadgetClasses:
     def test_shared_access_grouped(self):
         """Two transmitters fed by the same A[y] access form one class —
         one culprit, one report (§6.2.3)."""
-        report = _SESSION.analyze(SOURCE, engine="pht")
+        report = _SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht"))
         witnesses = [w for f in report.functions for w in f.transmitters()]
         classes = group_witnesses(witnesses)
         assert len(classes) < len(witnesses)
@@ -37,7 +37,7 @@ class TestGadgetClasses:
         assert biggest.size >= 2
 
     def test_representative_is_most_severe(self):
-        report = _SESSION.analyze(SOURCE, engine="pht")
+        report = _SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht"))
         witnesses = [w for f in report.functions for w in f.transmitters()]
         for cls in group_witnesses(witnesses):
             members_max = max(
@@ -48,7 +48,7 @@ class TestGadgetClasses:
             assert cls.representative.klass.severity <= members_max or True
 
     def test_str(self):
-        report = _SESSION.analyze(SOURCE, engine="pht")
+        report = _SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht"))
         witnesses = [w for f in report.functions for w in f.transmitters()]
         classes = group_witnesses(witnesses)
         assert "gadget class" in str(classes[0])

@@ -4,7 +4,7 @@ function behaves as a load or store to its pointer operands."""
 import pytest
 
 from repro.clou import SAEG, build_acfg
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
 from repro.minic import compile_c
 
@@ -51,7 +51,7 @@ class TestHavocCalls:
 
     def test_memcmp_transmitter_detected(self):
         """PHT11's shape: the leak happens inside the library call."""
-        report = _SESSION.analyze(MEMCMP_GADGET, engine="pht")
+        report = _SESSION.analyze(AnalysisRequest.analyze(MEMCMP_GADGET, engine="pht"))
         assert report.leaky
         call_transmitters = [
             w for w in report.transmitters if "memcmp" in w.transmit.text

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.suites import litmus_pht
 from repro.clou import ClouConfig
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.lcm.taxonomy import TransmitterClass as TC
 
 _SESSION = ClouSession(jobs=1, cache=False)
@@ -28,14 +28,14 @@ class TestInterferenceVariant:
         cache line for a non-transient tfo-prior instruction.'"""
         config = ClouConfig(detect_interference_variant=True)
         for case in litmus_pht():
-            report = _SESSION.analyze(case.source, engine="pht",
-                                    config=config, name=case.name)
+            report = _SESSION.analyze(AnalysisRequest.analyze(case.source, engine="pht",
+                                    config=config, name=case.name))
             assert _interference_witnesses(report), case.name
 
     def test_off_by_default(self):
         case = litmus_pht()[0]
-        report = _SESSION.analyze(case.source, engine="pht",
-                                config=ClouConfig(), name=case.name)
+        report = _SESSION.analyze(AnalysisRequest.analyze(case.source, engine="pht",
+                                config=ClouConfig(), name=case.name))
         assert not _interference_witnesses(report)
 
     def test_requires_transient_window(self):
@@ -45,5 +45,5 @@ uint8_t tmp;
 void f(uint64_t y) { tmp &= A[y & 15]; }
 """
         config = ClouConfig(detect_interference_variant=True)
-        report = _SESSION.analyze(source, engine="pht", config=config)
+        report = _SESSION.analyze(AnalysisRequest.analyze(source, engine="pht", config=config))
         assert not _interference_witnesses(report)

@@ -8,6 +8,7 @@ from repro.bench.suites import by_name
 from repro.clou import SAEG, PathOracle, build_acfg
 from repro.clou.serialize import to_json
 from repro.minic import compile_c
+from repro.sched import AnalysisRequest
 
 BRANCHY = """
 uint8_t A[16];
@@ -114,8 +115,8 @@ class TestEngineIntegration:
         from repro.sched import ClouSession
 
         session = ClouSession(jobs=1, cache=False)
-        report = session.analyze(by_name("pht01").source, engine="pht",
-                                 name="oracle-test")
+        report = session.analyze(AnalysisRequest.analyze(by_name("pht01").source, engine="pht",
+                                 name="oracle-test"))
         assert report.stats.sat_queries > 0
         assert report.stats.sat_encodes <= len(report.functions)
 
@@ -123,8 +124,8 @@ class TestEngineIntegration:
         from repro.sched import ClouSession
 
         session = ClouSession(jobs=1, cache=False)
-        report = session.analyze(by_name("pht01").source, engine="pht",
-                                 name="oracle-test")
+        report = session.analyze(AnalysisRequest.analyze(by_name("pht01").source, engine="pht",
+                                 name="oracle-test"))
         assert any(f.sat_stats for f in report.functions)
         assert "sat_stats" not in to_json(report, stable=True)
 
@@ -138,7 +139,7 @@ class TestEngineIntegration:
 
         def fresh_report():
             session = ClouSession(jobs=1, cache=False)
-            return session.analyze(source, engine="pht", name="diff")
+            return session.analyze(AnalysisRequest.analyze(source, engine="pht", name="diff"))
 
         baseline = to_json(fresh_report(), stable=True)
         monkeypatch.setattr(SAEG, "realizable", SAEG.realizable_fresh)

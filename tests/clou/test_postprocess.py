@@ -3,7 +3,7 @@
 import pytest
 
 from repro.clou import ClouConfig
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.clou.postprocess import postprocess
 from repro.lcm.taxonomy import TransmitterClass as TC
 
@@ -25,7 +25,7 @@ void lookup(uint64_t idx) {
 
 @pytest.fixture(scope="module")
 def report():
-    module_report = _SESSION.analyze(SIGALGS_LIKE, engine="pht")
+    module_report = _SESSION.analyze(AnalysisRequest.analyze(SIGALGS_LIKE, engine="pht"))
     return module_report.functions[0]
 
 
@@ -54,7 +54,7 @@ void f(uint64_t y) {
     }
 }
 """
-        module_report = _SESSION.analyze(source, engine="pht")
+        module_report = _SESSION.analyze(AnalysisRequest.analyze(source, engine="pht"))
         function_report = module_report.functions[0]
         hopped = [w for w in function_report.transmitters()
                   if w.store_hops >= 1]

@@ -14,7 +14,7 @@ import pytest
 from repro.clou import ClouConfig
 from repro.clou.engine import ClouPSF, ClouSTL
 from repro.lcm.attacks import spectre_psf
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 #: The C rendering of attacks.SPECTRE_PSF_SOURCE (Fig. 4b):
 #: C[0] = 64; temp &= B[A[C[y] * y]]; — the load of C[y] may forward
@@ -45,7 +45,7 @@ void silent(void) {
 
 def _analyze(source, engine="psf", name="victim.c"):
     session = ClouSession(ClouConfig(), jobs=1, cache=False)
-    return session.analyze(source, engine=engine, name=name)
+    return session.analyze(AnalysisRequest.analyze(source, engine=engine, name=name))
 
 
 class TestGalleryAgreement:
@@ -121,7 +121,7 @@ void v4_victim(void) {
 
     def test_repair_breaks_the_psf_forward(self):
         session = ClouSession(ClouConfig(), jobs=1, cache=False)
-        results = session.repair(PSF_VICTIM, engine="psf", name="victim.c")
+        results = session.repair(AnalysisRequest.repair(PSF_VICTIM, engine="psf", name="victim.c"))
         assert results
         for result in results:
             assert result.fully_repaired, result.summary()

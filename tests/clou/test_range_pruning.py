@@ -12,7 +12,7 @@ import pytest
 from repro.bench.suites import by_name
 from repro.bench.synthetic import bounded_corpus
 from repro.clou import ClouConfig
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.clou.postprocess import postprocess, ranges_for
 from repro.lcm.taxonomy import TransmitterClass as TC
 from repro.minic import compile_c
@@ -46,14 +46,14 @@ def _totals(report):
                                   "pht10", "pht13"])
 def test_litmus_detections_unchanged(name):
     case = by_name(name)
-    on = _SESSION.analyze(case.source, engine="pht", config=ON, name=name)
-    off = _SESSION.analyze(case.source, engine="pht", config=OFF, name=name)
+    on = _SESSION.analyze(AnalysisRequest.analyze(case.source, engine="pht", config=ON, name=name))
+    off = _SESSION.analyze(AnalysisRequest.analyze(case.source, engine="pht", config=OFF, name=name))
     assert _totals(on) == _totals(off)
 
 
 def test_masked_victim_udt_pruned_dt_kept():
-    on = _SESSION.analyze(MASKED_VICTIM, engine="pht", config=ON)
-    off = _SESSION.analyze(MASKED_VICTIM, engine="pht", config=OFF)
+    on = _SESSION.analyze(AnalysisRequest.analyze(MASKED_VICTIM, engine="pht", config=ON))
+    off = _SESSION.analyze(AnalysisRequest.analyze(MASKED_VICTIM, engine="pht", config=OFF))
     assert off.total(TC.UNIVERSAL_DATA) >= 1
     assert on.total(TC.UNIVERSAL_DATA) == 0
     # The chain survives at the data-transmitter level: still reported.
@@ -64,7 +64,7 @@ def test_masked_victim_udt_pruned_dt_kept():
 def test_unmasked_victim_untouched():
     """The true Spectre v1 gadget (unmasked index) is never pruned."""
     case = by_name("pht01")
-    on = _SESSION.analyze(case.source, engine="pht", config=ON, name="pht01")
+    on = _SESSION.analyze(AnalysisRequest.analyze(case.source, engine="pht", config=ON, name="pht01"))
     assert on.total(TC.UNIVERSAL_DATA) >= 1
 
 
@@ -72,8 +72,8 @@ def test_bounded_corpus_candidates_decrease():
     udt_on = ClouConfig(enable_range_pruning=True, classes=("udt",))
     udt_off = ClouConfig(enable_range_pruning=False, classes=("udt",))
     for name, source in bounded_corpus(sizes=[6]):
-        on = _SESSION.analyze(source, engine="pht", config=udt_on, name=name)
-        off = _SESSION.analyze(source, engine="pht", config=udt_off, name=name)
+        on = _SESSION.analyze(AnalysisRequest.analyze(source, engine="pht", config=udt_on, name=name))
+        off = _SESSION.analyze(AnalysisRequest.analyze(source, engine="pht", config=udt_off, name=name))
         assert on.candidates < off.candidates
         assert on.total(TC.UNIVERSAL_DATA) < off.total(TC.UNIVERSAL_DATA)
 
@@ -81,7 +81,7 @@ def test_bounded_corpus_candidates_decrease():
 def test_stl_engine_does_not_prune():
     """Store-bypass invalidates slot-range reasoning: STL never prunes,
     even with the knob on."""
-    report = _SESSION.analyze(MASKED_VICTIM, engine="stl", config=ON)
+    report = _SESSION.analyze(AnalysisRequest.analyze(MASKED_VICTIM, engine="stl", config=ON))
     assert report.pruned == 0
 
 
@@ -89,7 +89,7 @@ def test_postprocess_ranges_sharpen_downgrades():
     """With engine pruning off, the same bounded-access argument can be
     applied after the fact via ``postprocess(..., ranges=...)``."""
     module = compile_c(MASKED_VICTIM)
-    report = _SESSION.analyze(MASKED_VICTIM, engine="pht", config=OFF)
+    report = _SESSION.analyze(AnalysisRequest.analyze(MASKED_VICTIM, engine="pht", config=OFF))
     function_report = report.functions[0]
     universal = [w for w in function_report.transmitters()
                  if w.klass is TC.UNIVERSAL_DATA]

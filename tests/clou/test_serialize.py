@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.clou.serialize import module_report_dict, to_json
 
 _SESSION = ClouSession(jobs=1, cache=False)
@@ -23,7 +23,7 @@ void victim(uint64_t y) {
 
 @pytest.fixture(scope="module")
 def report():
-    return _SESSION.analyze(SOURCE, engine="pht", name="victim")
+    return _SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht", name="victim"))
 
 
 class TestJson:
@@ -91,10 +91,10 @@ void f(uint8_t v) {
     tmp &= table[slot_b * 16];
 }
 """
-        plain = _SESSION.analyze(source, engine="stl",
-                               config=ClouConfig())
-        psf = _SESSION.analyze(source, engine="stl",
-                             config=ClouConfig(assume_alias_prediction=True))
+        plain = _SESSION.analyze(AnalysisRequest.analyze(source, engine="stl",
+                               config=ClouConfig()))
+        psf = _SESSION.analyze(AnalysisRequest.analyze(source, engine="stl",
+                             config=ClouConfig(assume_alias_prediction=True)))
         plain_count = sum(len(f.witnesses) for f in plain.functions)
         psf_count = sum(len(f.witnesses) for f in psf.functions)
         assert psf_count >= plain_count
@@ -103,9 +103,9 @@ void f(uint8_t v) {
 
 class TestStableJson:
     def test_stable_json_is_byte_identical_across_runs(self):
-        one = to_json(_SESSION.analyze(SOURCE, engine="pht", name="victim"),
+        one = to_json(_SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht", name="victim")),
                       stable=True)
-        two = to_json(_SESSION.analyze(SOURCE, engine="pht", name="victim"),
+        two = to_json(_SESSION.analyze(AnalysisRequest.analyze(SOURCE, engine="pht", name="victim")),
                       stable=True)
         assert one == two
 

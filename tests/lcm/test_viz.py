@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 from repro.lcm.attacks import spectre_v1
 from repro.viz import execution_to_dot, witness_to_dot
 
@@ -59,7 +59,7 @@ void f(uint64_t y) {
     if (y < n) { t &= B[A[y] * 16]; }
 }
 """
-        report = _SESSION.analyze(source, engine="pht")
+        report = _SESSION.analyze(AnalysisRequest.analyze(source, engine="pht"))
         witness = report.transmitters[0]
         dot = witness_to_dot(witness)
         assert "digraph" in dot

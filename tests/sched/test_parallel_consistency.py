@@ -11,7 +11,7 @@ import pytest
 from repro.bench.synthetic import openssl_like_source
 from repro.clou import ClouConfig
 from repro.clou.serialize import to_json
-from repro.sched import ClouSession
+from repro.sched import AnalysisRequest, ClouSession
 
 pytestmark = pytest.mark.slow
 
@@ -21,17 +21,17 @@ CONFIG = ClouConfig(timeout_seconds=60.0)
 
 class TestJobsInvariance:
     def test_byte_identical_json_jobs_1_vs_4(self):
-        serial = ClouSession(config=CONFIG, jobs=1, cache=False).analyze(
-            SOURCE, engine="pht", name="corpus")
-        parallel = ClouSession(config=CONFIG, jobs=4, cache=False).analyze(
-            SOURCE, engine="pht", name="corpus")
+        serial = ClouSession(config=CONFIG, jobs=1, cache=False).analyze(AnalysisRequest.analyze(
+            SOURCE, engine="pht", name="corpus"))
+        parallel = ClouSession(config=CONFIG, jobs=4, cache=False).analyze(AnalysisRequest.analyze(
+            SOURCE, engine="pht", name="corpus"))
         assert to_json(serial, stable=True) == to_json(parallel, stable=True)
 
     def test_byte_identical_json_cached_vs_fresh(self, tmp_path):
         session = ClouSession(config=CONFIG, jobs=2, cache=True,
                               cache_dir=str(tmp_path))
-        fresh = session.analyze(SOURCE, engine="pht", name="corpus")
-        cached = session.analyze(SOURCE, engine="pht", name="corpus")
+        fresh = session.analyze(AnalysisRequest.analyze(SOURCE, engine="pht", name="corpus"))
+        cached = session.analyze(AnalysisRequest.analyze(SOURCE, engine="pht", name="corpus"))
         assert session.stats.cache_hits > 0
         assert to_json(fresh, stable=True) == to_json(cached, stable=True)
 

@@ -16,7 +16,7 @@ from repro.clou.aeg import SAEG
 from repro.clou.engine import ENGINES
 from repro.clou.serialize import function_report_dict, to_json
 from repro.minic import compile_c
-from repro.sched import ClouSession, SchedulerInterrupt, run_items
+from repro.sched import AnalysisRequest, ClouSession, SchedulerInterrupt, run_items
 
 VICTIM = """
 uint8_t A[16];
@@ -75,11 +75,11 @@ def _session(fault_spec=None, **kwargs):
 
 class TestPoolKillResume:
     def test_hang_kill_resume_matches_uninterrupted_run(self):
-        clean = _session(jobs=1).analyze(VICTIM, engine="pht",
-                                         name="victim.c")
+        clean = _session(jobs=1).analyze(AnalysisRequest.analyze(VICTIM, engine="pht",
+                                         name="victim.c"))
         session = _session("hang@engine.candidate#2", jobs=2, timeout=30,
                            stall_timeout=0.5, retries=2)
-        faulted = session.analyze(VICTIM, engine="pht", name="victim.c")
+        faulted = session.analyze(AnalysisRequest.analyze(VICTIM, engine="pht", name="victim.c"))
         assert session.stats.resumed >= 1
         # to_json differs only through config.fault_spec; the function
         # reports themselves must be byte-identical.
@@ -90,11 +90,11 @@ class TestPoolKillResume:
                 for f in clean.functions]
 
     def test_crash_kill_resume_matches_uninterrupted_run(self):
-        clean = _session(jobs=1).analyze(VICTIM, engine="pht",
-                                         name="victim.c")
+        clean = _session(jobs=1).analyze(AnalysisRequest.analyze(VICTIM, engine="pht",
+                                         name="victim.c"))
         session = _session("crash@engine.candidate#2", jobs=2, timeout=30,
                            retries=2)
-        faulted = session.analyze(VICTIM, engine="pht", name="victim.c")
+        faulted = session.analyze(AnalysisRequest.analyze(VICTIM, engine="pht", name="victim.c"))
         assert session.stats.resumed >= 1
         assert [function_report_dict(f, stable=True)
                 for f in faulted.functions] \
@@ -114,7 +114,7 @@ class TestDegradationStats:
 
     def test_budget_faults_surface_in_stats_and_coverage(self):
         session = _session("budget@oracle.query%1.0", jobs=1)
-        report = session.analyze(VICTIM, engine="pht", name="victim.c")
+        report = session.analyze(AnalysisRequest.analyze(VICTIM, engine="pht", name="victim.c"))
         assert report.undecided > 0
         assert not report.complete
         assert report.verdict == "unknown"
@@ -126,11 +126,13 @@ class TestDegradationStats:
         config = ClouConfig(fault_spec="budget@oracle.query%1.0")
         degraded = ClouSession(config, cache=True, cache_dir=cache_dir,
                                jobs=1)
-        degraded.analyze(VICTIM, engine="pht", name="victim.c")
+        degraded.analyze(
+            AnalysisRequest.analyze(VICTIM, engine="pht", name="victim.c"))
         # The degraded (incomplete) report must not have been stored
         # under this config's cache key.
         rerun = ClouSession(config, cache=True, cache_dir=cache_dir, jobs=1)
-        rerun.analyze(VICTIM, engine="pht", name="victim.c")
+        rerun.analyze(
+            AnalysisRequest.analyze(VICTIM, engine="pht", name="victim.c"))
         assert rerun.stats.cache_hits == 0
 
 
@@ -170,8 +172,8 @@ class TestDonnaAcceptance:
 
         def run(spec, **kwargs):
             session = _session(spec, **kwargs)
-            report = session.analyze(source, engine="pht", name="donna.c",
-                                     functions=("curve25519_donna",))
+            report = session.analyze(AnalysisRequest.analyze(source, engine="pht", name="donna.c",
+                                     functions=("curve25519_donna",)))
             return report, session
 
         clean, _ = run(None, jobs=2, timeout=600)

@@ -1,0 +1,87 @@
+"""repro.serve.protocol: the NDJSON envelope codec."""
+
+import pytest
+
+from repro.serve.protocol import (OPS, PROTOCOL_VERSION, ProtocolError,
+                                  decode_line, encode, error_response,
+                                  make_request, make_response,
+                                  parse_request, parse_response)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        envelope = make_request("analyze", id=3, priority=1,
+                                request={"v": 1, "kind": "analyze"})
+        assert decode_line(encode(envelope)) == envelope
+
+    def test_one_line_per_envelope(self):
+        assert encode(make_request("ping", id=1)).count(b"\n") == 1
+
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            decode_line(b"{not json}\n")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_version_mismatch(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            decode_line(b'{"v": 99, "op": "ping"}\n')
+
+    def test_undecodable_bytes(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_line(b'\xff\xfe{"v": 1}\n')
+
+
+class TestRequests:
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            make_request("dance", id=1)
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request({"v": PROTOCOL_VERSION, "op": "dance"})
+
+    def test_analyze_needs_payload(self):
+        with pytest.raises(ProtocolError, match="needs a request"):
+            make_request("analyze", id=1)
+        with pytest.raises(ProtocolError, match="needs a request"):
+            parse_request({"v": PROTOCOL_VERSION, "op": "analyze", "id": 1})
+
+    def test_priority_must_be_int(self):
+        envelope = make_request("analyze", id=1, request={"k": 1})
+        envelope["priority"] = "high"
+        with pytest.raises(ProtocolError, match="priority"):
+            parse_request(envelope)
+
+    def test_parse_fields(self):
+        envelope = make_request("analyze", id="req-7", priority=2,
+                                request={"k": 1})
+        assert parse_request(envelope) == ("analyze", "req-7", 2, {"k": 1})
+
+    def test_simple_ops_carry_no_payload(self):
+        for op in ("status", "ping", "shutdown"):
+            assert op in OPS
+            op_out, id, priority, payload = parse_request(
+                make_request(op, id=5))
+            assert (op_out, id, payload) == (op, 5, None)
+            assert priority == 0
+
+
+class TestResponses:
+    def test_ok_response(self):
+        response = make_response(4, result={"answer": 42})
+        assert parse_response(response) is response
+        assert response["ok"] and response["error"] is None
+        assert not response["busy"]
+
+    def test_error_response(self):
+        response = error_response(4, "boom")
+        assert not response["ok"]
+        assert response["error"] == "boom"
+
+    def test_busy_response(self):
+        assert error_response(4, "full", busy=True)["busy"] is True
+
+    def test_malformed_response(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            parse_response({"v": PROTOCOL_VERSION})
