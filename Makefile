@@ -2,7 +2,8 @@
 
 .PHONY: install test test-all lint bench bench-sched bench-solver \
 	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke \
-	fault-smoke fault-sweep engines-smoke serve-smoke coverage all
+	fuzz-contract-smoke contract-matrix fault-smoke fault-sweep \
+	engines-smoke serve-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +14,7 @@ install:
 test:
 	pytest tests/ -q -m "not slow"
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-contract-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) engines-smoke
@@ -32,6 +34,19 @@ fuzz-smoke:
 fuzz:
 	python -m repro.cli fuzz --seed $${SEED:-0} \
 		--iterations $${ITERATIONS:-2000} --corpus fuzz-corpus
+
+# Contract-conformance gate (see benchmarks/contract_matrix.py): every
+# shipped hardware policy x contract LCM cell must behave as the
+# refinement relation predicts — conform cells exercise >=1
+# ctrace-equal input pair with zero counterexamples, violate cells
+# (unmodeled hardware) produce at least one.  `contract-matrix` is the
+# open-ended measured sweep behind the EXPERIMENTS.md table.
+fuzz-contract-smoke:
+	python benchmarks/contract_matrix.py --smoke
+
+contract-matrix:
+	python benchmarks/contract_matrix.py \
+		--seed $${SEED:-0} --programs $${PROGRAMS:-10}
 
 # Degradation-monotonicity sweep (see benchmarks/fault_sweep.py): a
 # seeded fault injector kills/starves the analysis at every declared

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""The hardware-policy x contract-LCM conformance matrix.
+
+Runs the relational conformance check (ctrace-equal input pairs must be
+htrace-equal; see ``src/repro/fuzz/conformance.py``) for every shipped
+hardware :class:`DirectMappedPolicy` variant against every shipped
+contract LCM, and compares each measured cell against the predicted
+refinement relation.
+
+Two modes:
+
+- default: a measured matrix over a moderate program budget, printed
+  both as the CLI's fixed-width table and as the Markdown table pasted
+  into EXPERIMENTS.md.
+- ``--smoke``: the CI gate wired into ``make test`` via
+  ``make fuzz-contract-smoke``.  Bounded budget; asserts that
+
+  * every predicted-conform cell checked at least one ctrace-equal
+    input pair per hardware policy and found **zero** counterexamples
+    (the shipped contracts really cover the shipped hardware),
+  * every predicted-violate cell found at least one counterexample
+    (the oracle has teeth: unmodeled hardware *is* caught),
+  * a short ``contract``-oracle fuzz run is green and its schedule is
+    reproducible.
+"""
+
+import argparse
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.fuzz import conformance_matrix, run_fuzz  # noqa: E402
+from repro.fuzz.conformance import CONTRACT_LCMS, HARDWARE_POLICIES  # noqa: E402
+
+
+def markdown_table(report) -> str:
+    contracts = list(CONTRACT_LCMS)
+    lines = ["| hardware \\ contract | " + " | ".join(contracts) + " |",
+             "|---" * (len(contracts) + 1) + "|"]
+    for policy in HARDWARE_POLICIES:
+        row = [policy]
+        for contract in contracts:
+            cell = report.cell(policy, contract)
+            if cell.violations:
+                row.append(f"violate ({cell.violations} cex / "
+                           f"{cell.pairs_checked} pairs)")
+            elif cell.predicted == "may-violate":
+                row.append(f"conform* ({cell.pairs_checked} pairs)")
+            else:
+                row.append(f"conform ({cell.pairs_checked} pairs)")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def smoke(seed: int) -> int:
+    started = time.monotonic()
+    report = conformance_matrix(seed=seed, programs=3)
+    failures = []
+    pairs_per_policy: dict[str, int] = {}
+    for cell in report.cells:
+        if cell.predicted == "conform":
+            pairs_per_policy[cell.policy] = \
+                pairs_per_policy.get(cell.policy, 0) + cell.pairs_checked
+            if cell.violations:
+                failures.append(
+                    f"shipped pair ({cell.policy}, {cell.contract}) has "
+                    f"{cell.violations} conformance counterexample(s)")
+        elif cell.predicted == "violate" and not cell.violations:
+            failures.append(
+                f"({cell.policy}, {cell.contract}) was predicted to "
+                "violate but no counterexample was found — the oracle "
+                "lost its teeth")
+    for policy, pairs in pairs_per_policy.items():
+        if pairs < 1:
+            failures.append(
+                f"hardware policy '{policy}' exercised no ctrace-equal "
+                "input pair — the equivalence-class generator regressed")
+
+    fuzz = run_fuzz(seed=seed, iterations=30, oracle_names=("contract",))
+    if not fuzz.ok:
+        failures.append(
+            f"contract-oracle fuzz run found {len(fuzz.failures)} "
+            "violation(s) on shipped LCM/policy pairs")
+    if fuzz.checks.get("contract", 0) < 1:
+        failures.append("contract-oracle fuzz run checked no input")
+    rerun = run_fuzz(seed=seed, iterations=30, oracle_names=("contract",))
+    if (fuzz.checks, fuzz.skips, len(fuzz.failures)) != \
+            (rerun.checks, rerun.skips, len(rerun.failures)):
+        failures.append("contract-oracle fuzz run is not reproducible "
+                        "for a fixed seed")
+
+    elapsed = time.monotonic() - started
+    print(report.render())
+    print(f"contract fuzz: {fuzz.checks.get('contract', 0)} checks, "
+          f"{len(fuzz.failures)} failures; smoke elapsed {elapsed:.1f}s")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("fuzz-contract-smoke: OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--programs", type=int, default=10,
+                        help="programs per matrix cell (default 10)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="bounded CI gate with hard assertions")
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke(args.seed)
+    started = time.monotonic()
+    report = conformance_matrix(seed=args.seed, programs=args.programs)
+    elapsed = time.monotonic() - started
+    print(report.render())
+    print(f"\nelapsed: {elapsed:.1f}s\n")
+    print("Markdown (EXPERIMENTS.md):\n")
+    print(markdown_table(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,33 +81,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="sequential constant-time lint (dataflow only, no solver)")
-    lint.add_argument("sources", nargs="+", help="C source file(s)")
-    lint.add_argument("--secrets", default="",
-                      help="comma-separated secret symbols (globals or "
-                           "parameter names); replaces the default "
-                           "all-public-inputs-are-secret policy")
-    lint.add_argument("--public", default="",
-                      help="comma-separated names to exempt from the "
-                           "default secret-input policy")
-    lint.add_argument("--json", action="store_true",
-                      help="emit findings as byte-stable JSON")
-    lint.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
-                      default=None, metavar="CLASS",
-                      help="exit non-zero when any finding is at or above "
-                           "this Table 1 class; choices: %(choices)s")
-    _add_scheduler_flags(lint)
+    _add_lint_flags(lint)
 
     repair = sub.add_parser("repair", help="insert minimal lfences")
-    repair.add_argument("source", help="C source file")
-    repair.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
-                        help="detection engine to repair against, or "
-                             "'all' for every registered engine "
-                             "(default: pht)")
-    repair.add_argument("--strategy", choices=["lfence", "protect"],
-                        default="lfence",
-                        help="lfence: minimal full-pipeline fences; "
-                             "protect: Blade-style value-flow breaks (§7)")
-    _add_scheduler_flags(repair)
+    _add_repair_flags(repair)
 
     serve = sub.add_parser(
         "serve",
@@ -143,6 +120,24 @@ def _build_parser() -> argparse.ArgumentParser:
     canalyze.add_argument("--priority", type=int, default=0, metavar="N",
                           help="queue priority on the daemon (lower runs "
                                "first; default 0)")
+    clint = csub.add_parser(
+        "lint",
+        help="lint via the daemon; same flags and byte-identical "
+             "--json output as 'clou lint'")
+    _add_lint_flags(clint)
+    _add_daemon_flags(clint)
+    clint.add_argument("--priority", type=int, default=0, metavar="N",
+                       help="queue priority on the daemon (lower runs "
+                            "first; default 0)")
+    crepair = csub.add_parser(
+        "repair",
+        help="repair via the daemon; same flags and identical output "
+             "as 'clou repair'")
+    _add_repair_flags(crepair)
+    _add_daemon_flags(crepair)
+    crepair.add_argument("--priority", type=int, default=0, metavar="N",
+                         help="queue priority on the daemon (lower runs "
+                              "first; default 0)")
     cstatus = csub.add_parser(
         "status", help="print the daemon's queue depth and session stats")
     _add_daemon_flags(cstatus)
@@ -180,7 +175,51 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", metavar="REPRODUCER.json",
                       help="re-run one corpus reproducer instead of "
                            "fuzzing; exits non-zero while it still fails")
+    fuzz.add_argument("--contract-matrix", action="store_true",
+                      help="instead of fuzzing, sweep every hardware "
+                           "xstate policy against every contract LCM "
+                           "(--iterations = programs per cell) and print "
+                           "the conformance matrix; exits non-zero when "
+                           "a measured cell contradicts the predicted "
+                           "refinement relation")
     return parser
+
+
+def _add_lint_flags(parser: argparse.ArgumentParser) -> None:
+    """The ``clou lint`` surface — shared verbatim with ``clou client
+    lint`` so the daemon path accepts exactly the same flags (and
+    builds the identical requests, which is what makes ``--json``
+    byte-identical)."""
+    parser.add_argument("sources", nargs="+", help="C source file(s)")
+    parser.add_argument("--secrets", default="",
+                        help="comma-separated secret symbols (globals or "
+                             "parameter names); replaces the default "
+                             "all-public-inputs-are-secret policy")
+    parser.add_argument("--public", default="",
+                        help="comma-separated names to exempt from the "
+                             "default secret-input policy")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as byte-stable JSON")
+    parser.add_argument("--fail-on-severity", choices=_SEVERITY_CHOICES,
+                        default=None, metavar="CLASS",
+                        help="exit non-zero when any finding is at or above "
+                             "this Table 1 class; choices: %(choices)s")
+    _add_scheduler_flags(parser)
+
+
+def _add_repair_flags(parser: argparse.ArgumentParser) -> None:
+    """The ``clou repair`` surface — shared verbatim with ``clou
+    client repair`` (same flags, same requests, identical output)."""
+    parser.add_argument("source", help="C source file")
+    parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="pht",
+                        help="detection engine to repair against, or "
+                             "'all' for every registered engine "
+                             "(default: pht)")
+    parser.add_argument("--strategy", choices=["lfence", "protect"],
+                        default="lfence",
+                        help="lfence: minimal full-pipeline fences; "
+                             "protect: Blade-style value-flow breaks (§7)")
+    _add_scheduler_flags(parser)
 
 
 def _add_daemon_flags(parser: argparse.ArgumentParser) -> None:
@@ -426,22 +465,30 @@ def _print_analyze_report(args, report, engines) -> None:
           f"undecided={coverage['undecided']})")
 
 
-def _run_lint(args) -> int:
+def _lint_requests(args) -> list[AnalysisRequest]:
     secrets = tuple(s for s in args.secrets.split(",") if s)
     public = tuple(s for s in args.public.split(",") if s)
-    threshold = _severity_threshold(args.fail_on_severity)
+    return [AnalysisRequest(source=_read(path), kind="lint", name=path,
+                            secrets=secrets, public=public)
+            for path in args.sources]
+
+
+def _run_lint(args) -> int:
     session = _session_from_args(args)
-    results = session.run([
-        AnalysisRequest(source=_read(path), kind="lint", name=path,
-                        secrets=secrets, public=public)
-        for path in args.sources
-    ])
+    results = session.run(_lint_requests(args))
     for result in results:
         if result.exception is not None:
             raise result.exception
         if result.error is not None:
             raise SystemExit(f"lint {result.request.name}: {result.error}")
-    reports = [result.lint for result in results]
+    return _emit_lint(args, [result.lint for result in results],
+                      session.stats)
+
+
+def _emit_lint(args, reports, stats) -> int:
+    """Shared back half of ``clou lint`` and ``clou client lint``:
+    identical printing (hence byte-identical ``--json``) and identical
+    exit-code mapping regardless of where the reports were computed."""
     if args.json:
         import json
 
@@ -453,7 +500,8 @@ def _run_lint(args) -> int:
     else:
         for report in reports:
             print(report.describe())
-    _print_stats(args, session.stats)
+    _print_stats(args, stats)
+    threshold = _severity_threshold(args.fail_on_severity)
     if threshold is None:
         return 0
     worst = max((f.severity.severity
@@ -473,17 +521,24 @@ def _run_repair(args) -> int:
     session = _session_from_args(args, config=config)
     engines = engine_names() if args.engine == "all" else (args.engine,)
     source = _read(args.source)
+    outcomes = [session.repair(AnalysisRequest.repair(
+                    source, engine=engine, name=args.source,
+                    strategy=args.strategy))
+                for engine in engines]
+    return _emit_repair(args, outcomes, session.stats)
+
+
+def _emit_repair(args, outcomes, stats) -> int:
+    """Shared back half of ``clou repair`` and ``clou client repair``:
+    identical output and exit-code mapping."""
     ok = True
-    for engine in engines:
-        results = session.repair(AnalysisRequest.repair(
-            source, engine=engine, name=args.source,
-            strategy=args.strategy))
+    for results in outcomes:
         for result in results:
             print(result.summary())
             for block, index in result.fences:
                 print(f"  lfence at {block}#{index}")
             ok &= result.fully_repaired
-    _print_stats(args, session.stats)
+    _print_stats(args, stats)
     return 0 if ok else 1
 
 
@@ -548,6 +603,26 @@ def _run_client(args) -> int:
             return 1
         print(f"clou client: daemon at {client.address} shut down")
         return EXIT_CLEAN
+    if args.client_command == "lint":
+        # Daemon-first, in-process fallback — same shape as analyze:
+        # the daemon is an accelerator, never a dependency.
+        try:
+            with client:
+                return _client_lint(args, client)
+        except DaemonUnreachable:
+            return _run_lint(args)
+        except DaemonBusy as error:
+            print(f"clou client: {error}", file=sys.stderr)
+            return EXIT_INCOMPLETE
+    if args.client_command == "repair":
+        try:
+            with client:
+                return _client_repair(args, client)
+        except DaemonUnreachable:
+            return _run_repair(args)
+        except DaemonBusy as error:
+            print(f"clou client: {error}", file=sys.stderr)
+            return EXIT_INCOMPLETE
     # client analyze: daemon-first, in-process fallback.
     if args.list_engines:
         return _list_engines()
@@ -571,6 +646,42 @@ def _run_client(args) -> int:
         print(f"clou client: {error}", file=sys.stderr)
         return EXIT_INCOMPLETE
     return _emit_analyze(args, reports, engines, stats)
+
+
+def _client_lint(args, client) -> int:
+    from repro.sched import SessionStats
+
+    reports, stats = [], SessionStats()
+    for request in _lint_requests(args):
+        result = client.analyze(request, priority=args.priority)
+        if result.error is not None:
+            raise SystemExit(f"lint {result.request.name}: {result.error}")
+        reports.append(result.lint)
+        stats.merge(result.stats)
+    return _emit_lint(args, reports, stats)
+
+
+def _client_repair(args, client) -> int:
+    from repro.clou import ClouConfig
+    from repro.errors import AnalysisError
+    from repro.sched import SessionStats
+
+    # The same per-engine requests _run_repair builds; the config rides
+    # the request so the daemon honors --timeout.
+    config = ClouConfig(timeout_seconds=args.timeout)
+    source = _read(args.source)
+    engines = engine_names() if args.engine == "all" else (args.engine,)
+    outcomes, stats = [], SessionStats()
+    for engine in engines:
+        result = client.analyze(AnalysisRequest.repair(
+            source, engine=engine, name=args.source,
+            strategy=args.strategy, config=config),
+            priority=args.priority)
+        if result.error is not None:
+            raise AnalysisError(result.error)
+        outcomes.append(result.repairs)
+        stats.merge(result.stats)
+    return _emit_repair(args, outcomes, stats)
 
 
 def _client_reports(args, client, source, engines, config):
@@ -600,6 +711,13 @@ def _run_fuzz(args) -> int:
             print(f"{oracle.name:<{width}}  [{oracle.kind:<6}] "
                   f"{oracle.description}{every}")
         return 0
+    if args.contract_matrix:
+        from repro.fuzz import conformance_matrix
+
+        report = conformance_matrix(seed=args.seed,
+                                    programs=args.iterations)
+        print(report.render())
+        return 0 if report.ok else 1
     if args.replay:
         reproducer = load_reproducer(args.replay)
         message = replay(reproducer)

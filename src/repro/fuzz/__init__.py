@@ -15,35 +15,72 @@ Pieces:
   the :mod:`repro.litmus.ast` vocabulary;
 - :mod:`repro.fuzz.oracles` — the differential oracles (the "oracle
   matrix" in README/DESIGN);
+- :mod:`repro.fuzz.lowering` — IR → single-thread litmus lowering with
+  a shared point map, so static and dynamic observations join;
+- :mod:`repro.fuzz.conformance` — relational contract-conformance
+  checking (ctrace-equal input pairs must be htrace-equal) and the
+  hardware-policy × contract-LCM conformance matrix;
 - :mod:`repro.fuzz.shrink` — greedy delta-debugging line minimizer;
 - :mod:`repro.fuzz.corpus` — reproducer files (seed + shrunk source)
   and replay;
 - :mod:`repro.fuzz.runner` — the seeded fuzz loop behind ``clou fuzz``.
 """
 
+from repro.fuzz.conformance import (
+    CONTRACT_LCMS,
+    HARDWARE_POLICIES,
+    ConformanceHarness,
+    ConformanceResult,
+    ConformanceViolation,
+    ContractSpec,
+    MatrixReport,
+    Trace,
+    TraceEntry,
+    check_conformance,
+    conformance_matrix,
+    predicted_verdict,
+)
 from repro.fuzz.corpus import Reproducer, load_reproducer, replay, \
     write_reproducer
-from repro.fuzz.gen_c import GeneratedC, generate_c
+from repro.fuzz.gen_c import GeneratedC, conformance_vectors, generate_c
 from repro.fuzz.gen_litmus import GeneratedLitmus, generate_litmus, \
     render_program
 from repro.fuzz.oracles import ORACLES, Oracle, OracleSkip, oracles_for
 from repro.fuzz.runner import FuzzFailure, FuzzReport, run_fuzz
 from repro.fuzz.shrink import ddmin, shrink_source
 
+from repro.fuzz.lowering import LoweredProgram, LoweringError, lower_function
+
 __all__ = [
+    "CONTRACT_LCMS",
+    "ConformanceHarness",
+    "ConformanceResult",
+    "ConformanceViolation",
+    "ContractSpec",
     "GeneratedC",
     "GeneratedLitmus",
     "FuzzFailure",
     "FuzzReport",
+    "HARDWARE_POLICIES",
+    "LoweredProgram",
+    "LoweringError",
+    "MatrixReport",
     "ORACLES",
     "Oracle",
     "OracleSkip",
     "Reproducer",
+    "Trace",
+    "TraceEntry",
+    "check_conformance",
+    "conformance_matrix",
+    "conformance_vectors",
     "ddmin",
     "generate_c",
     "generate_litmus",
     "load_reproducer",
+    "lower_function",
     "oracles_for",
+    "predicted_verdict",
     "render_program",
     "replay",
     "run_fuzz",

@@ -1,0 +1,515 @@
+"""Contract-conformance testing: relational ctrace/htrace checking.
+
+Model-based relational testing in the style of Revizor (Oleksenko et
+al.; microsoft/sca-fuzzer) and the hardware-software contracts of
+Guarnieri et al., applied to this repo's own LCM implementations:
+
+- the **contract trace** (ctrace) of a program+input is the sequence of
+  observations an LCM says an attacker may learn — one resolved
+  ``(point, xstate element, access kind)`` triple per observable memory
+  access, under the contract's xstate policy.  The LCM's static
+  pipeline (:meth:`LeakageContainmentModel.analyze` over the lowered
+  litmus program) supplies the transmitter classification of each
+  point; the dynamic side resolves the contract's per-access
+  observations on the concrete execution.
+- the **hardware trace** (htrace) is the same footprint under a chosen
+  *hardware* :class:`DirectMappedPolicy` variant playing the silicon:
+  what the microarchitecture actually exposes, silent stores resolved
+  data-dependently against pre-store memory.
+
+**Conformance** is the relational property::
+
+    ctrace(p, a) == ctrace(p, b)  =>  htrace(p, a) == htrace(p, b)
+
+A violation — two inputs the contract deems indistinguishable that the
+hardware distinguishes — is a contract-conformance counterexample: the
+contract under-specifies that hardware.
+
+Both traces observe the *global-memory* surface only; -O0 stack-slot
+traffic is registerized away by :mod:`repro.fuzz.lowering` (slots are
+core-private), and the htrace extractor applies the same projection by
+keying on the lowering's point map.
+
+``conformance_matrix`` sweeps every shipped hardware policy against
+every shipped contract LCM and compares the measured verdicts against
+the predicted refinement relation (e.g. Fig. 5a: silent-store hardware
+violates every contract that does not model silent stores).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.events import AccessKind
+from repro.fuzz.gen_c import GeneratedC, conformance_vectors, generate_c
+from repro.fuzz.lowering import LoweredProgram, LoweringError, lower_function
+from repro.ir.interp import Interpreter, Machine
+from repro.lcm import (
+    DirectMappedPolicy,
+    LCMAnalysis,
+    LeakageContainmentModel,
+    XStatePolicy,
+    inorder_lcm,
+    transmitter_report_dict,
+    x86_lcm,
+)
+from repro.litmus import SpeculationConfig
+from repro.minic import compile_c
+
+__all__ = [
+    "CONTRACT_LCMS",
+    "HARDWARE_POLICIES",
+    "ConformanceHarness",
+    "ConformanceResult",
+    "ConformanceViolation",
+    "ContractSpec",
+    "MatrixCell",
+    "MatrixReport",
+    "Trace",
+    "TraceEntry",
+    "check_conformance",
+    "conformance_matrix",
+    "predicted_verdict",
+]
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One observation: an access at a program point."""
+
+    point: int      # litmus position from the lowering's point map
+    element: int    # resolved xstate element (address / set index)
+    kind: str       # AccessKind value: R | W | RW
+
+    def to_dict(self) -> dict:
+        return {"point": self.point, "element": self.element,
+                "kind": self.kind}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An observation sequence under one model (contract or hardware)."""
+
+    model: str
+    entries: tuple[TraceEntry, ...]
+
+    def key(self) -> tuple:
+        return tuple((e.point, e.element, e.kind) for e in self.entries)
+
+    def to_dict(self) -> dict:
+        return {"model": self.model,
+                "entries": [entry.to_dict() for entry in self.entries]}
+
+
+def first_divergence(a: Trace, b: Trace) -> int:
+    """Index of the first differing observation (len on prefix match)."""
+    for index, (ea, eb) in enumerate(zip(a.entries, b.entries)):
+        if ea != eb:
+            return index
+    return min(len(a.entries), len(b.entries))
+
+
+# ----------------------------------------------------------------------
+# The shipped hardware policies and contract LCMs
+# ----------------------------------------------------------------------
+
+#: The "silicon": each entry plays hardware in the relational check.
+HARDWARE_POLICIES: dict[str, Callable[[], DirectMappedPolicy]] = {
+    "direct": lambda: DirectMappedPolicy(),
+    "no-write-allocate": lambda: DirectMappedPolicy(write_allocate=False),
+    "silent-store": lambda: DirectMappedPolicy(silent_stores=True),
+    "set16": lambda: DirectMappedPolicy(num_sets=16),
+}
+
+
+@dataclass(frozen=True)
+class ContractSpec:
+    """One contract: an LCM plus the policy resolving its observations.
+
+    The contracts run with ``SpeculationConfig.none()``: the concrete
+    interpreter executes architecturally, so conformance compares the
+    contracts' *architectural* observation clauses; speculative
+    conformance stays with the static engines (see DESIGN.md).
+    """
+
+    name: str
+    severity: str
+    policy_factory: Callable[[], DirectMappedPolicy]
+    lcm_factory: Callable[[], LeakageContainmentModel]
+
+    def policy(self) -> DirectMappedPolicy:
+        return self.policy_factory()
+
+
+CONTRACT_LCMS: dict[str, ContractSpec] = {
+    "x86": ContractSpec(
+        name="x86", severity="address (AT)",
+        policy_factory=lambda: DirectMappedPolicy(),
+        lcm_factory=lambda: x86_lcm(speculation=SpeculationConfig.none()),
+    ),
+    "x86-silent": ContractSpec(
+        name="x86-silent", severity="address+data (AT/DT)",
+        policy_factory=lambda: DirectMappedPolicy(silent_stores=True),
+        lcm_factory=lambda: x86_lcm(speculation=SpeculationConfig.none(),
+                                    silent_stores=True),
+    ),
+    "x86-set16": ContractSpec(
+        name="x86-set16", severity="address mod 16 (coarse AT)",
+        policy_factory=lambda: DirectMappedPolicy(num_sets=16),
+        lcm_factory=lambda: x86_lcm(speculation=SpeculationConfig.none(),
+                                    num_sets=16),
+    ),
+    "inorder": ContractSpec(
+        name="inorder", severity="address, strict confidentiality",
+        policy_factory=lambda: DirectMappedPolicy(),
+        lcm_factory=inorder_lcm,
+    ),
+}
+
+
+def predicted_verdict(hardware: DirectMappedPolicy,
+                      contract: DirectMappedPolicy) -> str:
+    """The refinement relation between a hardware policy and a contract.
+
+    - ``violate``: hardware resolves store kinds data-dependently
+      (silent stores) while the contract does not — secret store data
+      reaches the htrace but never the ctrace (Fig. 5a), and the
+      conformance-profile generator plants a guaranteed witness.
+    - ``may-violate``: the contract's element map is coarser than the
+      hardware's (finite contract sets vs a finer hardware map):
+      colliding-address input pairs violate, but whether the generator
+      produces one depends on the program shape.
+    - ``conform``: the contract's observations refine the hardware's;
+      zero counterexamples expected.
+    """
+    if hardware.silent_stores and not contract.silent_stores:
+        return "violate"
+    if contract.num_sets is not None and hardware.num_sets != contract.num_sets:
+        return "may-violate"
+    return "conform"
+
+
+# ----------------------------------------------------------------------
+# The harness: one program, many models
+# ----------------------------------------------------------------------
+
+
+class ConformanceHarness:
+    """Compile + lower once; extract traces under any model.
+
+    Raises :class:`repro.errors.ReproError` (compile) or
+    :class:`LoweringError` if the program leaves the conformance
+    profile — callers decide whether that is a skip or a failure.
+    """
+
+    def __init__(self, generated: GeneratedC):
+        self.generated = generated
+        self.module = compile_c(generated.source,
+                                name=f"conformance-{generated.seed}")
+        if generated.entry not in self.module.functions:
+            raise LoweringError(f"entry {generated.entry!r} missing")
+        self.lowered: LoweredProgram = lower_function(
+            self.module, generated.entry)
+        self._static: dict[str, LCMAnalysis] = {}
+
+    # -- static (axiomatic) side ----------------------------------------
+
+    def static_analysis(self, contract: str) -> LCMAnalysis:
+        """Run the contract LCM's full pipeline on the lowered program."""
+        if contract not in self._static:
+            lcm = CONTRACT_LCMS[contract].lcm_factory()
+            self._static[contract] = lcm.analyze(self.lowered.program)
+        return self._static[contract]
+
+    def observation_points(self, contract: str) -> dict[int, list[dict]]:
+        """Transmitter reports per lowered point, serialized."""
+        points: dict[int, list[dict]] = {}
+        for report in self.static_analysis(contract).reports:
+            point = self.lowered.point_for_label(report.event.label)
+            if point is not None:
+                points.setdefault(point, []).append(
+                    transmitter_report_dict(report))
+        return points
+
+    # -- dynamic side ----------------------------------------------------
+
+    def trace(self, model: str, policy: XStatePolicy,
+              args: tuple[int, ...]) -> Trace:
+        """Execute concretely, resolving each observable access under
+        ``policy``.  Fresh machine per call: traces are comparable
+        across input vectors (same alloca/global addresses, memory
+        zero-initialized up to global initializers)."""
+        machine = Machine()
+        entries: list[TraceEntry] = []
+        point_of = self.lowered.point_of
+
+        def observe(ins, kind, address, value, size) -> None:
+            point = point_of.get(id(ins))
+            if point is None:
+                return  # core-private (slot) traffic: not xstate
+            store = kind == "store"
+            silent = False
+            if store:
+                prior = int.from_bytes(
+                    machine.memory[address:address + size], "little")
+                silent = prior == value
+            element, access = policy.concrete_access(
+                address, store=store, data=value, silent=silent)
+            entries.append(TraceEntry(point=point, element=element,
+                                      kind=access.value))
+
+        interpreter = Interpreter(self.module, machine, mem_trace=observe)
+        interpreter.call(self.generated.entry, list(args))
+        return Trace(model=model, entries=tuple(entries))
+
+    def ctrace(self, contract: str, args: tuple[int, ...]) -> Trace:
+        return self.trace(f"contract:{contract}",
+                          CONTRACT_LCMS[contract].policy(), args)
+
+    def htrace(self, policy_name: str, args: tuple[int, ...],
+               policy: XStatePolicy | None = None) -> Trace:
+        if policy is None:
+            policy = HARDWARE_POLICIES[policy_name]()
+        return self.trace(f"hardware:{policy_name}", policy, args)
+
+
+# ----------------------------------------------------------------------
+# The relational check
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """A counterexample: ctraces agree, htraces differ."""
+
+    policy: str
+    contract: str
+    args_a: tuple[int, ...]
+    args_b: tuple[int, ...]
+    ctrace: Trace
+    htrace_a: Trace
+    htrace_b: Trace
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "contract": self.contract,
+            "args_a": list(self.args_a),
+            "args_b": list(self.args_b),
+            "ctrace": self.ctrace.to_dict(),
+            "htrace_a": self.htrace_a.to_dict(),
+            "htrace_b": self.htrace_b.to_dict(),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of checking one program under one (policy, contract)."""
+
+    policy: str
+    contract: str
+    vectors_run: int = 0
+    pairs_checked: int = 0
+    violations: list[ConformanceViolation] = field(default_factory=list)
+    observation_points: dict[int, list[dict]] = field(default_factory=dict)
+
+    @property
+    def conforms(self) -> bool:
+        return not self.violations
+
+
+def _violation_detail(harness: ConformanceHarness,
+                      a: Trace, b: Trace) -> str:
+    index = first_divergence(a, b)
+    describe = harness.lowered.describe
+
+    def render(trace: Trace) -> str:
+        if index >= len(trace.entries):
+            return "<trace ends>"
+        entry = trace.entries[index]
+        where = describe.get(entry.point, f"point {entry.point}")
+        return f"{entry.kind}@s{entry.element} ({where})"
+
+    return (f"htrace divergence at observation {index}: "
+            f"{render(a)} vs {render(b)}")
+
+
+def check_conformance(
+    generated: GeneratedC,
+    *,
+    policy_name: str,
+    contract_name: str,
+    policy_factory: Callable[[], XStatePolicy] | None = None,
+    families: list[list[tuple[int, ...]]] | None = None,
+    max_violations: int = 4,
+    harness: ConformanceHarness | None = None,
+) -> ConformanceResult:
+    """Relationally check one program under one (hardware, contract).
+
+    ``policy_factory`` overrides the registry lookup (used by tests to
+    inject an experimental hardware policy under a registered name).
+    """
+    if harness is None:
+        harness = ConformanceHarness(generated)
+    spec = CONTRACT_LCMS[contract_name]
+    result = ConformanceResult(policy=policy_name, contract=contract_name)
+    # The static pipeline runs first: its transmitter classification is
+    # the contract's statement of *what* each point may leak, recorded
+    # alongside every counterexample.
+    result.observation_points = harness.observation_points(contract_name)
+    if families is None:
+        families = conformance_vectors(generated)
+    make_policy = policy_factory or HARDWARE_POLICIES[policy_name]
+    for family in families:
+        traced = []
+        for vector in family:
+            ctrace = harness.trace(f"contract:{spec.name}", spec.policy(),
+                                   vector)
+            htrace = harness.trace(f"hardware:{policy_name}", make_policy(),
+                                   vector)
+            traced.append((vector, ctrace, htrace))
+            result.vectors_run += 1
+        for (va, ca, ha), (vb, cb, hb) in itertools.combinations(traced, 2):
+            if ca.key() != cb.key():
+                continue
+            result.pairs_checked += 1
+            if ha.key() != hb.key():
+                result.violations.append(ConformanceViolation(
+                    policy=policy_name, contract=contract_name,
+                    args_a=va, args_b=vb, ctrace=ca,
+                    htrace_a=ha, htrace_b=hb,
+                    detail=_violation_detail(harness, ha, hb),
+                ))
+                if len(result.violations) >= max_violations:
+                    return result
+    return result
+
+
+# ----------------------------------------------------------------------
+# The policy × LCM matrix
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MatrixCell:
+    policy: str
+    contract: str
+    predicted: str
+    pairs_checked: int = 0
+    vectors_run: int = 0
+    violations: int = 0
+    programs: int = 0
+    example: dict | None = None
+
+    @property
+    def measured(self) -> str:
+        return "violate" if self.violations else "conform"
+
+    @property
+    def ok(self) -> bool:
+        if self.predicted == "conform":
+            return self.violations == 0 and self.pairs_checked > 0
+        if self.predicted == "violate":
+            return self.violations > 0
+        return True  # may-violate: informational either way
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy, "contract": self.contract,
+            "predicted": self.predicted, "measured": self.measured,
+            "pairs_checked": self.pairs_checked,
+            "vectors_run": self.vectors_run,
+            "violations": self.violations, "programs": self.programs,
+            "ok": self.ok, "example": self.example,
+        }
+
+
+@dataclass
+class MatrixReport:
+    seed: int
+    programs: int
+    cells: list[MatrixCell]
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def cell(self, policy: str, contract: str) -> MatrixCell:
+        for cell in self.cells:
+            if cell.policy == policy and cell.contract == contract:
+                return cell
+        raise KeyError((policy, contract))
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "programs": self.programs,
+                "ok": self.ok,
+                "cells": [cell.to_dict() for cell in self.cells]}
+
+    def render(self) -> str:
+        """A fixed-width conformance matrix (hardware × contract)."""
+        contracts = list(CONTRACT_LCMS)
+        width = max(len(name) for name in contracts) + 2
+        head = "hardware \\ contract".ljust(22)
+        lines = [head + "".join(name.rjust(width) for name in contracts)]
+        marks = {"conform": "ok", "violate": "VIOLATE", "may-violate": "?"}
+        for policy in HARDWARE_POLICIES:
+            row = [policy.ljust(22)]
+            for contract in contracts:
+                cell = self.cell(policy, contract)
+                text = ("VIOLATE" if cell.violations
+                        else marks.get(cell.predicted, "?"))
+                if not cell.ok:
+                    text = f"!{text}"
+                row.append(text.rjust(width))
+            lines.append("".join(row))
+        lines.append(
+            f"({self.programs} programs/cell, seed {self.seed}; "
+            "'ok' = conforms as predicted, '?' = conformance not "
+            "guaranteed by the generator, '!' = prediction missed)")
+        return "\n".join(lines)
+
+
+def conformance_matrix(seed: int = 0, programs: int = 3) -> MatrixReport:
+    """Cross-check every hardware policy against every contract LCM."""
+    cells = {
+        (policy, contract): MatrixCell(
+            policy=policy, contract=contract,
+            predicted=predicted_verdict(
+                HARDWARE_POLICIES[policy](),
+                CONTRACT_LCMS[contract].policy()),
+        )
+        for policy in HARDWARE_POLICIES
+        for contract in CONTRACT_LCMS
+    }
+    for offset in range(programs):
+        generated = generate_c(seed + offset, profile="conformance")
+        try:
+            harness = ConformanceHarness(generated)
+        except ReproError as error:  # pragma: no cover - generator promise
+            raise AssertionError(
+                f"conformance generator produced an unlowerable program "
+                f"at seed {seed + offset}: {error}") from error
+        families = conformance_vectors(generated)
+        for (policy, contract), cell in cells.items():
+            result = check_conformance(
+                generated, policy_name=policy, contract_name=contract,
+                families=families, harness=harness)
+            cell.programs += 1
+            cell.pairs_checked += result.pairs_checked
+            cell.vectors_run += result.vectors_run
+            cell.violations += len(result.violations)
+            if result.violations and cell.example is None:
+                cell.example = result.violations[0].to_dict()
+                cell.example["program_seed"] = generated.seed
+    return MatrixReport(seed=seed, programs=programs,
+                        cells=list(cells.values()))

@@ -47,6 +47,11 @@ class Reproducer:
     params: tuple[str, ...] = ()   # C only
     secrets: tuple[str, ...] = ()  # C only
     interpretable: bool = True     # C only
+    profile: str = ""              # C only; the gen_c profile
+    #: Oracle-specific structured evidence, recomputed on the shrunk
+    #: source (e.g. the contract oracle stores both the ctrace and the
+    #: diverging htraces of its counterexample here).
+    extra: dict | None = None
 
     @property
     def stem(self) -> str:
@@ -58,7 +63,7 @@ class Reproducer:
             return GeneratedC(
                 seed=self.seed, source=self.source, entry=self.entry,
                 params=self.params, secrets=self.secrets,
-                interpretable=self.interpretable)
+                interpretable=self.interpretable, profile=self.profile)
         from repro.litmus import parse_program
 
         program = parse_program(self.source, name=self.stem)
@@ -90,6 +95,10 @@ def load_reproducer(sidecar_path: str) -> Reproducer:
     payload.pop("source_file", None)
     payload["params"] = tuple(payload.get("params", ()))
     payload["secrets"] = tuple(payload.get("secrets", ()))
+    # Sidecars written before the profile/extra fields existed load
+    # with the dataclass defaults.
+    payload.setdefault("profile", "")
+    payload.setdefault("extra", None)
     return Reproducer(**payload)
 
 

@@ -34,6 +34,7 @@ class GeneratedC:
     params: tuple[str, ...]        # entry parameter names, in order
     secrets: tuple[str, ...]       # secrecy-labeled parameter names
     interpretable: bool            # safe to run under the interpreter
+    profile: str = ""              # interpretable | analysis | conformance
 
     @property
     def kind(self) -> str:
@@ -186,11 +187,143 @@ class _CGen:
         return "\n".join(lines) + "\n"
 
 
-def generate_c(seed: int, *, interpretable: bool = True) -> GeneratedC:
+class _ConformanceGen:
+    """The lowerable conformance profile (see repro.fuzz.lowering).
+
+    Straight-line code plus at most one forward branch; every array
+    index and branch condition is built from *public* values only, and
+    the secret flows exclusively into store data — so the secret is
+    contract-invisible by construction under address-only LCMs, and
+    swapping it yields boosted input pairs sharing a ctrace.  One
+    ``tab_cf[pub] = secret`` store is always emitted: it is the
+    discriminator that separates silent-store hardware from contracts
+    that do not model silent stores.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.public = ["a0", "a1"]     # never receive secret-tainted data
+        self.values = ["v0"]           # declared scalars (sink operands)
+        self.public_values = ["v0"]
+        self.counter = 0
+
+    def _fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+    def _pub(self) -> str:
+        return self.rng.choice(self.public + self.public_values)
+
+    def index_expr(self) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.3:
+            return f"{self._pub()} & 31"
+        if roll < 0.55:
+            return f"({self._pub()} ^ {self._pub()}) & 31"
+        if roll < 0.8:
+            return f"({self._pub()} + {rng.randrange(32)}) & 31"
+        return f"({self._pub()} >> {rng.randrange(1, 8)}) & 31"
+
+    def cond_expr(self) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4:
+            return f"{self._pub()} < g0_cf"
+        if roll < 0.7:
+            return f"({self._pub()} ^ {rng.randrange(64)}) < g0_cf"
+        return f"({self._pub()} & 1)"
+
+    def data_expr(self, allow_secret: bool) -> tuple[str, bool]:
+        """Returns ``(text, tainted)``; tainted means secret-derived."""
+        rng = self.rng
+        pool = list(self.public + self.public_values)
+        tainted_pool = (["secret"]
+                        + [v for v in self.values
+                           if v not in self.public_values])
+        if allow_secret:
+            pool += tainted_pool
+        atoms = []
+        for _ in range(rng.randrange(1, 3)):
+            atoms.append(rng.choice(pool) if rng.random() < 0.75
+                         else str(rng.randrange(256)))
+        op = rng.choice(("^", "+", "|", "&"))
+        text = atoms[0] if len(atoms) == 1 else \
+            f"({atoms[0]} {op} {atoms[1]})"
+        tainted = any(atom in tainted_pool for atom in atoms)
+        return text, tainted
+
+    def statement(self, pad: str, allow_decl: bool) -> list[str]:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35 and allow_decl:
+            name = self._fresh()
+            self.values.append(name)
+            self.public_values.append(name)
+            return [f"{pad}uint64_t {name} = tab_cf[{self.index_expr()}];"]
+        if roll < 0.65:
+            text, _ = self.data_expr(allow_secret=False)
+            return [f"{pad}tab_cf[{self.index_expr()}] = "
+                    f"(uint8_t)(({text}) & 0xff);"]
+        target = rng.choice(self.values)
+        text, tainted = self.data_expr(allow_secret=rng.random() < 0.5)
+        if tainted and target in self.public_values:
+            self.public_values.remove(target)
+        op = rng.choice(("^=", "+=", "|="))
+        return [f"{pad}{target} {op} {text};"]
+
+    def generate(self) -> str:
+        rng = self.rng
+        lines = [
+            "uint8_t tab_cf[32];",
+            "uint8_t leak_cf[16];",
+            f"uint64_t g0_cf = {rng.randrange(4, 28)};",
+            "uint8_t sink_cf;",
+            "",
+            "/* secrecy labels: `secret` is secret; a0/a1 are "
+            "attacker-controlled public inputs */",
+            "uint64_t fuzz_target(uint64_t a0, uint64_t a1, "
+            "uint64_t secret) {",
+            "    uint64_t v0 = tab_cf[a0 & 31];",
+        ]
+        branch_used = False
+        for _ in range(rng.randrange(3, 7)):
+            if not branch_used and rng.random() < 0.35:
+                branch_used = True
+                body = []
+                for _ in range(rng.randrange(1, 3)):
+                    body += self.statement("        ", allow_decl=False)
+                lines += [f"    if ({self.cond_expr()}) {{", *body, "    }"]
+            else:
+                lines += self.statement("    ", allow_decl=True)
+        lines += [
+            # Nothing else writes leak_cf, so against zero-initialized
+            # memory a zero secret stores silently and a nonzero one
+            # does not: the silent-store discriminator.
+            f"    leak_cf[({self._pub()} >> {rng.randrange(1, 6)}) & 15] = "
+            "(uint8_t)(secret & 0xff);",
+            "    sink_cf = (uint8_t)((" + " ^ ".join(self.values)
+            + ") & 0xff);",
+            "    return " + " ^ ".join(self.values) + " ^ secret;",
+            "}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def generate_c(seed: int, *, interpretable: bool = True,
+               profile: str | None = None) -> GeneratedC:
     """Generate one deterministic translation unit for ``seed``."""
-    # Seeding Random with a string is PYTHONHASHSEED-independent.
-    rng = random.Random(repr(("fuzz-c", seed, interpretable)))
-    source = _CGen(rng, interpretable).generate()
+    if profile is None:
+        profile = "interpretable" if interpretable else "analysis"
+    if profile == "conformance":
+        rng = random.Random(repr(("fuzz-conformance", seed)))
+        source = _ConformanceGen(rng).generate()
+        interpretable = True
+    else:
+        interpretable = profile == "interpretable"
+        # Seeding Random with a string is PYTHONHASHSEED-independent.
+        rng = random.Random(repr(("fuzz-c", seed, interpretable)))
+        source = _CGen(rng, interpretable).generate()
     return GeneratedC(
         seed=seed,
         source=source,
@@ -198,4 +331,50 @@ def generate_c(seed: int, *, interpretable: bool = True) -> GeneratedC:
         params=("a0", "a1", "secret"),
         secrets=("secret",),
         interpretable=interpretable,
+        profile=profile,
     )
+
+
+def conformance_vectors(generated: GeneratedC, *, extra_bases: int = 1,
+                        secret_mutants: int = 2) -> list[list[tuple[int, ...]]]:
+    """Equivalence-class candidate families for the relational oracle.
+
+    Each family is one base input vector plus mutants that change only
+    contract-invisible bytes *by construction of the conformance
+    profile*: secret swaps (the secret never reaches an address or
+    branch) and bit-4 flips of public params (candidate set-index
+    collisions under finite-cache element maps).  The conformance
+    checker still filters each pair by actual ctrace equality — the
+    families are a boosted proposal distribution, not a promise.
+
+    The first family is rooted at the all-zero vector with a guaranteed
+    odd secret mutant: against zero-initialized memory this pins down a
+    silent store (stored 0 == memory 0) on one side of the pair only,
+    the discriminator for silent-store hardware.
+    """
+    rng = random.Random(repr(("fuzz-conformance-args", generated.seed)))
+    params = generated.params
+    secret_at = [i for i, name in enumerate(params)
+                 if name in generated.secrets]
+    bases = [tuple(0 for _ in params)]
+    for _ in range(extra_bases):
+        bases.append(tuple(rng.randrange(1 << 48) for _ in params))
+    families: list[list[tuple[int, ...]]] = []
+    for base in bases:
+        family = [base]
+        for mutant_index in range(secret_mutants):
+            mutant = list(base)
+            for position in secret_at:
+                value = rng.randrange(1, 1 << 48)
+                if mutant_index == 0:
+                    value |= 1
+                mutant[position] = value
+            family.append(tuple(mutant))
+        for position in range(len(params)):
+            if position in secret_at:
+                continue
+            mutant = list(base)
+            mutant[position] ^= 1 << 4
+            family.append(tuple(mutant))
+        families.append(family)
+    return families

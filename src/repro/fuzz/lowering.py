@@ -1,0 +1,264 @@
+"""Lowering mini-C IR functions to single-thread litmus programs.
+
+The conformance fuzzer (:mod:`repro.fuzz.conformance`) needs *one*
+program that both sides of the relational check understand: the
+axiomatic LCM pipeline consumes litmus :class:`~repro.litmus.ast.Program`
+objects, while the concrete interpreter executes mini-C IR.  This module
+bridges them: it lowers a compiled IR function into the litmus assembly
+vocabulary instruction by instruction.
+
+**Observation surface.**  The xstate-observable accesses are the
+module's *global* memory (the shared arrays and scalars an attacker can
+prime and probe).  The -O0 alloca slot traffic — parameter spills and
+local round-trips — is registerized during lowering: a stack slot
+becomes a litmus register, its stores/loads become ``mov``s.  Slots are
+core-private in the hardware model, and registerizing them preserves
+the syntactic addr/data/ctrl dependency chains exactly while keeping
+the litmus program small enough for exhaustive architectural
+enumeration.  The htrace extractor applies the *same* projection by
+construction: only IR instructions with an entry in ``point_of`` are
+observable, and slot accesses never get one.
+
+The lowering keeps a point map between litmus instruction positions
+(whose ``pc + 1`` become event labels during elaboration) and the IR
+instructions that produced them, so dynamic observations (via the
+interpreter's ``mem_trace``) and static observations (transmitter
+reports) can be joined on a common *point* identifier.
+
+Only the conformance profile of mini-C is supported: straight-line code
+plus forward branches over scalars and global arrays.  Anything else
+(calls, struct GEPs, pointer casts) raises :class:`LoweringError`
+rather than lowering dishonestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir import instructions as ir
+from repro.ir.module import Module
+from repro.litmus.ast import (
+    Address,
+    Alu,
+    CondBranch,
+    FenceInstr,
+    Instruction,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Program,
+    Store,
+    Thread,
+)
+
+__all__ = ["LoweredProgram", "LoweringError", "lower_function"]
+
+_EXIT_LABEL = "fn_exit"
+
+_ALU_OPS = {
+    "add": "add", "sub": "sub", "mul": "mul", "and": "and",
+    "or": "or", "xor": "xor", "shl": "shl", "lshr": "shr", "ashr": "shr",
+}
+
+
+class LoweringError(ReproError):
+    """The IR uses a shape outside the lowerable conformance profile."""
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_").replace("%", "")
+
+
+@dataclass
+class LoweredProgram:
+    """A litmus program plus the litmus-position ↔ IR-instruction map."""
+
+    program: Program
+    module: Module
+    entry: str
+    #: id(ir_instruction) -> 0-based litmus position.  Only observable
+    #: (global-memory) IR loads/stores appear here.
+    point_of: dict[int, int] = field(default_factory=dict)
+    #: 0-based litmus position -> human-readable descriptor.
+    describe: dict[int, str] = field(default_factory=dict)
+
+    def point_for_label(self, label: str) -> int | None:
+        """Map an event label (``"5"`` / ``"5S"``) back to a position."""
+        try:
+            return int(label.rstrip("S")) - 1
+        except ValueError:
+            return None
+
+
+def lower_function(module: Module, entry: str) -> LoweredProgram:
+    """Lower one IR function into a single-thread litmus program."""
+    function = module.functions.get(entry)
+    if function is None or not function.blocks:
+        raise LoweringError(f"no lowerable function {entry!r}")
+
+    out: list[Instruction] = []
+    lowered = LoweredProgram(program=Program(threads=()), module=module,
+                             entry=entry)
+    # Alloca results registerize: the slot's litmus register name.
+    slot_reg: dict[str, str] = {}
+    # GEP results resolve to symbolic global addresses, never registers.
+    addr_of: dict[str, Address] = {}
+    slot_names: set[str] = set()
+    block_position = {block.label: i for i, block in enumerate(function.blocks)}
+
+    def operand_of(value: ir.Value) -> Operand:
+        if isinstance(value, ir.Constant):
+            return Operand.imm(int(value.value))
+        if isinstance(value, ir.Temp):
+            if value.name in addr_of or value.name in slot_reg:
+                raise LoweringError(
+                    f"pointer %{value.name} used as a plain value")
+            return Operand.reg(_sanitize(value.name))
+        if isinstance(value, ir.Argument):
+            return Operand.reg(_sanitize(value.name))
+        raise LoweringError(f"cannot lower operand {value!r}")
+
+    def emit(instruction: Instruction, ir_ins: ir.Instruction | None = None,
+             description: str | None = None) -> None:
+        position = len(out)
+        out.append(instruction)
+        if ir_ins is not None:
+            lowered.point_of[id(ir_ins)] = position
+        if description is not None:
+            lowered.describe[position] = description
+
+    for block_index, block in enumerate(function.blocks):
+        if block_index > 0:
+            # A label-carrying nop marks every join point; extra nops
+            # produce no events, so the trace semantics are unchanged.
+            emit(Nop(label=_sanitize(block.label)))
+        for ins in block.instructions:
+            if isinstance(ins, ir.Alloca):
+                base = _sanitize(ins.var_name or ins.result.name)
+                name = f"sl_{base}"
+                while name in slot_names:
+                    name += "_"
+                slot_names.add(name)
+                slot_reg[ins.result.name] = name
+            elif isinstance(ins, ir.Load):
+                register = (slot_reg.get(ins.pointer.name)
+                            if isinstance(ins.pointer, ir.Temp) else None)
+                if register is not None:
+                    emit(Mov(dest=_sanitize(ins.result.name),
+                             src=Operand.reg(register)))
+                    continue
+                address = _address_of(ins.pointer, addr_of)
+                emit(Load(dest=_sanitize(ins.result.name), address=address),
+                     ins, f"load {address} -> %{ins.result.name}")
+            elif isinstance(ins, ir.Store):
+                register = (slot_reg.get(ins.pointer.name)
+                            if isinstance(ins.pointer, ir.Temp) else None)
+                if register is not None:
+                    emit(Mov(dest=register, src=operand_of(ins.value)))
+                    continue
+                address = _address_of(ins.pointer, addr_of)
+                emit(Store(address=address, src=operand_of(ins.value)),
+                     ins, f"store {address}")
+            elif isinstance(ins, ir.GetElementPtr):
+                addr_of[ins.result.name] = _lower_gep(ins, addr_of, operand_of)
+            elif isinstance(ins, ir.BinOp):
+                op = _ALU_OPS.get(ins.op)
+                if op is None:
+                    raise LoweringError(f"unlowerable binop {ins.op!r}")
+                emit(Alu(dest=_sanitize(ins.result.name), op=op,
+                         lhs=operand_of(ins.lhs), rhs=operand_of(ins.rhs)))
+            elif isinstance(ins, ir.ICmp):
+                _lower_icmp(ins, emit, operand_of)
+            elif isinstance(ins, ir.Cast):
+                emit(Mov(dest=_sanitize(ins.result.name),
+                         src=operand_of(ins.value)))
+            elif isinstance(ins, ir.FenceInstr):
+                emit(FenceInstr(kind=ins.kind))
+            elif isinstance(ins, ir.Branch):
+                _lower_branch(ins, block_index, block_position, emit,
+                              operand_of)
+            elif isinstance(ins, ir.Jump):
+                if block_position.get(ins.label) != block_index + 1:
+                    emit(Jump(target=_sanitize(ins.label)))
+            elif isinstance(ins, ir.Ret):
+                emit(Jump(target=_EXIT_LABEL))
+            else:
+                raise LoweringError(f"cannot lower {ins!r}")
+    emit(Nop(label=_EXIT_LABEL))
+
+    lowered.program = Program(
+        threads=(Thread(tid=0, instructions=tuple(out)),),
+        name=f"lowered/{entry}",
+    )
+    return lowered
+
+
+def _address_of(pointer: ir.Value, addr_of: dict[str, Address]) -> Address:
+    if isinstance(pointer, ir.Temp):
+        address = addr_of.get(pointer.name)
+        if address is None:
+            raise LoweringError(
+                f"load/store through non-address temp %{pointer.name}")
+        return address
+    if isinstance(pointer, ir.GlobalRef):
+        return Address(_sanitize(pointer.name))
+    raise LoweringError(f"cannot lower pointer {pointer!r}")
+
+
+def _lower_gep(ins: ir.GetElementPtr, addr_of, operand_of) -> Address:
+    if isinstance(ins.base, ir.GlobalRef):
+        base = _sanitize(ins.base.name)
+    elif isinstance(ins.base, ir.Temp) and ins.base.name in addr_of:
+        inner = addr_of[ins.base.name]
+        if inner.index is not None:
+            raise LoweringError("nested indexed GEP")
+        base = inner.base
+    else:
+        raise LoweringError(f"cannot lower GEP base {ins.base!r}")
+    dynamic = [index for index in ins.indices
+               if not (isinstance(index, ir.Constant) and index.value == 0)]
+    if not dynamic:
+        return Address(base)
+    if len(dynamic) > 1:
+        raise LoweringError("GEP with multiple non-zero indices")
+    return Address(base, operand_of(dynamic[0]))
+
+
+def _lower_icmp(ins: ir.ICmp, emit, operand_of) -> None:
+    dest = _sanitize(ins.result.name)
+    lhs, rhs = operand_of(ins.lhs), operand_of(ins.rhs)
+    if ins.op == "ult":
+        emit(Alu(dest=dest, op="lt", lhs=lhs, rhs=rhs))
+    elif ins.op == "ugt":
+        emit(Alu(dest=dest, op="lt", lhs=rhs, rhs=lhs))
+    elif ins.op == "eq":
+        emit(Alu(dest=dest, op="eq", lhs=lhs, rhs=rhs))
+    elif ins.op == "ne":
+        emit(Alu(dest=dest, op="eq", lhs=lhs, rhs=rhs))
+        emit(Alu(dest=dest, op="eq", lhs=Operand.reg(dest),
+                 rhs=Operand.imm(0)))
+    else:
+        raise LoweringError(f"unlowerable comparison {ins.op!r}")
+
+
+def _lower_branch(ins: ir.Branch, block_index: int, block_position,
+                  emit, operand_of) -> None:
+    cond = operand_of(ins.cond)
+    if not cond.is_reg:
+        raise LoweringError("constant branch condition")
+    then_next = block_position.get(ins.then_label) == block_index + 1
+    else_next = block_position.get(ins.else_label) == block_index + 1
+    if then_next:
+        # beqz: a zero condition skips the then-block.
+        emit(CondBranch(cond=str(cond.value),
+                        target=_sanitize(ins.else_label), negated=False))
+    elif else_next:
+        emit(CondBranch(cond=str(cond.value),
+                        target=_sanitize(ins.then_label), negated=True))
+    else:
+        emit(CondBranch(cond=str(cond.value),
+                        target=_sanitize(ins.else_label), negated=False))
+        emit(Jump(target=_sanitize(ins.then_label)))

@@ -25,6 +25,9 @@ fresh                        (PathOracle / XWitnessEncoder) agrees with a
 degradation         C        a budget-faulted run only degrades verdicts
                              toward unknown (never flips leak<->safe) and
                              confirms no witness the fault-free run lacks
+contract            C        relational contract conformance: inputs with
+                             equal ctraces have equal htraces on every
+                             hardware policy the contract claims to cover
 ==================  =======  ==============================================
 
 The Clou-facing oracles run their analyses through
@@ -57,7 +60,11 @@ class Oracle:
 
     ``period`` rate-limits expensive oracles: the runner only applies
     the oracle to every ``period``-th matching input (deterministic in
-    the iteration number, so runs are reproducible).
+    the iteration number, so runs are reproducible).  ``profile``
+    restricts the oracle to inputs generated under that profile (``""``
+    matches any); ``sidecar`` recomputes structured evidence — e.g.
+    both traces of a conformance counterexample — on the *shrunk*
+    input, for the corpus reproducer's JSON sidecar.
     """
 
     name: str
@@ -65,6 +72,8 @@ class Oracle:
     check: Callable[[object], str | None]
     period: int = 1
     description: str = ""
+    profile: str = ""                            # '' | a gen_c profile
+    sidecar: Callable[[object], dict | None] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +177,10 @@ def _interp_interval(generated: GeneratedC) -> str | None:
         if len(violations) >= 5:
             return
         analysis = analyses.get(id(ins))
-        if analysis is None or not isinstance(ins.result.type, IntType):
+        result = getattr(ins, "result", None)
+        if analysis is None or result is None:
+            return  # stores trace their value but define no temp
+        if not isinstance(result.type, IntType):
             return
         interval = analysis.range_of(ins.result)
         low_ok = interval.lo is None or value >= interval.lo
@@ -302,6 +314,71 @@ def _degradation(generated: GeneratedC) -> str | None:
     return None
 
 
+def _conformance_results(generated: GeneratedC):
+    """Conformance results for every (hardware, contract) pair the
+    refinement relation predicts *conform* — a violation on such a
+    pair is a real bug in an LCM, a policy, or the trace extractors.
+    Predicted-violate pairs (unmodeled hardware) are the matrix's
+    business (``clou fuzz --contract-matrix``), not this oracle's.
+    """
+    from repro.fuzz.conformance import (
+        CONTRACT_LCMS, HARDWARE_POLICIES, ConformanceHarness,
+        check_conformance, predicted_verdict)
+    from repro.fuzz.gen_c import conformance_vectors
+    from repro.fuzz.lowering import LoweringError
+
+    if generated.profile != "conformance":
+        raise OracleSkip("not a conformance-profile program")
+    try:
+        harness = ConformanceHarness(generated)
+    except (ReproError, LoweringError) as error:
+        raise OracleSkip(f"outside the lowerable profile: {error}")
+    families = conformance_vectors(generated)
+    for policy_name in HARDWARE_POLICIES:
+        for contract_name, spec in CONTRACT_LCMS.items():
+            verdict = predicted_verdict(HARDWARE_POLICIES[policy_name](),
+                                        spec.policy())
+            if verdict != "conform":
+                continue
+            yield check_conformance(
+                generated, policy_name=policy_name,
+                contract_name=contract_name, families=families,
+                harness=harness, max_violations=1)
+
+
+def _contract(generated: GeneratedC) -> str | None:
+    pairs = 0
+    for result in _conformance_results(generated):
+        pairs += result.pairs_checked
+        if result.violations:
+            violation = result.violations[0]
+            return (f"hardware '{result.policy}' violates contract "
+                    f"'{result.contract}' on a ctrace-equal input pair "
+                    f"{list(violation.args_a)} / {list(violation.args_b)}: "
+                    f"{violation.detail}")
+    if pairs == 0:
+        raise OracleSkip("no ctrace-equal input pair on any policy")
+    return None
+
+
+def _contract_sidecar(generated: GeneratedC) -> dict | None:
+    """Both traces of the (shrunk) counterexample, plus the contract's
+    static transmitter classification of the observed points."""
+    try:
+        for result in _conformance_results(generated):
+            if result.violations:
+                return {
+                    "violation": result.violations[0].to_dict(),
+                    "observation_points": {
+                        str(point): reports
+                        for point, reports
+                        in sorted(result.observation_points.items())},
+                }
+    except OracleSkip:
+        return None
+    return None
+
+
 # ----------------------------------------------------------------------
 # Cross-cutting oracles (kind 'any')
 # ----------------------------------------------------------------------
@@ -428,6 +505,11 @@ ORACLES: dict[str, Oracle] = {
         Oracle("degradation", "c", _degradation, period=3,
                description="budget-faulted runs only degrade verdicts "
                            "toward unknown, never flip leak<->safe"),
+        Oracle("contract", "c", _contract, profile="conformance",
+               sidecar=_contract_sidecar,
+               description="relational conformance: ctrace-equal input "
+                           "pairs stay htrace-equal on every hardware "
+                           "policy the contract covers"),
         # period must be odd: the runner alternates C (even iteration)
         # and litmus (odd) inputs, and an "any" oracle with an even
         # period would only ever see one kind.

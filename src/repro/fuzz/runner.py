@@ -84,11 +84,17 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+#: Even iterations rotate through the C generator's profiles; odd
+#: iterations generate litmus programs.  Pure in (seed, iteration).
+_C_PROFILES = ("interpretable", "analysis", "conformance")
+
+
 def _input_for(seed: int, iteration: int) -> GeneratedC | GeneratedLitmus:
     item_seed = seed * 1_000_003 + iteration
     if iteration % 2 == 0:
         return generate_c(item_seed,
-                          interpretable=(iteration % 4 == 0))
+                          profile=_C_PROFILES[(iteration // 2)
+                                              % len(_C_PROFILES)])
     return generate_litmus(item_seed)
 
 
@@ -154,6 +160,9 @@ def run_fuzz(seed: int = 0, iterations: int = 100,
         for oracle in oracles:
             if oracle.kind not in ("any", generated.kind):
                 continue
+            if oracle.profile \
+                    and getattr(generated, "profile", "") != oracle.profile:
+                continue
             matches[oracle.name] += 1
             if (matches[oracle.name] - 1) % oracle.period:
                 continue
@@ -194,6 +203,15 @@ def _record(report: FuzzReport, oracle: Oracle, generated, iteration: int,
     shrunk_lines = len(source.splitlines())
     path = ""
     if corpus_dir is not None:
+        extra = None
+        if oracle.sidecar is not None:
+            # Recompute the structured evidence on the shrunk source, so
+            # the sidecar describes the reproducer it sits next to.
+            candidate = _candidate_input(generated, source) or generated
+            try:
+                extra = oracle.sidecar(candidate)
+            except Exception:
+                extra = None
         reproducer = Reproducer(
             oracle=oracle.name, kind=generated.kind, seed=generated.seed,
             iteration=iteration, message=message, source=source,
@@ -201,7 +219,9 @@ def _record(report: FuzzReport, oracle: Oracle, generated, iteration: int,
             entry=getattr(generated, "entry", ""),
             params=getattr(generated, "params", ()),
             secrets=getattr(generated, "secrets", ()),
-            interpretable=getattr(generated, "interpretable", True))
+            interpretable=getattr(generated, "interpretable", True),
+            profile=getattr(generated, "profile", ""),
+            extra=extra)
         path = write_reproducer(corpus_dir, reproducer)
     failure = FuzzFailure(
         oracle=oracle.name, kind=generated.kind, seed=generated.seed,

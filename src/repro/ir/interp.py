@@ -104,15 +104,24 @@ class Interpreter:
     """Executes functions of a module on a :class:`Machine`."""
 
     def __init__(self, module: Module, machine: Machine | None = None,
-                 max_steps: int = 2_000_000, trace=None):
+                 max_steps: int = 2_000_000, trace=None, mem_trace=None):
         self.module = module
         self.machine = machine or Machine()
         self.max_steps = max_steps
         #: Optional ``trace(instruction, value)`` callback, fired after
-        #: every instruction that defines a temp.  Differential testing
-        #: hooks this to compare concrete values against static facts
-        #: (e.g. the interval analysis' inferred ranges).
+        #: every instruction that defines a temp — and after every store,
+        #: with the stored value (stores define no temp but are the half
+        #: of the memory traffic a hardware trace cannot live without).
+        #: Differential testing hooks this to compare concrete values
+        #: against static facts (e.g. the interval analysis' ranges).
         self.trace = trace
+        #: Optional ``mem_trace(instruction, kind, address, value, size)``
+        #: callback with ``kind`` in {"load", "store"}.  Fired after a
+        #: load completes and *before* a store writes, so the observer
+        #: can still read pre-store memory (needed to resolve silent
+        #: stores data-dependently).  ``value`` is the unsigned loaded /
+        #: to-be-stored integer, ``size`` its width in bytes.
+        self.mem_trace = mem_trace
         self._initialize_globals()
 
     # -- setup -----------------------------------------------------------
@@ -187,21 +196,29 @@ class Interpreter:
                 elif isinstance(ins, Load):
                     address = evaluate(ins.pointer)
                     result_type = ins.result.type
-                    if isinstance(result_type, IntType):
-                        env[ins.result.name] = self.machine.read_int(
-                            address, result_type)
-                    else:
-                        env[ins.result.name] = self.machine.read_int(
-                            address, IntType(64, signed=False))
+                    if not isinstance(result_type, IntType):
+                        result_type = IntType(64, signed=False)
+                    env[ins.result.name] = self.machine.read_int(
+                        address, result_type)
+                    if self.mem_trace is not None:
+                        size = result_type.size_bytes()
+                        self.mem_trace(ins, "load", address,
+                                       _unsigned(env[ins.result.name],
+                                                 size * 8), size)
                 elif isinstance(ins, Store):
                     address = evaluate(ins.pointer)
                     pointee = (ins.pointer.type.pointee
                                if isinstance(ins.pointer.type, PointerType)
                                else IntType(64))
-                    size = (pointee.size_bytes()
-                            if isinstance(pointee, IntType) else 8)
-                    self.machine.write_int(address, evaluate(ins.value),
-                                           max(size, 1))
+                    size = max(pointee.size_bytes()
+                               if isinstance(pointee, IntType) else 8, 1)
+                    value = evaluate(ins.value)
+                    if self.mem_trace is not None:
+                        self.mem_trace(ins, "store", address,
+                                       _unsigned(value, size * 8), size)
+                    self.machine.write_int(address, value, size)
+                    if self.trace is not None:
+                        self.trace(ins, value)
                 elif isinstance(ins, GetElementPtr):
                     # LLVM GEP semantics: the leading index strides over
                     # whole pointees; subsequent indices step into

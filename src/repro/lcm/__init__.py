@@ -34,6 +34,7 @@ from repro.lcm.taxonomy import (
     classify_transmitters,
     extended_addr,
     most_severe,
+    transmitter_report_dict,
 )
 from repro.lcm.xstate import DirectMappedPolicy, XStateElement, XStatePolicy
 
@@ -63,6 +64,7 @@ __all__ = [
     "microarchitectural_semantics",
     "most_severe",
     "receivers",
+    "transmitter_report_dict",
     "transmitters",
     "x86_lcm",
     "xwitness_candidates",

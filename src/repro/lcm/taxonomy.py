@@ -149,3 +149,16 @@ def most_severe(reports: list[TransmitterReport]) -> TransmitterReport | None:
     if not reports:
         return None
     return max(reports, key=lambda r: r.klass.severity)
+
+
+def transmitter_report_dict(report: TransmitterReport) -> dict:
+    """JSON-ready form of one report (fuzz corpus sidecars, matrices)."""
+    return {
+        "event": report.event.label,
+        "class": report.klass.value,
+        "field": report.field,
+        "receiver": report.receiver.label,
+        "access": report.access.label if report.access is not None else None,
+        "index": report.index.label if report.index is not None else None,
+        "transient": report.transient,
+    }

@@ -25,6 +25,7 @@ Policies model the paper's hardware variants:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.events import (
@@ -68,6 +69,21 @@ class XStatePolicy:
         """Stable display names (s0, s1, ...) for rendered executions."""
         return {}
 
+    def concrete_access(self, address: int, *, store: bool,
+                        data: int | None = None,
+                        silent: bool = False) -> tuple[int, AccessKind]:
+        """Resolve one concrete access to ``(element, kind)``.
+
+        The symbolic ``elements``/``kinds`` answer *sets* of behaviours
+        for the axiomatic semantics; a concrete execution (the
+        conformance fuzzer's hardware side) needs one resolved
+        observation per access.  ``silent`` is resolved by the caller
+        from pre-store memory (the paper's data-matches-memory silent
+        store, Fig. 5a); ``data`` is the stored value, unused by the
+        shipped policies but available to experimental ones.
+        """
+        raise NotImplementedError
+
 
 @dataclass
 class DirectMappedPolicy(XStatePolicy):
@@ -85,9 +101,11 @@ class DirectMappedPolicy(XStatePolicy):
             if self.num_sets is None:
                 self._element_of[loc] = XStateElement(len(self._element_of))
             else:
-                self._element_of[loc] = XStateElement(
-                    hash((loc.base, loc.offset)) % self.num_sets
-                )
+                # crc32, not hash(): the set index must be stable across
+                # processes (PYTHONHASHSEED) for replayable reproducers.
+                digest = zlib.crc32(
+                    f"{loc.base}+{loc.offset}".encode("utf-8"))
+                self._element_of[loc] = XStateElement(digest % self.num_sets)
         return self._element_of[loc]
 
     def elements(self, event: Event, structure: EventStructure) -> tuple[object, ...]:
@@ -129,3 +147,27 @@ class DirectMappedPolicy(XStatePolicy):
                 return (AccessKind.WRITE,)
             return (AccessKind.READ_MODIFY_WRITE,)
         return ()
+
+    def element_names(self) -> dict[object, str]:
+        return {element: str(element)
+                for element in self._element_of.values()}
+
+    def concrete_access(self, address: int, *, store: bool,
+                        data: int | None = None,
+                        silent: bool = False) -> tuple[int, AccessKind]:
+        # Element map: one element per byte address for the infinite
+        # cache; a direct-mapped set index (address mod num_sets) for
+        # the finite ablation.
+        element = (address if self.num_sets is None
+                   else address % self.num_sets)
+        if not store:
+            # Concrete baseline: a primed attacker makes every load a
+            # miss, so the resolved kind is the read-modify-write one.
+            # Hit/miss history adds nothing: it is a deterministic
+            # function of the element sequence already in the trace.
+            return element, AccessKind.READ_MODIFY_WRITE
+        if self.silent_stores and silent:
+            return element, AccessKind.READ
+        if not self.write_allocate:
+            return element, AccessKind.WRITE
+        return element, AccessKind.READ_MODIFY_WRITE

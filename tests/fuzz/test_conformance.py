@@ -1,0 +1,322 @@
+"""Contract-conformance fuzzing: the relational ctrace/htrace oracle.
+
+Covers the whole tentpole stack: IR -> litmus lowering with the shared
+point map, trace extraction under contract and hardware policies, the
+equivalence-class input generator, the conformance matrix, and the
+end-to-end injected-leaky-policy loop (caught, shrunk, replayable,
+both traces in the corpus sidecar) that mirrors the injected-bug tests
+of the earlier fuzz PRs.
+"""
+
+import json
+
+import pytest
+
+from repro.events import AccessKind
+from repro.fuzz import load_reproducer, replay, run_fuzz
+from repro.fuzz.conformance import (
+    CONTRACT_LCMS,
+    HARDWARE_POLICIES,
+    ConformanceHarness,
+    Trace,
+    TraceEntry,
+    check_conformance,
+    conformance_matrix,
+    first_divergence,
+    predicted_verdict,
+)
+from repro.fuzz.gen_c import conformance_vectors, generate_c
+from repro.fuzz.lowering import LoweringError, lower_function
+from repro.ir.instructions import Load, Store
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.minic import compile_c
+
+SEEDS = range(12)
+
+
+def _harness(seed):
+    return ConformanceHarness(generate_c(seed, profile="conformance"))
+
+
+class TestLowering:
+    def test_every_conformance_seed_lowers(self):
+        for seed in SEEDS:
+            generated = generate_c(seed, profile="conformance")
+            module = compile_c(generated.source, name="t")
+            lowered = lower_function(module, generated.entry)
+            assert lowered.program.threads[0].instructions
+
+    def test_points_cover_exactly_the_global_accesses(self):
+        """The point map is the observation surface: every IR load/store
+        through a global gets a litmus position; slot traffic gets none.
+        """
+        generated = generate_c(1, profile="conformance")
+        module = compile_c(generated.source, name="t")
+        lowered = lower_function(module, generated.entry)
+        globals_base = set(module.globals)
+        mapped = 0
+        for block in module.functions[generated.entry].blocks:
+            for ins in block.instructions:
+                if not isinstance(ins, (Load, Store)):
+                    continue
+                if id(ins) in lowered.point_of:
+                    mapped += 1
+                    point = lowered.point_of[id(ins)]
+                    description = lowered.describe[point]
+                    assert any(name in description
+                               for name in globals_base), description
+        assert mapped >= 2  # at least the guaranteed first load + leak store
+
+    def test_point_labels_round_trip(self):
+        lowered = _harness(2).lowered
+        for point in lowered.describe:
+            label = str(point + 1)
+            assert lowered.point_for_label(label) == point
+            assert lowered.point_for_label(label + "S") == point
+
+    def test_unlowerable_shapes_raise(self):
+        module = compile_c("""
+uint64_t g;
+uint64_t helper(uint64_t x) { return x; }
+uint64_t f(uint64_t a) { return helper(a) + g; }
+""", name="t")
+        with pytest.raises(LoweringError):
+            lower_function(module, "f")
+
+    def test_lowered_program_analyzes_quickly(self):
+        """The registerized lowering must stay within the LCMs'
+        tractable envelope (few memory events, not a slot mirror)."""
+        import time
+
+        harness = _harness(3)
+        memory_events = sum(
+            1 for ins in harness.lowered.program.threads[0].instructions
+            if type(ins).__name__ in ("Load", "Store"))
+        assert memory_events <= 12
+        started = time.monotonic()
+        analysis = harness.static_analysis("x86")
+        assert time.monotonic() - started < 5.0
+        assert analysis.reports  # the secret store always transmits
+
+
+class TestTraces:
+    def test_trace_is_deterministic(self):
+        harness = _harness(0)
+        vector = (7, 3, 99)
+        first = harness.ctrace("x86", vector)
+        second = harness.ctrace("x86", vector)
+        assert first.key() == second.key()
+        assert first.entries  # the guaranteed accesses showed up
+
+    def test_trace_points_come_from_the_lowering(self):
+        harness = _harness(0)
+        trace = harness.htrace("direct", (1, 2, 3))
+        points = set(harness.lowered.describe)
+        assert trace.entries
+        for entry in trace.entries:
+            assert entry.point in points
+            assert entry.kind in {k.value for k in AccessKind}
+
+    def test_silent_store_resolves_against_pre_store_memory(self):
+        """Under the silent-store policy, storing zero secret bytes to
+        zeroed leak_cf is silent (kind R); an odd secret is not (RW)."""
+        harness = _harness(0)
+        quiet = harness.htrace("silent-store", (0, 0, 0))
+        loud = harness.htrace("silent-store", (0, 0, 1))
+        assert first_divergence(quiet, loud) < len(quiet.entries)
+        kinds_quiet = {e.kind for e in quiet.entries}
+        assert AccessKind.READ.value in kinds_quiet
+
+    def test_first_divergence(self):
+        a = Trace("m", (TraceEntry(0, 1, "RW"), TraceEntry(1, 2, "RW")))
+        b = Trace("m", (TraceEntry(0, 1, "RW"), TraceEntry(1, 3, "RW")))
+        assert first_divergence(a, b) == 1
+        assert first_divergence(a, a) == 2
+
+
+class TestEquivalenceClasses:
+    def test_families_share_a_ctrace(self):
+        """The boosted input pairs are the oracle's fuel: every family
+        must yield at least one ctrace-equal pair, and secret-swap
+        mutants must stay in the contract's equivalence class."""
+        for seed in range(6):
+            generated = generate_c(seed, profile="conformance")
+            harness = ConformanceHarness(generated)
+            pairs = 0
+            for family in conformance_vectors(generated):
+                keys = [harness.ctrace("x86", vector).key()
+                        for vector in family]
+                base = keys[0]
+                # the secret mutant (index 1) never changes the ctrace:
+                # secrets flow only to store *data*, never to addresses.
+                assert keys[1] == base
+                pairs += sum(1 for key in keys[1:] if key == base)
+            assert pairs >= 1, f"seed {seed} generated no usable pair"
+
+    def test_secret_mutant_is_forced_odd(self):
+        generated = generate_c(0, profile="conformance")
+        families = conformance_vectors(generated)
+        secret_index = generated.params.index("secret")
+        for family in families:
+            base, mutant = family[0], family[1]
+            assert mutant[secret_index] % 2 == 1
+            assert mutant[secret_index] != base[secret_index]
+
+
+class TestConformance:
+    def test_shipped_pairs_conform(self):
+        """Zero counterexamples on every (hardware, contract) pair the
+        refinement relation predicts conform — across several seeds."""
+        for seed in range(4):
+            generated = generate_c(seed, profile="conformance")
+            harness = ConformanceHarness(generated)
+            families = conformance_vectors(generated)
+            for policy_name, factory in HARDWARE_POLICIES.items():
+                for contract_name, spec in CONTRACT_LCMS.items():
+                    if predicted_verdict(factory(),
+                                         spec.policy()) != "conform":
+                        continue
+                    result = check_conformance(
+                        generated, policy_name=policy_name,
+                        contract_name=contract_name,
+                        families=families, harness=harness)
+                    assert result.conforms, \
+                        (seed, policy_name, contract_name,
+                         result.violations[0].detail)
+
+    def test_silent_hardware_violates_unsilent_contracts(self):
+        """The Fig. 5a direction: silent-store hardware is *not*
+        covered by a contract that never models silent stores, and the
+        generator's guaranteed secret store is a deterministic witness.
+        """
+        generated = generate_c(0, profile="conformance")
+        result = check_conformance(generated, policy_name="silent-store",
+                                   contract_name="x86")
+        assert not result.conforms
+        violation = result.violations[0]
+        assert violation.ctrace.key() != ()
+        assert violation.htrace_a.key() != violation.htrace_b.key()
+        # the counterexample carries the static classification of the
+        # points involved (the contract's statement of what may leak)
+        assert result.observation_points
+
+    def test_violation_serializes_with_both_traces(self):
+        generated = generate_c(0, profile="conformance")
+        result = check_conformance(generated, policy_name="silent-store",
+                                   contract_name="inorder")
+        data = result.violations[0].to_dict()
+        assert data["ctrace"]["entries"]
+        assert data["htrace_a"]["model"].startswith("hardware:")
+        assert data["htrace_b"]["entries"] != data["htrace_a"]["entries"]
+        json.dumps(data)  # JSON-ready, no exotic types
+
+
+class TestMatrix:
+    def test_matrix_matches_the_refinement_relation(self):
+        report = conformance_matrix(seed=0, programs=2)
+        assert report.ok, report.render()
+        assert len(report.cells) == \
+            len(HARDWARE_POLICIES) * len(CONTRACT_LCMS)
+        for cell in report.cells:
+            if cell.predicted == "conform":
+                assert cell.violations == 0 and cell.pairs_checked >= 1
+            if cell.predicted == "violate":
+                assert cell.violations >= 1
+                assert cell.example is not None
+        silent = report.cell("silent-store", "x86")
+        assert silent.measured == "violate"
+        covered = report.cell("silent-store", "x86-silent")
+        assert covered.measured == "conform"
+
+    def test_render_and_dict_forms(self):
+        report = conformance_matrix(seed=5, programs=1)
+        text = report.render()
+        assert "hardware \\ contract" in text
+        data = report.to_dict()
+        assert data["programs"] == 1
+        assert len(data["cells"]) == len(report.cells)
+        json.dumps(data)
+
+
+class LeakyPolicy(DirectMappedPolicy):
+    """The injected bug: drops the write-allocate observation whenever
+    the store data is odd — store *data* modulates the htrace while the
+    contract's ctrace never sees it."""
+
+    def concrete_access(self, address, *, store, data=None, silent=False):
+        if store and data is not None and data % 2:
+            return address, AccessKind.WRITE
+        return super().concrete_access(address, store=store, data=data,
+                                       silent=silent)
+
+
+class TestInjectedLeakyPolicy:
+    """End-to-end: the fuzz loop catches a seeded leaky hardware policy,
+    shrinks the program, and writes a replayable reproducer whose
+    sidecar records the ctrace and both diverging htraces."""
+
+    @pytest.fixture
+    def leaky_direct(self, monkeypatch):
+        monkeypatch.setitem(HARDWARE_POLICIES, "direct", LeakyPolicy)
+
+    def test_caught_shrunk_and_replayable(self, leaky_direct, tmp_path,
+                                          monkeypatch):
+        report = run_fuzz(seed=3, iterations=6,
+                          oracle_names=("contract",),
+                          corpus_dir=str(tmp_path), shrink_attempts=200)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.oracle == "contract"
+        assert "violates contract" in failure.message
+        assert failure.shrunk_lines <= 10
+        assert failure.shrunk_lines < failure.original_lines
+
+        reproducer = load_reproducer(failure.reproducer_path)
+        assert reproducer.profile == "conformance"
+        # both traces ride the sidecar, recomputed on the shrunk source
+        violation = reproducer.extra["violation"]
+        assert violation["ctrace"]["entries"]
+        assert violation["htrace_a"]["entries"] != \
+            violation["htrace_b"]["entries"]
+        assert reproducer.extra["observation_points"]
+
+        # replay: still failing while the bug is in ...
+        assert replay(reproducer) is not None
+        # ... and green the moment the policy is fixed.
+        monkeypatch.setitem(HARDWARE_POLICIES, "direct",
+                            lambda: DirectMappedPolicy())
+        assert replay(reproducer) is None
+
+    def test_sidecar_is_valid_json_on_disk(self, leaky_direct, tmp_path):
+        report = run_fuzz(seed=3, iterations=6,
+                          oracle_names=("contract",),
+                          corpus_dir=str(tmp_path), shrink_attempts=60)
+        with open(report.failures[0].reproducer_path) as handle:
+            payload = json.load(handle)
+        assert payload["profile"] == "conformance"
+        assert payload["extra"]["violation"]["htrace_a"]["model"] == \
+            "hardware:direct"
+
+
+class TestContractOracleIntegration:
+    def test_oracle_is_green_on_shipped_policies(self):
+        report = run_fuzz(seed=0, iterations=12,
+                          oracle_names=("contract",))
+        assert report.ok
+        assert report.checks.get("contract", 0) >= 1
+
+    def test_oracle_only_sees_conformance_profile_inputs(self):
+        """The profile gate: 12 iterations contain interpretable,
+        analysis, and conformance C programs plus litmus programs; the
+        contract oracle must be offered only the conformance ones."""
+        report = run_fuzz(seed=0, iterations=12,
+                          oracle_names=("contract",))
+        # iterations 4 and 10 are the conformance slots in a 12-run
+        assert report.checks["contract"] == 2
+
+    def test_schedule_is_reproducible(self):
+        first = run_fuzz(seed=7, iterations=12, oracle_names=("contract",))
+        second = run_fuzz(seed=7, iterations=12, oracle_names=("contract",))
+        assert first.checks == second.checks
+        assert first.skips == second.skips
+        assert len(first.failures) == len(second.failures)

@@ -129,6 +129,73 @@ uint64_t get_hits(void) { return hits; }
         assert interp.call("get_hits", []) == 1
 
 
+class TestTraceHooks:
+    SOURCE = """
+uint8_t tab[8];
+
+uint64_t f(uint64_t a) {
+    tab[a & 7] = (uint8_t)(a & 0xff);
+    uint64_t v = tab[a & 7];
+    return v;
+}
+"""
+
+    def test_trace_fires_for_resultless_stores(self):
+        """The regression: ``trace`` used to fire only for instructions
+        that define a temp, so stores — the instructions whose traced
+        value matters most to observers — were silently skipped."""
+        from repro.ir.instructions import Store
+
+        module = compile_c(self.SOURCE)
+        traced = []
+        Interpreter(module, trace=lambda ins, value:
+                    traced.append((type(ins).__name__, value))).call("f", [5])
+        stores = [value for name, value in traced if name == "Store"]
+        assert 5 in stores, traced
+        # Loads and ALU results still trace alongside.
+        assert any(name != "Store" for name, _ in traced)
+        assert Store is not None  # the import is the regression's subject
+
+    def test_mem_trace_sees_loads_and_stores(self):
+        module = compile_c(self.SOURCE)
+        machine = Machine()
+        accesses = []
+        Interpreter(module, machine,
+                    mem_trace=lambda ins, kind, addr, value, size:
+                    accesses.append((kind, addr, value, size))).call("f", [3])
+        # mem_trace reports the -O0 alloca-slot traffic too; project to
+        # the global array, the footprint an observer cares about.
+        base = machine.symbols["tab"]
+        tab = [a for a in accesses if base <= a[1] < base + 8]
+        kinds = [kind for kind, *_ in tab]
+        assert "store" in kinds and "load" in kinds
+        # The store wrote 3 to tab[3]; the load read it back from the
+        # same address with the same 1-byte width.
+        store = next(a for a in tab if a[0] == "store")
+        load = next(a for a in tab if a[0] == "load")
+        assert store[1:] == load[1:] == (base + 3, 3, 1)
+
+    def test_mem_trace_fires_before_the_store_writes(self):
+        """Observers must see pre-store memory (silent-store detection
+        compares the incoming value against what is already there)."""
+        module = compile_c(self.SOURCE)
+        machine = Machine()
+        pre_values = []
+
+        def observe(ins, kind, address, value, size):
+            if kind == "store":
+                prior = int.from_bytes(
+                    machine.memory[address:address + size], "little")
+                pre_values.append((address, prior, value))
+
+        Interpreter(module, machine, mem_trace=observe).call("f", [9])
+        # tab is zero-initialized: the store of 9 to tab[1] must
+        # observe prior=0, not its own value.
+        base = machine.symbols["tab"]
+        assert [(prior, value) for addr, prior, value in pre_values
+                if base <= addr < base + 8] == [(0, 9)]
+
+
 class TestTEADifferential:
     def _run_tea(self, v, k, function="tea_encrypt"):
         module = compile_c(by_name("tea").source)

@@ -1,0 +1,134 @@
+"""Property-based checks for the xstate policy layer (§3.2.1).
+
+The conformance fuzzer leans on three policy properties the unit tests
+only spot-check: ``kinds``/``elements`` are *deterministic* (same event,
+same structure, same answer — PYTHONHASHSEED must not leak in),
+*total* over every memory event of any elaborated structure, and
+``element_names`` is *injective* (two distinct elements never collapse
+into one display name, which would silently merge trace entries).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import AccessKind
+from repro.lcm.xstate import DirectMappedPolicy
+from repro.litmus import elaborate, parse_program
+
+LOCATIONS = ["x", "y", "z"]
+
+POLICIES = {
+    "default": lambda: DirectMappedPolicy(),
+    "no-write-allocate": lambda: DirectMappedPolicy(write_allocate=False),
+    "silent-store": lambda: DirectMappedPolicy(silent_stores=True),
+    "alias-prediction": lambda: DirectMappedPolicy(alias_prediction=True),
+    "finite-4": lambda: DirectMappedPolicy(num_sets=4),
+    "finite-1": lambda: DirectMappedPolicy(num_sets=1),
+}
+
+
+@st.composite
+def straight_line_programs(draw):
+    """1-4 instruction single-thread programs over three locations."""
+    lines = []
+    count = draw(st.integers(1, 4))
+    reg = 1
+    for _ in range(count):
+        loc = draw(st.sampled_from(LOCATIONS))
+        if draw(st.booleans()):
+            lines.append(f"r{reg} = load {loc}")
+            reg += 1
+        else:
+            lines.append(f"store {loc}, {draw(st.integers(0, 3))}")
+    return "\n".join(lines)
+
+
+def _memory_events(structure):
+    return [event for event in structure.events
+            if getattr(event, "location", None) is not None]
+
+
+@given(source=straight_line_programs(),
+       policy_name=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=60, deadline=None)
+def test_kinds_and_elements_are_total_and_deterministic(source, policy_name):
+    """Every memory event gets kinds and at least one element, and two
+    independently constructed policies agree exactly — the element map
+    must be a pure function of first-use order, never of object hashes.
+    """
+    (structure,) = elaborate(parse_program(source))
+    first = POLICIES[policy_name]()
+    second = POLICIES[policy_name]()
+    for event in _memory_events(structure):
+        kinds_a = first.kinds(event, structure)
+        kinds_b = second.kinds(event, structure)
+        assert kinds_a, f"no kinds for {event}"
+        assert kinds_a == kinds_b
+        assert all(isinstance(kind, AccessKind) for kind in kinds_a)
+        elements_a = first.elements(event, structure)
+        elements_b = second.elements(event, structure)
+        assert elements_a, f"no elements for {event}"
+        assert elements_a == elements_b
+
+
+@given(source=straight_line_programs(),
+       policy_name=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=60, deadline=None)
+def test_element_names_are_injective(source, policy_name):
+    """Distinct xstate elements must render to distinct names; a
+    collision would merge distinct trace entries in serialized output.
+    """
+    (structure,) = elaborate(parse_program(source))
+    policy = POLICIES[policy_name]()
+    for event in _memory_events(structure):
+        policy.elements(event, structure)  # populate the element map
+    names = policy.element_names()
+    assert len(set(names.values())) == len(names)
+    # and the names describe the elements they key on
+    for element, name in names.items():
+        assert name == str(element)
+
+
+@given(address=st.integers(0, 2**20), data=st.integers(0, 2**16),
+       store=st.booleans(), silent=st.booleans(),
+       policy_name=st.sampled_from(sorted(POLICIES)))
+@settings(max_examples=120, deadline=None)
+def test_concrete_access_is_total_and_deterministic(address, data, store,
+                                                    silent, policy_name):
+    """The dynamic hook must answer for *any* concrete access, agree
+    with itself, and respect the policy's element granularity."""
+    policy = POLICIES[policy_name]()
+    element, kind = policy.concrete_access(address, store=store,
+                                           data=data, silent=silent)
+    again = policy.concrete_access(address, store=store,
+                                   data=data, silent=silent)
+    assert (element, kind) == again
+    assert isinstance(kind, AccessKind)
+    if policy.num_sets is not None:
+        assert 0 <= element < policy.num_sets
+    else:
+        assert element == address
+    if not store:
+        # Reads always fill: the line is read and (re)allocated.
+        assert kind == AccessKind.READ_MODIFY_WRITE
+    elif policy.silent_stores and silent:
+        assert kind == AccessKind.READ
+    elif not policy.write_allocate:
+        assert kind == AccessKind.WRITE
+
+
+@given(address=st.integers(0, 2**20), data=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_silent_bit_only_matters_under_silent_stores(address, data):
+    """Policies that do not model silent stores must be insensitive to
+    the silent bit — otherwise a 'conforming' hardware policy would
+    secretly leak store data through its access kinds."""
+    for name, factory in POLICIES.items():
+        policy = factory()
+        if policy.silent_stores:
+            continue
+        loud = policy.concrete_access(address, store=True, data=data,
+                                      silent=False)
+        quiet = policy.concrete_access(address, store=True, data=data,
+                                       silent=True)
+        assert loud == quiet, name

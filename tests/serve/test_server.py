@@ -316,6 +316,118 @@ class TestCLI:
         assert fallback == local
         assert code_fallback == code_local == 1
 
+    def test_client_lint_json_is_byte_identical_to_local(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        code_local, local = self._json_out(
+            capsys, ["lint", str(path), "--secrets", "A", "--json",
+                     "--no-cache"])
+        server = ClouServer(ClouSession(jobs=1, cache=False),
+                            socket_path=str(tmp_path / "clou.sock"))
+        server.start()
+        try:
+            code_daemon, remote = self._json_out(
+                capsys, ["client", "lint", str(path), "--secrets", "A",
+                         "--json", "--no-cache",
+                         "--socket", server.socket_path])
+            served = server.status()["served"]
+        finally:
+            server.shutdown()
+        assert remote == local
+        assert code_daemon == code_local == 0
+        assert served == 1  # the daemon, not the fallback, ran it
+        json.loads(local)
+
+    def test_client_lint_falls_back_in_process(self, tmp_path, capsys,
+                                               monkeypatch):
+        from repro.sched.env import SOCKET_ENV
+
+        monkeypatch.delenv(SOCKET_ENV, raising=False)
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        code_local, local = self._json_out(
+            capsys, ["lint", str(path), "--json", "--no-cache"])
+        code_fallback, fallback = self._json_out(
+            capsys, ["client", "lint", str(path), "--json", "--no-cache",
+                     "--socket", str(tmp_path / "missing.sock")])
+        assert fallback == local
+        assert code_fallback == code_local == 0
+
+    def test_client_lint_severity_gate_matches_local(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        server = ClouServer(ClouSession(jobs=1, cache=False),
+                            socket_path=str(tmp_path / "clou.sock"))
+        server.start()
+        try:
+            code, _ = self._json_out(
+                capsys, ["client", "lint", str(path), "--secrets", "A",
+                         "--fail-on-severity", "AT", "--no-cache",
+                         "--socket", server.socket_path])
+        finally:
+            server.shutdown()
+        assert code == 1  # the secret-indexed load gates, like local lint
+
+    def test_client_repair_output_is_identical_to_local(self, tmp_path,
+                                                        capsys):
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        code_local, local = self._json_out(
+            capsys, ["repair", str(path), "--no-cache"])
+        server = ClouServer(ClouSession(jobs=1, cache=False),
+                            socket_path=str(tmp_path / "clou.sock"))
+        server.start()
+        try:
+            code_daemon, remote = self._json_out(
+                capsys, ["client", "repair", str(path), "--no-cache",
+                         "--socket", server.socket_path])
+            served = server.status()["served"]
+        finally:
+            server.shutdown()
+        assert remote == local
+        assert code_daemon == code_local == 0
+        assert served == 1
+        assert "lfence" in local
+
+    def test_client_repair_falls_back_in_process(self, tmp_path, capsys,
+                                                 monkeypatch):
+        from repro.sched.env import SOCKET_ENV
+
+        monkeypatch.delenv(SOCKET_ENV, raising=False)
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        code_local, local = self._json_out(
+            capsys, ["repair", str(path), "--no-cache"])
+        code_fallback, fallback = self._json_out(
+            capsys, ["client", "repair", str(path), "--no-cache",
+                     "--socket", str(tmp_path / "missing.sock")])
+        assert fallback == local
+        assert code_fallback == code_local == 0
+
+    def test_client_lint_busy_daemon_degrades(self, tmp_path, capsys):
+        session = _GatedSession()
+        server = ClouServer(session,
+                            socket_path=str(tmp_path / "clou.sock"),
+                            max_inflight=1)
+        server.start()
+        path = tmp_path / "two.c"
+        path.write_text(TWO_VICTIMS)
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(server.socket_path)
+            with sock, sock.makefile("rb"):
+                _raw_send(sock, "analyze", id=0, name="gate")
+                _wait_for(lambda: server.status()["running"] == 1)
+                code = __import__("repro.cli", fromlist=["main"]).main(
+                    ["client", "lint", str(path), "--socket",
+                     server.socket_path])
+                session.gate.set()
+        finally:
+            server.shutdown()
+        assert code == 3  # EXIT_INCOMPLETE: busy is not a fallback case
+
     def test_client_status_and_shutdown(self, tmp_path, capsys):
         server = ClouServer(ClouSession(jobs=1, cache=False),
                             socket_path=str(tmp_path / "clou.sock"))
