@@ -3,7 +3,7 @@
 .PHONY: install test test-all lint bench bench-sched bench-solver \
 	bench-smoke table2 fig8 repair gallery fuzz fuzz-smoke \
 	fuzz-contract-smoke contract-matrix fault-smoke fault-sweep \
-	engines-smoke serve-smoke coverage all
+	chaos-smoke chaos-sweep engines-smoke serve-smoke coverage all
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,7 @@ test:
 	$(MAKE) fuzz-contract-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) engines-smoke
 	$(MAKE) serve-smoke
 
@@ -57,6 +58,18 @@ fault-smoke:
 
 fault-sweep:
 	python benchmarks/fault_sweep.py
+
+# Serve-layer chaos sweep (see benchmarks/chaos_sweep.py): seeded
+# transport faults (drop/stall/garble/crash) at every serve-side site
+# (accept/read/write/dispatch), asserting every client call terminates
+# inside its deadline with a result or a taxonomy exception, results
+# are never corrupted (no LEAK<->SAFE flip), and the daemon neither
+# wedges nor leaks its socket.  `chaos-smoke` is the ~15s CI subset.
+chaos-smoke:
+	python benchmarks/chaos_sweep.py --smoke
+
+chaos-sweep:
+	python benchmarks/chaos_sweep.py
 
 # Engine-matrix smoke: every registered engine over one litmus program,
 # asserting a LEAK exit and byte-identical --json across --jobs 1 vs 2.

@@ -1,0 +1,193 @@
+"""Serve-layer chaos sweep: transport faults must never corrupt results.
+
+For each seed this sweeps every serve-side fault site
+(``serve.accept``, ``serve.read``, ``serve.write``, ``serve.dispatch``)
+crossed with every transport action (``drop`` / ``stall`` / ``garble`` /
+``crash``), runs a burst of client calls against an in-process daemon
+under each plan, and checks three invariants:
+
+- **termination** — every client call returns a result or raises one of
+  the documented taxonomy exceptions (DaemonUnreachable / DaemonBusy /
+  DeadlineExceeded / AnalysisError) within its deadline plus a small
+  epsilon; no call hangs;
+- **integrity** — any result that does arrive carries exactly the
+  fault-free verdicts: a transport fault may lose an answer, never
+  change one (no LEAK<->SAFE flip against the un-faulted baseline);
+- **hygiene** — after the plan is lifted the daemon still answers
+  pings, and shutting it down removes its socket file (no wedged
+  dispatcher, no leaked socket).
+
+Faults are probabilistic (``%0.5``) under a pinned per-trial seed, so a
+failing cell reproduces exactly with ``--seeds N``.  Exit status is
+non-zero on any invariant violation.
+
+Usage::
+
+    python benchmarks/chaos_sweep.py            # full sweep (3 seeds)
+    python benchmarks/chaos_sweep.py --smoke    # the `make chaos-smoke` subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import AnalysisError  # noqa: E402
+from repro.sched import AnalysisRequest, ClouSession  # noqa: E402
+from repro.sched.faults import SERVE_ACTIONS, activate  # noqa: E402
+from repro.serve import (ClouClient, ClouServer, DaemonBusy,  # noqa: E402
+                         DaemonUnreachable, DeadlineExceeded)
+
+SITES = ("serve.accept", "serve.read", "serve.write", "serve.dispatch")
+FULL_SEEDS = (0, 1, 2)
+SMOKE_SEEDS = (0,)
+
+#: Per-call wall-clock budget and the slack we allow on top of it before
+#: calling a trial "hung".  Injected stalls are 0.2s each and bounded per
+#: call, so 8s of budget dominates every cooperative delay.
+CALL_BUDGET = 8.0
+EPSILON = 4.0
+
+VICTIM = """
+#include <stdint.h>
+
+uint8_t A[16];
+uint8_t B[256 * 512];
+uint64_t size_A = 16;
+uint64_t tmp;
+
+void victim(uint64_t y) {
+    if (y < size_A) {
+        tmp &= B[A[y] * 512];
+    }
+}
+"""
+
+TAXONOMY = (DaemonUnreachable, DaemonBusy, DeadlineExceeded, AnalysisError)
+
+
+def _verdicts(report) -> dict[str, str]:
+    return {fn.function: fn.verdict for fn in report.functions}
+
+
+def _check_flips(baseline: dict[str, str], report) -> list[str]:
+    violations = []
+    for function, verdict in _verdicts(report).items():
+        clean = baseline.get(function)
+        if clean is None:
+            violations.append(f"{function}: absent from baseline")
+        elif (clean, verdict) in (("leak", "safe"), ("safe", "leak")):
+            violations.append(
+                f"{function}: verdict flipped {clean} -> {verdict}")
+    return violations
+
+
+def _trial(session, workdir: str, baseline: dict[str, str],
+           seed: int, site: str, action: str, calls: int) -> list[str]:
+    """One (seed, site, action) cell; returns invariant violations."""
+    spec = f"seed={seed};{action}@{site}%0.5"
+    socket_path = os.path.join(workdir, f"chaos-{seed}-{site}-{action}.sock")
+    server = ClouServer(session, socket_path=socket_path)
+    server.start()
+    violations = []
+    outcomes = {"result": 0}
+    try:
+        with activate(spec):
+            for call in range(calls):
+                client = ClouClient(socket_path=socket_path, timeout=3.0,
+                                    retries=2, backoff=0.02, seed=seed,
+                                    deadline=time.time() + CALL_BUDGET)
+                started = time.monotonic()
+                try:
+                    result = client.analyze(
+                        AnalysisRequest.analyze(VICTIM, engine="pht",
+                                                name="chaos.c"))
+                except TAXONOMY as error:
+                    kind = type(error).__name__
+                    outcomes[kind] = outcomes.get(kind, 0) + 1
+                except BaseException as error:   # noqa: BLE001
+                    violations.append(
+                        f"call {call}: non-taxonomy "
+                        f"{type(error).__name__}: {error}")
+                else:
+                    outcomes["result"] += 1
+                    if result.ok and result.report is not None:
+                        violations.extend(_check_flips(baseline,
+                                                       result.report))
+                    elif not result.ok:
+                        outcomes["degraded"] = \
+                            outcomes.get("degraded", 0) + 1
+                finally:
+                    client.close()
+                elapsed = time.monotonic() - started
+                if elapsed > CALL_BUDGET + EPSILON:
+                    violations.append(
+                        f"call {call}: took {elapsed:.1f}s "
+                        f"(budget {CALL_BUDGET:.0f}s + {EPSILON:.0f}s)")
+        # Faults lifted: the daemon must still be alive and healthy.
+        try:
+            with ClouClient(socket_path=socket_path, timeout=5.0) as probe:
+                probe.ping()
+        except TAXONOMY as error:
+            violations.append(f"daemon wedged after the sweep: {error}")
+    finally:
+        server.shutdown()
+    if os.path.exists(socket_path):
+        violations.append("socket file leaked after shutdown")
+    summary = " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    status = "ok" if not violations else "VIOLATION"
+    print(f"  seed={seed} {action:<6}@{site:<14} {summary:<40} {status}")
+    for violation in violations:
+        print(f"    !! {violation}")
+    return violations
+
+
+def sweep(seeds, calls: int) -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="clou-chaos-") as workdir:
+        session = ClouSession(cache=True,
+                              cache_dir=os.path.join(workdir, "cache"),
+                              jobs=1)
+        baseline = _verdicts(session.analyze(
+            AnalysisRequest.analyze(VICTIM, engine="pht", name="chaos.c")))
+        print(f"baseline: {baseline}")
+        for seed in seeds:
+            for site in SITES:
+                for action in SERVE_ACTIONS:
+                    failures += len(_trial(session, workdir, baseline,
+                                           seed, site, action, calls))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="the fast CI subset (one seed, one call per "
+                             "cell)")
+    parser.add_argument("--seeds", nargs="*", type=int, default=None,
+                        help="explicit seeds to sweep (default: 0 1 2, "
+                             "or 0 with --smoke)")
+    parser.add_argument("--calls", type=int, default=None,
+                        help="client calls per cell (default: 3, or 1 "
+                             "with --smoke)")
+    args = parser.parse_args(argv)
+    seeds = tuple(args.seeds) if args.seeds else \
+        (SMOKE_SEEDS if args.smoke else FULL_SEEDS)
+    calls = args.calls if args.calls is not None else \
+        (1 if args.smoke else 3)
+    failures = sweep(seeds, calls)
+    if failures:
+        print(f"chaos sweep: {failures} invariant violation(s)")
+        return 1
+    print("chaos sweep: every call terminated inside its deadline, no "
+          "verdict flips, no wedged daemons, no leaked sockets")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,7 +104,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="reject analyze requests beyond N queued or "
                             "running (clients see a busy error and exit "
                             f"{EXIT_INCOMPLETE}); default: unbounded")
+    serve.add_argument("--tenant-budget", type=float, default=None,
+                       metavar="N",
+                       help="admit at most N analyze requests per second "
+                            "per tenant (token bucket, burst max(1,N)); "
+                            "default: unlimited")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm the deterministic fault injector for the "
+                            "daemon's serve.* transport sites, e.g. "
+                            "'seed=1;drop@serve.write#2' (chaos testing; "
+                            "see repro.sched.faults)")
     _add_scheduler_flags(serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the on-disk result cache")
+    cachesub = cache.add_subparsers(dest="cache_command", required=True)
+    cachegc = cachesub.add_parser(
+        "gc",
+        help="prune the cache to a size budget (least-recently-written "
+             "entries evicted first; abandoned .tmp files swept)")
+    cachegc.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-clou)")
+    cachegc.add_argument("--cache-max-mb", type=float, default=1024.0,
+                         metavar="MB",
+                         help="size budget in MiB (default: 1024)")
 
     client = sub.add_parser(
         "client",
@@ -223,12 +247,28 @@ def _add_repair_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_daemon_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--socket", default=None, metavar="PATH",
-                        help="daemon UNIX socket (default: $REPRO_SOCKET)")
+    parser.add_argument("--socket", action="append", default=None,
+                        metavar="PATH",
+                        help="daemon UNIX socket; repeat for an ordered "
+                             "failover list (default: $REPRO_SOCKETS or "
+                             "$REPRO_SOCKET)")
     parser.add_argument("--port", type=int, default=None, metavar="N",
                         help="daemon TCP port (instead of a UNIX socket)")
     parser.add_argument("--host", default="127.0.0.1",
                         help="daemon host for --port (default: 127.0.0.1)")
+    parser.add_argument("--tenant", default=None, metavar="NAME",
+                        help="admission-control bucket to bill this "
+                             "request to (default: $REPRO_TENANT)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECS",
+                        help="wall-clock budget for the whole command; "
+                             "stamped on every envelope so the daemon "
+                             "drops or degrades work that cannot finish "
+                             f"in time (exit {EXIT_INCOMPLETE})")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="extra attempts on busy/unreachable daemons, "
+                             "with seeded-jitter exponential backoff and "
+                             "--socket failover (default: 2)")
 
 
 def _add_analyze_flags(analyze: argparse.ArgumentParser) -> None:
@@ -543,7 +583,8 @@ def _emit_repair(args, outcomes, stats) -> int:
 
 
 def _daemon_address(args) -> tuple[str | None, int | None]:
-    """Resolve (socket_path, port) from flags + ``$REPRO_SOCKET``."""
+    """Resolve (socket_path, port) from flags + ``$REPRO_SOCKET``
+    (the ``serve`` side: exactly one listen address)."""
     from repro.sched import env_socket
 
     if args.port is not None:
@@ -551,10 +592,31 @@ def _daemon_address(args) -> tuple[str | None, int | None]:
     return args.socket or env_socket(), None
 
 
+def _client_from_args(args) -> "ClouClient":
+    """Build the daemon client from the shared ``_add_daemon_flags``
+    surface: repeatable ``--socket`` failover list, ``--tenant``
+    billing, a ``--deadline`` budget anchored at *now*, and the
+    ``--retries`` backoff loop (seeded, hence deterministic)."""
+    import time
+
+    from repro.serve import ClouClient
+
+    sockets = tuple(path for path in (args.socket or ()) if path)
+    deadline = (time.time() + args.deadline
+                if args.deadline is not None else None)
+    if args.port is not None and not sockets:
+        return ClouClient(port=args.port, host=args.host,
+                          tenant=args.tenant, deadline=deadline,
+                          retries=args.retries)
+    return ClouClient(sockets=sockets or None, tenant=args.tenant,
+                      deadline=deadline, retries=args.retries)
+
+
 def _run_serve(args) -> int:
     import os
     import signal
 
+    from repro.sched.faults import activate
     from repro.serve import ClouServer
 
     socket_path, port = _daemon_address(args)
@@ -564,26 +626,40 @@ def _run_serve(args) -> int:
         return EXIT_USAGE
     session = _session_from_args(args)
     server = ClouServer(session, socket_path=socket_path, port=port,
-                        host=args.host, max_inflight=args.max_inflight)
-    server.start()
+                        host=args.host, max_inflight=args.max_inflight,
+                        tenant_budget=args.tenant_budget)
+    with activate(args.faults):
+        server.start()
 
-    def _stop(signum, frame):
-        server.shutdown()
+        def _stop(signum, frame):
+            server.shutdown()
 
-    signal.signal(signal.SIGTERM, _stop)
-    signal.signal(signal.SIGINT, _stop)
-    print(f"clou serve: listening on {server.address} "
-          f"(pid {os.getpid()})", file=sys.stderr, flush=True)
-    server.serve_forever()
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+        print(f"clou serve: listening on {server.address} "
+              f"(pid {os.getpid()})", file=sys.stderr, flush=True)
+        server.serve_forever()
     print("clou serve: shut down cleanly", file=sys.stderr)
     return EXIT_CLEAN
 
 
-def _run_client(args) -> int:
-    from repro.serve import ClouClient, DaemonBusy, DaemonUnreachable
+def _run_cache(args) -> int:
+    from repro.sched import ResultCache
 
-    socket_path, port = _daemon_address(args)
-    client = ClouClient(socket_path=socket_path, port=port, host=args.host)
+    directory = (args.cache_dir or default_cache_dir() or user_cache_dir())
+    cache = ResultCache(directory)
+    removed, remaining = cache.gc(int(args.cache_max_mb * 1024 * 1024))
+    print(f"clou cache gc: {directory}: removed {removed} entr"
+          f"{'y' if removed == 1 else 'ies'}, "
+          f"{remaining / (1024 * 1024):.1f} MiB in {len(cache)} entries "
+          f"remain (budget {args.cache_max_mb:g} MiB)")
+    return EXIT_CLEAN
+
+
+def _run_client(args) -> int:
+    from repro.serve import DaemonBusy, DaemonUnreachable, DeadlineExceeded
+
+    client = _client_from_args(args)
     if args.client_command == "status":
         import json
 
@@ -611,7 +687,7 @@ def _run_client(args) -> int:
                 return _client_lint(args, client)
         except DaemonUnreachable:
             return _run_lint(args)
-        except DaemonBusy as error:
+        except (DaemonBusy, DeadlineExceeded) as error:
             print(f"clou client: {error}", file=sys.stderr)
             return EXIT_INCOMPLETE
     if args.client_command == "repair":
@@ -620,7 +696,7 @@ def _run_client(args) -> int:
                 return _client_repair(args, client)
         except DaemonUnreachable:
             return _run_repair(args)
-        except DaemonBusy as error:
+        except (DaemonBusy, DeadlineExceeded) as error:
             print(f"clou client: {error}", file=sys.stderr)
             return EXIT_INCOMPLETE
     # client analyze: daemon-first, in-process fallback.
@@ -642,7 +718,7 @@ def _run_client(args) -> int:
         # identical analysis in-process (same request, same config,
         # same cache keys — and the same bytes under --json).
         return _run_analyze(args)
-    except DaemonBusy as error:
+    except (DaemonBusy, DeadlineExceeded) as error:
         print(f"clou client: {error}", file=sys.stderr)
         return EXIT_INCOMPLETE
     return _emit_analyze(args, reports, engines, stats)
@@ -756,6 +832,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_serve(args)
         if args.command == "client":
             return _run_client(args)
+        if args.command == "cache":
+            return _run_cache(args)
         if args.command == "fuzz":
             return _run_fuzz(args)
     except (KeyboardInterrupt, SchedulerInterrupt):

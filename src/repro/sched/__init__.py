@@ -17,8 +17,9 @@ Public surface:
 from repro.sched.cache import (CACHE_DIR_ENV, ResultCache, default_cache_dir,
                                item_cache_key, source_digest, user_cache_dir)
 from repro.sched.digest import function_digests, normalized_digest
-from repro.sched.env import SOCKET_ENV, env_cache_dir, env_fault_spec, \
-    env_jobs, env_socket
+from repro.sched.env import SOCKETS_ENV, SOCKET_ENV, TENANT_ENV, \
+    env_cache_dir, env_fault_spec, env_jobs, env_socket, env_sockets, \
+    env_tenant
 from repro.sched.faults import FAULTS_ENV, FaultPlan, FaultSpecError, \
     fault_point, parse_spec
 from repro.sched.scheduler import (ItemOutcome, JOBS_ENV, SchedulerInterrupt,
@@ -40,8 +41,10 @@ __all__ = [
     "JOBS_ENV",
     "REQUEST_SCHEMA_VERSION",
     "ResultCache",
+    "SOCKETS_ENV",
     "SOCKET_ENV",
     "SchedulerInterrupt",
+    "TENANT_ENV",
     "SessionStats",
     "TransientError",
     "default_cache_dir",
@@ -50,6 +53,8 @@ __all__ = [
     "env_fault_spec",
     "env_jobs",
     "env_socket",
+    "env_sockets",
+    "env_tenant",
     "fault_point",
     "function_digests",
     "item_cache_key",

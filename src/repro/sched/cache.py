@@ -10,6 +10,17 @@ source edit simply misses.  Values are JSON (the serialized
 
 Only *clean* results are cached: errored, crashed, or timed-out items
 are always re-run (a transient failure must not stick).
+
+Fleet hygiene (multiple daemons mounting one shared cache directory):
+
+- **self-healing reads** — a corrupt or schema-mismatched entry found
+  by :meth:`ResultCache.get` is quarantined (best-effort unlink) on
+  detection instead of being left on disk to re-miss forever; the
+  ``corrupt`` counter surfaces through ``SessionStats`` / ``--stats``;
+- **bounded size** — :meth:`ResultCache.gc` (the ``clou cache gc``
+  command) prunes least-recently-*written* entries (mtime LRU; reads
+  do not touch mtimes) until the directory fits a byte budget, so a
+  fleet-shared mount cannot grow without bound.
 """
 
 from __future__ import annotations
@@ -84,20 +95,40 @@ class ResultCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def quarantine(self, key: str) -> None:
+        """Best-effort removal of a corrupt entry, so the next run gets
+        a clean miss-and-rewrite instead of re-detecting the same
+        garbage forever.  Counted in :attr:`corrupt` (surfaced through
+        ``SessionStats`` / ``--stats``)."""
+        self.corrupt += 1
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
     def get(self, key: str) -> dict | None:
-        """The cached payload, or ``None``.  Corrupt or unreadable
-        entries count as misses (and are left for overwrite)."""
+        """The cached payload, or ``None``.  A *missing* entry is a
+        plain miss; a *present but undecodable or schema-mismatched*
+        entry is quarantined (deleted best-effort) and then misses —
+        on a fleet-shared cache mount one torn write must not become a
+        permanent re-parse tax for every daemon."""
         try:
             with open(self._path(key), encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError):
+            self.quarantine(key)
             self.misses += 1
             return None
         if not isinstance(payload, dict) or payload.get("v") != SCHEMA_VERSION:
+            self.quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
@@ -122,6 +153,69 @@ class ResultCache:
                 raise
         except OSError:
             pass
+
+    def entries(self) -> list[tuple[str, float, int]]:
+        """Every entry as ``(path, mtime, size)``.  Unstatable files
+        (racing deletion by another daemon's gc) are skipped."""
+        found: list[tuple[str, float, int]] = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return found
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                found.append((path, info.st_mtime, info.st_size))
+        return found
+
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Prune the cache down to ``max_bytes``: drop abandoned
+        ``.tmp`` files (a writer that died mid-``put``), then evict
+        least-recently-*written* entries (mtime LRU — reads never touch
+        mtimes, so eviction order is write order) until the remainder
+        fits.  Returns ``(entries removed, bytes remaining)``.  All
+        removals are best-effort: concurrent gc runs on a shared mount
+        race benignly."""
+        removed = 0
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return (0, 0)
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(shard_dir, name))
+                    except OSError:
+                        pass
+        found = sorted(self.entries(), key=lambda entry: (entry[1], entry[0]))
+        total = sum(size for _, _, size in found)
+        for path, _, size in found:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return (removed, total)
 
     def __len__(self) -> int:
         count = 0

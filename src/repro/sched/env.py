@@ -21,11 +21,15 @@ __all__ = [
     "CACHE_DIR_ENV",
     "FAULTS_ENV",
     "JOBS_ENV",
+    "SOCKETS_ENV",
     "SOCKET_ENV",
+    "TENANT_ENV",
     "env_cache_dir",
     "env_fault_spec",
     "env_jobs",
     "env_socket",
+    "env_sockets",
+    "env_tenant",
 ]
 
 #: Worker process count for :class:`ClouSession` (default 1 = serial).
@@ -40,6 +44,14 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: Default UNIX socket path for ``clou serve`` / ``clou client``.
 SOCKET_ENV = "REPRO_SOCKET"
+
+#: ``os.pathsep``-separated UNIX socket failover list for ``clou
+#: client`` (tried in order; wins over ``$REPRO_SOCKET`` when set).
+SOCKETS_ENV = "REPRO_SOCKETS"
+
+#: Default tenant name stamped on client envelopes for the daemon's
+#: per-tenant admission control (unset = the shared default bucket).
+TENANT_ENV = "REPRO_TENANT"
 
 
 def _text(name: str) -> str:
@@ -69,3 +81,20 @@ def env_fault_spec() -> str | None:
 def env_socket() -> str | None:
     """``$REPRO_SOCKET`` when set and non-empty, else ``None``."""
     return _text(SOCKET_ENV) or None
+
+
+def env_sockets() -> tuple[str, ...]:
+    """``$REPRO_SOCKETS`` as an ordered failover list (PATH-style
+    ``os.pathsep`` separators, empty parts dropped); ``()`` when
+    unset."""
+    raw = _text(SOCKETS_ENV)
+    if not raw:
+        return ()
+    return tuple(part for part in
+                 (piece.strip() for piece in raw.split(os.pathsep))
+                 if part)
+
+
+def env_tenant() -> str | None:
+    """``$REPRO_TENANT`` when set and non-empty, else ``None``."""
+    return _text(TENANT_ENV) or None

@@ -24,6 +24,15 @@ Actions
     Cooperative: the *call site* asks :func:`fault_point` and, on
     ``"budget"``, degrades itself (the PathOracle returns UNKNOWN as if
     the solver's conflict budget ran out).  Raising sites ignore it.
+``drop`` / ``stall`` / ``garble``
+    Serve-layer actions (cooperative, like ``budget``): the daemon's
+    transport sites (``serve.*``) interpret them as discarding a
+    message, delaying it, or corrupting its bytes.  At ``serve.*``
+    sites even ``crash`` is cooperative — it tears down the *connection*
+    abruptly, never the daemon process — so a chaos sweep exercises
+    client-visible transport failures while the daemon under test
+    survives to serve the next seed.  Analysis-layer sites ignore these
+    actions.
 
 Spec grammar
 ------------
@@ -48,16 +57,23 @@ load and a ``None`` check.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass
 
 from repro.sched.env import FAULTS_ENV, env_fault_spec  # noqa: F401
 
-__all__ = ["ACTIONS", "FAULTS_ENV", "FaultPlan", "FaultSpecError", "SITES",
-           "activate", "active_plan", "fault_point", "parse_spec"]
+__all__ = ["ACTIONS", "FAULTS_ENV", "FaultPlan", "FaultSpecError",
+           "SERVE_ACTIONS", "SITES", "activate", "active_plan",
+           "fault_point", "parse_spec"]
 
-ACTIONS = ("crash", "hang", "memory", "budget")
+ACTIONS = ("crash", "hang", "memory", "budget", "drop", "stall", "garble")
+
+#: Actions the serve transport sites interpret (see
+#: :class:`repro.serve.server.ClouServer`); every serve-site action is
+#: cooperative — returned to the caller, never executed here.
+SERVE_ACTIONS = ("drop", "stall", "garble", "crash")
 
 #: The injection points the analysis stack declares, for documentation
 #: and spec validation ("every defined injection point" in the
@@ -72,6 +88,19 @@ SITES = {
                         "crash/hang here instead of re-firing it",
     "oracle.query": "one PathOracle realizability query that missed the "
                     "memo (repro.clou.aeg); 'budget' forces UNKNOWN",
+    "serve.accept": "one accepted daemon connection, before its reader "
+                    "thread starts (repro.serve.server); drop/crash "
+                    "close it unserved, stall delays it",
+    "serve.read": "one request envelope line read off a connection; "
+                  "drop ignores it, garble corrupts it before parsing, "
+                  "stall delays it, crash drops the connection",
+    "serve.write": "one response envelope about to be sent; drop "
+                   "discards it (the client times out against its "
+                   "deadline), garble corrupts the bytes, stall delays "
+                   "the send, crash closes the connection instead",
+    "serve.dispatch": "one queued analyze op popped by the dispatcher; "
+                      "drop discards it unanswered, stall delays the "
+                      "run, crash closes the client's connection",
 }
 
 _HANG_SECONDS = 600.0
@@ -112,6 +141,10 @@ class FaultPlan:
         self.seed = seed
         self._hits: dict[str, int] = {}
         self.fired: dict[str, int] = {}   # "action@site" -> fire count
+        # The analysis paths are single-threaded per process, but the
+        # daemon fires serve.* sites from its accept/reader/dispatcher
+        # threads concurrently; counters must not race.
+        self._lock = threading.Lock()
 
     def render(self) -> str:
         """The canonical spec string (``parse_spec`` round-trips it)."""
@@ -126,15 +159,16 @@ class FaultPlan:
         sites with resume-stable positions (``engine.candidate``) use
         this so a resumed attempt does not re-fire faults the checkpoint
         already got past."""
-        arrival = self._hits.get(site, 0) + 1
-        self._hits[site] = arrival
-        if hit is None:
-            hit = arrival
-        for rule in self.rules:
-            if rule.site == site and rule.fires(self.seed, hit):
-                key = f"{rule.action}@{site}"
-                self.fired[key] = self.fired.get(key, 0) + 1
-                return rule.action
+        with self._lock:
+            arrival = self._hits.get(site, 0) + 1
+            self._hits[site] = arrival
+            if hit is None:
+                hit = arrival
+            for rule in self.rules:
+                if rule.site == site and rule.fires(self.seed, hit):
+                    key = f"{rule.action}@{site}"
+                    self.fired[key] = self.fired.get(key, 0) + 1
+                    return rule.action
         return None
 
 
@@ -242,6 +276,11 @@ def fault_point(site: str, hit: int | None = None) -> str | None:
     if _plan is None:
         return None
     action = _plan.fire(site, hit)
+    if site.startswith("serve."):
+        # Transport sites are always cooperative: the serve layer maps
+        # the action onto its connection (crash = connection teardown,
+        # never process death — the daemon must outlive its faults).
+        return action
     if action == "crash":
         os._exit(86)
     if action == "hang":

@@ -251,6 +251,7 @@ class _Item:
     outcome_value: object = None
     stats: ItemStats | None = None
     local: bool = False            # module-backed: run in-process, serial
+    corrupt: int = 0               # corrupt cache entries hit by the probe
 
 
 class ClouSession:
@@ -306,9 +307,20 @@ class ClouSession:
 
     # -- public API --------------------------------------------------------
 
-    def run(self, requests: list[AnalysisRequest]) -> list[AnalysisResult]:
+    def run(self, requests: list[AnalysisRequest], *,
+            deadline: float | None = None) -> list[AnalysisResult]:
         """Run a batch of requests; per-request failures are captured in
-        the corresponding :class:`AnalysisResult`, never raised."""
+        the corresponding :class:`AnalysisResult`, never raised.
+
+        ``deadline`` is a wall-clock Unix timestamp (``time.time()``
+        domain — the daemon threads the client's envelope deadline
+        here).  Work items clamp their cooperative solver budget to the
+        remaining time, so an over-deadline batch degrades (verdicts
+        move toward *unknown*, reported incomplete, never cached)
+        instead of overrunning.  The deadline never reaches cache keys
+        or report config, so ``--json`` output on paths that finish in
+        time is byte-identical to an undeadlined run.
+        """
         started = time.monotonic()
         results = [AnalysisResult(request=req) for req in requests]
         items: list[_Item] = []
@@ -318,7 +330,7 @@ class ClouSession:
             except ReproError as error:
                 results[index].error = str(error)
                 results[index].exception = error
-        self._execute(items)
+        self._execute(items, deadline=deadline)
         batch = SessionStats(jobs=self.jobs)
         for index, result in enumerate(results):
             own = [item for item in items if item.request_index == index]
@@ -489,13 +501,17 @@ class ClouSession:
 
     # -- execution ---------------------------------------------------------
 
-    def _execute(self, items: list[_Item]) -> None:
+    def _execute(self, items: list[_Item],
+                 deadline: float | None = None) -> None:
         misses: list[_Item] = []
         for item in items:
             if item.local:
                 self._execute_local(item)
                 continue
+            before = self.cache.corrupt if self.cache is not None else 0
             cached = self._probe_cache(item)
+            item.corrupt = ((self.cache.corrupt - before)
+                            if self.cache is not None else 0)
             if cached is not None:
                 item.cached_value = cached
                 item.stats = ItemStats(label=item.label,
@@ -503,9 +519,21 @@ class ClouSession:
                                        cache="hit")
             else:
                 misses.append(item)
+        timeout = self.timeout
+        if deadline is not None:
+            # The deadline rides in the payload (the worker clamps its
+            # cooperative solver budget) — injected *after* cache keys
+            # were computed in _expand, so it can never move an item's
+            # cache address.  The parallel-mode hard kill is clamped to
+            # the remaining wall budget as a backstop.
+            for item in misses:
+                item.payload["deadline"] = deadline
+            remaining = max(0.1, deadline - time.time())
+            timeout = remaining if timeout is None else min(timeout,
+                                                            remaining)
         outcomes = run_items(
             worker.execute_item, [item.payload for item in misses],
-            jobs=self.jobs, timeout=self.timeout, retries=self.retries,
+            jobs=self.jobs, timeout=timeout, retries=self.retries,
             memory_limit_mb=self.memory_limit_mb,
             stall_timeout=self.stall_timeout)
         for item, outcome in zip(misses, outcomes):
@@ -515,6 +543,7 @@ class ClouSession:
             item.stats = ItemStats(
                 label=item.label, kind=kind, elapsed=outcome.elapsed,
                 attempts=outcome.attempts, cache=cache_state,
+                cache_corrupt=bool(item.corrupt),
                 timed_out=outcome.timed_out, crashed=outcome.crashed,
                 errored=not outcome.ok, resumed=outcome.resumed,
                 memory_killed=outcome.memory_killed)
@@ -568,7 +597,10 @@ class ClouSession:
                 return function_report_from_dict(payload["report"])
             return lint_report_from_dict(payload["report"])
         except (KeyError, ValueError, TypeError):
-            return None  # schema drift: treat as a miss
+            # Valid JSON at the right schema version, but the report
+            # inside does not deserialize — as corrupt as bad bytes.
+            self.cache.quarantine(item.cache_key)
+            return None
 
     def _store_cache(self, item: _Item) -> None:
         if self.cache is None or item.cache_key is None:

@@ -24,6 +24,7 @@ class ItemStats:
     elapsed: float = 0.0       # worker-side wall seconds (0 for cache hits)
     attempts: int = 1
     cache: str = "off"         # 'hit' | 'miss' | 'off'
+    cache_corrupt: bool = False  # the probe quarantined a corrupt entry
     timed_out: bool = False
     crashed: bool = False
     errored: bool = False
@@ -43,6 +44,7 @@ class SessionStats:
     items: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_corrupt: int = 0     # corrupt entries quarantined on read
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
@@ -83,6 +85,7 @@ class SessionStats:
             self.cache_hits += 1
         elif item.cache == "miss":
             self.cache_misses += 1
+        self.cache_corrupt += int(item.cache_corrupt)
         self.retries += item.retries
         self.timeouts += int(item.timed_out)
         self.crashes += int(item.crashed)
@@ -98,6 +101,7 @@ class SessionStats:
         self.items += other.items
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_corrupt += other.cache_corrupt
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.crashes += other.crashes
@@ -135,6 +139,7 @@ class SessionStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "cache_corrupt": self.cache_corrupt,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
@@ -170,6 +175,7 @@ class SessionStats:
             raise ValueError(f"unsupported SessionStats schema v{version}")
         stats = cls()
         for key in ("jobs", "items", "cache_hits", "cache_misses",
+                    "cache_corrupt",
                     "retries", "timeouts", "crashes", "errors", "resumed",
                     "memory_killed", "budget_exhausted", "candidates",
                     "pruned", "skipped", "undecided", "sat_queries",
@@ -189,6 +195,8 @@ class SessionStats:
             cache = (f"cache {self.cache_hits} hits / "
                      f"{self.cache_misses} misses "
                      f"({100.0 * self.cache_hit_rate:.1f}% hit rate)")
+            if self.cache_corrupt:
+                cache += f", {self.cache_corrupt} corrupt quarantined"
         else:
             cache = "cache off"
         return (

@@ -181,6 +181,9 @@ def execute_item(payload: dict, *, resume: dict | None = None,
     Must stay a module-level function so it pickles under spawn-style
     ``multiprocessing`` start methods.
     """
+    import time
+    from dataclasses import replace as dc_replace
+
     from repro.sched.faults import activate, fault_point
 
     kind = payload["kind"]
@@ -188,6 +191,17 @@ def execute_item(payload: dict, *, resume: dict | None = None,
     name = payload.get("name", "")
     config = ClouConfig.from_dict(payload["config"]) \
         if payload.get("config") is not None else CLOU_DEFAULT_CONFIG
+    deadline = payload.get("deadline")
+    if deadline is not None and kind in ("analyze", "repair"):
+        # Clamp the engine's cooperative budget to the caller's
+        # remaining wall-clock allowance.  This happens worker-side,
+        # *after* cache keys were derived from the request config, so a
+        # deadline can never change a cache address or the request
+        # config echoed into reports.
+        remaining = max(0.1, float(deadline) - time.time())
+        budget = config.timeout_seconds
+        if budget is None or remaining < budget:
+            config = dc_replace(config, timeout_seconds=remaining)
     with activate(getattr(config, "fault_spec", None)):
         fault_point("worker.item")
         if kind == "analyze":

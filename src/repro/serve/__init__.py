@@ -13,13 +13,15 @@ Public surface:
 - :class:`ClouServer` — the daemon (UNIX socket or TCP, priority
   queue, ``--max-inflight`` load shedding, clean SIGTERM shutdown);
 - :class:`ClouClient` — the client (:class:`DaemonUnreachable` /
-  :class:`DaemonBusy` distinguish "fall back to in-process" from
-  "degraded, exit 3");
+  :class:`DaemonBusy` / :class:`DeadlineExceeded` distinguish "fall
+  back to in-process" from "degraded, exit 3"), with failover,
+  seeded retry/backoff, and deadline stamping;
 - :mod:`repro.serve.protocol` — the envelope codec
-  (:data:`PROTOCOL_VERSION`).
+  (:data:`PROTOCOL_VERSION`, bidirectionally compatible with v1).
 """
 
-from repro.serve.client import ClouClient, DaemonBusy, DaemonUnreachable
+from repro.serve.client import ClouClient, DaemonBusy, DaemonUnreachable, \
+    DeadlineExceeded
 from repro.serve.protocol import OPS, PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import ClouServer
 
@@ -28,6 +30,7 @@ __all__ = [
     "ClouServer",
     "DaemonBusy",
     "DaemonUnreachable",
+    "DeadlineExceeded",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",

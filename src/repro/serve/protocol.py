@@ -3,29 +3,57 @@
 One connection carries a sequence of *requests* (client → server) and
 *responses* (server → client), one JSON object per line, UTF-8, no
 framing beyond the newline.  Both directions are versioned with a
-``"v"`` field (:data:`PROTOCOL_VERSION`); a peer speaking a different
-version gets a structured error back, never a silent misparse.
+``"v"`` field; a peer speaking an unknown version gets a structured
+error back, never a silent misparse.
+
+Version history
+---------------
+- **v1** (PR 7): ops ``analyze``/``status``/``ping``/``shutdown``,
+  client-chosen echoed ``id``, integer ``priority``, ``busy`` load-shed
+  rejections.
+- **v2** (this build, :data:`PROTOCOL_VERSION`): adds an optional
+  wall-clock ``deadline`` (Unix epoch seconds — the server drops work
+  whose deadline has passed and threads the remaining budget into the
+  solver), an optional ``tenant`` string (per-tenant admission
+  control), and a machine-readable ``code`` on error responses
+  (``"busy"``, ``"deadline_exceeded"``, ``"tenant_budget"``,
+  ``"oversized"``, ``"protocol"``, ``"shutdown"``).
+
+Compatibility is bidirectional: a v2 server accepts v1 envelopes
+(:data:`SUPPORTED_VERSIONS`) and answers each envelope *at the version
+it arrived in*, so a v1 client never sees a v2 reply; a v2 client that
+receives an ``unsupported protocol`` error from a v1 daemon downgrades
+the connection and re-sends at v1 (dropping the v2-only fields).
 
 Request envelope::
 
-    {"v": 1, "op": "analyze", "id": 7, "priority": 0,
+    {"v": 2, "op": "analyze", "id": 7, "priority": 0,
+     "deadline": 1700000123.5, "tenant": "ci",
      "request": {... AnalysisRequest.to_dict() ...}}
 
 ``op`` is one of :data:`OPS`.  ``id`` is chosen by the client and
 echoed verbatim in the response so a pipelined client can match
 replies; ``priority`` orders queued ``analyze`` ops (lower runs first,
 ties FIFO).  ``status``/``ping``/``shutdown`` take no ``request``.
+``deadline``/``tenant`` are optional on every op and absent at v1.
 
 Response envelope::
 
-    {"v": 1, "id": 7, "ok": true, "result": {...}, "error": null,
+    {"v": 2, "id": 7, "ok": true, "result": {...}, "error": null,
      "busy": false}
 
 ``result`` is an ``AnalysisResult.to_dict()`` for ``analyze``, a
 status dict for ``status``/``ping``, and ``null`` for ``shutdown``.
-``busy: true`` marks a load-shed rejection (the server's
-``--max-inflight`` budget was full); the client maps it to the CLI's
+``busy: true`` marks a load-shed rejection (``--max-inflight`` full or
+the tenant's token bucket empty); the client maps it to the CLI's
 degraded-coverage exit code rather than treating it as a failure.
+Error responses may carry ``code`` (v2); clients that predate it key
+off ``busy`` exactly as before.
+
+Envelope lines are bounded by :data:`MAX_LINE_BYTES`
+(:func:`read_wire_line`): an oversized line is a structured
+:class:`OversizedLine` error, never an unbounded ``readline()`` buffer
+— a trivially triggerable memory exhaustion otherwise.
 
 The payloads inside the envelope are exactly the library wire forms
 (:meth:`AnalysisRequest.to_dict` / :meth:`AnalysisResult.to_dict`):
@@ -35,11 +63,16 @@ the protocol adds routing, not another serialization.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 
 __all__ = [
+    "MAX_LINE_BYTES",
     "OPS",
+    "OversizedLine",
     "PROTOCOL_VERSION",
+    "ParsedRequest",
     "ProtocolError",
+    "SUPPORTED_VERSIONS",
     "decode_line",
     "encode",
     "error_response",
@@ -47,16 +80,33 @@ __all__ = [
     "make_response",
     "parse_request",
     "parse_response",
+    "read_wire_line",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Envelope versions this build parses.  Responses are emitted at the
+#: version the request arrived in, so old clients keep working.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: The operations a server understands.
 OPS = ("analyze", "status", "ping", "shutdown")
 
+#: Upper bound on one envelope line.  Large enough for any real
+#: source-file payload (the whole corpus is under 1 MiB); small enough
+#: that a hostile or broken peer cannot make ``readline()`` buffer
+#: unbounded input.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
 
 class ProtocolError(ValueError):
     """A malformed or version-incompatible protocol line."""
+
+
+class OversizedLine(ProtocolError):
+    """A wire line exceeded :data:`MAX_LINE_BYTES`.  The stream cannot
+    be resynchronized mid-line, so the connection must be dropped after
+    the structured error is sent."""
 
 
 def encode(envelope: dict) -> bytes:
@@ -67,14 +117,37 @@ def encode(envelope: dict) -> bytes:
                        separators=(",", ":")) + "\n").encode("utf-8")
 
 
+def read_wire_line(stream, limit: int = MAX_LINE_BYTES) -> bytes | None:
+    """Read one bounded wire line from a binary stream.
+
+    Returns ``None`` at EOF.  A line longer than ``limit`` raises
+    :class:`OversizedLine` *before* the rest of it is buffered — the
+    caller sends a structured error and drops the connection (there is
+    no way to find the next envelope boundary inside an abandoned
+    line).  A final line with no trailing newline (mid-write
+    disconnect) is returned as-is; it either parses or becomes a
+    normal ``bad JSON`` protocol error.
+    """
+    line = stream.readline(limit + 1)
+    if not line:
+        return None
+    if len(line) > limit:
+        raise OversizedLine(
+            f"envelope line exceeds {limit} bytes; dropping connection")
+    return line
+
+
 def decode_line(line: bytes | str) -> dict:
     """Parse one wire line into an envelope dict.
 
     Raises :class:`ProtocolError` for non-JSON, non-object, or
-    version-mismatched lines — the server turns that into a structured
-    error response instead of dropping the connection.
+    version-incompatible lines — the server turns that into a
+    structured error response instead of dropping the connection.
     """
     if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise OversizedLine(
+                f"envelope line exceeds {MAX_LINE_BYTES} bytes")
         try:
             line = line.decode("utf-8")
         except UnicodeDecodeError as error:
@@ -87,7 +160,7 @@ def decode_line(line: bytes | str) -> dict:
         raise ProtocolError(
             f"expected a JSON object, got {type(envelope).__name__}")
     version = envelope.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol v{version!r} "
             f"(this build speaks v{PROTOCOL_VERSION})")
@@ -95,11 +168,29 @@ def decode_line(line: bytes | str) -> dict:
 
 
 def make_request(op: str, *, id: object = None, priority: int = 0,
-                 request: dict | None = None) -> dict:
-    """Build a client → server envelope (validated)."""
+                 request: dict | None = None,
+                 deadline: float | None = None,
+                 tenant: str | None = None,
+                 version: int = PROTOCOL_VERSION) -> dict:
+    """Build a client → server envelope (validated).
+
+    ``deadline`` is a wall-clock Unix timestamp (``time.time()``
+    domain); ``tenant`` names the admission-control bucket.  Both are
+    v2 fields: when ``version`` is 1 (the downgrade path against an
+    old daemon) they are silently omitted — an old daemon has no
+    deadline or budget machinery to honor them anyway.
+    """
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
-    envelope = {"v": PROTOCOL_VERSION, "op": op, "id": id}
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"cannot build a v{version!r} envelope; "
+                            f"this build speaks {SUPPORTED_VERSIONS}")
+    envelope = {"v": version, "op": op, "id": id}
+    if version >= 2:
+        if deadline is not None:
+            envelope["deadline"] = float(deadline)
+        if tenant is not None:
+            envelope["tenant"] = str(tenant)
     if op == "analyze":
         if request is None:
             raise ProtocolError("analyze needs a request payload")
@@ -108,9 +199,23 @@ def make_request(op: str, *, id: object = None, priority: int = 0,
     return envelope
 
 
-def parse_request(envelope: dict) -> tuple[str, object, int, dict | None]:
-    """Validate a decoded client envelope → ``(op, id, priority,
-    request-payload)``."""
+@dataclass(frozen=True)
+class ParsedRequest:
+    """A validated client envelope.  v1 envelopes parse with
+    ``deadline=None`` / ``tenant=None`` — absent fields degrade to the
+    unbounded / default-tenant behavior, never to an error."""
+
+    op: str
+    id: object
+    priority: int
+    payload: dict | None
+    deadline: float | None = None
+    tenant: str | None = None
+    version: int = PROTOCOL_VERSION
+
+
+def parse_request(envelope: dict) -> ParsedRequest:
+    """Validate a decoded client envelope."""
     op = envelope.get("op")
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; choose from {OPS}")
@@ -120,18 +225,41 @@ def parse_request(envelope: dict) -> tuple[str, object, int, dict | None]:
     priority = envelope.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ProtocolError(f"priority must be an int, got {priority!r}")
-    return op, envelope.get("id"), priority, request
+    deadline = envelope.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool):
+            raise ProtocolError(
+                f"deadline must be a number, got {deadline!r}")
+        deadline = float(deadline)
+    tenant = envelope.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError(f"tenant must be a string, got {tenant!r}")
+    return ParsedRequest(op=op, id=envelope.get("id"), priority=priority,
+                         payload=request, deadline=deadline, tenant=tenant,
+                         version=envelope.get("v", PROTOCOL_VERSION))
 
 
 def make_response(id: object, *, result: object = None,
-                  error: str | None = None, busy: bool = False) -> dict:
-    return {"v": PROTOCOL_VERSION, "id": id, "ok": error is None,
-            "result": result, "error": error, "busy": busy}
+                  error: str | None = None, busy: bool = False,
+                  code: str | None = None,
+                  version: int = PROTOCOL_VERSION) -> dict:
+    """Build a server → client envelope at ``version`` — the version
+    the request arrived in, so a v1 client is never handed a v2 line
+    its ``decode_line`` would reject.  ``code`` (v2) machine-names the
+    error; v1 clients key off ``busy`` exactly as before."""
+    envelope = {"v": version, "id": id, "ok": error is None,
+                "result": result, "error": error, "busy": busy}
+    if code is not None and version >= 2:
+        envelope["code"] = code
+    return envelope
 
 
-def error_response(id: object, message: str, *,
-                   busy: bool = False) -> dict:
-    return make_response(id, error=message, busy=busy)
+def error_response(id: object, message: str, *, busy: bool = False,
+                   code: str | None = None,
+                   version: int = PROTOCOL_VERSION) -> dict:
+    return make_response(id, error=message, busy=busy, code=code,
+                         version=version)
 
 
 def parse_response(envelope: dict) -> dict:

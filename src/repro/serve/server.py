@@ -27,6 +27,35 @@ are rejected immediately with ``busy: true`` instead of queuing
 unboundedly; the client maps that to the CLI's degraded-coverage exit
 code (the PR 5 contract: overload is incompleteness, not failure).
 
+Fleet robustness (protocol v2):
+
+- **deadlines** — an envelope may carry a wall-clock ``deadline``;
+  a queued op whose deadline passes before dispatch is dropped with a
+  structured ``deadline_exceeded`` response (never silently run), and
+  one that dispatches in time hands its *remaining* budget to
+  :meth:`ClouSession.run`, which clamps the solver's cooperative
+  budget so in-flight work degrades toward *unknown* instead of
+  overrunning.
+- **per-tenant admission control** — with ``tenant_budget`` set, each
+  distinct ``tenant`` string gets a token bucket of N ``analyze``
+  admissions per second (burst = max(1, N)); an empty bucket rejects
+  with ``busy: true`` + ``code: "tenant_budget"`` so one chatty CI
+  tenant cannot starve interactive users.  Per-tenant counters are
+  reported by ``status``.
+- **bounded reads** — request lines are read through
+  :func:`repro.serve.protocol.read_wire_line`; an oversized line gets
+  a structured error and the connection is dropped (a mid-line stream
+  cannot be resynchronized).
+- **fault sites** — the transport declares ``serve.accept`` /
+  ``serve.read`` / ``serve.write`` / ``serve.dispatch`` injection
+  points (:mod:`repro.sched.faults`) so the chaos sweep can exercise
+  dropped, stalled, garbled, and torn-connection behavior
+  deterministically.  All serve-site actions are scoped to one
+  connection or message; the daemon process always survives.
+
+Responses are emitted at the version the request arrived in, so v1
+clients keep working against this server unmodified.
+
 ``shutdown`` (op or :meth:`shutdown` call, e.g. from a SIGTERM
 handler) stops accepting, fails queued work with a structured error,
 and joins the threads — a clean exit, never a mid-write kill.
@@ -42,15 +71,53 @@ import threading
 import time
 
 from repro.sched import AnalysisRequest, ClouSession
+from repro.sched.faults import fault_point
 from repro.serve import protocol
-from repro.serve.protocol import ProtocolError
+from repro.serve.protocol import OversizedLine, ProtocolError
 
 __all__ = ["ClouServer"]
+
+#: How long an injected ``stall`` fault delays one transport step.
+#: Class-level so chaos tests can tune it against their deadlines.
+STALL_SECONDS = 0.2
+
+
+def _garble(data: bytes) -> bytes:
+    """Deterministically corrupt a wire line, preserving the trailing
+    newline so the peer still finds a line boundary (and fails to parse
+    what is inside it, instead of blocking forever)."""
+    if data.endswith(b"\n"):
+        return bytes(b ^ 0xA5 for b in data[:-1]) + b"\n"
+    return bytes(b ^ 0xA5 for b in data)
+
+
+class _TokenBucket:
+    """A per-tenant admission budget: ``rate`` tokens/second, capacity
+    ``burst``, full at birth.  The clock is injectable so tests are
+    deterministic."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def take(self) -> bool:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
 
 
 class _Writer:
     """A socket with a send lock: reader and dispatcher threads both
-    reply on the same connection."""
+    reply on the same connection.  The ``serve.write`` fault site lives
+    here — every outbound envelope passes through one choke point."""
 
     def __init__(self, sock: socket.socket):
         self._sock = sock
@@ -58,11 +125,33 @@ class _Writer:
 
     def send(self, envelope: dict) -> None:
         data = protocol.encode(envelope)
+        action = fault_point("serve.write")
+        if action == "drop":
+            return
+        if action == "crash":
+            self.close()
+            return
+        if action == "stall":
+            time.sleep(STALL_SECONDS)
+        elif action == "garble":
+            data = _garble(data)
         with self._lock:
             try:
                 self._sock.sendall(data)
             except OSError:
                 pass  # client went away; its loss, not the server's
+
+    def close(self) -> None:
+        """Tear the connection down abruptly (the ``crash`` fault and
+        dispatcher-side cleanup).  Idempotent, best-effort."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
 
 class ClouServer:
@@ -80,11 +169,18 @@ class ClouServer:
     max_inflight:
         Load-shed budget: the maximum number of ``analyze`` ops queued
         or running at once.  ``None`` = unbounded.
+    tenant_budget:
+        Per-tenant admission rate in ``analyze`` ops per second
+        (burst = max(1, rate)).  ``None`` = unlimited.  Envelopes
+        without a ``tenant`` share the ``"default"`` bucket.
+    clock:
+        Monotonic clock for the token buckets (injectable for tests).
     """
 
     def __init__(self, session: ClouSession | None = None, *,
                  socket_path: str | None = None, port: int | None = None,
-                 host: str = "127.0.0.1", max_inflight: int | None = None):
+                 host: str = "127.0.0.1", max_inflight: int | None = None,
+                 tenant_budget: float | None = None, clock=time.monotonic):
         if (socket_path is None) == (port is None):
             raise ValueError(
                 "exactly one of socket_path/port is required")
@@ -93,15 +189,22 @@ class ClouServer:
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
+        self.tenant_budget = tenant_budget
+        self._clock = clock
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
-        self._queue: list = []            # (priority, seq, writer, id, dict)
+        # (priority, seq, writer, id, payload, deadline, version)
+        self._queue: list = []
         self._seq = itertools.count()
         self._running = 0                 # analyze ops inside session.run
         self._served = 0
         self._rejected = 0
+        self._deadline_dropped = 0        # expired before dispatch
+        self._fault_dropped = 0           # discarded by injected faults
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._tenants: dict[str, dict[str, int]] = {}
         self._started = time.monotonic()
         self._threads: list[threading.Thread] = []
 
@@ -139,8 +242,10 @@ class ClouServer:
         with self._work:
             pending, self._queue = self._queue, []
             self._work.notify_all()
-        for _, _, writer, id, _ in pending:
-            writer.send(protocol.error_response(id, "server shutting down"))
+        for _, _, writer, id, _, _, version in pending:
+            writer.send(protocol.error_response(
+                id, "server shutting down", code="shutdown",
+                version=version))
         if self.socket_path and os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
@@ -191,6 +296,15 @@ class ClouServer:
                 conn, _ = listener.accept()
             except OSError:
                 return  # listener closed by shutdown()
+            action = fault_point("serve.accept")
+            if action in ("drop", "crash"):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            if action == "stall":
+                time.sleep(STALL_SECONDS)
             thread = threading.Thread(
                 target=self._reader_loop, args=(conn,),
                 name="clou-serve-conn", daemon=True)
@@ -200,9 +314,28 @@ class ClouServer:
         writer = _Writer(conn)
         try:
             with conn, conn.makefile("rb") as lines:
-                for line in lines:
+                while True:
+                    try:
+                        line = protocol.read_wire_line(lines)
+                    except OversizedLine as error:
+                        # The stream has no recoverable line boundary
+                        # left: structured error, then hang up.
+                        writer.send(protocol.error_response(
+                            None, str(error), code="oversized", version=1))
+                        return
+                    if line is None:
+                        return  # EOF
                     if not line.strip():
                         continue
+                    action = fault_point("serve.read")
+                    if action == "drop":
+                        continue
+                    if action == "crash":
+                        return
+                    if action == "stall":
+                        time.sleep(STALL_SECONDS)
+                    elif action == "garble":
+                        line = _garble(line)
                     if not self._handle(line, writer):
                         return
         except OSError:
@@ -211,44 +344,89 @@ class ClouServer:
     def _handle(self, line: bytes, writer: _Writer) -> bool:
         """One envelope; returns False to drop the connection."""
         try:
-            op, id, priority, payload = protocol.parse_request(
-                protocol.decode_line(line))
+            req = protocol.parse_request(protocol.decode_line(line))
         except ProtocolError as error:
-            writer.send(protocol.error_response(None, str(error)))
+            # Parse failures answer at v1: whatever the peer speaks,
+            # it understands the lowest common envelope.
+            writer.send(protocol.error_response(
+                None, str(error), code="protocol", version=1))
             return True
-        if op == "ping":
-            writer.send(protocol.make_response(id, result=self._pong()))
-        elif op == "status":
-            writer.send(protocol.make_response(id, result=self.status()))
-        elif op == "shutdown":
-            writer.send(protocol.make_response(id, result=None))
+        if req.op == "ping":
+            writer.send(protocol.make_response(
+                req.id, result=self._pong(), version=req.version))
+        elif req.op == "status":
+            writer.send(protocol.make_response(
+                req.id, result=self.status(), version=req.version))
+        elif req.op == "shutdown":
+            writer.send(protocol.make_response(
+                req.id, result=None, version=req.version))
             self.shutdown()
             return False
-        elif op == "analyze":
-            self._enqueue(writer, id, priority, payload)
+        elif req.op == "analyze":
+            self._enqueue(writer, req)
         return True
 
-    def _enqueue(self, writer: _Writer, id: object, priority: int,
-                 payload: dict) -> None:
+    def _tenant_admits(self, tenant: str) -> bool:
+        """One token-bucket decision (caller holds ``self._work``)."""
+        if self.tenant_budget is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = _TokenBucket(self.tenant_budget,
+                                  max(1.0, self.tenant_budget),
+                                  clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket.take()
+
+    def _count_tenant(self, tenant: str, key: str) -> None:
+        entry = self._tenants.setdefault(
+            tenant, {"admitted": 0, "rejected": 0})
+        entry[key] += 1
+
+    def _enqueue(self, writer: _Writer, req: protocol.ParsedRequest) -> None:
+        tenant = req.tenant or "default"
         with self._work:
             if self._stop.is_set():
-                busy = False
-                full = True
-                message = "server shutting down"
-            else:
-                inflight = len(self._queue) + self._running
-                full = (self.max_inflight is not None
-                        and inflight >= self.max_inflight)
-                busy = full
-                message = (f"server busy: {inflight} request(s) inflight "
-                           f"(--max-inflight {self.max_inflight})")
-            if not full:
-                heapq.heappush(self._queue, (priority, next(self._seq),
-                                             writer, id, payload))
-                self._work.notify()
+                writer.send(protocol.error_response(
+                    req.id, "server shutting down", code="shutdown",
+                    version=req.version))
                 return
-        self._rejected += busy
-        writer.send(protocol.error_response(id, message, busy=busy))
+            if req.deadline is not None and time.time() >= req.deadline:
+                # Doomed on arrival: reject instead of queueing work
+                # whose answer nobody is waiting for.
+                self._deadline_dropped += 1
+                writer.send(protocol.error_response(
+                    req.id, "deadline exceeded before the request was "
+                    "queued", code="deadline_exceeded",
+                    version=req.version))
+                return
+            if not self._tenant_admits(tenant):
+                # busy=true so pre-v2 clients degrade exactly like a
+                # max-inflight rejection (incomplete, not failed).
+                self._rejected += 1
+                self._count_tenant(tenant, "rejected")
+                writer.send(protocol.error_response(
+                    req.id,
+                    f"tenant {tenant!r} admission budget exhausted "
+                    f"(--tenant-budget {self.tenant_budget:g}/s)",
+                    busy=True, code="tenant_budget", version=req.version))
+                return
+            inflight = len(self._queue) + self._running
+            if self.max_inflight is not None \
+                    and inflight >= self.max_inflight:
+                self._rejected += 1
+                self._count_tenant(tenant, "rejected")
+                writer.send(protocol.error_response(
+                    req.id,
+                    f"server busy: {inflight} request(s) inflight "
+                    f"(--max-inflight {self.max_inflight})",
+                    busy=True, code="busy", version=req.version))
+                return
+            self._count_tenant(tenant, "admitted")
+            heapq.heappush(self._queue, (req.priority, next(self._seq),
+                                         writer, req.id, req.payload,
+                                         req.deadline, req.version))
+            self._work.notify()
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -257,9 +435,28 @@ class ClouServer:
                     self._work.wait()
                 if self._stop.is_set():
                     return
-                _, _, writer, id, payload = heapq.heappop(self._queue)
+                (_, _, writer, id, payload,
+                 deadline, version) = heapq.heappop(self._queue)
                 self._running += 1
-            response = self._analyze(id, payload)
+            action = fault_point("serve.dispatch")
+            if action in ("drop", "crash"):
+                if action == "crash":
+                    writer.close()
+                with self._work:
+                    self._running -= 1
+                    self._fault_dropped += 1
+                continue
+            if action == "stall":
+                time.sleep(STALL_SECONDS)
+            if deadline is not None and time.time() >= deadline:
+                with self._work:
+                    self._running -= 1
+                    self._deadline_dropped += 1
+                writer.send(protocol.error_response(
+                    id, "deadline exceeded while queued",
+                    code="deadline_exceeded", version=version))
+                continue
+            response = self._analyze(id, payload, deadline, version)
             # Count before replying: a client that sends `status` right
             # after its analyze reply must see itself served.
             with self._work:
@@ -267,15 +464,20 @@ class ClouServer:
                 self._served += 1
             writer.send(response)
 
-    def _analyze(self, id: object, payload: dict) -> dict:
+    def _analyze(self, id: object, payload: dict,
+                 deadline: float | None, version: int) -> dict:
         # Total: a bad payload or a session bug must never kill the
         # dispatcher thread, only this one request.
         try:
             request = AnalysisRequest.from_dict(payload)
-            [result] = self.session.run([request])
-            return protocol.make_response(id, result=result.to_dict())
+            if deadline is not None:
+                [result] = self.session.run([request], deadline=deadline)
+            else:
+                [result] = self.session.run([request])
+            return protocol.make_response(id, result=result.to_dict(),
+                                          version=version)
         except Exception as error:
-            return protocol.error_response(id, str(error))
+            return protocol.error_response(id, str(error), version=version)
 
     # -- introspection -----------------------------------------------------
 
@@ -286,6 +488,8 @@ class ClouServer:
         """The ``status`` op's result payload (also handy in-process)."""
         with self._lock:
             queued, running = len(self._queue), self._running
+            tenants = {name: dict(counts)
+                       for name, counts in sorted(self._tenants.items())}
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "pid": os.getpid(),
@@ -296,5 +500,9 @@ class ClouServer:
             "max_inflight": self.max_inflight,
             "served": self._served,
             "busy_rejected": self._rejected,
+            "deadline_dropped": self._deadline_dropped,
+            "fault_dropped": self._fault_dropped,
+            "tenant_budget": self.tenant_budget,
+            "tenants": tenants,
             "stats": self.session.stats.to_dict(),
         }

@@ -81,7 +81,9 @@ class TestDeterminism:
         assert plan.fire("engine.candidate", hit=3) == "budget"
 
     def test_sites_documented(self):
-        for site in ("worker.item", "engine.candidate", "oracle.query"):
+        for site in ("worker.item", "engine.candidate", "oracle.query",
+                     "serve.accept", "serve.read", "serve.write",
+                     "serve.dispatch"):
             assert site in SITES
 
 
@@ -112,3 +114,43 @@ class TestActivation:
             fault_point("oracle.query")
             fault_point("oracle.query")
         assert plan.fired == {"budget@oracle.query": 2}
+
+
+class TestServeSites:
+    def test_serve_grammar_round_trips(self):
+        spec = "seed=3;drop@serve.read#1;garble@serve.write%0.5"
+        assert parse_spec(spec).render() == spec
+
+    def test_every_serve_action_parses_at_every_serve_site(self):
+        from repro.sched.faults import SERVE_ACTIONS
+
+        for site in ("serve.accept", "serve.read", "serve.write",
+                     "serve.dispatch"):
+            for action in SERVE_ACTIONS:
+                [rule] = parse_spec(f"{action}@{site}#1").rules
+                assert (rule.action, rule.site) == (action, site)
+
+    def test_serve_actions_are_cooperative(self):
+        # Even `crash` is returned, never executed: at a transport site
+        # it means "tear down the connection", not "kill the process".
+        for action in ("drop", "stall", "garble", "crash"):
+            with activate(f"{action}@serve.write#1"):
+                assert fault_point("serve.write") == action
+
+    def test_fire_is_thread_safe(self):
+        import threading
+
+        plan = parse_spec("seed=1;drop@serve.read%0.5")
+        counted = []
+
+        def hammer():
+            counted.append(sum(
+                plan.fire("serve.read") is not None for _ in range(200)))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every arrival was counted exactly once despite the contention.
+        assert plan._hits["serve.read"] == 800

@@ -56,15 +56,40 @@ class TestRequests:
     def test_parse_fields(self):
         envelope = make_request("analyze", id="req-7", priority=2,
                                 request={"k": 1})
-        assert parse_request(envelope) == ("analyze", "req-7", 2, {"k": 1})
+        req = parse_request(envelope)
+        assert (req.op, req.id, req.priority, req.payload) == \
+            ("analyze", "req-7", 2, {"k": 1})
+        assert req.deadline is None and req.tenant is None
+        assert req.version == PROTOCOL_VERSION
+
+    def test_parse_v2_fields(self):
+        envelope = make_request("analyze", id=1, request={"k": 1},
+                                deadline=1700000123.5, tenant="ci")
+        req = parse_request(envelope)
+        assert req.deadline == 1700000123.5
+        assert req.tenant == "ci"
+
+    def test_v1_envelopes_omit_v2_fields(self):
+        envelope = make_request("analyze", id=1, request={"k": 1},
+                                deadline=1.0, tenant="ci", version=1)
+        assert "deadline" not in envelope and "tenant" not in envelope
+        req = parse_request(envelope)
+        assert req.deadline is None and req.tenant is None
+        assert req.version == 1
+
+    def test_bad_deadline_and_tenant(self):
+        base = make_request("ping", id=1)
+        with pytest.raises(ProtocolError, match="deadline"):
+            parse_request(dict(base, deadline="soon"))
+        with pytest.raises(ProtocolError, match="tenant"):
+            parse_request(dict(base, tenant=7))
 
     def test_simple_ops_carry_no_payload(self):
         for op in ("status", "ping", "shutdown"):
             assert op in OPS
-            op_out, id, priority, payload = parse_request(
-                make_request(op, id=5))
-            assert (op_out, id, payload) == (op, 5, None)
-            assert priority == 0
+            req = parse_request(make_request(op, id=5))
+            assert (req.op, req.id, req.payload) == (op, 5, None)
+            assert req.priority == 0
 
 
 class TestResponses:
@@ -85,3 +110,36 @@ class TestResponses:
     def test_malformed_response(self):
         with pytest.raises(ProtocolError, match="missing"):
             parse_response({"v": PROTOCOL_VERSION})
+
+    def test_error_code_is_v2_only(self):
+        v2 = error_response(4, "late", code="deadline_exceeded")
+        assert v2["code"] == "deadline_exceeded"
+        v1 = error_response(4, "late", code="deadline_exceeded", version=1)
+        assert "code" not in v1 and v1["v"] == 1
+
+
+class TestBoundedLines:
+    def test_read_wire_line_eof_and_lines(self):
+        import io
+
+        from repro.serve.protocol import read_wire_line
+
+        stream = io.BytesIO(b'{"v":1}\npartial')
+        assert read_wire_line(stream) == b'{"v":1}\n'
+        assert read_wire_line(stream) == b"partial"  # mid-write tail
+        assert read_wire_line(stream) is None
+
+    def test_read_wire_line_oversized(self):
+        import io
+
+        from repro.serve.protocol import OversizedLine, read_wire_line
+
+        stream = io.BytesIO(b"x" * 64 + b"\n")
+        with pytest.raises(OversizedLine):
+            read_wire_line(stream, limit=32)
+
+    def test_decode_rejects_oversized_bytes(self):
+        from repro.serve.protocol import MAX_LINE_BYTES, OversizedLine
+
+        with pytest.raises(OversizedLine):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))

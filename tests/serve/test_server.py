@@ -131,7 +131,7 @@ class _GatedSession:
         self.first = True
         self.ran = []
 
-    def run(self, requests):
+    def run(self, requests, **kwargs):
         if self.first:
             self.first = False
             self.gate.wait(timeout=10)
@@ -202,7 +202,9 @@ class TestQueueDiscipline:
         finally:
             server.shutdown()
         assert reply["ok"]
-        assert server.status()["busy_rejected"] == 1
+        # The client retried (default 2 extra attempts) and was load-shed
+        # each time; every rejection counts server-side.
+        assert server.status()["busy_rejected"] == 3
 
     def test_tcp_transport(self):
         server = ClouServer(_GatedSession(), port=0)
@@ -224,9 +226,10 @@ class TestClientFailureModes:
             client.ping()
 
     def test_no_address_configured(self, monkeypatch):
-        from repro.sched.env import SOCKET_ENV
+        from repro.sched.env import SOCKETS_ENV, SOCKET_ENV
 
         monkeypatch.delenv(SOCKET_ENV, raising=False)
+        monkeypatch.delenv(SOCKETS_ENV, raising=False)
         with pytest.raises(DaemonUnreachable, match="no daemon address"):
             ClouClient().ping()
 
